@@ -1,0 +1,45 @@
+//! Ablation (DESIGN.md §3): the paper's §3.3 "words from affiliated line
+//! are evicted" is ambiguous between evicting the conflicting word only or
+//! the whole affiliated line. Compare both policies head to head.
+
+use ccp_bench::{BENCH_BUDGET, BENCH_SEED};
+use ccp_cache::{DesignKind, HierarchyConfig};
+use ccp_pipeline::{run_trace, PipelineConfig};
+use ccp_sim::build_design_with;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\nAblation: CPP compressibility-change eviction policy");
+    println!("{:20} {:>12} {:>12}", "benchmark", "word-only", "whole-line");
+    for name in ["olden.bisort", "olden.health", "spec2000.300.twolf"] {
+        let trace = ccp_trace::benchmark_by_name(name).unwrap().trace(BENCH_BUDGET, BENCH_SEED);
+        let mut cycles = Vec::new();
+        for whole in [false, true] {
+            let mut cfg = HierarchyConfig::paper(DesignKind::Cpp);
+            cfg.evict_whole_affiliated_line = whole;
+            let mut cache = build_design_with(cfg);
+            cycles.push(run_trace(&trace, cache.as_mut(), &PipelineConfig::paper()).cycles);
+        }
+        println!("{:20} {:>12} {:>12}", name, cycles[0], cycles[1]);
+    }
+
+    let trace = ccp_trace::benchmark_by_name("olden.bisort").unwrap().trace(BENCH_BUDGET, BENCH_SEED);
+    let mut g = c.benchmark_group("ablation_evict");
+    g.sample_size(10);
+    for (label, whole) in [("word-only", false), ("whole-line", true)] {
+        g.bench_function(format!("cpp/{label}"), |b| {
+            b.iter(|| {
+                let mut cfg = HierarchyConfig::paper(DesignKind::Cpp);
+                cfg.evict_whole_affiliated_line = whole;
+                let mut cache = build_design_with(cfg);
+                std::hint::black_box(
+                    run_trace(&trace, cache.as_mut(), &PipelineConfig::paper()).cycles,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation: branch predictor flavour (the paper fixes bimod; gshare is
+//! SimpleScalar's other standard choice). Front-end sensitivity of the
+//! CPP-vs-BC comparison.
+
+use ccp_bench::{BENCH_BUDGET, BENCH_SEED};
+use ccp_cache::DesignKind;
+use ccp_pipeline::{run_trace, PipelineConfig, PredictorKind};
+use ccp_sim::build_design;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\nAblation: branch predictor (cycles; mispredicts)");
+    println!("{:20} {:>8} {:>12} {:>12}", "benchmark", "pred", "BC", "CPP");
+    for name in ["olden.bisort", "olden.mst", "spec95.099.go"] {
+        let trace = ccp_trace::benchmark_by_name(name).unwrap().trace(BENCH_BUDGET, BENCH_SEED);
+        for kind in [PredictorKind::Bimod, PredictorKind::Gshare] {
+            let mut cfg = PipelineConfig::paper();
+            cfg.predictor = kind;
+            let mut bc = build_design(DesignKind::Bc);
+            let sb = run_trace(&trace, bc.as_mut(), &cfg);
+            let mut cpp = build_design(DesignKind::Cpp);
+            let sc = run_trace(&trace, cpp.as_mut(), &cfg);
+            println!(
+                "{:20} {:>8} {:>12} {:>12}",
+                name,
+                format!("{kind:?}"),
+                format!("{} ({})", sb.cycles, sb.branch_mispredicts),
+                format!("{} ({})", sc.cycles, sc.branch_mispredicts),
+            );
+        }
+    }
+
+    let trace = ccp_trace::benchmark_by_name("olden.mst").unwrap().trace(BENCH_BUDGET, BENCH_SEED);
+    let mut g = c.benchmark_group("ablation_predictor");
+    g.sample_size(10);
+    for kind in [PredictorKind::Bimod, PredictorKind::Gshare] {
+        g.bench_function(format!("mst/{kind:?}"), |b| {
+            b.iter(|| {
+                let mut cfg = PipelineConfig::paper();
+                cfg.predictor = kind;
+                let mut cache = build_design(DesignKind::Bc);
+                std::hint::black_box(run_trace(&trace, cache.as_mut(), &cfg).cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

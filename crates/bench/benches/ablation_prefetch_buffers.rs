@@ -1,0 +1,46 @@
+//! Ablation: BCP prefetch-buffer sizing. The paper fixes 8-entry L1 /
+//! 32-entry L2 buffers as the "same hardware budget" point; sweep around
+//! it to show the sensitivity.
+
+use ccp_bench::{BENCH_BUDGET, BENCH_SEED};
+use ccp_cache::{DesignKind, HierarchyConfig};
+use ccp_pipeline::{run_trace, PipelineConfig};
+use ccp_sim::build_design_with;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\nAblation: BCP prefetch-buffer sizes (cycles / memory half-words)");
+    println!("{:>6} {:>6} {:>12} {:>14}", "L1 PB", "L2 PB", "cycles", "traffic");
+    let trace = ccp_trace::benchmark_by_name("olden.mst").unwrap().trace(BENCH_BUDGET, BENCH_SEED);
+    for (l1e, l2e) in [(1u32, 4u32), (4, 16), (8, 32), (16, 64), (64, 256)] {
+        let mut cfg = HierarchyConfig::paper(DesignKind::Bcp);
+        cfg.l1_prefetch_entries = l1e;
+        cfg.l2_prefetch_entries = l2e;
+        let mut cache = build_design_with(cfg);
+        let s = run_trace(&trace, cache.as_mut(), &PipelineConfig::paper());
+        println!(
+            "{:>6} {:>6} {:>12} {:>14}",
+            l1e, l2e, s.cycles, s.hierarchy.memory_traffic_halfwords()
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_pb");
+    g.sample_size(10);
+    for (l1e, l2e) in [(1u32, 4u32), (8, 32), (64, 256)] {
+        g.bench_function(format!("bcp/{l1e}x{l2e}"), |b| {
+            b.iter(|| {
+                let mut cfg = HierarchyConfig::paper(DesignKind::Bcp);
+                cfg.l1_prefetch_entries = l1e;
+                cfg.l2_prefetch_entries = l2e;
+                let mut cache = build_design_with(cfg);
+                std::hint::black_box(
+                    run_trace(&trace, cache.as_mut(), &PipelineConfig::paper()).cycles,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

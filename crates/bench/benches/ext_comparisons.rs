@@ -1,0 +1,41 @@
+//! Extension benches: the related-work comparisons beyond the paper's
+//! evaluated set — stride prefetching (ref [2]), frequent-value compression
+//! (refs [6]/[9]), CPI stacks, and conflict-miss remedies (ref [3]).
+
+use ccp_bench::{BENCH_BUDGET, BENCH_SEED};
+use ccp_cache::{CacheSim, StrideHierarchy, VictimHierarchy};
+use ccp_pipeline::{run_trace, PipelineConfig};
+use ccp_sim::extensions as ext;
+use ccp_trace::benchmark_by_name;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let benches: Vec<_> = ["olden.health", "olden.treeadd", "spec95.129.compress"]
+        .iter()
+        .map(|n| benchmark_by_name(n).expect("registered"))
+        .collect();
+    println!("\n{}", ext::render_stride(&ext::stride_comparison(&benches, BENCH_BUDGET, BENCH_SEED)));
+    println!("\n{}", ext::render_fvc(&ext::fvc_comparison(&benches, BENCH_BUDGET, BENCH_SEED)));
+    println!("\n{}", ext::render_cpi(&ext::cpi_stacks(&benches, BENCH_BUDGET, BENCH_SEED)));
+    println!("\n{}", ext::render_conflict(&ext::conflict_comparison(&benches, BENCH_BUDGET, BENCH_SEED)));
+
+    let trace = benchmark_by_name("olden.health").unwrap().trace(BENCH_BUDGET, BENCH_SEED);
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.bench_function("simulate/health/SPT", |b| {
+        b.iter(|| {
+            let mut cache = StrideHierarchy::paper();
+            std::hint::black_box(run_trace(&trace, &mut cache as &mut dyn CacheSim, &PipelineConfig::paper()).cycles)
+        })
+    });
+    g.bench_function("simulate/health/VC", |b| {
+        b.iter(|| {
+            let mut cache = VictimHierarchy::paper();
+            std::hint::black_box(run_trace(&trace, &mut cache as &mut dyn CacheSim, &PipelineConfig::paper()).cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 3: value compressibility per benchmark. Prints the full table
+//! once, then measures the profiling pass itself.
+
+use ccp_bench::{BENCH_BUDGET, BENCH_SEED};
+use ccp_compress::profile::ValueProfile;
+use ccp_sim::experiments::{figure3, render_figure3};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let rows = figure3(BENCH_BUDGET, BENCH_SEED);
+    println!("\n{}", render_figure3(&rows));
+
+    let trace = ccp_trace::benchmark_by_name("olden.health")
+        .unwrap()
+        .trace(BENCH_BUDGET, BENCH_SEED);
+    let mut g = c.benchmark_group("fig03");
+    g.sample_size(20);
+    g.bench_function("profile_values/health", |b| {
+        b.iter(|| {
+            let mut p = ValueProfile::new();
+            trace.profile_values(|v, a| p.record(v, a));
+            std::hint::black_box(p.compressible());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 9: the baseline configuration table, plus a microbenchmark of
+//! the §3.2 compressor/decompressor hot path (the hardware the paper
+//! budgets at 8 / 2 gate delays).
+
+use ccp_compress::{compress, decompress};
+use ccp_sim::experiments::figure9;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", figure9());
+
+    // A mixed value stream: small, pointer, incompressible.
+    let vals: Vec<(u32, u32)> = (0..4096u32)
+        .map(|i| {
+            let addr = 0x1000_0000 + i * 4;
+            let v = match i % 3 {
+                0 => i % 1000,
+                1 => (addr & 0xFFFF_8000) | (i & 0x7FFF),
+                _ => 0xDEAD_0000 | i,
+            };
+            (v, addr)
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("fig09");
+    g.bench_function("compress/4096-words", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            for &(v, a) in &vals {
+                if let Some(cw) = compress(v, a) {
+                    n = n.wrapping_add(u32::from(cw.0));
+                }
+            }
+            std::hint::black_box(n)
+        })
+    });
+    let compressed: Vec<(ccp_compress::Compressed, u32)> = vals
+        .iter()
+        .filter_map(|&(v, a)| compress(v, a).map(|c| (c, a)))
+        .collect();
+    g.bench_function("decompress/compressible-words", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            for &(cw, a) in &compressed {
+                n = n.wrapping_add(decompress(cw, a));
+            }
+            std::hint::black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

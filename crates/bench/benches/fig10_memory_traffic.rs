@@ -1,0 +1,31 @@
+//! Figure 10: memory traffic normalized to BC. Prints the table, then
+//! measures the cell that produces CPP's traffic number.
+
+use ccp_bench::{bench_sweep, BENCH_BUDGET, BENCH_SEED};
+use ccp_cache::DesignKind;
+use ccp_sim::experiments::figure10;
+use ccp_sim::sweep::run_cell;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let sweep = bench_sweep(false);
+    println!("\n{}", figure10(&sweep).render());
+
+    let trace = ccp_trace::benchmark_by_name("olden.health")
+        .unwrap()
+        .trace(BENCH_BUDGET, BENCH_SEED);
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for d in [DesignKind::Bc, DesignKind::Bcc, DesignKind::Cpp] {
+        g.bench_function(format!("traffic-cell/health/{}", d.name()), |b| {
+            b.iter(|| {
+                let s = run_cell(&trace, d, false);
+                std::hint::black_box(s.hierarchy.memory_traffic_halfwords())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

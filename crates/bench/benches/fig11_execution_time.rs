@@ -1,0 +1,29 @@
+//! Figure 11: execution time normalized to BC. Prints the table, then
+//! measures full pipeline+hierarchy simulation throughput per design.
+
+use ccp_bench::{bench_sweep, BENCH_BUDGET, BENCH_SEED};
+use ccp_cache::DesignKind;
+use ccp_sim::experiments::figure11;
+use ccp_sim::sweep::run_cell;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let sweep = bench_sweep(false);
+    println!("\n{}", figure11(&sweep).render());
+
+    let trace = ccp_trace::benchmark_by_name("olden.treeadd")
+        .unwrap()
+        .trace(BENCH_BUDGET, BENCH_SEED);
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for d in DesignKind::ALL {
+        g.bench_function(format!("simulate/treeadd/{}", d.name()), |b| {
+            b.iter(|| std::hint::black_box(run_cell(&trace, d, false).cycles))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

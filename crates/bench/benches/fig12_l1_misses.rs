@@ -1,0 +1,38 @@
+//! Figure 12: L1 miss comparison. Prints the table, then measures the
+//! L1-dominant access path (hit stream) per design.
+
+use ccp_bench::bench_sweep;
+use ccp_cache::DesignKind;
+use ccp_sim::build_design;
+use ccp_sim::experiments::figure12;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let sweep = bench_sweep(false);
+    println!("\n{}", figure12(&sweep).render());
+
+    let mut g = c.benchmark_group("fig12");
+    g.throughput(Throughput::Elements(16 * 1024));
+    for d in DesignKind::ALL {
+        g.bench_function(format!("l1-hit-stream/{}", d.name()), |b| {
+            let mut cache = build_design(d);
+            // Warm one L1-resident 4 KB region.
+            for i in 0..1024u32 {
+                cache.write(0x5_0000 + i * 4, i % 100);
+            }
+            b.iter(|| {
+                let mut acc = 0u64;
+                for rep in 0..16u32 {
+                    for i in 0..1024u32 {
+                        acc += u64::from(cache.read(0x5_0000 + ((i * 16 + rep) % 1024) * 4).latency);
+                    }
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 13: L2 miss comparison. Prints the table, then measures the
+//! L2-dominant path (L1-thrashing, L2-resident working set) per design.
+
+use ccp_bench::bench_sweep;
+use ccp_cache::DesignKind;
+use ccp_sim::build_design;
+use ccp_sim::experiments::figure13;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let sweep = bench_sweep(false);
+    println!("\n{}", figure13(&sweep).render());
+
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(8 * 1024));
+    for d in DesignKind::ALL {
+        g.bench_function(format!("l2-stream/{}", d.name()), |b| {
+            let mut cache = build_design(d);
+            // 32 KB of small values: 4x the L1, half the L2.
+            for i in 0..8192u32 {
+                cache.write(0x8_0000 + i * 4, 7);
+            }
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..8192u32 {
+                    acc += u64::from(cache.read(0x8_0000 + i * 4).latency);
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

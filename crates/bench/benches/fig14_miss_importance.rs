@@ -1,0 +1,33 @@
+//! Figure 14: miss importance via the Amdahl estimate (normal vs
+//! halved-penalty runs). Prints the table, then measures the paired-run
+//! procedure for one benchmark.
+
+use ccp_bench::{bench_sweep, BENCH_BUDGET, BENCH_SEED};
+use ccp_cache::DesignKind;
+use ccp_sim::experiments::{figure14, S_ENHANCED};
+use ccp_sim::sweep::run_cell;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let normal = bench_sweep(false);
+    let halved = bench_sweep(true);
+    println!("\n{}", figure14(&normal, &halved).render());
+
+    let trace = ccp_trace::benchmark_by_name("olden.health")
+        .unwrap()
+        .trace(BENCH_BUDGET, BENCH_SEED);
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("importance-pair/health/CPP", |b| {
+        b.iter(|| {
+            let t_old = run_cell(&trace, DesignKind::Cpp, false).cycles as f64;
+            let t_new = run_cell(&trace, DesignKind::Cpp, true).cycles as f64;
+            let s = (t_old / t_new).max(1.0);
+            std::hint::black_box(S_ENHANCED * (1.0 - 1.0 / s) / (S_ENHANCED - 1.0))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

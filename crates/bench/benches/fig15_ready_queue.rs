@@ -1,0 +1,28 @@
+//! Figure 15: ready-queue length during outstanding-miss cycles (CPP over
+//! HAC). Prints the table, then measures the stat-collecting run.
+
+use ccp_bench::{bench_sweep, BENCH_BUDGET, BENCH_SEED};
+use ccp_cache::DesignKind;
+use ccp_sim::experiments::{figure15, render_figure15};
+use ccp_sim::sweep::run_cell;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let sweep = bench_sweep(false);
+    println!("\n{}", render_figure15(&figure15(&sweep)));
+
+    let trace = ccp_trace::benchmark_by_name("olden.perimeter")
+        .unwrap()
+        .trace(BENCH_BUDGET, BENCH_SEED);
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    for d in [DesignKind::Hac, DesignKind::Cpp] {
+        g.bench_function(format!("ready-queue/perimeter/{}", d.name()), |b| {
+            b.iter(|| std::hint::black_box(run_cell(&trace, d, false).avg_ready_in_miss_cycles()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbenchmarks of the simulator's own substrate: tag-array lookups,
+//! compression-mask scans, trace generation, and functional replay. These
+//! bound the cost of every figure; regressions here multiply into every
+//! experiment.
+
+use ccp_bench::{BENCH_BUDGET, BENCH_SEED};
+use ccp_cache::geometry::CacheGeometry;
+use ccp_cache::set_assoc::SetAssocCache;
+use ccp_cache::DesignKind;
+use ccp_sim::build_design;
+use ccp_sim::fastsim::run_functional;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+
+    // Tag-array lookup/insert over a hot set.
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("set_assoc/lookup-insert", |b| {
+        let mut arr: SetAssocCache<()> = SetAssocCache::new(CacheGeometry::new(8 * 1024, 2, 64));
+        b.iter(|| {
+            let mut hits = 0u32;
+            for i in 0..4096u32 {
+                let addr = (i.wrapping_mul(2654435761) & 0xFFFF) & !3;
+                match arr.lookup(addr) {
+                    Some(idx) => {
+                        arr.touch(idx);
+                        hits += 1;
+                    }
+                    None => {
+                        arr.insert(addr, false, ());
+                    }
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+
+    // Trace generation throughput (the cost of one sweep cell's input).
+    let bench_ref = ccp_trace::benchmark_by_name("olden.health").unwrap();
+    g.throughput(Throughput::Elements(BENCH_BUDGET as u64));
+    g.bench_function("trace-gen/health", |b| {
+        b.iter(|| std::hint::black_box(bench_ref.trace(BENCH_BUDGET, BENCH_SEED).len()))
+    });
+
+    // Functional replay throughput per design (the fastsim path).
+    let trace = bench_ref.trace(BENCH_BUDGET, BENCH_SEED);
+    for d in [DesignKind::Bc, DesignKind::Cpp] {
+        g.bench_function(format!("fastsim/health/{}", d.name()), |b| {
+            b.iter(|| {
+                let mut cache = build_design(d);
+                std::hint::black_box(run_functional(&trace, cache.as_mut(), 0).mem_ops)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Shared scaffolding for the Criterion benches that regenerate the
+//! paper's tables and figures.
+//!
+//! Each `benches/figNN_*.rs` target does two things:
+//!
+//! 1. **Prints the figure** once, at a bench-sized instruction budget, in
+//!    the same rows/series the paper reports (captured by
+//!    `cargo bench | tee bench_output.txt`), and
+//! 2. **Measures** the simulation work that produces it, so regressions in
+//!    the simulator's own performance are visible over time.
+//!
+//! Absolute magnitudes at these budgets are noisier than the `repro`
+//! binary's defaults; `EXPERIMENTS.md` records the full-budget runs.
+
+use ccp_sim::sweep::{run_sweep_on, Sweep, SweepConfig};
+use ccp_trace::{benchmark_by_name, Benchmark};
+
+/// Instruction budget used by the figure benches.
+pub const BENCH_BUDGET: usize = 60_000;
+
+/// Seed used by the figure benches.
+pub const BENCH_SEED: u64 = 1;
+
+/// A representative benchmark subset that spans the compressibility range
+/// (high: li; pointer-chase: health/treeadd; conflict-prone: twolf;
+/// low-compressibility: compress).
+pub fn subset() -> Vec<Benchmark> {
+    ["olden.health", "olden.treeadd", "spec95.130.li", "spec95.129.compress", "spec2000.300.twolf"]
+        .iter()
+        .map(|n| benchmark_by_name(n).expect("registered"))
+        .collect()
+}
+
+/// Runs the bench-sized sweep over [`subset`].
+pub fn bench_sweep(halved: bool) -> Sweep {
+    let mut cfg = SweepConfig::new(BENCH_BUDGET, BENCH_SEED);
+    cfg.halved_miss_penalty = halved;
+    run_sweep_on(&subset(), &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_is_well_formed() {
+        let s = subset();
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn bench_sweep_runs() {
+        let s = bench_sweep(false);
+        assert_eq!(s.benchmarks.len(), 5);
+    }
+}

@@ -1,0 +1,403 @@
+//! The baseline two-level hierarchy: **BC**, **BCC** and **HAC**.
+//!
+//! BCC differs from BC only in bus accounting (values cross the L1↔L2 and
+//! L2↔memory buses in compressed form), so it shares this implementation
+//! with a `compress_bus` flag; the paper notes BC and BCC have identical
+//! timing. HAC is BC with doubled associativity at both levels, expressed
+//! purely through [`HierarchyConfig`] geometry.
+//!
+//! Policy (SimpleScalar-style): write-back, write-allocate, true LRU,
+//! blocking misses, mostly-inclusive fills (an L2 miss fills both levels;
+//! no back-invalidation — an L1 victim whose line has left L2 is written
+//! back to memory directly).
+
+use crate::config::{DesignKind, HierarchyConfig, LatencyConfig};
+use crate::set_assoc::SetAssocCache;
+use crate::stats::HierarchyStats;
+use crate::{AccessResult, Addr, CacheSim, HitSource, Word};
+use ccp_compress::bus_halfwords;
+use ccp_mem::MainMemory;
+
+/// Computes the bus cost of transferring the line at `base` (`words` long),
+/// in half-words: always `2 × words` on a conventional bus, value-dependent
+/// on a compressed bus.
+pub(crate) fn line_transfer_halfwords(
+    mem: &MainMemory,
+    base: Addr,
+    words: u32,
+    compressed_bus: bool,
+) -> u64 {
+    if !compressed_bus {
+        return u64::from(words) * 2;
+    }
+    (0..words)
+        .map(|i| {
+            let a = base + i * 4;
+            bus_halfwords(mem.read(a), a)
+        })
+        .sum()
+}
+
+/// The BC / BCC / HAC hierarchy.
+#[derive(Debug, Clone)]
+pub struct TwoLevelCache {
+    cfg: HierarchyConfig,
+    l1: SetAssocCache<()>,
+    l2: SetAssocCache<()>,
+    mem: MainMemory,
+    stats: HierarchyStats,
+    compress_bus: bool,
+}
+
+impl TwoLevelCache {
+    /// Builds the hierarchy for `cfg`. `cfg.design` must be one of
+    /// [`DesignKind::Bc`], [`DesignKind::Bcc`] or [`DesignKind::Hac`].
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        assert!(
+            matches!(cfg.design, DesignKind::Bc | DesignKind::Bcc | DesignKind::Hac),
+            "TwoLevelCache only implements BC/BCC/HAC, got {:?}",
+            cfg.design
+        );
+        TwoLevelCache {
+            l1: SetAssocCache::new(cfg.l1),
+            l2: SetAssocCache::new(cfg.l2),
+            mem: MainMemory::new(),
+            stats: HierarchyStats::new(),
+            compress_bus: cfg.design == DesignKind::Bcc,
+            cfg,
+        }
+    }
+
+    /// Convenience constructor for the paper's configuration of `design`.
+    pub fn paper(design: DesignKind) -> Self {
+        Self::new(HierarchyConfig::paper(design))
+    }
+
+    /// Ensures `addr`'s L2 line is resident, charging memory traffic on a
+    /// miss. Returns where the data came from.
+    fn ensure_in_l2(&mut self, addr: Addr, is_write: bool) -> HitSource {
+        if is_write {
+            self.stats.l2.writes += 1;
+        } else {
+            self.stats.l2.reads += 1;
+        }
+        if let Some(idx) = self.l2.lookup(addr) {
+            self.l2.touch(idx);
+            return HitSource::L2;
+        }
+        if is_write {
+            self.stats.l2.write_misses += 1;
+        } else {
+            self.stats.l2.read_misses += 1;
+        }
+        let base = self.cfg.l2.line_base(addr);
+        let words = self.cfg.l2.line_words();
+        let hw = line_transfer_halfwords(&self.mem, base, words, self.compress_bus);
+        self.stats.mem_bus.fetch_halfwords(hw);
+        let (evicted, _) = self.l2.insert(addr, false, ());
+        if let Some(ev) = evicted {
+            if ev.dirty {
+                let hw =
+                    line_transfer_halfwords(&self.mem, ev.base, words, self.compress_bus);
+                self.stats.mem_bus.writeback_halfwords(hw);
+            }
+        }
+        HitSource::Memory
+    }
+
+    /// Fills `addr`'s L1 line from L2 (which must already hold it resident
+    /// or the fill is still modeled — inclusion is not enforced), handling
+    /// the L1 victim write-back.
+    fn fill_l1(&mut self, addr: Addr) {
+        let l1_words = self.cfg.l1.line_words();
+        let hw = line_transfer_halfwords(
+            &self.mem,
+            self.cfg.l1.line_base(addr),
+            l1_words,
+            self.compress_bus,
+        );
+        self.stats.l1_l2_bus.fetch_halfwords(hw);
+        let (evicted, _) = self.l1.insert(addr, false, ());
+        if let Some(ev) = evicted {
+            if ev.dirty {
+                let hw =
+                    line_transfer_halfwords(&self.mem, ev.base, l1_words, self.compress_bus);
+                self.stats.l1_l2_bus.writeback_halfwords(hw);
+                if let Some(idx) = self.l2.lookup(ev.base) {
+                    self.l2.line_mut(idx).dirty = true;
+                } else {
+                    // The line left L2 while L1 still held it: write back to
+                    // memory directly.
+                    self.stats.mem_bus.writeback_halfwords(hw);
+                }
+            }
+        }
+    }
+
+    fn access(&mut self, addr: Addr, write: Option<Word>) -> AccessResult {
+        debug_assert_eq!(addr & 3, 0, "unaligned access at {addr:#x}");
+        let is_write = write.is_some();
+        if is_write {
+            self.stats.l1.writes += 1;
+        } else {
+            self.stats.l1.reads += 1;
+        }
+
+        let lat = self.cfg.latency;
+        if let Some(idx) = self.l1.lookup(addr) {
+            self.l1.touch(idx);
+            if let Some(v) = write {
+                self.l1.line_mut(idx).dirty = true;
+                self.mem.write(addr, v);
+            }
+            return AccessResult {
+                value: write.unwrap_or_else(|| self.mem.read(addr)),
+                latency: lat.l1_hit,
+                source: HitSource::L1,
+            };
+        }
+
+        if is_write {
+            self.stats.l1.write_misses += 1;
+        } else {
+            self.stats.l1.read_misses += 1;
+        }
+
+        let source = self.ensure_in_l2(addr, is_write);
+        self.fill_l1(addr);
+        if let Some(v) = write {
+            let idx = self.l1.lookup(addr).expect("just filled");
+            self.l1.line_mut(idx).dirty = true;
+            self.mem.write(addr, v);
+        }
+        let latency = match source {
+            HitSource::L2 => lat.l2_hit,
+            HitSource::Memory => lat.memory,
+            _ => unreachable!("ensure_in_l2 returns L2 or Memory"),
+        };
+        AccessResult {
+            value: write.unwrap_or_else(|| self.mem.read(addr)),
+            latency,
+            source,
+        }
+    }
+
+    /// Shared access to the L1 tag array (tests and analysis).
+    pub fn l1_array(&self) -> &SetAssocCache<()> {
+        &self.l1
+    }
+
+    /// Shared access to the L2 tag array (tests and analysis).
+    pub fn l2_array(&self) -> &SetAssocCache<()> {
+        &self.l2
+    }
+}
+
+impl CacheSim for TwoLevelCache {
+    fn read(&mut self, addr: Addr) -> AccessResult {
+        self.access(addr, None)
+    }
+
+    fn probe_l1(&self, addr: Addr) -> bool {
+        self.l1.lookup(addr).is_some()
+    }
+
+    fn write(&mut self, addr: Addr, value: Word) -> AccessResult {
+        self.access(addr, Some(value))
+    }
+
+    fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn latencies(&self) -> LatencyConfig {
+        self.cfg.latency
+    }
+
+    fn set_latencies(&mut self, lat: LatencyConfig) {
+        self.cfg.latency = lat;
+    }
+
+    fn mem(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    fn mem_mut(&mut self) -> &mut MainMemory {
+        &mut self.mem
+    }
+
+    fn name(&self) -> &'static str {
+        self.cfg.design.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bc() -> TwoLevelCache {
+        TwoLevelCache::paper(DesignKind::Bc)
+    }
+
+    #[test]
+    fn cold_read_goes_to_memory_then_hits() {
+        let mut c = bc();
+        c.mem_mut().write(0x1000, 77);
+        let r = c.read(0x1000);
+        assert_eq!(r.value, 77);
+        assert_eq!(r.source, HitSource::Memory);
+        assert_eq!(r.latency, 100);
+        let r2 = c.read(0x1000);
+        assert_eq!(r2.source, HitSource::L1);
+        assert_eq!(r2.latency, 1);
+        assert_eq!(c.stats().l1.read_misses, 1);
+        assert_eq!(c.stats().l2.read_misses, 1);
+    }
+
+    #[test]
+    fn spatial_locality_hits_within_line() {
+        let mut c = bc();
+        c.read(0x2000);
+        for off in (4..64).step_by(4) {
+            let r = c.read(0x2000 + off);
+            assert_eq!(r.source, HitSource::L1, "offset {off}");
+        }
+        assert_eq!(c.stats().l1.read_misses, 1);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_conflict() {
+        let mut c = bc();
+        c.read(0x0000);
+        c.read(0x0000 + 8 * 1024); // evicts 0x0000 from L1 (same set), L2 keeps both
+        let r = c.read(0x0000);
+        assert_eq!(r.source, HitSource::L2);
+        assert_eq!(r.latency, 10);
+    }
+
+    #[test]
+    fn write_allocates_and_dirties() {
+        let mut c = bc();
+        let r = c.write(0x3000, 0xAAAA_BBBB);
+        assert_eq!(r.source, HitSource::Memory);
+        assert_eq!(c.mem().read(0x3000), 0xAAAA_BBBB);
+        assert_eq!(c.stats().l1.write_misses, 1);
+        // Subsequent read hits L1 and sees the stored value.
+        let r2 = c.read(0x3000);
+        assert_eq!(r2.source, HitSource::L1);
+        assert_eq!(r2.value, 0xAAAA_BBBB);
+    }
+
+    #[test]
+    fn memory_traffic_counts_full_l2_lines_for_bc() {
+        let mut c = bc();
+        c.read(0x4000);
+        // One L2 fetch of 32 words = 64 half-words.
+        assert_eq!(c.stats().mem_bus.in_halfwords, 64);
+        assert_eq!(c.stats().mem_bus.out_halfwords, 0);
+    }
+
+    #[test]
+    fn bcc_traffic_is_compressed_but_timing_identical() {
+        let mut bc = TwoLevelCache::paper(DesignKind::Bc);
+        let mut bcc = TwoLevelCache::paper(DesignKind::Bcc);
+        // Fill one line with small (compressible) values.
+        for i in 0..32 {
+            bc.mem_mut().write(0x8000 + i * 4, 5);
+            bcc.mem_mut().write(0x8000 + i * 4, 5);
+        }
+        let rb = bc.read(0x8000);
+        let rc = bcc.read(0x8000);
+        assert_eq!(rb.latency, rc.latency, "BCC must not change timing");
+        assert_eq!(bc.stats().mem_bus.in_halfwords, 64);
+        assert_eq!(bcc.stats().mem_bus.in_halfwords, 32, "all words compressed");
+    }
+
+    #[test]
+    fn bcc_traffic_mixed_compressibility() {
+        let mut c = TwoLevelCache::paper(DesignKind::Bcc);
+        // Half the L2 line small values, half incompressible.
+        for i in 0..16 {
+            c.mem_mut().write(0x8000 + i * 4, 5);
+        }
+        for i in 16..32 {
+            c.mem_mut().write(0x8000 + i * 4, 0xDEAD_0000 + i);
+        }
+        c.read(0x8000);
+        assert_eq!(c.stats().mem_bus.in_halfwords, 16 + 32);
+    }
+
+    #[test]
+    fn dirty_l2_eviction_writes_back() {
+        let mut c = bc();
+        c.write(0x0000, 0xFFFF_0001); // dirty in L1, line in L2
+        // Evict from L1 (same L1 set), forcing write-back into L2 (dirty).
+        c.read(0x0000 + 8 * 1024);
+        // Now thrash L2 set of 0x0000: L2 is 64K 2-way, 128B lines → stride 32K.
+        c.read(0x0000 + 32 * 1024);
+        c.read(0x0000 + 64 * 1024);
+        // 0x0000's L2 line evicted dirty → memory write-back happened.
+        assert!(
+            c.stats().mem_bus.out_halfwords >= 64,
+            "dirty L2 line write-back expected, got {}",
+            c.stats().mem_bus.out_halfwords
+        );
+    }
+
+    #[test]
+    fn hac_reduces_conflict_misses() {
+        let mut bc = TwoLevelCache::paper(DesignKind::Bc);
+        let mut hac = TwoLevelCache::paper(DesignKind::Hac);
+        // Two lines conflicting in a direct-mapped L1, accessed alternately.
+        for _ in 0..100 {
+            bc.read(0x0000);
+            bc.read(0x0000 + 8 * 1024);
+            hac.read(0x0000);
+            hac.read(0x0000 + 8 * 1024);
+        }
+        assert!(bc.stats().l1.read_misses > 100, "BC thrashes");
+        assert_eq!(hac.stats().l1.read_misses, 2, "HAC holds both lines");
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = bc();
+        c.read(0x5000);
+        c.reset_stats();
+        assert_eq!(c.stats().l1.reads, 0);
+        let r = c.read(0x5000);
+        assert_eq!(r.source, HitSource::L1, "contents survive reset");
+    }
+
+    #[test]
+    fn halved_latency_config_applies() {
+        let mut c = bc();
+        c.set_latencies(c.latencies().halved_miss_penalty());
+        let r = c.read(0x9000);
+        assert_eq!(r.latency, 50);
+        let r2 = c.read(0x9000);
+        assert_eq!(r2.latency, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "only implements BC/BCC/HAC")]
+    #[allow(unused_must_use)]
+    fn rejects_cpp_design() {
+        TwoLevelCache::new(HierarchyConfig::paper(DesignKind::Cpp));
+    }
+
+    #[test]
+    fn write_back_preserves_values_through_eviction() {
+        let mut c = bc();
+        c.write(0x0000, 123);
+        c.read(0x0000 + 8 * 1024);
+        c.read(0x0000 + 32 * 1024);
+        c.read(0x0000 + 64 * 1024);
+        let r = c.read(0x0000);
+        assert_eq!(r.value, 123, "value survives full eviction cycle");
+    }
+}

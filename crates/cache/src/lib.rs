@@ -1,0 +1,176 @@
+#![warn(missing_docs)]
+
+//! Two-level cache-hierarchy substrate.
+//!
+//! This crate provides everything the paper's evaluation needs *except* the
+//! proposed design itself (which lives in `ccp-cpp`):
+//!
+//! * [`geometry::CacheGeometry`] — size/associativity/line-size math,
+//! * [`set_assoc::SetAssocCache`] — a generic LRU set-associative tag array,
+//! * [`stats`] — per-level and hierarchy-wide counters,
+//! * [`config`] — latency and design configuration (paper Figure 9),
+//! * [`CacheSim`] — the trait every hierarchy design implements,
+//! * [`baseline::TwoLevelCache`] — the **BC**, **BCC** (compressed-bus) and
+//!   **HAC** (doubled-associativity) comparators,
+//! * [`prefetch::BcpHierarchy`] — **BCP**, prefetch-on-miss with 8-entry L1
+//!   and 32-entry L2 fully-associative prefetch buffers.
+//!
+//! All designs share the SimpleScalar-style split between *timing metadata*
+//! (kept in the cache models) and *architectural data* (kept in
+//! [`ccp_mem::MainMemory`], updated functionally on every store), so the
+//! compressed-bus and CPP designs can evaluate compressibility against real
+//! values.
+
+pub mod baseline;
+pub mod config;
+pub mod geometry;
+pub mod prefetch;
+pub mod set_assoc;
+pub mod stats;
+pub mod stride;
+pub mod victim;
+
+pub use baseline::TwoLevelCache;
+pub use config::{DesignKind, HierarchyConfig, LatencyConfig};
+pub use geometry::CacheGeometry;
+pub use prefetch::BcpHierarchy;
+pub use set_assoc::SetAssocCache;
+pub use stride::StrideHierarchy;
+pub use victim::VictimHierarchy;
+pub use stats::{HierarchyStats, LevelStats};
+
+use ccp_mem::MainMemory;
+
+/// A 32-bit machine word.
+pub type Word = u32;
+
+/// A 32-bit byte address.
+pub type Addr = u32;
+
+/// Where a memory access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitSource {
+    /// L1 primary location.
+    L1,
+    /// L1 affiliated location (CPP only, +1 cycle).
+    L1Affiliated,
+    /// L1 prefetch buffer (BCP only; not counted as a miss).
+    L1PrefetchBuffer,
+    /// L2 (any location, including CPP affiliated and BCP prefetch buffer).
+    L2,
+    /// Off-chip memory.
+    Memory,
+}
+
+/// Outcome of a single word access through a hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// The architectural value loaded (for writes: the value written).
+    pub value: Word,
+    /// Total access latency in cycles, as seen by the pipeline.
+    pub latency: u32,
+    /// Where the word was found.
+    pub source: HitSource,
+}
+
+impl AccessResult {
+    /// `true` when the access missed in L1 (i.e. had to leave the L1
+    /// primary/affiliated arrays; BCP prefetch-buffer hits are *not* misses,
+    /// matching the paper's accounting).
+    pub fn l1_miss(&self) -> bool {
+        !matches!(
+            self.source,
+            HitSource::L1 | HitSource::L1Affiliated | HitSource::L1PrefetchBuffer
+        )
+    }
+
+    /// `true` when the access went all the way to memory.
+    pub fn l2_miss(&self) -> bool {
+        matches!(self.source, HitSource::Memory)
+    }
+}
+
+/// A complete data-memory hierarchy (L1 + L2 + memory) under simulation.
+///
+/// The pipeline drives this trait with word-granularity reads and writes;
+/// implementations update their timing metadata, charge a latency, account
+/// bus traffic, and keep the architectural image in [`MainMemory`] current.
+pub trait CacheSim {
+    /// Performs a word-aligned read of `addr`.
+    fn read(&mut self, addr: Addr) -> AccessResult;
+
+    /// Performs a word-aligned write of `value` to `addr`.
+    fn write(&mut self, addr: Addr, value: Word) -> AccessResult;
+
+    /// Like [`CacheSim::read`], with the PC of the load instruction.
+    /// PC-indexed designs (the stride prefetcher) override this; the
+    /// default ignores the PC.
+    fn read_pc(&mut self, addr: Addr, _pc: u32) -> AccessResult {
+        self.read(addr)
+    }
+
+    /// Like [`CacheSim::write`], with the PC of the store instruction.
+    fn write_pc(&mut self, addr: Addr, value: Word, _pc: u32) -> AccessResult {
+        self.write(addr, value)
+    }
+
+    /// Non-destructive probe: would a read of `addr` hit at L1 (including
+    /// an L1 prefetch buffer or affiliated location)? Used by the pipeline
+    /// to model a bounded number of outstanding misses (MSHRs): a load
+    /// predicted to miss cannot issue while every MSHR is busy.
+    fn probe_l1(&self, addr: Addr) -> bool;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> &HierarchyStats;
+
+    /// Clears statistics (e.g. after cache warm-up) without touching cache
+    /// contents.
+    fn reset_stats(&mut self);
+
+    /// Current latency configuration.
+    fn latencies(&self) -> LatencyConfig;
+
+    /// Replaces the latency configuration (used by the Figure 14
+    /// halved-miss-penalty experiment).
+    fn set_latencies(&mut self, lat: LatencyConfig);
+
+    /// The architectural memory image.
+    fn mem(&self) -> &MainMemory;
+
+    /// Mutable access to the architectural memory image (workload setup).
+    fn mem_mut(&mut self) -> &mut MainMemory;
+
+    /// Short design name, e.g. `"BC"` or `"CPP"`.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_miss_classification() {
+        let mk = |source| AccessResult {
+            value: 0,
+            latency: 1,
+            source,
+        };
+        assert!(!mk(HitSource::L1).l1_miss());
+        assert!(!mk(HitSource::L1Affiliated).l1_miss());
+        assert!(!mk(HitSource::L1PrefetchBuffer).l1_miss());
+        assert!(mk(HitSource::L2).l1_miss());
+        assert!(mk(HitSource::Memory).l1_miss());
+    }
+
+    #[test]
+    fn l2_miss_classification() {
+        let mk = |source| AccessResult {
+            value: 0,
+            latency: 1,
+            source,
+        };
+        assert!(!mk(HitSource::L2).l2_miss());
+        assert!(mk(HitSource::Memory).l2_miss());
+        assert!(!mk(HitSource::L1).l2_miss());
+    }
+}

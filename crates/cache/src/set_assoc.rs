@@ -1,0 +1,303 @@
+//! Generic set-associative tag array with true-LRU replacement.
+//!
+//! The array stores no data (the architectural image lives in
+//! [`ccp_mem::MainMemory`]); each line carries `valid`/`dirty`/`tag` plus a
+//! design-specific payload `T` — empty for the baseline designs, the
+//! `PA`/`VCP`/`AA` flag bundle for CPP.
+
+use crate::geometry::CacheGeometry;
+use crate::Addr;
+
+/// One cache line's bookkeeping state.
+#[derive(Debug, Clone)]
+pub struct LineState<T> {
+    /// Whether the line holds a valid (primary) tag.
+    pub valid: bool,
+    /// Tag of the resident line.
+    pub tag: u32,
+    /// Whether the resident line is dirty.
+    pub dirty: bool,
+    lru_stamp: u64,
+    /// Design-specific per-line state.
+    pub extra: T,
+}
+
+impl<T: Default> Default for LineState<T> {
+    fn default() -> Self {
+        LineState {
+            valid: false,
+            tag: 0,
+            dirty: false,
+            lru_stamp: 0,
+            extra: T::default(),
+        }
+    }
+}
+
+/// Information about a line displaced by [`SetAssocCache::insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted<T> {
+    /// Base byte address of the evicted line.
+    pub base: Addr,
+    /// Whether it was dirty.
+    pub dirty: bool,
+    /// Its design-specific state at eviction.
+    pub extra: T,
+}
+
+/// A set-associative tag array.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<T> {
+    geom: CacheGeometry,
+    lines: Vec<LineState<T>>,
+    clock: u64,
+}
+
+impl<T: Default + Clone> SetAssocCache<T> {
+    /// Creates an empty (all-invalid) array for `geom`.
+    pub fn new(geom: CacheGeometry) -> Self {
+        SetAssocCache {
+            geom,
+            lines: vec![LineState::default(); geom.num_lines() as usize],
+            clock: 0,
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// Global line index of `(set, way)`.
+    #[inline]
+    fn idx(&self, set: u32, way: u32) -> usize {
+        (set * self.geom.assoc() + way) as usize
+    }
+
+    /// Looks up the line containing `addr`. Returns its global line index on
+    /// a tag match. Does **not** update LRU state.
+    pub fn lookup(&self, addr: Addr) -> Option<usize> {
+        let set = self.geom.set_index(addr);
+        let tag = self.geom.tag(addr);
+        (0..self.geom.assoc()).find_map(|way| {
+            let i = self.idx(set, way);
+            let l = &self.lines[i];
+            (l.valid && l.tag == tag).then_some(i)
+        })
+    }
+
+    /// Marks line `idx` most-recently used.
+    pub fn touch(&mut self, idx: usize) {
+        self.clock += 1;
+        self.lines[idx].lru_stamp = self.clock;
+    }
+
+    /// Shared access to line `idx`.
+    pub fn line(&self, idx: usize) -> &LineState<T> {
+        &self.lines[idx]
+    }
+
+    /// Mutable access to line `idx`.
+    pub fn line_mut(&mut self, idx: usize) -> &mut LineState<T> {
+        &mut self.lines[idx]
+    }
+
+    /// Base byte address of the (valid) line at `idx`.
+    pub fn base_of(&self, idx: usize) -> Addr {
+        let set = idx as u32 / self.geom.assoc();
+        self.geom.base_from_tag_set(self.lines[idx].tag, set)
+    }
+
+    /// The way that would be victimized in `addr`'s set: an invalid way if
+    /// one exists, else the LRU way. Returns a global line index.
+    pub fn victim_index(&self, addr: Addr) -> usize {
+        let set = self.geom.set_index(addr);
+        let mut best = self.idx(set, 0);
+        for way in 0..self.geom.assoc() {
+            let i = self.idx(set, way);
+            if !self.lines[i].valid {
+                return i;
+            }
+            if self.lines[i].lru_stamp < self.lines[best].lru_stamp {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Installs the line containing `addr` (which must not already be
+    /// resident), evicting the victim way. Returns the displaced line, if
+    /// any, and the new line's global index.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the line is already resident (duplicate
+    /// copies are always a design bug in these hierarchies).
+    pub fn insert(&mut self, addr: Addr, dirty: bool, extra: T) -> (Option<Evicted<T>>, usize) {
+        debug_assert!(
+            self.lookup(addr).is_none(),
+            "line {:#x} inserted twice",
+            self.geom.line_base(addr)
+        );
+        let idx = self.victim_index(addr);
+        let evicted = if self.lines[idx].valid {
+            Some(Evicted {
+                base: self.base_of(idx),
+                dirty: self.lines[idx].dirty,
+                extra: self.lines[idx].extra.clone(),
+            })
+        } else {
+            None
+        };
+        self.clock += 1;
+        self.lines[idx] = LineState {
+            valid: true,
+            tag: self.geom.tag(addr),
+            dirty,
+            lru_stamp: self.clock,
+            extra,
+        };
+        (evicted, idx)
+    }
+
+    /// Invalidates line `idx`, returning its prior state.
+    pub fn invalidate(&mut self, idx: usize) -> Option<Evicted<T>> {
+        if !self.lines[idx].valid {
+            return None;
+        }
+        let ev = Evicted {
+            base: self.base_of(idx),
+            dirty: self.lines[idx].dirty,
+            extra: self.lines[idx].extra.clone(),
+        };
+        self.lines[idx] = LineState::default();
+        Some(ev)
+    }
+
+    /// Number of currently valid lines.
+    pub fn valid_count(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Iterates over `(global_index, line)` pairs of valid lines.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (usize, &LineState<T>)> {
+        self.lines.iter().enumerate().filter(|(_, l)| l.valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm_8k_64b() -> SetAssocCache<()> {
+        SetAssocCache::new(CacheGeometry::new(8 * 1024, 1, 64))
+    }
+
+    fn assoc2_64k_128b() -> SetAssocCache<()> {
+        SetAssocCache::new(CacheGeometry::new(64 * 1024, 2, 128))
+    }
+
+    #[test]
+    fn empty_cache_misses_everything() {
+        let c = dm_8k_64b();
+        assert_eq!(c.lookup(0), None);
+        assert_eq!(c.lookup(0xFFFF_FFC0), None);
+        assert_eq!(c.valid_count(), 0);
+    }
+
+    #[test]
+    fn insert_then_lookup_hits_whole_line() {
+        let mut c = dm_8k_64b();
+        let (ev, idx) = c.insert(0x1040, false, ());
+        assert!(ev.is_none());
+        for off in (0..64).step_by(4) {
+            assert_eq!(c.lookup(0x1040 + off), Some(idx));
+        }
+        assert_eq!(c.lookup(0x1080), None);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = dm_8k_64b();
+        c.insert(0x0040, true, ());
+        // Same set: 8 KB stride.
+        let (ev, _) = c.insert(0x0040 + 8 * 1024, false, ());
+        let ev = ev.expect("conflict must evict");
+        assert_eq!(ev.base, 0x0040);
+        assert!(ev.dirty);
+        assert_eq!(c.lookup(0x0040), None);
+        assert!(c.lookup(0x0040 + 8 * 1024).is_some());
+    }
+
+    #[test]
+    fn two_way_set_holds_two_conflicting_lines() {
+        let mut c = assoc2_64k_128b();
+        let stride = 64 * 1024 / 2; // same set, different tag
+        c.insert(0x0080, false, ());
+        let (ev, _) = c.insert(0x0080 + stride, false, ());
+        assert!(ev.is_none());
+        assert!(c.lookup(0x0080).is_some());
+        assert!(c.lookup(0x0080 + stride).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        let mut c = assoc2_64k_128b();
+        let stride = 64 * 1024 / 2;
+        let (_, a) = c.insert(0x0080, false, ());
+        c.insert(0x0080 + stride, false, ());
+        // Touch the older line; the newer one becomes LRU.
+        c.touch(a);
+        let (ev, _) = c.insert(0x0080 + 2 * stride, false, ());
+        assert_eq!(ev.unwrap().base, 0x0080 + stride);
+        assert!(c.lookup(0x0080).is_some());
+    }
+
+    #[test]
+    fn invalid_way_preferred_over_lru() {
+        let mut c = assoc2_64k_128b();
+        let stride = 64 * 1024 / 2;
+        let (_, a) = c.insert(0x0080, false, ());
+        c.invalidate(a);
+        c.insert(0x0080 + stride, false, ());
+        // One way invalid: inserting must not evict the valid line.
+        let (ev, _) = c.insert(0x0080 + 2 * stride, false, ());
+        assert!(ev.is_none());
+    }
+
+    #[test]
+    fn base_of_reconstructs_address() {
+        let mut c = assoc2_64k_128b();
+        let (_, idx) = c.insert(0xABCD_EF80 & !0x7F, false, ());
+        assert_eq!(c.base_of(idx), 0xABCD_EF80 & !0x7F);
+    }
+
+    #[test]
+    fn invalidate_returns_state_and_clears() {
+        let mut c = dm_8k_64b();
+        let (_, idx) = c.insert(0x2000, true, ());
+        let ev = c.invalidate(idx).unwrap();
+        assert_eq!(ev.base, 0x2000);
+        assert!(ev.dirty);
+        assert_eq!(c.lookup(0x2000), None);
+        assert!(c.invalidate(idx).is_none());
+    }
+
+    #[test]
+    fn payload_travels_with_line() {
+        let mut c: SetAssocCache<u8> = SetAssocCache::new(CacheGeometry::new(8 * 1024, 1, 64));
+        let (_, idx) = c.insert(0x3000, false, 42);
+        assert_eq!(c.line(idx).extra, 42);
+        c.line_mut(idx).extra = 7;
+        let ev = c.insert(0x3000 + 8 * 1024, false, 0).0.unwrap();
+        assert_eq!(ev.extra, 7);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "inserted twice")]
+    fn duplicate_insert_panics_in_debug() {
+        let mut c = dm_8k_64b();
+        c.insert(0x1000, false, ());
+        c.insert(0x1004, false, ()); // same line
+    }
+}

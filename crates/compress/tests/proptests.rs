@@ -1,0 +1,86 @@
+//! Property-based tests for the compression scheme's core invariants.
+
+use ccp_compress::{
+    bus_halfwords, classify, compress, decompress, is_compressible, is_same_chunk_pointer,
+    is_small, CompressKind, SMALL_MAX, SMALL_MIN,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// compress → decompress is the identity on every compressible word.
+    #[test]
+    fn roundtrip_identity(value: u32, addr: u32) {
+        let addr = addr & !0x3; // word-aligned storage address
+        if let Some(c) = compress(value, addr) {
+            prop_assert_eq!(decompress(c, addr), value);
+        }
+    }
+
+    /// Classification agrees with the two predicate functions.
+    #[test]
+    fn classify_matches_predicates(value: u32, addr: u32) {
+        match classify(value, addr) {
+            CompressKind::Small => prop_assert!(is_small(value)),
+            CompressKind::Pointer => {
+                prop_assert!(!is_small(value));
+                prop_assert!(is_same_chunk_pointer(value, addr));
+            }
+            CompressKind::Incompressible => {
+                prop_assert!(!is_small(value));
+                prop_assert!(!is_same_chunk_pointer(value, addr));
+            }
+        }
+    }
+
+    /// The small-value rule is exactly the range [-16384, 16383].
+    #[test]
+    fn small_rule_is_exact_range(value: u32) {
+        let as_signed = value as i32;
+        prop_assert_eq!(
+            is_small(value),
+            (SMALL_MIN..=SMALL_MAX).contains(&as_signed)
+        );
+    }
+
+    /// The pointer rule is invariant under changes to the low 15 bits of the
+    /// address, and only those.
+    #[test]
+    fn pointer_rule_depends_only_on_prefix(value: u32, addr: u32, low in 0u32..0x8000) {
+        let same = is_same_chunk_pointer(value, addr);
+        prop_assert_eq!(
+            is_same_chunk_pointer(value, (addr & !0x7FFF) | low),
+            same
+        );
+    }
+
+    /// Compression never fabricates compressibility: Some(_) iff predicate.
+    #[test]
+    fn compress_some_iff_compressible(value: u32, addr: u32) {
+        prop_assert_eq!(compress(value, addr).is_some(), is_compressible(value, addr));
+    }
+
+    /// Bus accounting is 1 half-word for compressible words, 2 otherwise.
+    #[test]
+    fn bus_accounting_consistent(value: u32, addr: u32) {
+        let hw = bus_halfwords(value, addr);
+        prop_assert_eq!(hw, if is_compressible(value, addr) { 1 } else { 2 });
+    }
+
+    /// Decompression of a small value is address-independent.
+    #[test]
+    fn small_decompress_address_independent(v in SMALL_MIN..=SMALL_MAX, a1: u32, a2: u32) {
+        let c = compress(v as u32, a1).expect("small values always compress");
+        prop_assert_eq!(decompress(c, a1), decompress(c, a2));
+    }
+
+    /// A pointer decompressed at any address lands in that address's chunk.
+    #[test]
+    fn pointer_decompress_lands_in_chunk(value: u32, addr: u32) {
+        if let Some(c) = compress(value, addr) {
+            if c.is_pointer() {
+                let out = decompress(c, addr);
+                prop_assert_eq!(out >> 15, addr >> 15);
+            }
+        }
+    }
+}

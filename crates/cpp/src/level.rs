@@ -1,0 +1,531 @@
+//! Storage mechanics of one compression-cache level.
+//!
+//! A [`CppLevel`] wraps a set-associative tag array whose per-line payload is
+//! the [`CppFlags`] bundle, and implements the primary/affiliated geometry:
+//! the affiliated line of a primary line is `<tag,set> XOR mask` (paper
+//! §3.1), an involution that pairs consecutive lines for `mask = 0x1`.
+//!
+//! The level knows nothing about the rest of the hierarchy; installs return
+//! the displaced victim so the caller can route its write-back, and the
+//! caller decides when to park, promote, or discard. Compressibility is
+//! always evaluated against the current architectural values in
+//! [`MainMemory`].
+
+use crate::flags::{mask_n, CppFlags};
+use ccp_cache::geometry::CacheGeometry;
+use ccp_cache::set_assoc::{Evicted, SetAssocCache};
+use ccp_cache::Addr;
+use ccp_compress::is_compressible;
+use ccp_mem::MainMemory;
+
+/// Bitmask of compressible words in the `words`-long line at `base`,
+/// evaluated against current memory values.
+pub fn compress_mask(mem: &MainMemory, base: Addr, words: u32) -> u32 {
+    let mut m = 0u32;
+    for i in 0..words {
+        let a = base + i * 4;
+        if is_compressible(mem.read(a), a) {
+            m |= 1 << i;
+        }
+    }
+    m
+}
+
+/// A victim displaced from a level by an install.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CppVictim {
+    /// Base address of the displaced primary line.
+    pub base: Addr,
+    /// Whether it was dirty.
+    pub dirty: bool,
+    /// Its flags at eviction (`pa` = which words it held, `aa` = prefetched
+    /// affiliated words lost with it).
+    pub flags: CppFlags,
+}
+
+/// One level (L1 or L2) of the compression cache.
+#[derive(Debug, Clone)]
+pub struct CppLevel {
+    arr: SetAssocCache<CppFlags>,
+    mask: u32,
+}
+
+impl CppLevel {
+    /// Creates an empty level with the given geometry and affiliation mask.
+    ///
+    /// # Panics
+    /// Panics unless `0 < mask < num_sets`: the paper's scheme needs the
+    /// affiliated line to live in a *different* set so both can be probed in
+    /// parallel and never collide on the same physical line.
+    pub fn new(geom: CacheGeometry, mask: u32) -> Self {
+        assert!(
+            mask > 0 && mask < geom.num_sets(),
+            "affiliation mask {mask:#x} must address set bits (1..{})",
+            geom.num_sets()
+        );
+        CppLevel {
+            arr: SetAssocCache::new(geom),
+            mask,
+        }
+    }
+
+    /// The level's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        self.arr.geometry()
+    }
+
+    /// The affiliation mask.
+    pub fn mask(&self) -> u32 {
+        self.mask
+    }
+
+    /// Line size in words.
+    pub fn words(&self) -> u32 {
+        self.geometry().line_words()
+    }
+
+    /// Base address of `addr`'s affiliated line (an involution).
+    pub fn pair_base(&self, addr: Addr) -> Addr {
+        self.geometry().affiliated_line_base(addr, self.mask)
+    }
+
+    /// Looks up `addr`'s line at its primary location.
+    pub fn lookup_primary(&self, addr: Addr) -> Option<usize> {
+        self.arr.lookup(addr)
+    }
+
+    /// Looks up the physical line that *could* hold `addr`'s line as
+    /// affiliated content — i.e. the primary residence of its pair line.
+    /// The caller still checks the `AA` bits for word availability.
+    pub fn lookup_affiliated(&self, addr: Addr) -> Option<usize> {
+        self.arr.lookup(self.pair_base(addr))
+    }
+
+    /// Shared flag access.
+    pub fn flags(&self, idx: usize) -> CppFlags {
+        self.arr.line(idx).extra
+    }
+
+    /// Mutable flag access.
+    pub fn flags_mut(&mut self, idx: usize) -> &mut CppFlags {
+        &mut self.arr.line_mut(idx).extra
+    }
+
+    /// Whether line `idx` is dirty.
+    pub fn dirty(&self, idx: usize) -> bool {
+        self.arr.line(idx).dirty
+    }
+
+    /// Marks line `idx` dirty.
+    pub fn set_dirty(&mut self, idx: usize) {
+        self.arr.line_mut(idx).dirty = true;
+    }
+
+    /// Base address of the valid line at `idx`.
+    pub fn base_of(&self, idx: usize) -> Addr {
+        self.arr.base_of(idx)
+    }
+
+    /// LRU-touches line `idx`.
+    pub fn touch(&mut self, idx: usize) {
+        self.arr.touch(idx);
+    }
+
+    /// Installs `base`'s line as primary with the given flags, displacing
+    /// the victim way. Also clears any affiliated copy of `base` (the
+    /// one-copy rule): an installed primary supersedes it.
+    ///
+    /// Returns the displaced victim, if any; the caller must write it back
+    /// (if dirty) and may then [`CppLevel::park`] it.
+    pub fn install_primary(
+        &mut self,
+        base: Addr,
+        flags: CppFlags,
+        dirty: bool,
+    ) -> Option<CppVictim> {
+        debug_assert_eq!(self.geometry().line_base(base), base);
+        debug_assert!(flags.check(self.words()).is_ok(), "{flags:x?}");
+        // One-copy rule: drop the affiliated copy of this line, if present.
+        if let Some(aidx) = self.lookup_affiliated(base) {
+            self.arr.line_mut(aidx).extra.aa = 0;
+        }
+        let (evicted, _idx) = self.arr.insert(base, dirty, flags);
+        evicted.map(|Evicted { base, dirty, extra }| CppVictim {
+            base,
+            dirty,
+            flags: extra,
+        })
+    }
+
+    /// Parks the compressible present words of an evicted line into its
+    /// affiliated location, if its pair line is resident as primary there.
+    /// Parked copies are clean (the caller has already written back a dirty
+    /// victim). Returns the number of words parked.
+    pub fn park(&mut self, mem: &MainMemory, victim_base: Addr, victim_pa: u32) -> u32 {
+        let Some(pidx) = self.arr.lookup(self.pair_base(victim_base)) else {
+            return 0;
+        };
+        let host = self.arr.line(pidx).extra;
+        debug_assert_eq!(
+            host.aa, 0,
+            "one-copy rule: victim {victim_base:#x} was both primary and affiliated"
+        );
+        let comp = compress_mask(mem, victim_base, self.words());
+        let parked = victim_pa & comp & host.affiliated_capacity(self.words());
+        if parked != 0 {
+            self.arr.line_mut(pidx).extra.aa = parked;
+        }
+        parked.count_ones()
+    }
+
+    /// Removes and returns the affiliated copy of `base`'s line (its `AA`
+    /// mask in the pair's physical line), e.g. ahead of a promotion.
+    pub fn take_affiliated(&mut self, base: Addr) -> u32 {
+        if let Some(aidx) = self.lookup_affiliated(base) {
+            let aa = self.arr.line_mut(aidx).extra.aa;
+            self.arr.line_mut(aidx).extra.aa = 0;
+            aa
+        } else {
+            0
+        }
+    }
+
+    /// Applies a store's compressibility effect to primary word `off` of
+    /// line `idx` (which must have `PA[off]` set): updates `VCP` and evicts
+    /// conflicting affiliated words. Returns the number of affiliated words
+    /// evicted by the change (the paper's §3.3 hazard).
+    pub fn update_primary_word(
+        &mut self,
+        idx: usize,
+        off: u32,
+        now_compressible: bool,
+        evict_whole_affiliated_line: bool,
+    ) -> u32 {
+        let bit = 1u32 << off;
+        let f = &mut self.arr.line_mut(idx).extra;
+        debug_assert!(f.pa & bit != 0, "updating an absent primary word");
+        if now_compressible {
+            f.vcp |= bit;
+            return 0;
+        }
+        f.vcp &= !bit;
+        if f.aa & bit == 0 {
+            return 0;
+        }
+        // The freed half-slot is reclaimed by the grown primary word; the
+        // affiliated word (priority to primary, paper §3.3) is evicted.
+        let evicted = if evict_whole_affiliated_line {
+            let n = f.aa.count_ones();
+            f.aa = 0;
+            n
+        } else {
+            f.aa &= !bit;
+            1
+        };
+        evicted
+    }
+
+    /// Merges newly arrived primary words into an already-resident primary
+    /// line: sets `PA`, recomputes `VCP` from current values, and evicts
+    /// affiliated words whose slot is claimed by an incompressible arrival.
+    /// Returns the number of affiliated words displaced.
+    pub fn merge_primary_words(&mut self, mem: &MainMemory, idx: usize, new_mask: u32) -> u32 {
+        let base = self.base_of(idx);
+        let comp = compress_mask(mem, base, self.words());
+        let f = &mut self.arr.line_mut(idx).extra;
+        f.pa |= new_mask;
+        f.vcp = (f.vcp & !new_mask) | (comp & new_mask);
+        let conflict = f.aa & new_mask & !f.vcp;
+        f.aa &= !conflict;
+        conflict.count_ones()
+    }
+
+    /// Attempts to add prefetched affiliated words (`aff_mask`, in the pair
+    /// line's word coordinates) to primary line `idx`. Bits without a free
+    /// half-slot are dropped. Returns the mask actually stored.
+    pub fn add_affiliated_words(&mut self, idx: usize, aff_mask: u32) -> u32 {
+        let words = self.words();
+        let f = &mut self.arr.line_mut(idx).extra;
+        let add = aff_mask & f.affiliated_capacity(words);
+        f.aa |= add;
+        add
+    }
+
+    /// Invalidates the primary line at `idx`, returning its victim record.
+    pub fn invalidate(&mut self, idx: usize) -> Option<CppVictim> {
+        self.arr
+            .invalidate(idx)
+            .map(|Evicted { base, dirty, extra }| CppVictim {
+                base,
+                dirty,
+                flags: extra,
+            })
+    }
+
+    /// Verifies the level's invariants: per-line flag structure and the
+    /// one-copy rule always; with `strict_values`, also that `VCP`/`AA`
+    /// agree with current value compressibility.
+    ///
+    /// `strict_values` holds for a level that observes every store (L1). A
+    /// lower level's flags describe the line *as of its last fill or
+    /// write-back* — the hardware would hold that stale-but-consistent data
+    /// physically, while this model keeps only current values — so L2 is
+    /// checked structurally only.
+    pub fn check_invariants(&self, mem: &MainMemory, strict_values: bool) -> Result<(), String> {
+        let words = self.words();
+        for (idx, line) in self.arr.iter_valid() {
+            let base = self.arr.base_of(idx);
+            let f = line.extra;
+            f.check(words).map_err(|e| format!("line {base:#x}: {e}"))?;
+            if strict_values {
+                let comp = compress_mask(mem, base, words);
+                if f.vcp & !comp != 0 {
+                    return Err(format!(
+                        "line {base:#x}: VCP claims incompressible words (vcp={:#x} comp={comp:#x})",
+                        f.vcp
+                    ));
+                }
+            }
+            if f.aa != 0 {
+                let pair = self.pair_base(base);
+                if self.arr.lookup(pair).is_some() {
+                    return Err(format!(
+                        "one-copy violated: {pair:#x} is primary but also affiliated in {base:#x}"
+                    ));
+                }
+                if strict_values {
+                    let pair_comp = compress_mask(mem, pair, words);
+                    if f.aa & !pair_comp != 0 {
+                        return Err(format!(
+                            "line {base:#x}: AA holds incompressible pair words (aa={:#x} comp={pair_comp:#x})",
+                            f.aa
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of valid primary lines (tests).
+    pub fn valid_count(&self) -> usize {
+        self.arr.valid_count()
+    }
+
+    /// Full-line availability mask for the level's line size.
+    pub fn full_mask(&self) -> u32 {
+        mask_n(self.words())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> CppLevel {
+        CppLevel::new(CacheGeometry::new(8 * 1024, 1, 64), 1)
+    }
+
+    fn mem_with(vals: &[(Addr, u32)]) -> MainMemory {
+        let mut m = MainMemory::new();
+        for &(a, v) in vals {
+            m.write(a, v);
+        }
+        m
+    }
+
+    #[test]
+    fn pair_base_is_involution() {
+        let l = l1();
+        for base in [0x0000u32, 0x0040, 0x1_2340, 0xFFFF_FF80] {
+            let b = l.geometry().line_base(base);
+            assert_eq!(l.pair_base(l.pair_base(b)), b);
+            assert_ne!(l.pair_base(b), b);
+        }
+    }
+
+    #[test]
+    fn compress_mask_reflects_memory() {
+        let m = mem_with(&[(0x1000, 5), (0x1004, 0xDEAD_BEEF), (0x1008, 0x0000_1234)]);
+        // Word 3 is untouched (0 → compressible).
+        assert_eq!(compress_mask(&m, 0x1000, 4) & 0b1111, 0b1101);
+    }
+
+    #[test]
+    fn install_then_lookup_primary() {
+        let mut l = l1();
+        let f = CppFlags::full_primary(16, 0, 0);
+        assert!(l.install_primary(0x2000, f, false).is_none());
+        assert!(l.lookup_primary(0x2000).is_some());
+        assert!(l.lookup_primary(0x2040).is_none());
+        // 0x2040's affiliated location is 0x2000's physical line.
+        assert!(l.lookup_affiliated(0x2040).is_some());
+    }
+
+    #[test]
+    fn install_clears_stale_affiliated_copy() {
+        let mut l = l1();
+        let mem = MainMemory::new();
+        // 0x2000 primary hosts affiliated words of 0x2040.
+        let mut f = CppFlags::full_primary(16, 0xFFFF, 0);
+        f.aa = 0x000F;
+        l.install_primary(0x2000, f, false).unwrap_or(CppVictim {
+            base: 0,
+            dirty: false,
+            flags: CppFlags::empty(),
+        });
+        // Now 0x2040 arrives as primary: its affiliated copy must vanish.
+        l.install_primary(0x2040, CppFlags::full_primary(16, 0, 0), false);
+        let host = l.lookup_primary(0x2000).unwrap();
+        assert_eq!(l.flags(host).aa, 0);
+        assert!(l.check_invariants(&mem, true).is_ok());
+    }
+
+    #[test]
+    fn park_uses_free_slots_only() {
+        let mut l = l1();
+        let mem = MainMemory::new(); // all zeros → everything compressible
+        // Host: 0x2000 primary, words 0..4 compressed, 4..16 "incompressible"
+        // (simulated via flags; memory says compressible but VCP is the
+        // stored format, which may be conservative).
+        let f = CppFlags::full_primary(16, 0x000F, 0);
+        l.install_primary(0x2000, f, false);
+        // Victim 0x2040 (pair of 0x2000) parks: only slots 0..4 accept.
+        let parked = l.park(&mem, 0x2040, 0xFFFF);
+        assert_eq!(parked, 4);
+        let host = l.lookup_primary(0x2000).unwrap();
+        assert_eq!(l.flags(host).aa, 0x000F);
+    }
+
+    #[test]
+    fn park_without_resident_pair_is_noop() {
+        let mut l = l1();
+        let mem = MainMemory::new();
+        assert_eq!(l.park(&mem, 0x2040, 0xFFFF), 0);
+    }
+
+    #[test]
+    fn park_skips_incompressible_victim_words() {
+        let mut l = l1();
+        let mut mem = MainMemory::new();
+        mem.write(0x2040, 0xDEAD_BEEF); // word 0 of victim incompressible
+        let f = CppFlags::full_primary(16, 0xFFFF, 0);
+        l.install_primary(0x2000, f, false);
+        let parked = l.park(&mem, 0x2040, 0x0003);
+        assert_eq!(parked, 1, "only word 1 parks");
+        let host = l.lookup_primary(0x2000).unwrap();
+        assert_eq!(l.flags(host).aa, 0x0002);
+        assert!(l.check_invariants(&mem, true).is_ok());
+    }
+
+    #[test]
+    fn take_affiliated_clears_and_returns() {
+        let mut l = l1();
+        let mut f = CppFlags::full_primary(16, 0xFFFF, 0);
+        f.aa = 0x00F0;
+        l.install_primary(0x2000, f, false);
+        assert_eq!(l.take_affiliated(0x2040), 0x00F0);
+        assert_eq!(l.take_affiliated(0x2040), 0);
+    }
+
+    #[test]
+    fn update_primary_word_evicts_conflicting_affiliated_word() {
+        let mut l = l1();
+        let mut f = CppFlags::full_primary(16, 0xFFFF, 0);
+        f.aa = 0b0110;
+        l.install_primary(0x2000, f, false);
+        let idx = l.lookup_primary(0x2000).unwrap();
+        // Word 1 grows incompressible: its AA word is evicted, word 2's stays.
+        let evicted = l.update_primary_word(idx, 1, false, false);
+        assert_eq!(evicted, 1);
+        let f = l.flags(idx);
+        assert_eq!(f.aa, 0b0100);
+        assert!(!f.vcp_bit(1));
+    }
+
+    #[test]
+    fn update_primary_word_whole_line_policy() {
+        let mut l = l1();
+        let mut f = CppFlags::full_primary(16, 0xFFFF, 0);
+        f.aa = 0b0110;
+        l.install_primary(0x2000, f, false);
+        let idx = l.lookup_primary(0x2000).unwrap();
+        let evicted = l.update_primary_word(idx, 1, false, true);
+        assert_eq!(evicted, 2, "whole affiliated line evicted");
+        assert_eq!(l.flags(idx).aa, 0);
+    }
+
+    #[test]
+    fn update_primary_word_compressible_is_free() {
+        let mut l = l1();
+        let f = CppFlags::full_primary(16, 0, 0);
+        l.install_primary(0x2000, f, false);
+        let idx = l.lookup_primary(0x2000).unwrap();
+        assert_eq!(l.update_primary_word(idx, 3, true, false), 0);
+        assert!(l.flags(idx).vcp_bit(3));
+    }
+
+    #[test]
+    fn merge_primary_words_resolves_conflicts() {
+        let mut l = l1();
+        let mut mem = MainMemory::new();
+        mem.write(0x2004, 0xDEAD_BEEF); // word 1 incompressible
+        let mut f = CppFlags {
+            pa: 0b0001,
+            vcp: 0b0001,
+            aa: 0b0010, // affiliated word in then-empty slot 1
+        };
+        f.check(16).unwrap();
+        l.install_primary(0x2000, f, false);
+        let idx = l.lookup_primary(0x2000).unwrap();
+        // Words 1 and 2 arrive; word 1 is incompressible and claims slot 1.
+        let displaced = l.merge_primary_words(&mem, idx, 0b0110);
+        assert_eq!(displaced, 1);
+        let f = l.flags(idx);
+        assert_eq!(f.pa, 0b0111);
+        assert!(!f.vcp_bit(1));
+        assert!(f.vcp_bit(2), "untouched memory word is compressible");
+        assert_eq!(f.aa, 0);
+        assert!(l.check_invariants(&mem, true).is_ok());
+    }
+
+    #[test]
+    fn victim_returned_with_flags() {
+        let mut l = l1();
+        let f = CppFlags::full_primary(16, 0x00FF, 0x00FF);
+        l.install_primary(0x2000, f, true);
+        let v = l
+            .install_primary(0x2000 + 8 * 1024, CppFlags::full_primary(16, 0, 0), false)
+            .expect("direct-mapped conflict");
+        assert_eq!(v.base, 0x2000);
+        assert!(v.dirty);
+        assert_eq!(v.flags.aa, 0x00FF);
+    }
+
+    #[test]
+    #[should_panic(expected = "affiliation mask")]
+    fn mask_zero_rejected() {
+        CppLevel::new(CacheGeometry::new(8 * 1024, 1, 64), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "affiliation mask")]
+    fn mask_beyond_set_bits_rejected() {
+        CppLevel::new(CacheGeometry::new(8 * 1024, 1, 64), 128);
+    }
+
+    #[test]
+    fn invariant_checker_catches_one_copy_violation() {
+        let mut l = l1();
+        let mem = MainMemory::new();
+        let mut f = CppFlags::full_primary(16, 0xFFFF, 0);
+        f.aa = 1; // claims pair 0x2040 affiliated
+        l.install_primary(0x2000, f, false);
+        // Force 0x2040 primary WITHOUT the install-time cleanup by abusing
+        // flags_mut to re-add aa afterwards.
+        l.install_primary(0x2040, CppFlags::full_primary(16, 0, 0), false);
+        let idx = l.lookup_primary(0x2000).unwrap();
+        l.flags_mut(idx).aa = 1;
+        assert!(l.check_invariants(&mem, true).is_err());
+    }
+}

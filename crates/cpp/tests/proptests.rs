@@ -1,0 +1,118 @@
+//! Property tests: the CPP hierarchy (and the baselines, for comparison)
+//! must behave as a memory — any access sequence reads back the last value
+//! written — while maintaining every structural invariant, and CPP's fetch
+//! traffic must stay at one line of bandwidth per L2 miss.
+
+use ccp_cache::{BcpHierarchy, CacheSim, DesignKind, TwoLevelCache};
+use ccp_cpp::CppHierarchy;
+use proptest::prelude::*;
+
+/// One step of an access program.
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u32),
+    Write(u32, u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A footprint a bit over the L1 size with extra aliasing bits so that
+    // conflicts, evictions, parking, and promotion all fire.
+    let addr = (0u32..0x6000).prop_map(|a| 0x10_0000 + (a & !3));
+    let value = prop_oneof![
+        4 => (0u32..0x4000),                         // small → compressible
+        1 => any::<u32>(),                           // arbitrary
+        2 => (0u32..0x6000).prop_map(|a| 0x10_0000 + a), // heap pointer
+    ];
+    prop_oneof![
+        2 => addr.clone().prop_map(Op::Read),
+        1 => (addr, value).prop_map(|(a, v)| Op::Write(a, v)),
+    ]
+}
+
+fn run_against_golden(c: &mut dyn CacheSim, ops: &[Op]) {
+    let mut golden = std::collections::HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Read(a) => {
+                let expect = golden.get(&a).copied().unwrap_or(0);
+                let got = c.read(a).value;
+                assert_eq!(got, expect, "{} diverged at op {i}: read {a:#x}", c.name());
+            }
+            Op::Write(a, v) => {
+                c.write(a, v);
+                golden.insert(a, v);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CPP behaves as a coherent memory and keeps its invariants.
+    #[test]
+    fn cpp_coherent_and_invariant(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let mut c = CppHierarchy::paper();
+        run_against_golden(&mut c, &ops);
+        prop_assert!(c.check_invariants().is_ok(), "{:?}", c.check_invariants());
+    }
+
+    /// All five designs read back identical values on the same program.
+    #[test]
+    fn designs_agree_functionally(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut designs: Vec<Box<dyn CacheSim>> = vec![
+            Box::new(TwoLevelCache::paper(DesignKind::Bc)),
+            Box::new(TwoLevelCache::paper(DesignKind::Bcc)),
+            Box::new(TwoLevelCache::paper(DesignKind::Hac)),
+            Box::new(BcpHierarchy::paper()),
+            Box::new(CppHierarchy::paper()),
+        ];
+        for d in &mut designs {
+            run_against_golden(d.as_mut(), &ops);
+        }
+    }
+
+    /// CPP never spends more than one L2-line of fetch bandwidth per L2
+    /// fetch transaction (the paper's "no traffic increase" claim), and BCC
+    /// never exceeds BC's traffic on the same program.
+    #[test]
+    fn traffic_bounds(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut cpp = CppHierarchy::paper();
+        let mut bc = TwoLevelCache::paper(DesignKind::Bc);
+        let mut bcc = TwoLevelCache::paper(DesignKind::Bcc);
+        for d in [&mut cpp as &mut dyn CacheSim, &mut bc, &mut bcc] {
+            run_against_golden(d, &ops);
+        }
+        let s = cpp.stats().mem_bus;
+        if s.in_transactions > 0 {
+            prop_assert_eq!(
+                s.in_halfwords,
+                s.in_transactions * 64,
+                "CPP fetches exactly one 32-word line per transaction"
+            );
+        }
+        prop_assert!(
+            bcc.stats().mem_bus.total_halfwords() <= bc.stats().mem_bus.total_halfwords(),
+            "bus compression can only reduce traffic"
+        );
+        // Identical timing metadata between BC and BCC: same miss counts.
+        prop_assert_eq!(bcc.stats().l1.misses(), bc.stats().l1.misses());
+        prop_assert_eq!(bcc.stats().l2.misses(), bc.stats().l2.misses());
+    }
+
+    /// BCC timing equals BC timing access-by-access (paper §4.1: "BC and
+    /// BCC have the same performance").
+    #[test]
+    fn bcc_timing_equals_bc(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut bc = TwoLevelCache::paper(DesignKind::Bc);
+        let mut bcc = TwoLevelCache::paper(DesignKind::Bcc);
+        for op in &ops {
+            let (a, b) = match *op {
+                Op::Read(a) => (bc.read(a), bcc.read(a)),
+                Op::Write(a, v) => (bc.write(a, v), bcc.write(a, v)),
+            };
+            prop_assert_eq!(a.latency, b.latency);
+            prop_assert_eq!(a.source, b.source);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+#![warn(missing_docs)]
+
+//! Functional main-memory model and bus-traffic accounting.
+//!
+//! The simulator follows the SimpleScalar methodology the paper used: caches
+//! model *timing and metadata* (tags, per-word availability/compressibility
+//! flags) while the architectural data image lives in one word-addressable
+//! [`MainMemory`]. Every compressibility decision the cache designs make is
+//! computed from the **real values** stored here, so words flip between
+//! compressible and incompressible exactly as the simulated program writes
+//! them.
+//!
+//! [`TrafficMeter`] counts bus transfers in 16-bit half-word units so that a
+//! compressed bus (one half-word per compressible word) and a conventional
+//! bus (two half-words per word) are measured on the same scale.
+
+pub mod alloc;
+pub mod traffic;
+
+pub use alloc::ChunkAllocator;
+pub use traffic::TrafficMeter;
+
+use std::collections::HashMap;
+
+/// A 32-bit machine word.
+pub type Word = u32;
+
+/// A 32-bit byte address.
+pub type Addr = u32;
+
+/// Words per backing page (4 KB pages).
+const PAGE_WORDS: usize = 1024;
+
+/// Byte shift selecting the page number of an address.
+const PAGE_SHIFT: u32 = 12;
+
+/// Sparse, word-addressable 32-bit memory.
+///
+/// Pages materialize on first write; reads of untouched memory return zero
+/// (which is also the most compressible value, matching the zero-filled
+/// pages a real OS would hand out).
+#[derive(Debug, Default, Clone)]
+pub struct MainMemory {
+    pages: HashMap<u32, Box<[Word; PAGE_WORDS]>>,
+}
+
+impl MainMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the word at byte address `addr` (must be word-aligned).
+    #[inline]
+    pub fn read(&self, addr: Addr) -> Word {
+        debug_assert_eq!(addr & 0x3, 0, "unaligned word read at {addr:#x}");
+        let page = addr >> PAGE_SHIFT;
+        match self.pages.get(&page) {
+            Some(p) => p[(addr as usize >> 2) & (PAGE_WORDS - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes the word at byte address `addr` (must be word-aligned).
+    #[inline]
+    pub fn write(&mut self, addr: Addr, value: Word) {
+        debug_assert_eq!(addr & 0x3, 0, "unaligned word write at {addr:#x}");
+        let page = addr >> PAGE_SHIFT;
+        let slot = (addr as usize >> 2) & (PAGE_WORDS - 1);
+        if let Some(p) = self.pages.get_mut(&page) {
+            p[slot] = value;
+            return;
+        }
+        // Avoid materializing a page just to store a zero.
+        if value == 0 {
+            return;
+        }
+        let mut p = Box::new([0u32; PAGE_WORDS]);
+        p[slot] = value;
+        self.pages.insert(page, p);
+    }
+
+    /// Reads `buf.len()` consecutive words starting at `base` (word-aligned).
+    pub fn read_line(&self, base: Addr, buf: &mut [Word]) {
+        for (i, w) in buf.iter_mut().enumerate() {
+            *w = self.read(base.wrapping_add((i as u32) * 4));
+        }
+    }
+
+    /// Writes `buf` as consecutive words starting at `base` (word-aligned).
+    pub fn write_line(&mut self, base: Addr, buf: &[Word]) {
+        for (i, w) in buf.iter().enumerate() {
+            self.write(base.wrapping_add((i as u32) * 4), *w);
+        }
+    }
+
+    /// Number of 4 KB pages currently materialized.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Sorted list of resident page numbers (page = byte address >> 12).
+    pub fn page_numbers(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.pages.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The 1024 words of resident page `page`, if materialized.
+    pub fn page_words(&self, page: u32) -> Option<&[Word; 1024]> {
+        self.pages.get(&page).map(|b| &**b)
+    }
+
+    /// Replaces page `page` wholesale (serialization support).
+    pub fn write_page(&mut self, page: u32, words: [Word; 1024]) {
+        self.pages.insert(page, Box::new(words));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_of_untouched_memory_are_zero() {
+        let m = MainMemory::new();
+        assert_eq!(m.read(0), 0);
+        assert_eq!(m.read(0xFFFF_FFFC), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_then_read_same_word() {
+        let mut m = MainMemory::new();
+        m.write(0x1000, 0xDEAD_BEEF);
+        assert_eq!(m.read(0x1000), 0xDEAD_BEEF);
+        assert_eq!(m.read(0x1004), 0);
+    }
+
+    #[test]
+    fn zero_writes_do_not_materialize_pages() {
+        let mut m = MainMemory::new();
+        m.write(0x2000, 0);
+        assert_eq!(m.resident_pages(), 0);
+        m.write(0x2000, 7);
+        assert_eq!(m.resident_pages(), 1);
+        m.write(0x2000, 0);
+        assert_eq!(m.read(0x2000), 0);
+        assert_eq!(m.resident_pages(), 1, "page stays once materialized");
+    }
+
+    #[test]
+    fn adjacent_pages_are_independent() {
+        let mut m = MainMemory::new();
+        m.write(0x0FFC, 1); // last word of page 0
+        m.write(0x1000, 2); // first word of page 1
+        assert_eq!(m.read(0x0FFC), 1);
+        assert_eq!(m.read(0x1000), 2);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn line_read_write_roundtrip() {
+        let mut m = MainMemory::new();
+        let line: Vec<u32> = (0..16).map(|i| i * 0x0101_0101).collect();
+        m.write_line(0x4000_0FC0, &line);
+        let mut out = vec![0u32; 16];
+        m.read_line(0x4000_0FC0, &mut out);
+        assert_eq!(out, line);
+    }
+
+    #[test]
+    fn line_ops_cross_page_boundary() {
+        let mut m = MainMemory::new();
+        let line: Vec<u32> = (100..116).collect();
+        // 64-byte line straddling the 0x5000 page boundary.
+        m.write_line(0x4FE0, &line);
+        let mut out = vec![0u32; 16];
+        m.read_line(0x4FE0, &mut out);
+        assert_eq!(out, line);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn high_address_space_works() {
+        let mut m = MainMemory::new();
+        m.write(0xFFFF_FFFC, 0xABCD_0123);
+        assert_eq!(m.read(0xFFFF_FFFC), 0xABCD_0123);
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let mut m = MainMemory::new();
+        m.write(0x8000, 1);
+        m.write(0x8000, 2);
+        assert_eq!(m.read(0x8000), 2);
+    }
+
+    #[test]
+    fn page_iteration_roundtrip() {
+        let mut m = MainMemory::new();
+        m.write(0x1004, 7);
+        m.write(0x5_3000, 9);
+        let pages = m.page_numbers();
+        assert_eq!(pages, vec![0x1, 0x53]);
+        let p = m.page_words(0x1).unwrap();
+        assert_eq!(p[1], 7);
+        let mut m2 = MainMemory::new();
+        for pg in pages {
+            m2.write_page(pg, *m.page_words(pg).unwrap());
+        }
+        assert_eq!(m2.read(0x1004), 7);
+        assert_eq!(m2.read(0x5_3000), 9);
+        assert_eq!(m2.page_words(0x99), None);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = MainMemory::new();
+        a.write(0x3000, 9);
+        let b = a.clone();
+        a.write(0x3000, 10);
+        assert_eq!(b.read(0x3000), 9);
+        assert_eq!(a.read(0x3000), 10);
+    }
+}

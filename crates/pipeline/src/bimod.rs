@@ -1,0 +1,123 @@
+//! Bimodal branch predictor (paper Figure 9: "Branch Predictor: Bimod").
+//!
+//! A table of 2-bit saturating counters indexed by low PC bits, exactly as
+//! SimpleScalar's `bpred_bimod`.
+
+/// The 2-bit counter predictor.
+#[derive(Debug, Clone)]
+pub struct Bimod {
+    table: Vec<u8>,
+    mask: u32,
+}
+
+impl Bimod {
+    /// Creates a predictor with `entries` counters (a power of two),
+    /// initialized weakly-taken (state 2), as SimpleScalar does.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        Bimod {
+            table: vec![2; entries],
+            mask: entries as u32 - 1,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, pc: u32) -> usize {
+        // Word-aligned PCs: drop the low 2 bits before indexing.
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Predicted direction for the branch at `pc`.
+    #[inline]
+    pub fn predict(&self, pc: u32) -> bool {
+        self.table[self.slot(pc)] >= 2
+    }
+
+    /// Trains the counter at `pc` with the actual outcome.
+    #[inline]
+    pub fn update(&mut self, pc: u32, taken: bool) {
+        let slot = self.slot(pc);
+        let c = &mut self.table[slot];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Number of counters.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_predicts_taken() {
+        let b = Bimod::new(64);
+        assert!(b.predict(0x400000));
+    }
+
+    #[test]
+    fn saturates_up_and_down() {
+        let mut b = Bimod::new(64);
+        let pc = 0x1000;
+        for _ in 0..10 {
+            b.update(pc, true);
+        }
+        assert!(b.predict(pc));
+        b.update(pc, false); // 3 -> 2, still predicts taken (hysteresis)
+        assert!(b.predict(pc));
+        b.update(pc, false); // 2 -> 1
+        assert!(!b.predict(pc));
+        for _ in 0..10 {
+            b.update(pc, false);
+        }
+        assert!(!b.predict(pc));
+        b.update(pc, true); // 0 -> 1
+        assert!(!b.predict(pc));
+    }
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut b = Bimod::new(256);
+        let pc = 0x2004;
+        let mut correct = 0;
+        for i in 0..100 {
+            let taken = i % 10 != 9; // 90% taken loop branch
+            if b.predict(pc) == taken {
+                correct += 1;
+            }
+            b.update(pc, taken);
+        }
+        assert!(correct >= 80, "bimod should track a 90% bias, got {correct}");
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut b = Bimod::new(1024);
+        b.update(0x1000, false);
+        b.update(0x1000, false);
+        b.update(0x1004, true);
+        assert!(!b.predict(0x1000));
+        assert!(b.predict(0x1004));
+    }
+
+    #[test]
+    fn aliasing_wraps_at_table_size() {
+        let mut b = Bimod::new(64);
+        // PCs 64 words apart alias.
+        b.update(0x0, false);
+        b.update(0x0, false);
+        assert!(!b.predict(64 * 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        Bimod::new(100);
+    }
+}

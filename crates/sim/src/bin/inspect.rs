@@ -1,0 +1,98 @@
+//! `inspect` — dumps the full per-design run statistics for one benchmark.
+//!
+//! ```text
+//! inspect <benchmark> [--budget N] [--seed S]
+//! ```
+//!
+//! Useful for understanding *why* a figure row looks the way it does:
+//! prints misses, hit sources, prefetch/promotion/parking activity, bus
+//! traffic, IPC, and the ready-queue statistic per design.
+
+use ccp_cache::DesignKind;
+use ccp_sim::sweep::run_cell;
+use ccp_trace::benchmark_by_name;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| {
+        eprintln!("usage: inspect <benchmark> [--budget N] [--seed S]");
+        std::process::exit(2);
+    });
+    let mut budget = 300_000usize;
+    let mut seed = 1u64;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--budget" => budget = args.next().expect("value").parse().expect("number"),
+            "--seed" => seed = args.next().expect("value").parse().expect("number"),
+            other => {
+                eprintln!("unknown arg {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let b = benchmark_by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {name:?}");
+        std::process::exit(2);
+    });
+    let trace = b.trace(budget, seed);
+    let mix = trace.mix();
+    println!(
+        "{}: {} insts ({} loads, {} stores, {} branches)",
+        b.full_name(),
+        mix.total(),
+        mix.loads,
+        mix.stores,
+        mix.branches
+    );
+    for d in DesignKind::ALL {
+        let s = run_cell(&trace, d, false);
+        let h = s.hierarchy;
+        println!("\n== {} ==", d.name());
+        println!(
+            "  cycles {:>10}  ipc {:.3}  mispredicts {}  icache misses {}",
+            s.cycles,
+            s.ipc(),
+            s.branch_mispredicts,
+            s.icache_misses
+        );
+        println!(
+            "  L1: {} acc, {} miss ({:.2}%), {} partial, {} affil hits, {} pb hits",
+            h.l1.accesses(),
+            h.l1.misses(),
+            100.0 * h.l1.miss_rate(),
+            h.l1.partial_line_misses,
+            h.l1.affiliated_hits,
+            h.l1.prefetch_buffer_hits
+        );
+        println!(
+            "  L2: {} acc, {} miss ({:.2}%), {} partial, {} affil hits, {} pb hits",
+            h.l2.accesses(),
+            h.l2.misses(),
+            100.0 * h.l2.miss_rate(),
+            h.l2.partial_line_misses,
+            h.l2.affiliated_hits,
+            h.l2.prefetch_buffer_hits
+        );
+        println!(
+            "  mem bus: {} hw in ({} txns), {} hw out ({} txns)",
+            h.mem_bus.in_halfwords,
+            h.mem_bus.in_transactions,
+            h.mem_bus.out_halfwords,
+            h.mem_bus.out_transactions
+        );
+        println!(
+            "  prefetch: {} issued, {} discarded; {} promotions, {} parked, {} comp-evict",
+            h.prefetches_issued,
+            h.prefetches_discarded,
+            h.promotions,
+            h.parked_lines,
+            h.compressibility_evictions
+        );
+        println!(
+            "  ready-q in miss cycles: {:.2} over {} cycles; forwarded loads {}",
+            s.avg_ready_in_miss_cycles(),
+            s.miss_cycles,
+            s.forwarded_loads
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [OPTIONS] [FIGURES...]
+//!
+//! FIGURES: fig3 fig9 fig10 fig11 fig12 fig13 fig14 fig15 all   (default: all)
+//!          exta (stride) extb (FVC) extc (CPI stacks) extd (conflict)
+//!          exte (transitions) extf (in-order core) extg (size sweep) ext
+//!
+//! OPTIONS:
+//!   --budget N     instructions per benchmark        (default 400000)
+//!   --seed S       workload generation seed          (default 1)
+//!   --threads T    worker threads                    (default: all cores)
+//!   --benchmarks L comma-separated benchmark subset  (default: all 14)
+//!   --json FILE    additionally write results as JSON
+//! ```
+
+use ccp_sim::experiments as exp;
+use ccp_sim::extensions as ext;
+use ccp_sim::json::{normalized_figure_json, Json};
+use ccp_sim::sweep::{run_sweep_on, SweepConfig};
+use ccp_trace::{all_benchmarks, benchmark_by_name, Benchmark};
+
+#[derive(Debug)]
+struct Args {
+    budget: usize,
+    seed: u64,
+    threads: usize,
+    benchmarks: Vec<Benchmark>,
+    figures: Vec<String>,
+    json_path: Option<std::path::PathBuf>,
+    bars: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut budget = 400_000usize;
+    let mut seed = 1u64;
+    let mut threads = 0usize;
+    let mut benchmarks = all_benchmarks();
+    let mut figures: Vec<String> = Vec::new();
+    let mut json_path = None;
+    let mut bars = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--budget" => {
+                budget = it
+                    .next()
+                    .ok_or("--budget needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --budget: {e}"))?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--benchmarks" => {
+                let list = it.next().ok_or("--benchmarks needs a value")?;
+                benchmarks = list
+                    .split(',')
+                    .map(|n| benchmark_by_name(n.trim()).ok_or(format!("unknown benchmark {n:?}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--bars" => bars = true,
+            "--json" => {
+                json_path = Some(std::path::PathBuf::from(
+                    it.next().ok_or("--json needs a path")?,
+                ));
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            f if f.starts_with("fig") || f.starts_with("ext") || f == "all" => {
+                figures.push(f.to_string())
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    if figures.is_empty() || figures.iter().any(|f| f == "all") {
+        figures = ["fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    if figures.iter().any(|f| f == "ext") {
+        figures.retain(|f| f != "ext");
+        for f in ["exta", "extb", "extc", "extd", "exte", "extf", "extg"] {
+            figures.push(f.to_string());
+        }
+    }
+    Ok(Args {
+        budget,
+        seed,
+        threads,
+        benchmarks,
+        figures,
+        json_path,
+        bars,
+    })
+}
+
+const HELP: &str = "repro — regenerate the paper's tables and figures
+usage: repro [--budget N] [--seed S] [--threads T] [--benchmarks a,b,..] [--json FILE] [--bars]
+             [fig3..fig15 | exta | extb | extc | ext | all]";
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let needs_sweep = args
+        .figures
+        .iter()
+        .any(|f| ["fig10", "fig11", "fig12", "fig13", "fig14", "fig15"].contains(&f.as_str()));
+    let needs_halved = args.figures.iter().any(|f| f == "fig14");
+
+    let mut cfg = SweepConfig::new(args.budget, args.seed);
+    cfg.threads = args.threads;
+
+    let sweep = if needs_sweep {
+        eprintln!(
+            "running sweep: {} benchmarks x {} designs, {} instructions each...",
+            args.benchmarks.len(),
+            cfg.designs.len(),
+            args.budget
+        );
+        Some(run_sweep_on(&args.benchmarks, &cfg))
+    } else {
+        None
+    };
+    let halved = if needs_halved {
+        eprintln!("running halved-miss-penalty sweep (Figure 14)...");
+        let mut hcfg = cfg.clone();
+        hcfg.halved_miss_penalty = true;
+        Some(run_sweep_on(&args.benchmarks, &hcfg))
+    } else {
+        None
+    };
+
+    let mut json_out: Vec<(&'static str, Json)> = Vec::new();
+    let ext_benches = if args.benchmarks.len() == all_benchmarks().len() {
+        ext::extension_benchmarks()
+    } else {
+        args.benchmarks.clone()
+    };
+    for f in &args.figures {
+        match f.as_str() {
+            "fig3" => {
+                let rows = exp::figure3(args.budget, args.seed);
+                println!("{}", exp::render_figure3(&rows));
+                json_out.push((
+                    "fig3",
+                    Json::Arr(
+                        rows.iter()
+                            .map(|r| {
+                                Json::obj([
+                                    ("benchmark", Json::from(r.benchmark.clone())),
+                                    ("small", Json::from(r.small)),
+                                    ("pointer", Json::from(r.pointer)),
+                                    ("compressible", Json::from(r.compressible)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            "fig9" => println!("{}", exp::figure9()),
+            "fig10" => {
+                let fig = exp::figure10(sweep.as_ref().expect("sweep"));
+                println!("{}", fig.render());
+                if args.bars {
+                    println!("{}", fig.render_bars());
+                }
+                json_out.push(("fig10", normalized_figure_json(&fig)));
+            }
+            "fig11" => {
+                let fig = exp::figure11(sweep.as_ref().expect("sweep"));
+                println!("{}", fig.render());
+                if args.bars {
+                    println!("{}", fig.render_bars());
+                }
+                json_out.push(("fig11", normalized_figure_json(&fig)));
+            }
+            "fig12" => {
+                let fig = exp::figure12(sweep.as_ref().expect("sweep"));
+                println!("{}", fig.render());
+                if args.bars {
+                    println!("{}", fig.render_bars());
+                }
+                json_out.push(("fig12", normalized_figure_json(&fig)));
+            }
+            "fig13" => {
+                let fig = exp::figure13(sweep.as_ref().expect("sweep"));
+                println!("{}", fig.render());
+                if args.bars {
+                    println!("{}", fig.render_bars());
+                }
+                json_out.push(("fig13", normalized_figure_json(&fig)));
+            }
+            "fig14" => {
+                let fig = exp::figure14(
+                    sweep.as_ref().expect("sweep"),
+                    halved.as_ref().expect("halved sweep"),
+                );
+                println!("{}", fig.render());
+                if args.bars {
+                    println!("{}", fig.render_bars());
+                }
+                json_out.push(("fig14", normalized_figure_json(&fig)));
+            }
+            "fig15" => {
+                let rows = exp::figure15(sweep.as_ref().expect("sweep"));
+                println!("{}", exp::render_figure15(&rows));
+                json_out.push((
+                    "fig15",
+                    Json::Arr(
+                        rows.iter()
+                            .map(|r| {
+                                Json::obj([
+                                    ("benchmark", Json::from(r.benchmark.clone())),
+                                    ("hac", Json::from(r.hac)),
+                                    ("cpp", Json::from(r.cpp)),
+                                    ("increase", Json::from(r.increase)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            "exta" => {
+                eprintln!("running stride-prefetch comparison (4 designs per benchmark)...");
+                let rows = ext::stride_comparison(&ext_benches, args.budget, args.seed);
+                println!("{}", ext::render_stride(&rows));
+            }
+            "extb" => {
+                let rows = ext::fvc_comparison(&ext_benches, args.budget, args.seed);
+                println!("{}", ext::render_fvc(&rows));
+            }
+            "extc" => {
+                eprintln!("running CPI-stack attribution (5 designs per benchmark)...");
+                let rows = ext::cpi_stacks(&ext_benches, args.budget, args.seed);
+                println!("{}", ext::render_cpi(&rows));
+            }
+            "extd" => {
+                eprintln!("running conflict-miss remedy comparison (5 runs per benchmark)...");
+                let rows = ext::conflict_comparison(&ext_benches, args.budget, args.seed);
+                println!("{}", ext::render_conflict(&rows));
+            }
+            "exte" => {
+                let rows = ext::transition_study(&args.benchmarks, args.budget, args.seed);
+                println!("{}", ext::render_transitions(&rows));
+            }
+            "extf" => {
+                eprintln!("running core-model study (4 runs per benchmark)...");
+                let rows = ext::core_model_study(&ext_benches, args.budget, args.seed);
+                println!("{}", ext::render_core_model(&rows));
+            }
+            "extg" => {
+                eprintln!("running cache-size sensitivity sweep (8 runs)...");
+                let bench = &args.benchmarks[0];
+                let rows = ext::size_sensitivity(bench, args.budget, args.seed);
+                println!("{}", ext::render_sensitivity(&bench.full_name(), &rows));
+            }
+            other => eprintln!("skipping unknown figure {other:?}"),
+        }
+        println!();
+    }
+
+    if let Some(path) = &args.json_path {
+        let doc = Json::obj(json_out).to_string();
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote JSON results to {}", path.display());
+    }
+}

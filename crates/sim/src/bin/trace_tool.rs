@@ -1,0 +1,148 @@
+//! `trace-tool` — generate, inspect, and profile workload trace files
+//! (the `.ccpt` container from `ccp_trace::serialize`).
+//!
+//! ```text
+//! trace-tool gen <benchmark> <out.ccpt> [--budget N] [--seed S]
+//! trace-tool info <file.ccpt>
+//! trace-tool profile <file.ccpt>
+//! trace-tool run <file.ccpt> [--design BC|BCC|HAC|BCP|CPP]
+//! ```
+
+use ccp_cache::DesignKind;
+use ccp_compress::profile::ValueProfile;
+use ccp_pipeline::{run_trace, PipelineConfig};
+use ccp_sim::build_design;
+use ccp_trace::{benchmark_by_name, Trace};
+use std::path::Path;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trace-tool gen <benchmark> <out.ccpt> [--budget N] [--seed S]\n  \
+         trace-tool info <file.ccpt>\n  trace-tool profile <file.ccpt>\n  \
+         trace-tool run <file.ccpt> [--design NAME]"
+    );
+    exit(2);
+}
+
+fn load(path: &str) -> Trace {
+    match Trace::load(Path::new(path)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error loading {path}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            if args.len() < 3 {
+                usage();
+            }
+            let bench = benchmark_by_name(&args[1]).unwrap_or_else(|| {
+                eprintln!("unknown benchmark {:?}", args[1]);
+                exit(1);
+            });
+            let mut budget = 400_000usize;
+            let mut seed = 1u64;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--budget" => {
+                        budget = args[i + 1].parse().expect("budget");
+                        i += 2;
+                    }
+                    "--seed" => {
+                        seed = args[i + 1].parse().expect("seed");
+                        i += 2;
+                    }
+                    _ => usage(),
+                }
+            }
+            let t = bench.trace(budget, seed);
+            if let Err(e) = t.save(Path::new(&args[2])) {
+                eprintln!("error writing {}: {e}", args[2]);
+                exit(1);
+            }
+            println!(
+                "wrote {} ({} instructions, {} resident pages)",
+                args[2],
+                t.len(),
+                t.initial_mem.resident_pages()
+            );
+        }
+        Some("info") => {
+            if args.len() != 2 {
+                usage();
+            }
+            let t = load(&args[1]);
+            let m = t.mix();
+            println!("name:         {}", t.name);
+            println!("instructions: {}", t.len());
+            println!(
+                "mix:          {} ialu / {} falu / {} loads / {} stores / {} branches",
+                m.ialu, m.falu, m.loads, m.stores, m.branches
+            );
+            println!(
+                "memory image: {} pages ({} KB resident)",
+                t.initial_mem.resident_pages(),
+                t.initial_mem.resident_pages() * 4
+            );
+            println!(
+                "validation:   {}",
+                match t.validate() {
+                    Ok(()) => "ok".to_string(),
+                    Err(e) => format!("BROKEN: {e}"),
+                }
+            );
+        }
+        Some("profile") => {
+            if args.len() != 2 {
+                usage();
+            }
+            let t = load(&args[1]);
+            let mut p = ValueProfile::new();
+            t.profile_values(|v, a| p.record(v, a));
+            println!(
+                "{}: {} accessed values — {:.1}% small, {:.1}% pointer, {:.1}% compressible",
+                t.name,
+                p.total(),
+                100.0 * p.small_fraction(),
+                100.0 * p.pointer_fraction(),
+                100.0 * p.compressible_fraction()
+            );
+        }
+        Some("run") => {
+            if args.len() < 2 {
+                usage();
+            }
+            let t = load(&args[1]);
+            let design = if args.len() >= 4 && args[2] == "--design" {
+                DesignKind::ALL
+                    .into_iter()
+                    .find(|d| d.name().eq_ignore_ascii_case(&args[3]))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown design {:?}", args[3]);
+                        exit(1);
+                    })
+            } else {
+                DesignKind::Cpp
+            };
+            let mut cache = build_design(design);
+            let s = run_trace(&t, cache.as_mut(), &PipelineConfig::paper());
+            println!(
+                "{} on {}: {} cycles (IPC {:.3}), L1 miss {:.2}%, traffic {} half-words",
+                t.name,
+                design.name(),
+                s.cycles,
+                s.ipc(),
+                100.0 * s.hierarchy.l1.miss_rate(),
+                s.hierarchy.memory_traffic_halfwords()
+            );
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,153 @@
+//! Fast functional cache simulation (the `sim-cache` to the pipeline's
+//! `sim-outorder`): replays only the memory operations of a trace through a
+//! hierarchy, skipping all timing. Roughly an order of magnitude faster
+//! than the pipeline — right for miss-rate/traffic studies, warm-up
+//! sensitivity checks, and long-trace smoke tests where cycles don't
+//! matter.
+//!
+//! Stores are applied in program order (the pipeline commits them in order
+//! too, so miss/traffic counts agree with pipelined runs whenever accesses
+//! don't reorder around them — loads may issue out of order there, so small
+//! divergences are expected and tested for).
+
+use ccp_cache::{CacheSim, HierarchyStats};
+use ccp_trace::{Op, Trace};
+
+/// Results of a functional run.
+#[derive(Debug, Clone)]
+pub struct FastStats {
+    /// Memory operations replayed (after warm-up).
+    pub mem_ops: u64,
+    /// Loads replayed.
+    pub loads: u64,
+    /// Stores replayed.
+    pub stores: u64,
+    /// Hierarchy counters accumulated after warm-up.
+    pub hierarchy: HierarchyStats,
+}
+
+impl FastStats {
+    /// L1 miss rate over demand accesses.
+    pub fn l1_miss_rate(&self) -> f64 {
+        self.hierarchy.l1.miss_rate()
+    }
+}
+
+/// Replays `trace`'s memory operations through `cache`. The first
+/// `warmup_mem_ops` memory operations run with statistics discarded
+/// (hierarchy state, including cache contents, is kept — exactly what
+/// cache-warm-up means).
+pub fn run_functional(trace: &Trace, cache: &mut dyn CacheSim, warmup_mem_ops: u64) -> FastStats {
+    *cache.mem_mut() = trace.initial_mem.clone();
+    let mut seen = 0u64;
+    let mut stats = FastStats {
+        mem_ops: 0,
+        loads: 0,
+        stores: 0,
+        hierarchy: HierarchyStats::default(),
+    };
+    let mut warm = warmup_mem_ops == 0;
+    if !warm {
+        cache.reset_stats();
+    }
+    for inst in &trace.insts {
+        match inst.op {
+            Op::Load { addr } => {
+                cache.read_pc(addr, inst.pc);
+                seen += 1;
+                if warm {
+                    stats.loads += 1;
+                }
+            }
+            Op::Store { addr, value } => {
+                cache.write_pc(addr, value, inst.pc);
+                seen += 1;
+                if warm {
+                    stats.stores += 1;
+                }
+            }
+            _ => continue,
+        }
+        if !warm && seen >= warmup_mem_ops {
+            cache.reset_stats();
+            warm = true;
+        }
+    }
+    if !warm {
+        // The warm-up window outlasted the trace: nothing measured.
+        cache.reset_stats();
+    }
+    stats.mem_ops = stats.loads + stats.stores;
+    stats.hierarchy = *cache.stats();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_design;
+    use ccp_cache::DesignKind;
+    use ccp_trace::benchmark_by_name;
+
+    #[test]
+    fn functional_run_counts_mem_ops() {
+        let t = benchmark_by_name("health").unwrap().trace(10_000, 1);
+        let mut c = build_design(DesignKind::Bc);
+        let s = run_functional(&t, c.as_mut(), 0);
+        let m = t.mix();
+        assert_eq!(s.loads, m.loads);
+        assert_eq!(s.stores, m.stores);
+        assert_eq!(s.hierarchy.l1.accesses(), m.loads + m.stores);
+    }
+
+    #[test]
+    fn warmup_discards_cold_misses() {
+        let t = benchmark_by_name("treeadd").unwrap().trace(30_000, 1);
+        let mut cold = build_design(DesignKind::Bc);
+        let s_cold = run_functional(&t, cold.as_mut(), 0);
+        let mut warm = build_design(DesignKind::Bc);
+        let s_warm = run_functional(&t, warm.as_mut(), 4_000);
+        assert!(
+            s_warm.l1_miss_rate() < s_cold.l1_miss_rate(),
+            "warm-up must hide cold misses: {:.4} vs {:.4}",
+            s_warm.l1_miss_rate(),
+            s_cold.l1_miss_rate()
+        );
+    }
+
+    #[test]
+    fn functional_and_pipelined_miss_counts_are_close() {
+        // The pipeline reorders loads slightly; totals must agree within a
+        // small tolerance.
+        let t = benchmark_by_name("mst").unwrap().trace(20_000, 1);
+        let mut f = build_design(DesignKind::Bc);
+        let fs = run_functional(&t, f.as_mut(), 0);
+        let mut p = build_design(DesignKind::Bc);
+        let ps = ccp_pipeline::run_trace(&t, p.as_mut(), &ccp_pipeline::PipelineConfig::paper());
+        let fm = fs.hierarchy.l1.misses() as f64;
+        let pm = ps.hierarchy.l1.misses() as f64;
+        assert!(
+            (fm - pm).abs() / fm.max(1.0) < 0.08,
+            "functional {fm} vs pipelined {pm} miss counts diverged"
+        );
+    }
+
+    #[test]
+    fn warmup_longer_than_trace_yields_empty_stats() {
+        let t = benchmark_by_name("130.li").unwrap().trace(2_000, 1);
+        let mut c = build_design(DesignKind::Cpp);
+        let s = run_functional(&t, c.as_mut(), u64::MAX);
+        assert_eq!(s.mem_ops, 0);
+        assert_eq!(s.hierarchy.l1.accesses(), 0);
+    }
+
+    #[test]
+    fn all_designs_run_functionally() {
+        let t = benchmark_by_name("300.twolf").unwrap().trace(5_000, 1);
+        for d in DesignKind::ALL {
+            let mut c = build_design(d);
+            let s = run_functional(&t, c.as_mut(), 0);
+            assert!(s.mem_ops > 0, "{}", d.name());
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! A minimal JSON emitter for experiment results.
+//!
+//! The approved dependency set includes `serde` but no JSON backend, and
+//! the experiment outputs are simple (strings, numbers, arrays, flat
+//! objects), so a small value tree with a spec-compliant writer keeps the
+//! `repro --json` feature dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with deterministic (sorted) key order.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
+        Json::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serializes to a compact JSON string.
+    pub fn to_string(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Integral values print without a trailing ".0".
+                    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Self {
+        Json::Num(n)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+/// Converts a [`crate::experiments::NormalizedFigure`] to JSON.
+pub fn normalized_figure_json(f: &crate::experiments::NormalizedFigure) -> Json {
+    Json::obj([
+        ("title", Json::from(f.title.clone())),
+        (
+            "designs",
+            Json::Arr(f.designs.iter().map(|d| Json::from(d.clone())).collect()),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                f.rows
+                    .iter()
+                    .map(|(b, vals)| {
+                        Json::obj([
+                            ("benchmark", Json::from(b.clone())),
+                            (
+                                "values",
+                                Json::Arr(vals.iter().map(|&v| Json::from(v)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "averages",
+            Json::Arr(f.averages().into_iter().map(Json::from).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Num(3.0).to_string(), "3");
+        assert_eq!(Json::Num(0.5).to_string(), "0.5");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let j = Json::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(j.to_string(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_and_objects_nest() {
+        let j = Json::obj([
+            ("name", Json::from("x")),
+            ("vals", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+        ]);
+        assert_eq!(j.to_string(), r#"{"name":"x","vals":[1,2.5]}"#);
+    }
+
+    #[test]
+    fn object_keys_are_sorted() {
+        let j = Json::obj([("zeta", Json::Null), ("alpha", Json::Null)]);
+        assert_eq!(j.to_string(), r#"{"alpha":null,"zeta":null}"#);
+    }
+
+    #[test]
+    fn normalized_figure_roundtrips_structure() {
+        let f = crate::experiments::NormalizedFigure {
+            title: "t".into(),
+            designs: vec!["BC".into(), "CPP".into()],
+            rows: vec![("b1".into(), vec![1.0, 0.9])],
+        };
+        let s = normalized_figure_json(&f).to_string();
+        assert!(s.contains(r#""designs":["BC","CPP"]"#));
+        assert!(s.contains(r#""averages":[1,0.9]"#));
+    }
+}

@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! Experiment harness: wires the workload suite, the out-of-order pipeline,
+//! and the five cache designs together, and regenerates every table and
+//! figure of the paper's evaluation (§4).
+//!
+//! The entry points mirror the paper's figures:
+//!
+//! | Paper | Function | Output |
+//! |-------|----------|--------|
+//! | Fig. 3 | [`experiments::figure3`] | value compressibility per benchmark |
+//! | Fig. 9 | [`experiments::figure9`] | baseline configuration table |
+//! | Fig. 10 | [`experiments::figure10`] | memory traffic normalized to BC |
+//! | Fig. 11 | [`experiments::figure11`] | execution time normalized to BC |
+//! | Fig. 12 | [`experiments::figure12`] | L1 misses normalized to BC |
+//! | Fig. 13 | [`experiments::figure13`] | L2 misses normalized to BC |
+//! | Fig. 14 | [`experiments::figure14`] | miss-importance (Amdahl fraction) |
+//! | Fig. 15 | [`experiments::figure15`] | ready-queue length, CPP vs HAC |
+//!
+//! All figures that compare designs derive from one [`sweep::Sweep`] (every
+//! benchmark × design cell holds a full [`ccp_pipeline::RunStats`]), so the
+//! numbers across figures are mutually consistent, exactly as one
+//! SimpleScalar campaign produced the paper's plots.
+
+pub mod experiments;
+pub mod fastsim;
+pub mod extensions;
+pub mod json;
+pub mod report;
+pub mod sweep;
+
+pub use sweep::{run_sweep, Sweep, SweepConfig};
+
+use ccp_cache::{BcpHierarchy, CacheSim, DesignKind, HierarchyConfig, TwoLevelCache};
+use ccp_cpp::CppHierarchy;
+
+/// Instantiates the hierarchy for any of the paper's five designs in its
+/// §4.1 configuration.
+pub fn build_design(kind: DesignKind) -> Box<dyn CacheSim> {
+    build_design_with(HierarchyConfig::paper(kind))
+}
+
+/// Instantiates a hierarchy from an explicit configuration (ablations).
+pub fn build_design_with(cfg: HierarchyConfig) -> Box<dyn CacheSim> {
+    match cfg.design {
+        DesignKind::Bc | DesignKind::Bcc | DesignKind::Hac => Box::new(TwoLevelCache::new(cfg)),
+        DesignKind::Bcp => Box::new(BcpHierarchy::new(cfg)),
+        DesignKind::Cpp => Box::new(CppHierarchy::new(cfg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_all_five_designs() {
+        for kind in DesignKind::ALL {
+            let d = build_design(kind);
+            assert_eq!(d.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn factory_respects_custom_config() {
+        let mut cfg = HierarchyConfig::paper(DesignKind::Cpp);
+        cfg.evict_whole_affiliated_line = true;
+        let d = build_design_with(cfg);
+        assert_eq!(d.name(), "CPP");
+    }
+}

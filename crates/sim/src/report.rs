@@ -1,0 +1,149 @@
+//! Plain-text table rendering for the experiment outputs.
+
+/// Renders an aligned text table. `headers.len()` must equal each row's
+/// length.
+pub fn render_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i == 0 {
+                line.push_str(&format!("{:<w$}", cell, w = widths[i]));
+            } else {
+                line.push_str(&format!("  {:>w$}", cell, w = widths[i]));
+            }
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(headers, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Renders grouped horizontal bar charts, one group per row and one bar
+/// per series — a terminal rendition of the paper's figure style. `values`
+/// are ratios (1.0 = 100%); bars scale so the largest value spans
+/// `width` cells.
+pub fn render_bars(
+    rows: &[(String, Vec<f64>)],
+    series: &[String],
+    width: usize,
+) -> String {
+    let max = rows
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let series_w = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, vals) in rows {
+        assert_eq!(vals.len(), series.len(), "ragged bar row");
+        for (i, (sname, &v)) in series.iter().zip(vals.iter()).enumerate() {
+            let cells = ((v / max) * width as f64).round() as usize;
+            let label = if i == 0 { name.as_str() } else { "" };
+            out.push_str(&format!(
+                "{:<name_w$} {:<series_w$} {}{} {:.1}%\n",
+                label,
+                sname,
+                "█".repeat(cells),
+                " ".repeat(width - cells.min(width)),
+                100.0 * v,
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a ratio as a percentage with one decimal, e.g. `89.7%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["name".into(), "v".into()],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "123".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer-name"));
+        // Right-aligned numeric column.
+        assert!(lines[2].ends_with("  1"));
+        assert!(lines[3].ends_with("123"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        render_table(&["a".into(), "b".into()], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let rows = vec![
+            ("alpha".to_string(), vec![1.0, 0.5]),
+            ("b".to_string(), vec![2.0, 0.0]),
+        ];
+        let series = vec!["X".to_string(), "YY".to_string()];
+        let out = render_bars(&rows, &series, 10);
+        let lines: Vec<&str> = out.lines().collect();
+        // 2 groups x (2 bars + separator line each).
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].contains("alpha"));
+        assert!(lines[0].contains("100.0%"));
+        assert_eq!(lines[2], "", "blank separator between groups");
+        // The max (2.0) spans the full width; 1.0 spans half.
+        let full = lines[3].matches('█').count();
+        let half = lines[0].matches('█').count();
+        assert_eq!(full, 10);
+        assert_eq!(half, 5);
+        // Zero-valued bar draws nothing.
+        assert_eq!(lines[4].matches('█').count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged bar row")]
+    fn ragged_bar_rows_rejected() {
+        render_bars(
+            &[("a".to_string(), vec![1.0])],
+            &["X".to_string(), "Y".to_string()],
+            10,
+        );
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.897), "89.7%");
+        assert_eq!(f2(1.005), "1.00"); // ties-to-even is fine
+    }
+}

@@ -1,0 +1,263 @@
+//! The simulation sweep: every benchmark × every design, in parallel.
+//!
+//! Each cell is an independent (trace, hierarchy, pipeline) triple, so the
+//! sweep parallelizes embarrassingly; traces are generated once per
+//! benchmark and shared read-only across the design runs (the HPC guides'
+//! scoped-thread data-parallel idiom, via `crossbeam::scope`).
+
+use crate::build_design;
+use ccp_cache::DesignKind;
+use ccp_pipeline::{run_trace, PipelineConfig, RunStats};
+use ccp_trace::{all_benchmarks, Benchmark, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Sweep parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Instruction budget per benchmark.
+    pub budget: usize,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Designs to run (paper order by default).
+    pub designs: Vec<String>,
+    /// Halve the miss penalties (the Figure 14 variant runs).
+    pub halved_miss_penalty: bool,
+    /// Worker threads (0 = one per cell up to available parallelism).
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// A sweep over all five designs with the paper's latencies.
+    pub fn new(budget: usize, seed: u64) -> Self {
+        SweepConfig {
+            budget,
+            seed,
+            designs: DesignKind::ALL.iter().map(|d| d.name().to_string()).collect(),
+            halved_miss_penalty: false,
+            threads: 0,
+        }
+    }
+
+    /// Parsed design list.
+    pub fn design_kinds(&self) -> Vec<DesignKind> {
+        self.designs
+            .iter()
+            .map(|s| {
+                DesignKind::ALL
+                    .into_iter()
+                    .find(|d| d.name().eq_ignore_ascii_case(s))
+                    .unwrap_or_else(|| panic!("unknown design {s:?}"))
+            })
+            .collect()
+    }
+}
+
+/// Results of one sweep: `(benchmark full name, design) → RunStats`.
+#[derive(Debug)]
+pub struct Sweep {
+    /// Config the sweep ran with.
+    pub config: SweepConfig,
+    /// Benchmarks in paper order.
+    pub benchmarks: Vec<String>,
+    /// Designs in requested order.
+    pub designs: Vec<DesignKind>,
+    cells: BTreeMap<(String, &'static str), RunStats>,
+}
+
+impl Sweep {
+    /// The run statistics for `(benchmark, design)`.
+    pub fn cell(&self, benchmark: &str, design: DesignKind) -> &RunStats {
+        self.cells
+            .get(&(benchmark.to_string(), design.name()))
+            .unwrap_or_else(|| panic!("no cell for {benchmark}/{}", design.name()))
+    }
+
+    /// Ratio of `metric(design)` to `metric(BC)` per benchmark — the
+    /// normalization every comparison figure in the paper uses.
+    pub fn normalized<F: Fn(&RunStats) -> f64>(
+        &self,
+        design: DesignKind,
+        metric: F,
+    ) -> Vec<(String, f64)> {
+        self.benchmarks
+            .iter()
+            .map(|b| {
+                let base = metric(self.cell(b, DesignKind::Bc));
+                let val = metric(self.cell(b, design));
+                let r = if base == 0.0 { 1.0 } else { val / base };
+                (b.clone(), r)
+            })
+            .collect()
+    }
+}
+
+/// Runs one cell: a fresh hierarchy of `design` over `trace`.
+pub fn run_cell(trace: &Trace, design: DesignKind, halved: bool) -> RunStats {
+    let mut cache = build_design(design);
+    if halved {
+        let lat = cache.latencies().halved_miss_penalty();
+        cache.set_latencies(lat);
+    }
+    run_trace(trace, cache.as_mut(), &PipelineConfig::paper())
+}
+
+/// Generates all traces (in parallel) and runs every benchmark × design
+/// cell (in parallel).
+pub fn run_sweep(config: &SweepConfig) -> Sweep {
+    run_sweep_on(&all_benchmarks(), config)
+}
+
+/// Sweep over an explicit benchmark subset.
+pub fn run_sweep_on(benchmarks: &[Benchmark], config: &SweepConfig) -> Sweep {
+    let designs = config.design_kinds();
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    } else {
+        config.threads
+    };
+
+    // Phase 1: generate traces in parallel.
+    let traces: Vec<Arc<Trace>> = parallel_map(benchmarks, threads, |b| {
+        Arc::new(b.trace(config.budget, config.seed))
+    });
+
+    // Phase 2: run all cells in parallel.
+    let mut jobs: Vec<(usize, DesignKind)> = Vec::new();
+    for (i, _) in benchmarks.iter().enumerate() {
+        for &d in &designs {
+            jobs.push((i, d));
+        }
+    }
+    let halved = config.halved_miss_penalty;
+    let results: Vec<((String, &'static str), RunStats)> =
+        parallel_map(&jobs, threads, |&(i, d)| {
+            let stats = run_cell(&traces[i], d, halved);
+            ((benchmarks[i].full_name(), d.name()), stats)
+        });
+
+    Sweep {
+        config: config.clone(),
+        benchmarks: benchmarks.iter().map(|b| b.full_name()).collect(),
+        designs,
+        cells: results.into_iter().collect(),
+    }
+}
+
+/// Order-preserving parallel map over a slice using scoped threads and a
+/// shared work queue.
+fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> Vec<R> {
+    let n = items.len();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let out: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let workers = threads.min(n.max(1));
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                out.lock().expect("poisoned")[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_inner()
+        .expect("poisoned")
+        .into_iter()
+        .map(|r| r.expect("every index produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccp_trace::benchmark_by_name;
+
+    fn tiny_config() -> SweepConfig {
+        let mut c = SweepConfig::new(2_000, 7);
+        c.threads = 2;
+        c
+    }
+
+    #[test]
+    fn sweep_produces_every_cell() {
+        let benches = [
+            benchmark_by_name("health").unwrap(),
+            benchmark_by_name("130.li").unwrap(),
+        ];
+        let s = run_sweep_on(&benches, &tiny_config());
+        assert_eq!(s.benchmarks.len(), 2);
+        for b in &s.benchmarks {
+            for d in DesignKind::ALL {
+                let cell = s.cell(b, d);
+                assert_eq!(cell.instructions, 2_000.max(cell.instructions));
+                assert!(cell.cycles > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_bc_is_unity() {
+        let benches = [benchmark_by_name("treeadd").unwrap()];
+        let s = run_sweep_on(&benches, &tiny_config());
+        for (_, r) in s.normalized(DesignKind::Bc, |st| st.cycles as f64) {
+            assert!((r - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bcc_matches_bc_timing_in_sweep() {
+        let benches = [benchmark_by_name("mst").unwrap()];
+        let s = run_sweep_on(&benches, &tiny_config());
+        let b = &s.benchmarks[0];
+        assert_eq!(
+            s.cell(b, DesignKind::Bc).cycles,
+            s.cell(b, DesignKind::Bcc).cycles,
+            "BCC only changes the storage/bus format (paper §4.1)"
+        );
+    }
+
+    #[test]
+    fn halved_penalty_is_faster() {
+        let benches = [benchmark_by_name("mcf").unwrap()];
+        let mut cfg = tiny_config();
+        cfg.budget = 10_000;
+        let normal = run_sweep_on(&benches, &cfg);
+        cfg.halved_miss_penalty = true;
+        let halved = run_sweep_on(&benches, &cfg);
+        let b = &normal.benchmarks[0];
+        assert!(
+            halved.cell(b, DesignKind::Bc).cycles < normal.cell(b, DesignKind::Bc).cycles
+        );
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_deterministic_across_thread_counts() {
+        let benches = [benchmark_by_name("perimeter").unwrap()];
+        let mut c1 = tiny_config();
+        c1.threads = 1;
+        let mut c4 = tiny_config();
+        c4.threads = 4;
+        let s1 = run_sweep_on(&benches, &c1);
+        let s4 = run_sweep_on(&benches, &c4);
+        let b = &s1.benchmarks[0];
+        for d in DesignKind::ALL {
+            assert_eq!(s1.cell(b, d).cycles, s4.cell(b, d).cycles);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Trace serialization: a compact little-endian binary container so
+//! generated workloads can be saved once and replayed across machines and
+//! simulator versions (the role SimpleScalar's EIO trace files played).
+//!
+//! Layout:
+//!
+//! ```text
+//! magic    "CCPT"            4 bytes
+//! version  u32               format version (1)
+//! name     u32 len + bytes   benchmark name (UTF-8)
+//! pages    u32 count, then per page: u32 page number + 1024 × u32 words
+//! insts    u64 count, then per instruction a fixed 18-byte record:
+//!          tag u8 | payload u64 (op-specific) | pc u32 | dep1 u32 | dep2 u32
+//! ```
+
+use crate::{Inst, Op, Trace};
+use ccp_mem::MainMemory;
+use std::io::{self, Read, Write};
+
+/// Format magic.
+pub const MAGIC: [u8; 4] = *b"CCPT";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+const TAG_IALU: u8 = 0;
+const TAG_FALU: u8 = 1;
+const TAG_LOAD: u8 = 2;
+const TAG_STORE: u8 = 3;
+const TAG_BRANCH: u8 = 4;
+
+fn w32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn r32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn r64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Writes `trace` to `w` in the container format.
+pub fn write_trace<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    w32(w, VERSION)?;
+    let name = trace.name.as_bytes();
+    w32(w, name.len() as u32)?;
+    w.write_all(name)?;
+
+    let pages = trace.initial_mem.page_numbers();
+    w32(w, pages.len() as u32)?;
+    for pg in pages {
+        w32(w, pg)?;
+        let words = trace.initial_mem.page_words(pg).expect("resident");
+        for &word in words.iter() {
+            w32(w, word)?;
+        }
+    }
+
+    w64(w, trace.insts.len() as u64)?;
+    for inst in &trace.insts {
+        let (tag, payload): (u8, u64) = match inst.op {
+            Op::IAlu { lat } => (TAG_IALU, u64::from(lat)),
+            Op::FAlu { lat } => (TAG_FALU, u64::from(lat)),
+            Op::Load { addr } => (TAG_LOAD, u64::from(addr)),
+            Op::Store { addr, value } => {
+                (TAG_STORE, u64::from(addr) | (u64::from(value) << 32))
+            }
+            Op::Branch { taken } => (TAG_BRANCH, u64::from(taken)),
+        };
+        w.write_all(&[tag])?;
+        w64(w, payload)?;
+        w32(w, inst.pc)?;
+        w32(w, inst.dep1)?;
+        w32(w, inst.dep2)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace`].
+pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(bad("not a CCPT trace (bad magic)"));
+    }
+    let version = r32(r)?;
+    if version != VERSION {
+        return Err(bad(&format!("unsupported trace version {version}")));
+    }
+    let name_len = r32(r)? as usize;
+    if name_len > 4096 {
+        return Err(bad("implausible name length"));
+    }
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name).map_err(|_| bad("name is not UTF-8"))?;
+
+    let mut mem = MainMemory::new();
+    let page_count = r32(r)?;
+    for _ in 0..page_count {
+        let pg = r32(r)?;
+        let mut words = [0u32; 1024];
+        for word in words.iter_mut() {
+            *word = r32(r)?;
+        }
+        mem.write_page(pg, words);
+    }
+
+    let n = r64(r)? as usize;
+    let mut insts = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let payload = r64(r)?;
+        let pc = r32(r)?;
+        let dep1 = r32(r)?;
+        let dep2 = r32(r)?;
+        let op = match tag[0] {
+            TAG_IALU => Op::IAlu { lat: payload as u8 },
+            TAG_FALU => Op::FAlu { lat: payload as u8 },
+            TAG_LOAD => Op::Load {
+                addr: payload as u32,
+            },
+            TAG_STORE => Op::Store {
+                addr: payload as u32,
+                value: (payload >> 32) as u32,
+            },
+            TAG_BRANCH => Op::Branch {
+                taken: payload != 0,
+            },
+            t => return Err(bad(&format!("unknown op tag {t}"))),
+        };
+        insts.push(Inst { op, pc, dep1, dep2 });
+    }
+    let trace = Trace {
+        name,
+        initial_mem: mem,
+        insts,
+    };
+    trace.validate().map_err(|e| bad(&e))?;
+    Ok(trace)
+}
+
+impl Trace {
+    /// Serializes the trace to a byte vector.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ccp_trace::{benchmark_by_name, Trace};
+    ///
+    /// let trace = benchmark_by_name("olden.health").unwrap().trace(1000, 1);
+    /// let bytes = trace.to_bytes();
+    /// let back = Trace::from_bytes(&bytes).unwrap();
+    /// assert_eq!(back.len(), trace.len());
+    /// assert_eq!(back.name, "olden.health");
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_trace(self, &mut out).expect("writing to Vec cannot fail");
+        out
+    }
+
+    /// Deserializes a trace from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Trace> {
+        read_trace(&mut io::Cursor::new(bytes))
+    }
+
+    /// Saves the trace to `path`.
+    pub fn save(&self, path: &std::path::Path) -> io::Result<()> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        write_trace(self, &mut f)
+    }
+
+    /// Loads a trace from `path`.
+    pub fn load(path: &std::path::Path) -> io::Result<Trace> {
+        let mut f = io::BufReader::new(std::fs::File::open(path)?);
+        read_trace(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ProgramCtx, H};
+
+    fn sample_trace() -> Trace {
+        let mut ctx = ProgramCtx::new("serialize-sample");
+        ctx.init_write(0x1000, 0xABCD_1234);
+        ctx.init_write(0x9_F000, 77);
+        let (a, _) = ctx.load(0x1000, H::NONE);
+        let b = ctx.mult(a, H::NONE);
+        ctx.store(0x1004, 0xFFFF_0001, a, b);
+        ctx.fdiv(b, a);
+        ctx.branch(true, b);
+        ctx.branch(false, H::NONE);
+        ctx.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let bytes = t.to_bytes();
+        let t2 = Trace::from_bytes(&bytes).expect("well-formed");
+        assert_eq!(t2.name, t.name);
+        assert_eq!(t2.len(), t.len());
+        for (a, b) in t.insts.iter().zip(t2.insts.iter()) {
+            assert_eq!(a.op, b.op);
+            assert_eq!((a.pc, a.dep1, a.dep2), (b.pc, b.dep1, b.dep2));
+        }
+        assert_eq!(t2.initial_mem.read(0x1000), 0xABCD_1234);
+        assert_eq!(t2.initial_mem.read(0x9_F000), 77);
+        assert_eq!(t2.initial_mem.read(0x2000), 0);
+    }
+
+    #[test]
+    fn roundtrip_of_generated_benchmark() {
+        let b = crate::benchmark_by_name("130.li").unwrap();
+        let t = b.trace(5_000, 9);
+        let t2 = Trace::from_bytes(&t.to_bytes()).expect("roundtrip");
+        assert_eq!(t2.len(), t.len());
+        // Same value profile ⇒ same memory image and mem-op stream.
+        let mut p1 = Vec::new();
+        let mut p2 = Vec::new();
+        t.profile_values(|v, a| p1.push((v, a)));
+        t2.profile_values(|v, a| p2.push((v, a)));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_trace().to_bytes();
+        bytes[0] = b'X';
+        assert!(Trace::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = sample_trace().to_bytes();
+        bytes[4] = 99;
+        assert!(Trace::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = sample_trace().to_bytes();
+        for cut in [3, 8, 20, bytes.len() - 1] {
+            assert!(
+                Trace::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_dependence_rejected_by_validation() {
+        let t = sample_trace();
+        let mut bytes = t.to_bytes();
+        // The first instruction record's dep1 lives 13 bytes before the end
+        // of its 21-byte record; easier: flip dep1 of inst 0 to a forward
+        // reference by scanning for the inst section. Instead, corrupt via
+        // a rebuilt trace to keep the test robust to layout drift.
+        let mut t2 = Trace::from_bytes(&bytes).unwrap();
+        t2.insts[0].dep1 = 999;
+        bytes = t2.to_bytes();
+        assert!(
+            Trace::from_bytes(&bytes).is_err(),
+            "validation must catch forward dependences"
+        );
+    }
+
+    #[test]
+    fn file_save_load() {
+        let dir = std::env::temp_dir().join("ccp-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.ccpt");
+        let t = sample_trace();
+        t.save(&path).unwrap();
+        let t2 = Trace::load(&path).unwrap();
+        assert_eq!(t2.len(), t.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

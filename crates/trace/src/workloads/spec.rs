@@ -1,0 +1,426 @@
+//! SPECint95- and SPECint2000-like workload generators.
+//!
+//! These reproduce the value character the paper measured per program:
+//! `130.li`'s cons-cell churn is the high-compressibility outlier,
+//! `129.compress`'s random byte stream and growing code table the low one;
+//! `300.twolf` and `099.go` are dominated by small coordinates/board
+//! values; `181.mcf` and `197.parser` mix pointer walks with scalar fields.
+
+use crate::builder::{ProgramCtx, H};
+use crate::{Trace, Word};
+use ccp_mem::ChunkAllocator;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn big(rng: &mut SmallRng) -> Word {
+    0x4000_0000 | rng.gen_range(0x8000u32..0x40_0000) | (rng.gen_range(1u32..0x300) << 22)
+}
+
+/// spec95.099.go — board-game position evaluation: neighbourhood scans over
+/// a small-valued board array with heavy branching.
+pub fn go(budget: usize, seed: u64) -> Trace {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ctx = ProgramCtx::new("spec95.099.go");
+    let board_base = 0x2000_0000u32;
+    let dim = 32u32; // padded 19x19 board
+    // Board of small stone values; a few auxiliary boards (liberty counts,
+    // group ids) as the original keeps.
+    // Staggered by an extra line so the three boards do not alias in the
+    // direct-mapped L1 (the original's globals are padded apart similarly).
+    let aux_base = board_base + dim * dim * 4 + 64;
+    let group_base = aux_base + dim * dim * 4 + 1024;
+    for i in 0..dim * dim {
+        ctx.init_write(board_base + i * 4, rng.gen_range(0..3));
+        ctx.init_write(aux_base + i * 4, rng.gen_range(0..5));
+        ctx.init_write(group_base + i * 4, rng.gen_range(0..400));
+    }
+
+    let scan = ctx.label();
+    // The evaluator rasters over the board (strong spatial locality, as the
+    // original's influence/liberty passes do) with occasional jumps to a
+    // random region (reading a move candidate).
+    let mut x = 1u32;
+    let mut y = 1u32;
+    while ctx.len() < budget {
+        ctx.at(scan);
+        if rng.gen_bool(0.1) {
+            x = rng.gen_range(1..dim - 1);
+            y = rng.gen_range(1..dim - 1);
+        } else {
+            x += 1;
+            if x >= dim - 1 {
+                x = 1;
+                y += 1;
+                if y >= dim - 1 {
+                    y = 1;
+                }
+            }
+        }
+        let idx = y * dim + x;
+        // Index arithmetic feeds the address of the centre load.
+        let i1 = ctx.mult(H::NONE, H::NONE);
+        let i2 = ctx.alu(i1, H::NONE);
+        let (hc, centre) = ctx.load(board_base + idx * 4, i2);
+        let cmp = ctx.alu(hc, H::NONE);
+        ctx.branch(centre != 0, cmp);
+        if centre == 0 {
+            continue;
+        }
+        let mut libs = H::NONE;
+        let mut liberty_count = 0u32;
+        for (dx, dy) in [(1i32, 0i32), (-1, 0), (0, 1), (0, -1)] {
+            let ni = (idx as i32 + dy * dim as i32 + dx) as u32;
+            let (hn, nv) = ctx.load(board_base + ni * 4, i2);
+            let c = ctx.alu(hn, libs);
+            ctx.branch(nv == 0, c);
+            if nv == 0 {
+                liberty_count += 1;
+            }
+            libs = c;
+        }
+        ctx.store(aux_base + idx * 4, liberty_count, i2, libs);
+        let (hg, g) = ctx.load(group_base + idx * 4, i2);
+        let c2 = ctx.alu(hg, libs);
+        ctx.branch(liberty_count == 0, c2);
+        if liberty_count == 0 {
+            // Capture: clear the stone, bump the group counter.
+            ctx.store(board_base + idx * 4, 0, i2, c2);
+            ctx.store(group_base + idx * 4, (g + 1) & 0xFFF, i2, hg);
+        }
+    }
+    ctx.finish()
+}
+
+/// spec95.129.compress — LZW-style compression of a random byte stream:
+/// mostly incompressible input words and a code table whose entries grow
+/// past the 16-bit boundary, making this the low-compressibility outlier
+/// (paper Figure 3).
+pub fn compress(budget: usize, seed: u64) -> Trace {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ctx = ProgramCtx::new("spec95.129.compress");
+    let in_base = 0x2100_0000u32;
+    let table_base = 0x2200_0000u32;
+    let out_base = 0x2300_0000u32;
+    let n_in = 16384u32;
+    let table_size = 8192u32;
+    for i in 0..n_in {
+        ctx.init_write(in_base + i * 4, rng.gen::<u32>()); // random input
+    }
+    // Table entry: {code, prefix} pairs, pre-filled with residue from the
+    // previous block: codes past the 16-bit range and raw data words.
+    for i in 0..table_size {
+        ctx.init_write(table_base + i * 8, 0x1_0000 + rng.gen_range(0..0x8000));
+        ctx.init_write(table_base + i * 8 + 4, rng.gen::<u32>());
+    }
+
+    let body = ctx.label();
+    // Codes continue past the previous block's range: immediately beyond
+    // the compressible boundary.
+    let mut next_code = 0x1_8000u32;
+    let mut in_pos = 0u32;
+    let mut out_pos = 0u32;
+    // The coder's state block: bit counters and ratio checks are small
+    // values, the one compressible island in this benchmark.
+    let state = 0x2080_0000u32;
+    ctx.init_write(state, 0); // bits emitted
+    ctx.init_write(state + 4, 9); // current code width
+    while ctx.len() < budget {
+        ctx.at(body);
+        let (hbits, bits) = ctx.load(state, H::NONE);
+        let (hw, w) = ctx.load(in_base + (in_pos % n_in) * 4, H::NONE);
+        in_pos += 1;
+        let nb = ctx.alu(hbits, hw);
+        ctx.store(state, (bits + 9) & 0x3FFF, H::NONE, nb);
+        // Code-width check: taken only when the bit budget rolls over —
+        // a strongly biased branch, like most of the original's control.
+        ctx.branch(bits & 0x1FF < 9, nb);
+        // hash = (w * 0x9E3779B1) >> 19, two dependent ALU ops.
+        let h1 = ctx.mult(hw, H::NONE);
+        let h2 = ctx.alu(h1, H::NONE);
+        let slot = (w.wrapping_mul(0x9E37_79B1) >> 19) & (table_size - 1);
+        let (hc, code) = ctx.load(table_base + slot * 8, h2);
+        let cmp = ctx.alu(hc, hw);
+        let hit = code != 0 && rng.gen_bool(0.4);
+        ctx.branch(hit, cmp);
+        if hit {
+            // Emit the existing code.
+            ctx.store(out_base + (out_pos % n_in) * 4, code, H::NONE, hc);
+            out_pos += 1;
+        } else {
+            // Install a new code; codes grow unboundedly (incompressible
+            // once past 16383, and the prefix word is a raw input word).
+            ctx.store(table_base + slot * 8, next_code, h2, hw);
+            ctx.store(table_base + slot * 8 + 4, w, h2, hw);
+            next_code += 1;
+        }
+        // Input-remaining check at the loop bottom: always taken.
+        let more = ctx.alu(hw, H::NONE);
+        ctx.branch(true, more);
+    }
+    ctx.finish()
+}
+
+/// spec95.130.li — a lisp interpreter's heap: cons-cell allocation, list
+/// walks, and small-integer arithmetic. The high-compressibility outlier.
+pub fn li(budget: usize, seed: u64) -> Trace {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ctx = ProgramCtx::new("spec95.130.li");
+    let mut heap = ChunkAllocator::new(0x2400_0000, 1 << 22);
+
+    // Cons cell: {car, cdr}. Integers are tagged small values (bit 0 set in
+    // the original; here plain small words). Build an environment of lists.
+    let mut lists: Vec<u32> = Vec::new();
+    for _ in 0..32 {
+        let mut head = 0u32;
+        for _ in 0..rng.gen_range(10..60) {
+            let cell = heap.alloc_aligned(8, 8);
+            ctx.init_write(cell, rng.gen_range(0..2000)); // car: small int
+            ctx.init_write(cell + 4, head); // cdr
+            head = cell;
+        }
+        lists.push(head);
+    }
+
+    let walk = ctx.label();
+    let cons = ctx.label();
+    while ctx.len() < budget {
+        let li = rng.gen_range(0..lists.len());
+        let op = rng.gen_range(0..3);
+        match op {
+            0 => {
+                // (apply + list): walk summing cars.
+                let mut p = lists[li];
+                let mut dep = H::NONE;
+                let mut acc = H::NONE;
+                while p != 0 && ctx.len() < budget + 32 {
+                    ctx.at(walk);
+                    let (hcar, _car) = ctx.load(p, dep);
+                    // Tag check + untag + add, as the interpreter would.
+                    let untag = ctx.alu(hcar, H::NONE);
+                    acc = ctx.alu(acc, untag);
+                    let (hcdr, cdr) = ctx.load(p + 4, dep);
+                    ctx.branch(cdr != 0, hcdr);
+                    p = cdr;
+                    dep = hcdr;
+                }
+            }
+            1 => {
+                // (mapcar 1+ list): walk, allocating a fresh result list.
+                let mut p = lists[li];
+                let mut dep = H::NONE;
+                let mut new_head = 0u32;
+                let mut steps = 0;
+                while p != 0 && ctx.len() < budget + 32 && steps < 30 {
+                    ctx.at(cons);
+                    let (hcar, car) = ctx.load(p, dep);
+                    let inc = ctx.alu(hcar, H::NONE);
+                    let cell = heap.alloc_aligned(8, 8);
+                    ctx.store(cell, (car + 1) & 0x3FFF, H::NONE, inc);
+                    ctx.store(cell + 4, new_head, H::NONE, H::NONE);
+                    new_head = cell;
+                    let (hcdr, cdr) = ctx.load(p + 4, dep);
+                    ctx.branch(cdr != 0, hcdr);
+                    p = cdr;
+                    dep = hcdr;
+                    steps += 1;
+                }
+                if new_head != 0 {
+                    lists[li] = new_head;
+                }
+            }
+            _ => {
+                // (cons x list): push a few cells.
+                for _ in 0..4 {
+                    ctx.at(cons);
+                    let cell = heap.alloc_aligned(8, 8);
+                    let v = ctx.alu(H::NONE, H::NONE);
+                    ctx.store(cell, rng.gen_range(0..3000), H::NONE, v);
+                    ctx.store(cell + 4, lists[li], H::NONE, H::NONE);
+                    ctx.branch(true, v);
+                    lists[li] = cell;
+                }
+            }
+        }
+    }
+    ctx.finish()
+}
+
+/// spec2000.181.mcf — network-simplex pricing: linear arc-array sweeps
+/// dereferencing node pointers, with small flow updates.
+pub fn mcf(budget: usize, seed: u64) -> Trace {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ctx = ProgramCtx::new("spec2000.181.mcf");
+    let mut heap = ChunkAllocator::new(0x2500_0000, 1 << 22);
+
+    let n_nodes = 1024u32;
+    let n_arcs = 16384u32;
+    // Node: {potential(big), orientation(small), pad, pad}.
+    let nodes: Vec<u32> = (0..n_nodes).map(|_| heap.alloc_aligned(16, 16)).collect();
+    for &a in &nodes {
+        ctx.init_write(a, big(&mut rng));
+        ctx.init_write(a + 4, rng.gen_range(0..2));
+    }
+    // Arc: {tail, head, cost(big), flow(small)}.
+    let arcs_base = heap.alloc_aligned(n_arcs * 16, 64);
+    for i in 0..n_arcs {
+        let a = arcs_base + i * 16;
+        ctx.init_write(a, nodes[rng.gen_range(0..n_nodes as usize)]);
+        ctx.init_write(a + 4, nodes[rng.gen_range(0..n_nodes as usize)]);
+        ctx.init_write(a + 8, big(&mut rng));
+        ctx.init_write(a + 12, rng.gen_range(0..1000));
+    }
+
+    let sweep = ctx.label();
+    let mut i = 0u32;
+    while ctx.len() < budget {
+        ctx.at(sweep);
+        let a = arcs_base + (i % n_arcs) * 16;
+        i += 1;
+        let (htail, tail) = ctx.load(a, H::NONE);
+        let (hhead, head) = ctx.load(a + 4, H::NONE);
+        let (hpt, _pt) = ctx.load(tail, htail); // tail potential
+        let (hph, _ph) = ctx.load(head, hhead); // head potential
+        let (hcost, _c) = ctx.load(a + 8, H::NONE);
+        // Arc-index increment + reduced-cost computation, as the original's
+        // pricing loop does.
+        let inc1 = ctx.alu(H::NONE, H::NONE);
+        let inc2 = ctx.alu(inc1, H::NONE);
+        let red = ctx.alu(hpt, hph);
+        let red1 = ctx.alu(red, hcost);
+        let red2 = ctx.alu(red1, inc2);
+        let red3 = ctx.alu(red2, H::NONE);
+        let negative = rng.gen_bool(0.15);
+        ctx.branch(negative, red3);
+        if negative {
+            let (hf, f) = ctx.load(a + 12, H::NONE);
+            let nf = ctx.alu(hf, H::NONE);
+            ctx.store(a + 12, (f + 1) & 0x3FF, H::NONE, nf);
+        }
+    }
+    ctx.finish()
+}
+
+/// spec2000.197.parser — link-grammar dictionary walks: a trie of small
+/// tagged nodes chased character by character, with visit counters.
+pub fn parser(budget: usize, seed: u64) -> Trace {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ctx = ProgramCtx::new("spec2000.197.parser");
+    let mut heap = ChunkAllocator::new(0x2600_0000, 1 << 22);
+
+    // Trie node: {ch(small), child, sibling, count(small)}.
+    fn build_trie(
+        heap: &mut ChunkAllocator,
+        ctx: &mut ProgramCtx,
+        rng: &mut SmallRng,
+        depth: u32,
+    ) -> u32 {
+        let a = heap.alloc_aligned(16, 16);
+        ctx.init_write(a, rng.gen_range(97..123)); // 'a'..'z'
+        let child = if depth > 0 && rng.gen_bool(0.8) {
+            build_trie(heap, ctx, rng, depth - 1)
+        } else {
+            0
+        };
+        let sibling = if rng.gen_bool(0.5) && depth > 0 {
+            build_trie(heap, ctx, rng, depth - 1)
+        } else {
+            0
+        };
+        ctx.init_write(a + 4, child);
+        ctx.init_write(a + 8, sibling);
+        ctx.init_write(a + 12, 0);
+        a
+    }
+    let root = build_trie(&mut heap, &mut ctx, &mut rng, 10);
+
+    let step = ctx.label();
+    while ctx.len() < budget {
+        // Parse one random "word" by walking the trie.
+        let mut p = root;
+        let mut dep = H::NONE;
+        let word_len = rng.gen_range(2..10);
+        for _ in 0..word_len {
+            if p == 0 || ctx.len() >= budget + 32 {
+                break;
+            }
+            ctx.at(step);
+            let target = rng.gen_range(97u32..123);
+            let (hch, ch) = ctx.load(p, dep);
+            let c0 = ctx.alu(hch, H::NONE);
+            let cmp = ctx.alu(c0, H::NONE);
+            ctx.branch(ch == target, cmp);
+            if ch == target || rng.gen_bool(0.6) {
+                // Match (or give up scanning siblings): bump count, descend.
+                let (hcnt, cnt) = ctx.load(p + 12, dep);
+                let inc = ctx.alu(hcnt, H::NONE);
+                ctx.store(p + 12, (cnt + 1) & 0x3FFF, dep, inc);
+                let (hc, child) = ctx.load(p + 4, dep);
+                p = child;
+                dep = hc;
+            } else {
+                let (hs, sib) = ctx.load(p + 8, dep);
+                p = sib;
+                dep = hs;
+            }
+        }
+    }
+    ctx.finish()
+}
+
+/// spec2000.300.twolf — standard-cell placement: random pairwise swaps of
+/// small cell coordinates with wirelength evaluation. Small-value dominated;
+/// conflict-prone access pattern (the paper's HAC-beats-BCP example).
+pub fn twolf(budget: usize, seed: u64) -> Trace {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ctx = ProgramCtx::new("spec2000.300.twolf");
+    let mut heap = ChunkAllocator::new(0x2700_0000, 1 << 22);
+
+    let n_cells = 8192u32;
+    let n_nets = 2048u32;
+    // Cell: {x, y, width, net_ptr}; Net: {xsum, ysum, degree, pad}.
+    let nets: Vec<u32> = (0..n_nets).map(|_| heap.alloc_aligned(16, 16)).collect();
+    for &nta in &nets {
+        ctx.init_write(nta, rng.gen_range(0..8000));
+        ctx.init_write(nta + 4, rng.gen_range(0..8000));
+        ctx.init_write(nta + 8, rng.gen_range(2..12));
+    }
+    let cells: Vec<u32> = (0..n_cells).map(|_| heap.alloc_aligned(16, 16)).collect();
+    for &c in &cells {
+        ctx.init_write(c, rng.gen_range(0..1000)); // x
+        ctx.init_write(c + 4, rng.gen_range(0..1000)); // y
+        ctx.init_write(c + 8, rng.gen_range(1..32)); // width
+        ctx.init_write(c + 12, nets[rng.gen_range(0..n_nets as usize)]);
+    }
+
+    let attempt = ctx.label();
+    while ctx.len() < budget {
+        ctx.at(attempt);
+        let a = cells[rng.gen_range(0..n_cells as usize)];
+        let b = cells[rng.gen_range(0..n_cells as usize)];
+        let (hax, ax) = ctx.load(a, H::NONE);
+        let (hay, ay) = ctx.load(a + 4, H::NONE);
+        let (hbx, bx) = ctx.load(b, H::NONE);
+        let (hby, by) = ctx.load(b + 4, H::NONE);
+        let (hna, na) = ctx.load(a + 12, H::NONE);
+        let (hxs, _xs) = ctx.load(na, hna); // net xsum via pointer
+        let d1 = ctx.alu(hax, hbx);
+        let d2 = ctx.alu(hay, hby);
+        let abs1 = ctx.alu(d1, H::NONE);
+        let abs2 = ctx.alu(d2, H::NONE);
+        let cost = ctx.alu(abs1, abs2);
+        let cost1 = ctx.alu(cost, H::NONE);
+        let cost2 = ctx.alu(cost1, hxs);
+        let accept = rng.gen_bool(0.3);
+        ctx.branch(accept, cost2);
+        if accept {
+            // Swap coordinates (small stores) and update the net sums.
+            ctx.store(a, bx, H::NONE, hbx);
+            ctx.store(a + 4, by, H::NONE, hby);
+            ctx.store(b, ax, H::NONE, hax);
+            ctx.store(b + 4, ay, H::NONE, hay);
+            let upd = ctx.alu(hxs, cost2);
+            ctx.store(na, (ax + bx) & 0x1FFF, hna, upd);
+        }
+    }
+    ctx.finish()
+}

@@ -1,0 +1,83 @@
+//! Property tests for the trace substrate: builder well-formedness and
+//! serialization fidelity under arbitrary programs.
+
+use ccp_trace::{Op, ProgramCtx, Trace, H};
+use proptest::prelude::*;
+
+/// Random builder scripts.
+fn program_strategy() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u8..6, 0u32..0x2000, any::<u32>()), 0..200).prop_map(|steps| {
+        let mut ctx = ProgramCtx::new("prop-trace");
+        // Some setup state.
+        ctx.init_write(0x9000, 0x1234_5678);
+        let mut last = H::NONE;
+        for (k, a, v) in steps {
+            let addr = 0x8000 + (a & !3);
+            last = match k {
+                0 => ctx.alu(last, H::NONE),
+                1 => ctx.div(last, last),
+                2 => ctx.fmul(H::NONE, last),
+                3 => ctx.load(addr, last).0,
+                4 => ctx.store(addr, v, last, H::NONE),
+                _ => ctx.branch(v & 1 == 0, last),
+            };
+        }
+        ctx.finish()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Anything the builder emits validates.
+    #[test]
+    fn builder_output_is_wellformed(trace in program_strategy()) {
+        prop_assert!(trace.validate().is_ok());
+        // Handles are strictly increasing, so deps point strictly backwards;
+        // PCs are word-aligned.
+        for i in &trace.insts {
+            prop_assert_eq!(i.pc & 3, 0);
+        }
+    }
+
+    /// Serialization is lossless for arbitrary programs.
+    #[test]
+    fn serialize_roundtrip(trace in program_strategy()) {
+        let bytes = trace.to_bytes();
+        let back = Trace::from_bytes(&bytes).expect("roundtrip");
+        prop_assert_eq!(&back.name, &trace.name);
+        prop_assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.insts.iter().zip(back.insts.iter()) {
+            prop_assert_eq!(a.op, b.op);
+            prop_assert_eq!(a.pc, b.pc);
+            prop_assert_eq!(a.dep1, b.dep1);
+            prop_assert_eq!(a.dep2, b.dep2);
+        }
+        // Memory images agree over the touched region.
+        for x in (0x8000u32..0xA000).step_by(4) {
+            prop_assert_eq!(back.initial_mem.read(x), trace.initial_mem.read(x));
+        }
+    }
+
+    /// profile_values visits exactly the memory operations, in order.
+    #[test]
+    fn profile_visits_mem_ops_in_order(trace in program_strategy()) {
+        let mut visited = Vec::new();
+        trace.profile_values(|_, a| visited.push(a));
+        let expected: Vec<u32> = trace
+            .insts
+            .iter()
+            .filter_map(|i| match i.op {
+                Op::Load { addr } | Op::Store { addr, .. } => Some(addr),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(visited, expected);
+    }
+
+    /// The instruction mix sums to the trace length.
+    #[test]
+    fn mix_total_matches_len(trace in program_strategy()) {
+        prop_assert_eq!(trace.mix().total(), trace.len() as u64);
+    }
+}

@@ -1,0 +1,189 @@
+//! Structural tests of individual workload generators: walk the initial
+//! memory images the way the simulated programs do and check the data
+//! structures are actually well-formed (lists terminate, trees are acyclic,
+//! tries are walkable, hash entries live in their true buckets).
+
+use ccp_mem::MainMemory;
+use ccp_trace::benchmark_by_name;
+
+fn image_of(name: &str) -> MainMemory {
+    benchmark_by_name(name)
+        .expect(name)
+        .trace(1_000, 1)
+        .initial_mem
+}
+
+#[test]
+fn health_patient_lists_terminate_and_link_within_heap() {
+    let mem = image_of("health");
+    // Villages start at the heap base, 16 B each, before the patients.
+    let mut villages_seen = 0;
+    let mut patients_seen = 0;
+    for v in 0..256u32 {
+        let vaddr = 0x1200_0000 + v * 16;
+        let mut p = mem.read(vaddr); // list head
+        let count = mem.read(vaddr + 4);
+        if count == 0 && p == 0 {
+            continue;
+        }
+        villages_seen += 1;
+        let mut walked = 0;
+        while p != 0 {
+            assert!(
+                (0x1200_0000..0x1240_0000).contains(&p),
+                "patient pointer {p:#x} escapes the heap"
+            );
+            assert_eq!(p % 4, 0);
+            walked += 1;
+            assert!(walked <= 64, "village {v}: list does not terminate");
+            p = mem.read(p); // next
+        }
+        assert_eq!(walked, count, "village {v}: count field disagrees");
+        patients_seen += walked;
+    }
+    assert!(villages_seen >= 200, "only {villages_seen} villages found");
+    assert!(patients_seen >= 3000, "only {patients_seen} patients found");
+}
+
+#[test]
+fn treeadd_tree_is_a_proper_binary_tree() {
+    let mem = image_of("treeadd");
+    let root = 0x1600_0000u32; // first DFS allocation
+    let mut stack = vec![root];
+    let mut nodes = 0u32;
+    let mut seen = std::collections::HashSet::new();
+    while let Some(p) = stack.pop() {
+        assert!(seen.insert(p), "node {p:#x} reached twice — tree has sharing");
+        nodes += 1;
+        for field in [0u32, 4] {
+            let child = mem.read(p + field);
+            if child != 0 {
+                assert!(child > p, "DFS allocation puts children after parents");
+                stack.push(child);
+            }
+        }
+    }
+    assert_eq!(nodes, (1 << 15) - 1, "depth-15 full binary tree");
+}
+
+#[test]
+fn mst_hash_entries_live_in_their_true_buckets() {
+    let mem = image_of("mst");
+    let table_size = 64u32;
+    // First vertex at heap base; its table pointer is the first field.
+    let vert0 = 0x1300_0000u32;
+    let table = mem.read(vert0);
+    assert_ne!(table, 0);
+    let mut entries = 0;
+    for slot in 0..table_size {
+        let mut e = mem.read(table + slot * 4);
+        let mut walked = 0;
+        while e != 0 {
+            let key = mem.read(e);
+            assert_eq!(
+                key.wrapping_mul(31) & (table_size - 1),
+                slot,
+                "entry {e:#x} hashed to the wrong bucket"
+            );
+            entries += 1;
+            walked += 1;
+            assert!(walked < 1000, "bucket {slot} chain does not terminate");
+            e = mem.read(e + 8);
+        }
+    }
+    assert!(entries > 16, "vertex 0 should own a populated table");
+}
+
+#[test]
+fn parser_trie_is_acyclic_and_tagged() {
+    let mem = image_of("197.parser");
+    let root = 0x2600_0000u32;
+    let mut stack = vec![root];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(p) = stack.pop() {
+        if p == 0 || !seen.insert(p) {
+            assert!(p == 0, "trie node {p:#x} reached twice");
+            continue;
+        }
+        let ch = mem.read(p);
+        assert!((97..123).contains(&ch), "node char {ch} not in 'a'..'z'");
+        stack.push(mem.read(p + 4)); // child
+        stack.push(mem.read(p + 8)); // sibling
+    }
+    assert!(seen.len() > 10, "trie too small: {}", seen.len());
+}
+
+#[test]
+fn tsp_tour_is_a_cyclic_doubly_linked_list() {
+    let mem = image_of("tsp");
+    let first = 0x1700_0000u32;
+    let mut p = first;
+    let mut steps = 0u32;
+    loop {
+        let next = mem.read(p);
+        assert_eq!(mem.read(next + 4), p, "prev(next(p)) != p at {p:#x}");
+        p = next;
+        steps += 1;
+        assert!(steps <= 8192, "tour longer than the city count");
+        if p == first {
+            break;
+        }
+    }
+    assert_eq!(steps, 8192, "tour must visit every city once");
+}
+
+#[test]
+fn em3d_from_pointers_cross_to_the_other_side() {
+    let mem = image_of("em3d");
+    // Interleaved allocation: e-node at +0, h-node at +32, e at +64, ...
+    // Every from-pointer must land on a node of the opposite parity.
+    let base = 0x1100_0000u32;
+    for i in 0..64u32 {
+        let node = base + i * 64; // e-nodes sit at even 32 B slots
+        for k in 0..3u32 {
+            let from = mem.read(node + 4 + k * 4);
+            assert_ne!(from, 0);
+            let slot = (from - base) / 32;
+            assert_eq!(slot % 2, 1, "e-node {i} links to an e-node at {from:#x}");
+        }
+    }
+}
+
+#[test]
+fn li_cons_cells_hold_small_cars_and_heap_cdrs() {
+    let mem = image_of("130.li");
+    let base = 0x2400_0000u32;
+    let mut cells = 0;
+    for i in 0..1000u32 {
+        let cell = base + i * 8;
+        let car = mem.read(cell);
+        let cdr = mem.read(cell + 4);
+        if car == 0 && cdr == 0 {
+            continue;
+        }
+        cells += 1;
+        assert!(car < 16384, "car {car:#x} is not a small int");
+        assert!(
+            cdr == 0 || (0x2400_0000..0x2440_0000).contains(&cdr),
+            "cdr {cdr:#x} escapes the cons heap"
+        );
+    }
+    assert!(cells > 200, "too few initial cons cells: {cells}");
+}
+
+#[test]
+fn bisort_values_mix_compressibility_classes() {
+    let mem = image_of("bisort");
+    let base = 0x1000_0000u32;
+    let (mut small, mut big) = (0, 0);
+    for i in 0..4096u32 {
+        let v = mem.read(base + i * 16 + 8);
+        if v < 16384 {
+            small += 1;
+        } else {
+            big += 1;
+        }
+    }
+    assert!(small > 2000, "bisort needs small values to swap: {small}");
+    assert!(big > 500, "bisort needs big values to swap: {big}");
+}

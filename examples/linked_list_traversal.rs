@@ -1,0 +1,132 @@
+//! The paper's §2.2 motivating example: a linked list of 16-byte nodes
+//! `{next, type, info, prev}` where `next`/`prev`/`type` are compressible
+//! and `info` is a large value.
+//!
+//! The point of the paper's Figure 6 is *not* that CPP has fewer misses on
+//! this code — it may even have slightly more — but that compression-
+//! enabled prefetching **moves the misses off the critical path**: the
+//! pointer chase (statements 2 and 4) hits in the affiliated location,
+//! while the remaining misses land on the `info` read (statement 3), which
+//! nothing else depends on. This example reports misses *per statement*
+//! and then runs the same traversal through the out-of-order pipeline to
+//! show the wall-clock effect.
+//!
+//! ```text
+//! cargo run --release --example linked_list_traversal
+//! ```
+
+use ccp::prelude::*;
+use ccp::trace::{ProgramCtx, H};
+
+const HEAP: u32 = 0x10_0000;
+const NODES: u32 = 4096; // 64 KB of list: larger than L1, fits L2
+
+/// Writes the list into `mem`: bump-allocated 16 B nodes, so consecutive
+/// nodes share 32 KB chunks (the pointer-compression rule applies).
+fn build_list(mem: &mut MainMemory) {
+    for i in 0..NODES {
+        let a = HEAP + i * 16;
+        let next = if i + 1 < NODES { HEAP + (i + 1) * 16 } else { 0 };
+        mem.write(a, next); // next pointer        (compressible)
+        mem.write(a + 4, i % 3); // type tag       (small)
+        mem.write(a + 8, 0x8000_0000 | (i * 0x0001_0001)); // info (large)
+        mem.write(a + 12, if i > 0 { HEAP + (i - 1) * 16 } else { 0 }); // prev
+    }
+}
+
+/// Raw cache walk, counting misses per statement of the paper's Figure 5.
+fn traverse(cache: &mut dyn CacheSim) -> (u64, u64, u64) {
+    let (mut chase, mut tag, mut info) = (0u64, 0u64, 0u64);
+    let mut p = HEAP;
+    while p != 0 {
+        let r = cache.read(p); // (2) p = p->next
+        chase += r.l1_miss() as u64;
+        let next = r.value;
+        let r = cache.read(p + 4); // (4) if (p->type == T)
+        tag += r.l1_miss() as u64;
+        if r.value == 0 {
+            let r = cache.read(p + 8); // (3) sum += p->info
+            info += r.l1_miss() as u64;
+        }
+        p = next;
+    }
+    (chase, tag, info)
+}
+
+/// The same traversal as an instruction trace with true dependences: the
+/// next iteration's address depends on the pointer load, the info load
+/// feeds nothing.
+fn traversal_trace() -> Trace {
+    let mut ctx = ProgramCtx::new("list-traversal");
+    // Setup phase writes the list untraced.
+    {
+        let mut tmp = MainMemory::new();
+        build_list(&mut tmp);
+        for i in 0..NODES * 4 {
+            let a = HEAP + i * 4;
+            ctx.init_write(a, tmp.read(a));
+        }
+    }
+    let body = ctx.label();
+    let mut p = HEAP;
+    let mut dep = H::NONE;
+    while p != 0 {
+        ctx.at(body);
+        let (hn, next) = ctx.load(p, dep); // (2) on the critical path
+        let (ht, ty) = ctx.load(p + 4, dep); // (4)
+        let c = ctx.alu(ht, H::NONE);
+        ctx.branch(ty == 0, c);
+        if ty == 0 {
+            ctx.load(p + 8, dep); // (3) dead-end load
+        }
+        p = next;
+        dep = hn;
+    }
+    ctx.finish()
+}
+
+fn main() {
+    println!("linked-list traversal, {NODES} nodes of 16 B (paper §2.2)\n");
+    println!(
+        "raw cache walk — misses by statement:\n{:6} {:>12} {:>10} {:>10} {:>16}",
+        "design", "chase (2/4)", "info (3)", "total", "traffic (hw)"
+    );
+    for kind in DesignKind::ALL {
+        let mut cache = build_design(kind);
+        build_list(cache.mem_mut());
+        let (chase, tag, info) = traverse(cache.as_mut());
+        println!(
+            "{:6} {:>12} {:>10} {:>10} {:>16}",
+            kind.name(),
+            chase + tag,
+            info,
+            chase + tag + info,
+            cache.stats().memory_traffic_halfwords()
+        );
+    }
+
+    println!("\npipelined traversal — where the misses actually cost time:");
+    let trace = traversal_trace();
+    let cfg = PipelineConfig::paper();
+    let mut base = 0u64;
+    println!("{:6} {:>10} {:>8}", "design", "cycles", "rel");
+    for kind in DesignKind::ALL {
+        let mut cache = build_design(kind);
+        let s = run_trace(&trace, cache.as_mut(), &cfg);
+        if kind == DesignKind::Bc {
+            base = s.cycles;
+        }
+        println!(
+            "{:6} {:>10} {:>7.1}%",
+            kind.name(),
+            s.cycles,
+            100.0 * s.cycles as f64 / base as f64
+        );
+    }
+    println!(
+        "\nCPP removes the misses from the pointer chase (the serial \
+         dependence chain) and\nleaves them on the info loads, which the \
+         out-of-order core overlaps — the paper's\nFigure 6 argument, with \
+         no prefetch buffer and no extra memory traffic."
+    );
+}
