@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Repository CI gate, runnable offline on any checkout:
+#
+#   ./ci.sh          # format check, lints, tier-1 build + tests
+#
+# Tier-1 (the bar every PR must hold): the default workspace members
+# build in release and the full test suite passes. Formatting and clippy
+# run first because they fail fastest.
+
+set -eu
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test"
+cargo test -q
+
+echo "CI OK"

@@ -10,9 +10,14 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("\nAblation: CPP compressibility-change eviction policy");
-    println!("{:20} {:>12} {:>12}", "benchmark", "word-only", "whole-line");
+    println!(
+        "{:20} {:>12} {:>12}",
+        "benchmark", "word-only", "whole-line"
+    );
     for name in ["olden.bisort", "olden.health", "spec2000.300.twolf"] {
-        let trace = ccp_trace::benchmark_by_name(name).unwrap().trace(BENCH_BUDGET, BENCH_SEED);
+        let trace = ccp_trace::benchmark_by_name(name)
+            .unwrap()
+            .trace(BENCH_BUDGET, BENCH_SEED);
         let mut cycles = Vec::new();
         for whole in [false, true] {
             let mut cfg = HierarchyConfig::paper(DesignKind::Cpp);
@@ -23,7 +28,9 @@ fn bench(c: &mut Criterion) {
         println!("{:20} {:>12} {:>12}", name, cycles[0], cycles[1]);
     }
 
-    let trace = ccp_trace::benchmark_by_name("olden.bisort").unwrap().trace(BENCH_BUDGET, BENCH_SEED);
+    let trace = ccp_trace::benchmark_by_name("olden.bisort")
+        .unwrap()
+        .trace(BENCH_BUDGET, BENCH_SEED);
     let mut g = c.benchmark_group("ablation_evict");
     g.sample_size(10);
     for (label, whole) in [("word-only", false), ("whole-line", true)] {

@@ -10,9 +10,14 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("\nAblation: branch predictor (cycles; mispredicts)");
-    println!("{:20} {:>8} {:>12} {:>12}", "benchmark", "pred", "BC", "CPP");
+    println!(
+        "{:20} {:>8} {:>12} {:>12}",
+        "benchmark", "pred", "BC", "CPP"
+    );
     for name in ["olden.bisort", "olden.mst", "spec95.099.go"] {
-        let trace = ccp_trace::benchmark_by_name(name).unwrap().trace(BENCH_BUDGET, BENCH_SEED);
+        let trace = ccp_trace::benchmark_by_name(name)
+            .unwrap()
+            .trace(BENCH_BUDGET, BENCH_SEED);
         for kind in [PredictorKind::Bimod, PredictorKind::Gshare] {
             let mut cfg = PipelineConfig::paper();
             cfg.predictor = kind;
@@ -30,7 +35,9 @@ fn bench(c: &mut Criterion) {
         }
     }
 
-    let trace = ccp_trace::benchmark_by_name("olden.mst").unwrap().trace(BENCH_BUDGET, BENCH_SEED);
+    let trace = ccp_trace::benchmark_by_name("olden.mst")
+        .unwrap()
+        .trace(BENCH_BUDGET, BENCH_SEED);
     let mut g = c.benchmark_group("ablation_predictor");
     g.sample_size(10);
     for kind in [PredictorKind::Bimod, PredictorKind::Gshare] {

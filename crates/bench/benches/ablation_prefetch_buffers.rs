@@ -10,8 +10,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("\nAblation: BCP prefetch-buffer sizes (cycles / memory half-words)");
-    println!("{:>6} {:>6} {:>12} {:>14}", "L1 PB", "L2 PB", "cycles", "traffic");
-    let trace = ccp_trace::benchmark_by_name("olden.mst").unwrap().trace(BENCH_BUDGET, BENCH_SEED);
+    println!(
+        "{:>6} {:>6} {:>12} {:>14}",
+        "L1 PB", "L2 PB", "cycles", "traffic"
+    );
+    let trace = ccp_trace::benchmark_by_name("olden.mst")
+        .unwrap()
+        .trace(BENCH_BUDGET, BENCH_SEED);
     for (l1e, l2e) in [(1u32, 4u32), (4, 16), (8, 32), (16, 64), (64, 256)] {
         let mut cfg = HierarchyConfig::paper(DesignKind::Bcp);
         cfg.l1_prefetch_entries = l1e;
@@ -20,7 +25,10 @@ fn bench(c: &mut Criterion) {
         let s = run_trace(&trace, cache.as_mut(), &PipelineConfig::paper());
         println!(
             "{:>6} {:>6} {:>12} {:>14}",
-            l1e, l2e, s.cycles, s.hierarchy.memory_traffic_halfwords()
+            l1e,
+            l2e,
+            s.cycles,
+            s.hierarchy.memory_traffic_halfwords()
         );
     }
 

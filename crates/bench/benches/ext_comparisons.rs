@@ -14,24 +14,56 @@ fn bench(c: &mut Criterion) {
         .iter()
         .map(|n| benchmark_by_name(n).expect("registered"))
         .collect();
-    println!("\n{}", ext::render_stride(&ext::stride_comparison(&benches, BENCH_BUDGET, BENCH_SEED)));
-    println!("\n{}", ext::render_fvc(&ext::fvc_comparison(&benches, BENCH_BUDGET, BENCH_SEED)));
-    println!("\n{}", ext::render_cpi(&ext::cpi_stacks(&benches, BENCH_BUDGET, BENCH_SEED)));
-    println!("\n{}", ext::render_conflict(&ext::conflict_comparison(&benches, BENCH_BUDGET, BENCH_SEED)));
+    println!(
+        "\n{}",
+        ext::render_stride(&ext::stride_comparison(&benches, BENCH_BUDGET, BENCH_SEED))
+    );
+    println!(
+        "\n{}",
+        ext::render_fvc(&ext::fvc_comparison(&benches, BENCH_BUDGET, BENCH_SEED))
+    );
+    println!(
+        "\n{}",
+        ext::render_cpi(&ext::cpi_stacks(&benches, BENCH_BUDGET, BENCH_SEED))
+    );
+    println!(
+        "\n{}",
+        ext::render_conflict(&ext::conflict_comparison(
+            &benches,
+            BENCH_BUDGET,
+            BENCH_SEED
+        ))
+    );
 
-    let trace = benchmark_by_name("olden.health").unwrap().trace(BENCH_BUDGET, BENCH_SEED);
+    let trace = benchmark_by_name("olden.health")
+        .unwrap()
+        .trace(BENCH_BUDGET, BENCH_SEED);
     let mut g = c.benchmark_group("extensions");
     g.sample_size(10);
     g.bench_function("simulate/health/SPT", |b| {
         b.iter(|| {
             let mut cache = StrideHierarchy::paper();
-            std::hint::black_box(run_trace(&trace, &mut cache as &mut dyn CacheSim, &PipelineConfig::paper()).cycles)
+            std::hint::black_box(
+                run_trace(
+                    &trace,
+                    &mut cache as &mut dyn CacheSim,
+                    &PipelineConfig::paper(),
+                )
+                .cycles,
+            )
         })
     });
     g.bench_function("simulate/health/VC", |b| {
         b.iter(|| {
             let mut cache = VictimHierarchy::paper();
-            std::hint::black_box(run_trace(&trace, &mut cache as &mut dyn CacheSim, &PipelineConfig::paper()).cycles)
+            std::hint::black_box(
+                run_trace(
+                    &trace,
+                    &mut cache as &mut dyn CacheSim,
+                    &PipelineConfig::paper(),
+                )
+                .cycles,
+            )
         })
     });
     g.finish();

@@ -24,7 +24,8 @@ fn bench(c: &mut Criterion) {
                 let mut acc = 0u64;
                 for rep in 0..16u32 {
                     for i in 0..1024u32 {
-                        acc += u64::from(cache.read(0x5_0000 + ((i * 16 + rep) % 1024) * 4).latency);
+                        acc +=
+                            u64::from(cache.read(0x5_0000 + ((i * 16 + rep) % 1024) * 4).latency);
                     }
                 }
                 std::hint::black_box(acc)

@@ -1,0 +1,54 @@
+//! Microbenchmarks of the `ccp-workgen` generator: raw stream throughput
+//! per address model, image construction, and the functional-sim path a
+//! compressibility-sweep point pays. The generator must stay cheap enough
+//! that 100M-reference synthetic sweeps are generation-bound nowhere.
+
+use ccp_bench::{BENCH_BUDGET, BENCH_SEED};
+use ccp_cache::DesignKind;
+use ccp_sim::build_design;
+use ccp_sim::fastsim::run_functional_source;
+use ccp_workgen::{build_initial_mem, SynthSource, WorkgenSpec, WorkgenStream};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workgen");
+    g.throughput(Throughput::Elements(BENCH_BUDGET as u64));
+
+    // Stream generation alone, one point per address model.
+    for text in [
+        "addr=seq",
+        "addr=stride,stride=16",
+        "addr=uniform",
+        "addr=zipf,skew=1.1",
+        "addr=chase,nodes=16384",
+    ] {
+        let spec = WorkgenSpec::parse(text).unwrap();
+        g.bench_function(format!("stream/{}", spec.addr.tag()), |b| {
+            b.iter(|| {
+                let s = WorkgenStream::new(&spec, BENCH_SEED, BENCH_BUDGET as u64);
+                std::hint::black_box(s.map(|i| i.pc as u64).sum::<u64>())
+            })
+        });
+    }
+
+    // Initial-image construction (paid once per sweep point).
+    let spec = WorkgenSpec::parse("addr=uniform,footprint=65536").unwrap();
+    g.bench_function("initial-mem/64k-words", |b| {
+        b.iter(|| std::hint::black_box(build_initial_mem(&spec, BENCH_SEED).resident_pages()))
+    });
+
+    // One functional compressibility-sweep cell, end to end.
+    let source = SynthSource::new(spec, BENCH_SEED, BENCH_BUDGET as u64);
+    for d in [DesignKind::Bc, DesignKind::Cpp] {
+        g.bench_function(format!("fastsim/uniform/{}", d.name()), |b| {
+            b.iter(|| {
+                let mut cache = build_design(d);
+                std::hint::black_box(run_functional_source(&source, cache.as_mut(), 0).mem_ops)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

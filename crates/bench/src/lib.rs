@@ -25,10 +25,16 @@ pub const BENCH_SEED: u64 = 1;
 /// (high: li; pointer-chase: health/treeadd; conflict-prone: twolf;
 /// low-compressibility: compress).
 pub fn subset() -> Vec<Benchmark> {
-    ["olden.health", "olden.treeadd", "spec95.130.li", "spec95.129.compress", "spec2000.300.twolf"]
-        .iter()
-        .map(|n| benchmark_by_name(n).expect("registered"))
-        .collect()
+    [
+        "olden.health",
+        "olden.treeadd",
+        "spec95.130.li",
+        "spec95.129.compress",
+        "spec2000.300.twolf",
+    ]
+    .iter()
+    .map(|n| benchmark_by_name(n).expect("registered"))
+    .collect()
 }
 
 /// Runs the bench-sized sweep over [`subset`].

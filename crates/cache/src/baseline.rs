@@ -54,7 +54,10 @@ impl TwoLevelCache {
     /// [`DesignKind::Bc`], [`DesignKind::Bcc`] or [`DesignKind::Hac`].
     pub fn new(cfg: HierarchyConfig) -> Self {
         assert!(
-            matches!(cfg.design, DesignKind::Bc | DesignKind::Bcc | DesignKind::Hac),
+            matches!(
+                cfg.design,
+                DesignKind::Bc | DesignKind::Bcc | DesignKind::Hac
+            ),
             "TwoLevelCache only implements BC/BCC/HAC, got {:?}",
             cfg.design
         );
@@ -97,8 +100,7 @@ impl TwoLevelCache {
         let (evicted, _) = self.l2.insert(addr, false, ());
         if let Some(ev) = evicted {
             if ev.dirty {
-                let hw =
-                    line_transfer_halfwords(&self.mem, ev.base, words, self.compress_bus);
+                let hw = line_transfer_halfwords(&self.mem, ev.base, words, self.compress_bus);
                 self.stats.mem_bus.writeback_halfwords(hw);
             }
         }
@@ -120,8 +122,7 @@ impl TwoLevelCache {
         let (evicted, _) = self.l1.insert(addr, false, ());
         if let Some(ev) = evicted {
             if ev.dirty {
-                let hw =
-                    line_transfer_halfwords(&self.mem, ev.base, l1_words, self.compress_bus);
+                let hw = line_transfer_halfwords(&self.mem, ev.base, l1_words, self.compress_bus);
                 self.stats.l1_l2_bus.writeback_halfwords(hw);
                 if let Some(idx) = self.l2.lookup(ev.base) {
                     self.l2.line_mut(idx).dirty = true;
@@ -273,7 +274,7 @@ mod tests {
     fn l2_hit_after_l1_conflict() {
         let mut c = bc();
         c.read(0x0000);
-        c.read(0x0000 + 8 * 1024); // evicts 0x0000 from L1 (same set), L2 keeps both
+        c.read(8 * 1024); // evicts 0x0000 from L1 (same set), L2 keeps both
         let r = c.read(0x0000);
         assert_eq!(r.source, HitSource::L2);
         assert_eq!(r.latency, 10);
@@ -335,11 +336,11 @@ mod tests {
     fn dirty_l2_eviction_writes_back() {
         let mut c = bc();
         c.write(0x0000, 0xFFFF_0001); // dirty in L1, line in L2
-        // Evict from L1 (same L1 set), forcing write-back into L2 (dirty).
-        c.read(0x0000 + 8 * 1024);
+                                      // Evict from L1 (same L1 set), forcing write-back into L2 (dirty).
+        c.read(8 * 1024);
         // Now thrash L2 set of 0x0000: L2 is 64K 2-way, 128B lines → stride 32K.
-        c.read(0x0000 + 32 * 1024);
-        c.read(0x0000 + 64 * 1024);
+        c.read(32 * 1024);
+        c.read(64 * 1024);
         // 0x0000's L2 line evicted dirty → memory write-back happened.
         assert!(
             c.stats().mem_bus.out_halfwords >= 64,
@@ -355,9 +356,9 @@ mod tests {
         // Two lines conflicting in a direct-mapped L1, accessed alternately.
         for _ in 0..100 {
             bc.read(0x0000);
-            bc.read(0x0000 + 8 * 1024);
+            bc.read(8 * 1024);
             hac.read(0x0000);
-            hac.read(0x0000 + 8 * 1024);
+            hac.read(8 * 1024);
         }
         assert!(bc.stats().l1.read_misses > 100, "BC thrashes");
         assert_eq!(hac.stats().l1.read_misses, 2, "HAC holds both lines");
@@ -394,9 +395,9 @@ mod tests {
     fn write_back_preserves_values_through_eviction() {
         let mut c = bc();
         c.write(0x0000, 123);
-        c.read(0x0000 + 8 * 1024);
-        c.read(0x0000 + 32 * 1024);
-        c.read(0x0000 + 64 * 1024);
+        c.read(8 * 1024);
+        c.read(32 * 1024);
+        c.read(64 * 1024);
         let r = c.read(0x0000);
         assert_eq!(r.value, 123, "value survives full eviction cycle");
     }

@@ -144,7 +144,10 @@ mod tests {
     #[test]
     fn paper_latencies() {
         let l = LatencyConfig::paper();
-        assert_eq!((l.l1_hit, l.l2_hit, l.memory, l.affiliated_extra), (1, 10, 100, 1));
+        assert_eq!(
+            (l.l1_hit, l.l2_hit, l.memory, l.affiliated_extra),
+            (1, 10, 100, 1)
+        );
     }
 
     #[test]

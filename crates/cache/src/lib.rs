@@ -35,9 +35,9 @@ pub use config::{DesignKind, HierarchyConfig, LatencyConfig};
 pub use geometry::CacheGeometry;
 pub use prefetch::BcpHierarchy;
 pub use set_assoc::SetAssocCache;
+pub use stats::{HierarchyStats, LevelStats};
 pub use stride::StrideHierarchy;
 pub use victim::VictimHierarchy;
-pub use stats::{HierarchyStats, LevelStats};
 
 use ccp_mem::MainMemory;
 

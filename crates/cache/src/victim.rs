@@ -288,11 +288,11 @@ mod tests {
         let mut c = VictimHierarchy::paper();
         // Two lines in the same direct-mapped set.
         c.read(0x0000);
-        c.read(0x0000 + 8 * 1024);
+        c.read(8 * 1024);
         let misses_before = c.stats().l1.misses();
         for _ in 0..50 {
             c.read(0x0000);
-            c.read(0x0000 + 8 * 1024);
+            c.read(8 * 1024);
         }
         assert_eq!(
             c.stats().l1.misses(),
@@ -306,7 +306,7 @@ mod tests {
     fn victim_hit_latency_is_swap_penalty() {
         let mut c = VictimHierarchy::paper();
         c.read(0x0000);
-        c.read(0x0000 + 8 * 1024);
+        c.read(8 * 1024);
         let r = c.read(0x0000);
         assert_eq!(r.latency, 2);
         assert_eq!(r.source, HitSource::L1);
@@ -316,7 +316,7 @@ mod tests {
     fn dirty_state_survives_the_buffer() {
         let mut c = VictimHierarchy::paper();
         c.write(0x0000, 42);
-        c.read(0x0000 + 8 * 1024); // evict dirty line into the buffer
+        c.read(8 * 1024); // evict dirty line into the buffer
         assert!(c.buffer().contains(0x0000));
         let r = c.read(0x0000); // swap back
         assert_eq!(r.value, 42);
@@ -355,7 +355,7 @@ mod tests {
     fn probe_sees_buffer_contents() {
         let mut c = VictimHierarchy::paper();
         c.read(0x0000);
-        c.read(0x0000 + 8 * 1024);
+        c.read(8 * 1024);
         assert!(c.probe_l1(0x0000), "victim buffer counts as on-chip");
     }
 }

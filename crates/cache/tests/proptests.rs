@@ -55,9 +55,7 @@ impl RefModel {
 }
 
 fn geom_strategy() -> impl Strategy<Value = CacheGeometry> {
-    (0u32..3, 0u32..3, 0u32..3).prop_map(|(s, a, l)| {
-        CacheGeometry::new(1024 << s, 1 << a, 16 << l)
-    })
+    (0u32..3, 0u32..3, 0u32..3).prop_map(|(s, a, l)| CacheGeometry::new(1024 << s, 1 << a, 16 << l))
 }
 
 proptest! {

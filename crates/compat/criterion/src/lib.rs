@@ -1,0 +1,170 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use: `Criterion`, `benchmark_group`, `sample_size`,
+//! `throughput(Throughput::Elements)`, `bench_function`, `Bencher::iter`,
+//! `finish`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no access to crates.io (see
+//! `crates/compat/README.md`). This harness measures honestly — each
+//! sample wall-clocks one batch of iterations with `std::time::Instant` —
+//! but reports only median/min/max per-iteration time (plus element
+//! throughput when configured) to stdout. There are no HTML reports, no
+//! statistical regression analysis, and no baseline comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sample-count and throughput
+/// settings.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times one benchmark. The id is anything string-like (`&str` or
+    /// `format!` output), as with upstream criterion's `IntoBenchmarkId`.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            assert!(b.iters > 0, "bench_function closure never called iter()");
+            samples.push(b.elapsed / b.iters);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let report = match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                let rate = n as f64 / median.as_secs_f64();
+                format!(" ({rate:.0} elem/s)")
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                let rate = n as f64 / median.as_secs_f64();
+                format!(" ({rate:.0} B/s)")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {}: median {median:?} min {:?} max {:?}{report}",
+            id.as_ref(),
+            samples[0],
+            samples[samples.len() - 1],
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the hot loop.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, accumulating into this sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(8));
+        let mut calls = 0u32;
+        g.bench_function("sum", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box((0u64..8).sum::<u64>())
+            })
+        });
+        g.finish();
+        assert_eq!(calls, 2);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the subset of the `serde` 1.x API this workspace
+//! uses: the `Serialize` / `Deserialize` traits as derive markers.
+//!
+//! The build environment has no access to crates.io (see
+//! `crates/compat/README.md`). The workspace never serializes through
+//! serde — `ccp-sim::json` hand-rolls its JSON — so the traits here are
+//! empty markers and the re-exported derives implement exactly that.
+
+/// Marker for types whose shape is declared serializable.
+///
+/// Unlike upstream serde this carries no methods: actual emission in this
+/// workspace goes through `ccp-sim`'s hand-rolled `json` module.
+pub trait Serialize {}
+
+/// Marker for types whose shape is declared deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,55 @@
+//! Offline stand-in for `serde_derive` (see `crates/compat/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` purely as markers — JSON
+//! emission is hand-rolled in `ccp-sim`'s `json` module — so these derives
+//! only implement the marker traits defined by the sibling `serde`
+//! stand-in. No field introspection happens. Implemented without `syn` /
+//! `quote` (unavailable offline): a token scan finds the type name, which
+//! is all the marker impl needs.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the type a `derive` input declares, if it is non-generic.
+///
+/// Returns `None` for generic types (a `<` follows the name); the derive
+/// then emits nothing, which is still a valid (marker-less) expansion.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("well-formed impl"),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("well-formed impl"),
+        None => TokenStream::new(),
+    }
+}

@@ -107,11 +107,7 @@ impl FrequentValueTable {
         }
         if self.entries.len() < self.capacity {
             self.entries.push((value, 1));
-        } else if let Some(pos) = self
-            .entries
-            .iter()
-            .position(|&(_, c)| c == 0)
-        {
+        } else if let Some(pos) = self.entries.iter().position(|&(_, c)| c == 0) {
             self.entries[pos] = (value, 1);
         } else {
             // Age every counter; cold entries become replaceable. This is
@@ -164,7 +160,7 @@ mod tests {
     #[test]
     fn repeated_values_compress() {
         let mut t = FrequentValueTable::new(8);
-        let stream = std::iter::repeat(0u32).take(100);
+        let stream = std::iter::repeat_n(0u32, 100);
         let s = t.encode_stream(stream);
         assert_eq!(s.misses, 1, "only the first occurrence is verbatim");
         assert_eq!(s.hits, 99);

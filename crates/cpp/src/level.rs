@@ -214,15 +214,15 @@ impl CppLevel {
         }
         // The freed half-slot is reclaimed by the grown primary word; the
         // affiliated word (priority to primary, paper §3.3) is evicted.
-        let evicted = if evict_whole_affiliated_line {
+
+        if evict_whole_affiliated_line {
             let n = f.aa.count_ones();
             f.aa = 0;
             n
         } else {
             f.aa &= !bit;
             1
-        };
-        evicted
+        }
     }
 
     /// Merges newly arrived primary words into an already-resident primary
@@ -385,9 +385,9 @@ mod tests {
     fn park_uses_free_slots_only() {
         let mut l = l1();
         let mem = MainMemory::new(); // all zeros → everything compressible
-        // Host: 0x2000 primary, words 0..4 compressed, 4..16 "incompressible"
-        // (simulated via flags; memory says compressible but VCP is the
-        // stored format, which may be conservative).
+                                     // Host: 0x2000 primary, words 0..4 compressed, 4..16 "incompressible"
+                                     // (simulated via flags; memory says compressible but VCP is the
+                                     // stored format, which may be conservative).
         let f = CppFlags::full_primary(16, 0x000F, 0);
         l.install_primary(0x2000, f, false);
         // Victim 0x2040 (pair of 0x2000) parks: only slots 0..4 accept.
@@ -470,7 +470,7 @@ mod tests {
         let mut l = l1();
         let mut mem = MainMemory::new();
         mem.write(0x2004, 0xDEAD_BEEF); // word 1 incompressible
-        let mut f = CppFlags {
+        let f = CppFlags {
             pa: 0b0001,
             vcp: 0b0001,
             aa: 0b0010, // affiliated word in then-empty slot 1

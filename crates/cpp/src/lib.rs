@@ -278,7 +278,11 @@ impl CppHierarchy {
         for i in 0..32 {
             if mask & (1 << i) != 0 {
                 let a = base + i * 4;
-                hw += if is_compressible(self.mem.read(a), a) { 1 } else { 2 };
+                hw += if is_compressible(self.mem.read(a), a) {
+                    1
+                } else {
+                    2
+                };
             }
         }
         hw
@@ -585,7 +589,7 @@ mod tests {
     /// Fill a 64-byte line region with small (compressible) values.
     fn fill_small(c: &mut CppHierarchy, base: Addr) {
         for i in 0..16 {
-            c.mem_mut().write(base + i * 4, (i as u32) + 1);
+            c.mem_mut().write(base + i * 4, i + 1);
         }
     }
 
@@ -804,7 +808,11 @@ mod tests {
         let nodes = 64u32;
         for n in 0..nodes {
             let a = heap + n * 16;
-            let next = if n + 1 < nodes { heap + (n + 1) * 16 } else { 0 };
+            let next = if n + 1 < nodes {
+                heap + (n + 1) * 16
+            } else {
+                0
+            };
             c.mem_mut().write(a, next); // pointer (same chunk → compressible)
             c.mem_mut().write(a + 4, n % 3); // small type tag
             c.mem_mut().write(a + 8, 0x8000_0000 | (n * 0x10001)); // big info
@@ -868,7 +876,7 @@ mod tests {
         fill_small(&mut c, 0x9040);
         c.read(0x9040); // host primary
         c.read(0x9000); // 0x9000 primary
-        // Conflict-evict 0x9000; it parks into 0x9040's physical line.
+                        // Conflict-evict 0x9000; it parks into 0x9040's physical line.
         c.read(0x9000 + 8 * 1024);
         let r = c.read(0x9000);
         assert_eq!(r.source, HitSource::L1Affiliated);
@@ -884,7 +892,7 @@ mod tests {
         fill_small(&mut c, 0xA000);
         fill_small(&mut c, 0xA040);
         c.read(0xA000); // L2 now holds the 128B line 0xA000..0xA080 fully
-        // Evict everything from L1 via conflicting lines.
+                        // Evict everything from L1 via conflicting lines.
         c.read(0xA000 + 8 * 1024);
         c.read(0xA040 + 8 * 1024);
         // Re-read: L2 hit (word-based) without memory traffic.

@@ -27,10 +27,10 @@ fn l1_writeback_merges_into_l2_primary() {
     let mut c = cpp();
     fill_small(&mut c, 0x1000, 32);
     c.write(0x1004, 77); // L1 + L2 hold the line; L1 dirty
-    // Evict the dirty L1 line: write-back must land in the L2 primary.
+                         // Evict the dirty L1 line: write-back must land in the L2 primary.
     c.read(0x1000 + L1_STRIDE);
     c.read(0x1040 + L1_STRIDE); // also displace any parked copy's host
-    // Re-read through L2: correct value, L2 hit.
+                                // Re-read through L2: correct value, L2 hit.
     let r = c.read(0x1004);
     assert_eq!(r.value, 77);
     assert!(matches!(r.source, HitSource::L2 | HitSource::L1Affiliated));
@@ -42,8 +42,8 @@ fn l1_writeback_to_evicted_l2_line_goes_to_memory() {
     let mut c = cpp();
     fill_small(&mut c, 0x2000, 32);
     c.write(0x2004, 123); // dirty in L1
-    // Evict the line's 128 B block from L2 (2-way: need 3 conflicting
-    // blocks; keep their L1 sets distinct from 0x2000's).
+                          // Evict the line's 128 B block from L2 (2-way: need 3 conflicting
+                          // blocks; keep their L1 sets distinct from 0x2000's).
     let out_before = c.stats().mem_bus.out_halfwords;
     for k in 1..=4u32 {
         c.read(0x2000 + k * L2_STRIDE);
@@ -66,10 +66,14 @@ fn l2_affiliated_copy_promoted_by_writeback() {
     // prefetches the second as an L2-affiliated copy.
     fill_small(&mut c, 0x4000, 64);
     c.read(0x4000); // L2 line 0x4000 primary; 0x4080 rides as affiliated
-    // Touch a word of the second L2 line through L1 (served from the L2
-    // affiliated copy), then dirty it and force the L1 write-back.
+                    // Touch a word of the second L2 line through L1 (served from the L2
+                    // affiliated copy), then dirty it and force the L1 write-back.
     let r = c.read(0x4080);
-    assert_eq!(r.source, HitSource::L2, "L2 affiliated copy serves the fill");
+    assert_eq!(
+        r.source,
+        HitSource::L2,
+        "L2 affiliated copy serves the fill"
+    );
     c.write(0x4084, 9);
     let promos_before = c.stats().promotions;
     c.read(0x4080 + L1_STRIDE); // evict the dirty L1 line → write-back
@@ -91,8 +95,7 @@ fn partial_l2_primary_completed_from_memory() {
         c.mem_mut().write(0x5000 + i * 4, 3); // first L1 line small
     }
     for i in 16..32 {
-        c.mem_mut()
-            .write(0x5000 + i * 4, 0x7FDE_0000 | i); // second line big
+        c.mem_mut().write(0x5000 + i * 4, 0x7FDE_0000 | i); // second line big
     }
     c.read(0x5000);
     // The pair line is incompressible, so nothing of it rode along to L1 —
@@ -113,7 +116,7 @@ fn l2_parking_preserves_values() {
     c.mem_mut().write(0x8000, 0x7EAD_0001); // word 0 big → own fetch later
     c.read(0x8080); // second block primary at L2
     c.read(0x8000); // first block primary at L2 (prefetch of pair discarded)
-    // Conflict-evict 0x8000's L2 block with two more 32 KB-stride blocks.
+                    // Conflict-evict 0x8000's L2 block with two more 32 KB-stride blocks.
     c.read(0x8000 + L2_STRIDE);
     c.read(0x8000 + 2 * L2_STRIDE);
     // All values still correct regardless of where copies ended up.
@@ -137,7 +140,7 @@ fn whole_line_policy_matches_word_policy_functionally() {
         x ^= x << 13;
         x ^= x >> 17;
         x ^= x << 5;
-        let addr = 0x9000 + (x % 0x4000 & !3);
+        let addr = 0x9000 + ((x % 0x4000) & !3);
         if i % 4 == 0 {
             let v = if i % 8 == 0 { x } else { x & 0x1FFF };
             word.write(addr, v);
@@ -158,8 +161,8 @@ fn traffic_accounting_balances_under_stress() {
         x ^= x << 13;
         x ^= x >> 17;
         x ^= x << 5;
-        let addr = 0x10_0000 + (x % 0x2_0000 & !3);
-        if x % 3 == 0 {
+        let addr = 0x10_0000 + ((x % 0x2_0000) & !3);
+        if x.is_multiple_of(3) {
             c.write(addr, x % 5000);
         } else {
             c.read(addr);

@@ -19,7 +19,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     // conflicts, evictions, parking, and promotion all fire.
     let addr = (0u32..0x6000).prop_map(|a| 0x10_0000 + (a & !3));
     let value = prop_oneof![
-        4 => (0u32..0x4000),                         // small → compressible
+        4 => 0u32..0x4000,                         // small → compressible
         1 => any::<u32>(),                           // arbitrary
         2 => (0u32..0x6000).prop_map(|a| 0x10_0000 + a), // heap pointer
     ];

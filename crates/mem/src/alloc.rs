@@ -49,7 +49,11 @@ impl ChunkAllocator {
         let end = base
             .checked_add(capacity)
             .expect("allocator region wraps address space");
-        ChunkAllocator { base, next: base, end }
+        ChunkAllocator {
+            base,
+            next: base,
+            end,
+        }
     }
 
     /// Allocates `bytes` with word alignment. Returns the block's address.
@@ -63,7 +67,10 @@ impl ChunkAllocator {
 
     /// Allocates `bytes` aligned to `align` (a power of two ≥ 4).
     pub fn alloc_aligned(&mut self, bytes: u32, align: u32) -> Addr {
-        assert!(align.is_power_of_two() && align >= 4, "bad alignment {align}");
+        assert!(
+            align.is_power_of_two() && align >= 4,
+            "bad alignment {align}"
+        );
         let aligned = (self.next + (align - 1)) & !(align - 1);
         let new_next = aligned
             .checked_add(bytes.max(4))

@@ -14,7 +14,10 @@ impl Bimod {
     /// Creates a predictor with `entries` counters (a power of two),
     /// initialized weakly-taken (state 2), as SimpleScalar does.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         Bimod {
             table: vec![2; entries],
             mask: entries as u32 - 1,
@@ -93,7 +96,10 @@ mod tests {
             }
             b.update(pc, taken);
         }
-        assert!(correct >= 80, "bimod should track a 90% bias, got {correct}");
+        assert!(
+            correct >= 80,
+            "bimod should track a 90% bias, got {correct}"
+        );
     }
 
     #[test]

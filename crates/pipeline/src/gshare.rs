@@ -17,7 +17,10 @@ impl Gshare {
     /// Creates a predictor with `entries` counters (a power of two) and
     /// `history_bits` bits of global history (≤ log2(entries)).
     pub fn new(entries: usize, history_bits: u32) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         assert!(
             history_bits <= entries.trailing_zeros(),
             "history wider than the index"

@@ -36,7 +36,7 @@ pub use icache::ICache;
 pub use inorder::run_inorder;
 
 use ccp_cache::{CacheSim, HierarchyStats, HitSource};
-use ccp_trace::{Op, Trace};
+use ccp_trace::{Inst, Op, Trace, TraceSource};
 use std::collections::VecDeque;
 
 /// Pipeline configuration (defaults = paper Figure 9).
@@ -247,6 +247,18 @@ pub fn run_trace(trace: &Trace, cache: &mut dyn CacheSim, cfg: &PipelineConfig) 
     Pipeline::new(*cfg).run(trace, cache)
 }
 
+/// Seeds `cache`'s memory from `source` and runs its stream to completion
+/// — the streaming counterpart of [`run_trace`]: memory use is bounded by
+/// the in-flight window (IFQ + RUU), not the stream length.
+pub fn run_source(
+    source: &dyn TraceSource,
+    cache: &mut dyn CacheSim,
+    cfg: &PipelineConfig,
+) -> RunStats {
+    *cache.mem_mut() = source.initial_mem();
+    Pipeline::new(*cfg).run_stream(source.stream(), cache)
+}
+
 /// The pipeline machine. Create one per run (predictor and I-cache state
 /// are per-run, matching the paper's independent benchmark executions).
 #[derive(Debug)]
@@ -270,9 +282,31 @@ impl Pipeline {
     /// commits. The cache's memory must already hold the trace's initial
     /// image (see [`run_trace`]).
     pub fn run(&mut self, trace: &Trace, cache: &mut dyn CacheSim) -> RunStats {
+        self.run_stream(trace.insts.iter().copied(), cache)
+    }
+
+    /// Runs an instruction stream against `cache` cycle by cycle until it
+    /// drains — the streaming core behind [`Pipeline::run`]. Instructions
+    /// are pulled from `stream` on demand and buffered only while in
+    /// flight (a sliding window bounded by the IFQ + RUU sizes), so a
+    /// 100M-instruction synthetic stream never materializes. The cache's
+    /// memory must already hold the stream's initial image (see
+    /// [`run_source`]).
+    pub fn run_stream<I: IntoIterator<Item = Inst>>(
+        &mut self,
+        stream: I,
+        cache: &mut dyn CacheSim,
+    ) -> RunStats {
+        let mut stream = stream.into_iter();
         let cfg = self.cfg;
-        let n = trace.insts.len() as u64;
         let l1_hit_lat = cache.latencies().l1_hit;
+
+        // Sliding buffer over the in-flight slice of the stream:
+        // `window[0]` is the oldest uncommitted instruction, at stream
+        // index `win_base`.
+        let mut window: VecDeque<Inst> = VecDeque::with_capacity(cfg.ifq_size + cfg.ruu_size + 1);
+        let mut win_base: u64 = 0;
+        let mut stream_done = false;
 
         let mut stats = RunStats {
             cycles: 0,
@@ -306,13 +340,25 @@ impl Pipeline {
         let mut outstanding: Vec<u64> = Vec::new();
 
         let mut now: u64 = 0;
-        // Generous watchdog: no real trace runs slower than ~400 cycles per
-        // instruction on this machine; a hang here is a simulator bug.
-        let watchdog = 1000 + n * 400;
+        // Stall watchdog: the in-flight window is bounded, so consecutive
+        // commit-free cycles are bounded by window size x worst memory
+        // latency — orders of magnitude under this. A hang is a simulator
+        // bug. (The stream's total length is unknowable up front, so the
+        // watchdog is per-commit-gap rather than per-run.)
+        let mut last_commit: u64 = 0;
+        const WEDGE_CYCLES: u64 = 1_000_000;
 
-        while stats.instructions < n {
+        if let Some(i) = stream.next() {
+            window.push_back(i);
+        } else {
+            stream_done = true;
+        }
+        while !(stream_done && window.is_empty()) {
             now += 1;
-            assert!(now < watchdog, "pipeline wedged at cycle {now}");
+            assert!(
+                now - last_commit < WEDGE_CYCLES,
+                "pipeline wedged at cycle {now}"
+            );
 
             // ---- Commit (in order) ------------------------------------
             let mut committed = 0;
@@ -322,9 +368,14 @@ impl Pipeline {
                     break;
                 }
                 let e = ruu.pop_front().expect("checked");
+                debug_assert_eq!(e.idx, win_base, "in-order commit tracks the window");
+                let inst = window
+                    .pop_front()
+                    .expect("window holds in-flight instructions");
+                win_base += 1;
                 if let Op::Store { addr, value } = e.op {
                     // The architectural write happens at commit.
-                    cache.write_pc(addr, value, trace.insts[e.idx as usize].pc);
+                    cache.write_pc(addr, value, inst.pc);
                     stats.stores += 1;
                 }
                 match e.op {
@@ -338,6 +389,7 @@ impl Pipeline {
 
             // CPI-stack attribution for this cycle.
             if committed > 0 {
+                last_commit = now;
                 stats.cpi_stack.busy += 1;
             } else if let Some(head) = ruu.front() {
                 let mem_bound = head.op.is_mem() && head.issued && head.done > now;
@@ -460,7 +512,7 @@ impl Pipeline {
                             stats.forwarded_loads += 1;
                             ruu[i].done = done;
                         } else {
-                            let r = cache.read_pc(addr, trace.insts[e.idx as usize].pc);
+                            let r = cache.read_pc(addr, window[(e.idx - win_base) as usize].pc);
                             stats.load_sources.record(r.source);
                             ruu[i].done = now + u64::from(r.latency.max(l1_hit_lat));
                             if r.l1_miss() {
@@ -475,11 +527,13 @@ impl Pipeline {
             // ---- Dispatch (in order, IFQ → RUU/LSQ) -------------------
             let mut dispatched = 0;
             while dispatched < cfg.dispatch_width {
-                let Some(&(idx, avail)) = ifq.front() else { break };
+                let Some(&(idx, avail)) = ifq.front() else {
+                    break;
+                };
                 if avail > now || ruu.len() >= cfg.ruu_size {
                     break;
                 }
-                let inst = &trace.insts[idx as usize];
+                let inst = window[(idx - win_base) as usize];
                 if inst.op.is_mem() {
                     let lsq_used = ruu.iter().filter(|e| e.op.is_mem()).count();
                     if lsq_used >= cfg.lsq_size {
@@ -501,8 +555,20 @@ impl Pipeline {
             // ---- Fetch -------------------------------------------------
             if now >= fetch_stall_until && waiting_branch.is_none() {
                 let mut fetched = 0;
-                while fetched < cfg.fetch_width && ifq.len() < cfg.ifq_size && next_fetch < n {
-                    let inst = &trace.insts[next_fetch as usize];
+                while fetched < cfg.fetch_width && ifq.len() < cfg.ifq_size {
+                    // Pull from the stream until the window covers the
+                    // fetch point (or the stream runs dry).
+                    while !stream_done && (next_fetch - win_base) as usize >= window.len() {
+                        match stream.next() {
+                            Some(i) => window.push_back(i),
+                            None => stream_done = true,
+                        }
+                    }
+                    let off = (next_fetch - win_base) as usize;
+                    if off >= window.len() {
+                        break; // stream exhausted
+                    }
+                    let inst = window[off];
                     let block = inst.pc & !63;
                     if block != cur_iblock {
                         let lat = self.icache.access(inst.pc);
@@ -719,7 +785,11 @@ mod tests {
         let t = ctx.finish();
         let s = run_trace(&t, &mut bc(), &PipelineConfig::paper());
         assert!(s.ipc() <= 4.0 + 1e-9);
-        assert!(s.ipc() > 2.0, "independent stream should near peak: {}", s.ipc());
+        assert!(
+            s.ipc() > 2.0,
+            "independent stream should near peak: {}",
+            s.ipc()
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! FIGURES: fig3 fig9 fig10 fig11 fig12 fig13 fig14 fig15 all   (default: all)
 //!          exta (stride) extb (FVC) extc (CPI stacks) extd (conflict)
 //!          exte (transitions) extf (in-order core) extg (size sweep) ext
+//!          workgen (compressibility sweep over a synthetic workload)
 //!
 //! OPTIONS:
 //!   --budget N     instructions per benchmark        (default 400000)
@@ -81,17 +82,19 @@ fn parse_args() -> Result<Args, String> {
                 println!("{HELP}");
                 std::process::exit(0);
             }
-            f if f.starts_with("fig") || f.starts_with("ext") || f == "all" => {
+            f if f.starts_with("fig") || f.starts_with("ext") || f == "all" || f == "workgen" => {
                 figures.push(f.to_string())
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
     }
     if figures.is_empty() || figures.iter().any(|f| f == "all") {
-        figures = ["fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        figures = [
+            "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     if figures.iter().any(|f| f == "ext") {
         figures.retain(|f| f != "ext");
@@ -112,7 +115,7 @@ fn parse_args() -> Result<Args, String> {
 
 const HELP: &str = "repro — regenerate the paper's tables and figures
 usage: repro [--budget N] [--seed S] [--threads T] [--benchmarks a,b,..] [--json FILE] [--bars]
-             [fig3..fig15 | exta | extb | extc | ext | all]";
+             [fig3..fig15 | exta | extb | extc | ext | workgen | all]";
 
 fn main() {
     let args = match parse_args() {
@@ -275,6 +278,36 @@ fn main() {
                 let bench = &args.benchmarks[0];
                 let rows = ext::size_sensitivity(bench, args.budget, args.seed);
                 println!("{}", ext::render_sensitivity(&bench.full_name(), &rows));
+            }
+            "workgen" => {
+                eprintln!("running compressibility sweep (11 synthetic points, BC+CPP each)...");
+                let base = ccp_workgen::WorkgenSpec::parse("addr=uniform,ptr=0.0")
+                    .expect("base workgen spec");
+                let rows = exp::compressibility_sweep(
+                    &base,
+                    11,
+                    args.budget as u64,
+                    args.seed,
+                    args.threads,
+                );
+                println!("{}", exp::render_compressibility_sweep(&base, &rows));
+                json_out.push((
+                    "workgen",
+                    Json::Arr(
+                        rows.iter()
+                            .map(|r| {
+                                Json::obj([
+                                    ("small_fraction", Json::from(r.small_fraction)),
+                                    ("measured_compressible", Json::from(r.measured_compressible)),
+                                    ("bc_traffic", Json::from(r.bc_traffic as f64)),
+                                    ("cpp_traffic", Json::from(r.cpp_traffic as f64)),
+                                    ("normalized_traffic", Json::from(r.normalized_traffic)),
+                                    ("normalized_l1_misses", Json::from(r.normalized_l1_misses)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
             }
             other => eprintln!("skipping unknown figure {other:?}"),
         }

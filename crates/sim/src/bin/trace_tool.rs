@@ -6,13 +6,20 @@
 //! trace-tool info <file.ccpt>
 //! trace-tool profile <file.ccpt>
 //! trace-tool run <file.ccpt> [--design BC|BCC|HAC|BCP|CPP]
+//! trace-tool workgen [--spec S | model flags...] [--seed S] [--budget N]
 //! ```
+//!
+//! `workgen` streams a synthetic workload (never materializing it) and
+//! prints its instruction mix, its measured compressibility profile, and
+//! functional BC/CPP traffic — deterministically: the same flags always
+//! print the same bytes.
 
 use ccp_cache::DesignKind;
 use ccp_compress::profile::ValueProfile;
 use ccp_pipeline::{run_trace, PipelineConfig};
-use ccp_sim::build_design;
-use ccp_trace::{benchmark_by_name, Trace};
+use ccp_sim::{build_design, fastsim};
+use ccp_trace::{benchmark_by_name, profile_source_values, Trace, TraceSource};
+use ccp_workgen::{SynthSource, WorkgenSpec};
 use std::path::Path;
 use std::process::exit;
 
@@ -20,9 +27,86 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  trace-tool gen <benchmark> <out.ccpt> [--budget N] [--seed S]\n  \
          trace-tool info <file.ccpt>\n  trace-tool profile <file.ccpt>\n  \
-         trace-tool run <file.ccpt> [--design NAME]"
+         trace-tool run <file.ccpt> [--design NAME]\n  \
+         trace-tool workgen [--spec STR] [--addr seq|stride|uniform|zipf|chase]\n               \
+         [--small-value F] [--pointer F] [--entropy F] [--mem F] [--store-ratio F]\n               \
+         [--branch F] [--falu F] [--footprint W] [--stride W] [--zipf-skew K]\n               \
+         [--nodes N] [--seed S] [--budget N]"
     );
     exit(2);
+}
+
+/// Builds a workgen spec from `workgen` subcommand flags. Flags translate
+/// to the spec's `key=value` text form, so `--spec` and individual flags
+/// compose (later flags override).
+fn parse_workgen(args: &[String]) -> (WorkgenSpec, u64, u64) {
+    let mut pairs: Vec<String> = Vec::new();
+    let mut seed = 1u64;
+    let mut budget = 1_000_000u64;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let val = args.get(i + 1).unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            exit(2);
+        });
+        match flag {
+            "--spec" => pairs.push(val.strip_prefix("workgen:").unwrap_or(val).to_string()),
+            "--addr" => pairs.push(format!("addr={val}")),
+            "--small-value" => pairs.push(format!("small={val}")),
+            "--pointer" => pairs.push(format!("ptr={val}")),
+            "--entropy" => pairs.push(format!("entropy={val}")),
+            "--mem" => pairs.push(format!("mem={val}")),
+            "--store-ratio" => pairs.push(format!("store={val}")),
+            "--branch" => pairs.push(format!("branch={val}")),
+            "--falu" => pairs.push(format!("falu={val}")),
+            "--footprint" => pairs.push(format!("footprint={val}")),
+            "--stride" => pairs.push(format!("stride={val}")),
+            "--zipf-skew" => pairs.push(format!("skew={val}")),
+            "--nodes" => pairs.push(format!("nodes={val}")),
+            "--seed" => seed = val.parse().expect("seed"),
+            "--budget" => budget = val.parse().expect("budget"),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    let spec = WorkgenSpec::parse(&pairs.join(",")).unwrap_or_else(|e| {
+        eprintln!("bad workgen spec: {e}");
+        exit(1);
+    });
+    (spec, seed, budget)
+}
+
+fn run_workgen(args: &[String]) {
+    let (spec, seed, budget) = parse_workgen(args);
+    let source = SynthSource::new(spec, seed, budget);
+    println!("workload:     {}", source.name());
+    println!("seed/budget:  {seed} / {budget}");
+    let m = source.mix();
+    println!(
+        "mix:          {} ialu / {} falu / {} loads / {} stores / {} branches",
+        m.ialu, m.falu, m.loads, m.stores, m.branches
+    );
+    let mut p = ValueProfile::new();
+    profile_source_values(&source, |v, a| p.record(v, a));
+    println!(
+        "profile:      {} accessed values — {:.2}% small, {:.2}% pointer, {:.2}% compressible",
+        p.total(),
+        100.0 * p.small_fraction(),
+        100.0 * p.pointer_fraction(),
+        100.0 * p.compressible_fraction()
+    );
+    for design in [DesignKind::Bc, DesignKind::Cpp] {
+        let mut cache = build_design(design);
+        let s = fastsim::run_functional_source(&source, cache.as_mut(), 0);
+        println!(
+            "{:<4} (func):  L1 miss {:.3}%, L2 miss {:.3}%, traffic {} half-words",
+            design.name(),
+            100.0 * s.hierarchy.l1.miss_rate(),
+            100.0 * s.hierarchy.l2.miss_rate(),
+            s.hierarchy.memory_traffic_halfwords()
+        );
+    }
 }
 
 fn load(path: &str) -> Trace {
@@ -143,6 +227,7 @@ fn main() {
                 s.hierarchy.memory_traffic_halfwords()
             );
         }
+        Some("workgen") => run_workgen(&args[1..]),
         _ => usage(),
     }
 }

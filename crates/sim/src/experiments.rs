@@ -9,7 +9,8 @@ use crate::sweep::Sweep;
 use ccp_cache::{DesignKind, HierarchyConfig, LatencyConfig};
 use ccp_compress::profile::ValueProfile;
 use ccp_pipeline::{PipelineConfig, RunStats};
-use ccp_trace::all_benchmarks;
+use ccp_trace::{all_benchmarks, profile_source_values};
+use ccp_workgen::{SynthSource, WorkgenSpec};
 use serde::Serialize;
 
 /// The Amdahl speedup of the enhanced (halved-penalty) machine used for
@@ -233,20 +234,16 @@ fn normalized_figure<F: Fn(&RunStats) -> f64 + Copy>(
 
 /// Figure 10: L2↔memory traffic normalized to BC.
 pub fn figure10(sweep: &Sweep) -> NormalizedFigure {
-    normalized_figure(
-        sweep,
-        "Figure 10: memory traffic (normalized to BC)",
-        |s| s.hierarchy.memory_traffic_halfwords() as f64,
-    )
+    normalized_figure(sweep, "Figure 10: memory traffic (normalized to BC)", |s| {
+        s.hierarchy.memory_traffic_halfwords() as f64
+    })
 }
 
 /// Figure 11: execution time (cycles) normalized to BC.
 pub fn figure11(sweep: &Sweep) -> NormalizedFigure {
-    normalized_figure(
-        sweep,
-        "Figure 11: execution time (normalized to BC)",
-        |s| s.cycles as f64,
-    )
+    normalized_figure(sweep, "Figure 11: execution time (normalized to BC)", |s| {
+        s.cycles as f64
+    })
 }
 
 /// Figure 12: L1 data-cache misses normalized to BC.
@@ -346,17 +343,111 @@ pub fn render_figure15(rows: &[Fig15Row]) -> String {
     ];
     let table: Vec<Vec<String>> = rows
         .iter()
+        .map(|r| vec![r.benchmark.clone(), f2(r.hac), f2(r.cpp), pct(r.increase)])
+        .collect();
+    format!(
+        "Figure 15: average ready-queue length in outstanding-miss cycles\n{}",
+        render_table(&headers, &table)
+    )
+}
+
+// ------------------------------------------- Compressibility sweep (new)
+
+/// One point of the workgen compressibility sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct CompressSweepPoint {
+    /// Requested small-value fraction at this point.
+    pub small_fraction: f64,
+    /// Compressible fraction actually measured over every accessed value.
+    pub measured_compressible: f64,
+    /// BC memory traffic in half-words.
+    pub bc_traffic: u64,
+    /// CPP memory traffic in half-words.
+    pub cpp_traffic: u64,
+    /// CPP traffic normalized to BC (< 1 = CPP advantage).
+    pub normalized_traffic: f64,
+    /// CPP L1 misses normalized to BC.
+    pub normalized_l1_misses: f64,
+}
+
+/// The compressibility sweep: holds `base`'s address and mix models fixed
+/// and sweeps the small-value fraction from 0 to `1 - pointer_fraction`
+/// across `points` evenly spaced settings, measuring CPP's traffic and
+/// miss advantage over BC at each. Because workgen draws addresses and
+/// values from independent sub-generators, every point replays the *same*
+/// address stream — the curve isolates the value distribution, the one
+/// variable the paper's scheme exploits. Functional (timing-free) cache
+/// simulation keeps 1M-reference points cheap; points run in parallel.
+pub fn compressibility_sweep(
+    base: &WorkgenSpec,
+    points: usize,
+    budget: u64,
+    seed: u64,
+    threads: usize,
+) -> Vec<CompressSweepPoint> {
+    assert!(points >= 2, "a sweep needs at least two points");
+    let top = 1.0 - base.value.pointer_fraction;
+    let fractions: Vec<f64> = (0..points)
+        .map(|i| top * i as f64 / (points - 1) as f64)
+        .collect();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    };
+    crate::sweep::parallel_map(&fractions, threads, |&small| {
+        let mut spec = *base;
+        spec.value.small_fraction = small;
+        let source = SynthSource::new(spec, seed, budget);
+        let mut profile = ValueProfile::new();
+        profile_source_values(&source, |v, a| profile.record(v, a));
+        let mut bc = crate::build_design(DesignKind::Bc);
+        let bc_stats = crate::fastsim::run_functional_source(&source, bc.as_mut(), 0);
+        let mut cpp = crate::build_design(DesignKind::Cpp);
+        let cpp_stats = crate::fastsim::run_functional_source(&source, cpp.as_mut(), 0);
+        let bc_traffic = bc_stats.hierarchy.memory_traffic_halfwords();
+        let cpp_traffic = cpp_stats.hierarchy.memory_traffic_halfwords();
+        let bc_misses = bc_stats.hierarchy.l1.misses();
+        let cpp_misses = cpp_stats.hierarchy.l1.misses();
+        CompressSweepPoint {
+            small_fraction: small,
+            measured_compressible: profile.compressible_fraction(),
+            bc_traffic,
+            cpp_traffic,
+            normalized_traffic: cpp_traffic as f64 / (bc_traffic as f64).max(f64::MIN_POSITIVE),
+            normalized_l1_misses: cpp_misses as f64 / (bc_misses as f64).max(f64::MIN_POSITIVE),
+        }
+    })
+}
+
+/// Renders the compressibility sweep as a table.
+pub fn render_compressibility_sweep(base: &WorkgenSpec, rows: &[CompressSweepPoint]) -> String {
+    let headers = vec![
+        "small req.".to_string(),
+        "compressible".to_string(),
+        "BC traffic".to_string(),
+        "CPP traffic".to_string(),
+        "CPP/BC traffic".to_string(),
+        "CPP/BC L1 miss".to_string(),
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
         .map(|r| {
             vec![
-                r.benchmark.clone(),
-                f2(r.hac),
-                f2(r.cpp),
-                pct(r.increase),
+                f2(r.small_fraction),
+                pct(r.measured_compressible),
+                r.bc_traffic.to_string(),
+                r.cpp_traffic.to_string(),
+                pct(r.normalized_traffic),
+                pct(r.normalized_l1_misses),
             ]
         })
         .collect();
     format!(
-        "Figure 15: average ready-queue length in outstanding-miss cycles\n{}",
+        "Compressibility sweep: CPP vs BC as value compressibility rises\n\
+         (workload {base}, address/op streams identical across rows)\n{}",
         render_table(&headers, &table)
     )
 }
@@ -461,6 +552,30 @@ mod tests {
         assert!(bars.contains('█'));
         assert!(bars.contains("80.0%"));
         assert!((f.average_of(DesignKind::Cpp) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compressibility_sweep_traffic_falls_as_values_compress() {
+        let base = WorkgenSpec::parse("addr=uniform,ptr=0.0,footprint=16384").unwrap();
+        let rows = compressibility_sweep(&base, 5, 120_000, 3, 2);
+        assert_eq!(rows.len(), 5);
+        // Endpoints bracket the requested range and measurements track it.
+        assert!(rows[0].small_fraction == 0.0 && rows[4].small_fraction == 1.0);
+        assert!(rows[0].measured_compressible < 0.05);
+        assert!(rows[4].measured_compressible > 0.95);
+        // The acceptance criterion: CPP's normalized traffic decreases
+        // monotonically (within noise) as compressibility rises, and the
+        // fully-compressible end shows a real advantage.
+        for w in rows.windows(2) {
+            assert!(
+                w[1].normalized_traffic <= w[0].normalized_traffic + 0.02,
+                "traffic ratio rose: {} -> {}",
+                w[0].normalized_traffic,
+                w[1].normalized_traffic
+            );
+        }
+        assert!(rows[4].normalized_traffic < rows[0].normalized_traffic - 0.05);
+        assert!(!render_compressibility_sweep(&base, &rows).is_empty());
     }
 
     #[test]

@@ -253,10 +253,18 @@ pub fn cpi_stacks(benchmarks: &[Benchmark], budget: usize, seed: u64) -> Vec<Cpi
 
 /// Renders the CPI stacks.
 pub fn render_cpi(rows: &[CpiRow]) -> String {
-    let headers: Vec<String> = ["benchmark", "design", "cycles", "busy", "frontend", "memory", "core"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "benchmark",
+        "design",
+        "cycles",
+        "busy",
+        "frontend",
+        "memory",
+        "core",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -322,10 +330,16 @@ pub fn conflict_comparison(benchmarks: &[Benchmark], budget: usize, seed: u64) -
 
 /// Renders the conflict comparison.
 pub fn render_conflict(rows: &[ConflictRow]) -> String {
-    let headers: Vec<String> = ["benchmark", "HAC time", "VC time", "CPP time", "CPP+cwb traffic"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "benchmark",
+        "HAC time",
+        "VC time",
+        "CPP time",
+        "CPP+cwb traffic",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -660,7 +674,7 @@ mod tests {
         );
         for r in &rows {
             assert!(r.stores > 0, "{r:?}");
-            assert_eq!(r.grow + r.shrink <= r.stores, true);
+            assert!(r.grow + r.shrink <= r.stores);
             assert!(
                 r.flip_rate < 0.2,
                 "the paper's assumption should hold on pointer workloads: {r:?}"
@@ -682,7 +696,10 @@ mod tests {
     fn size_sensitivity_sweeps_four_points() {
         let rows = size_sensitivity(&benchmark_by_name("health").unwrap(), 12_000, 3);
         assert_eq!(rows.len(), 4);
-        assert_eq!(rows.iter().map(|r| r.l1_kb).collect::<Vec<_>>(), [4, 8, 16, 32]);
+        assert_eq!(
+            rows.iter().map(|r| r.l1_kb).collect::<Vec<_>>(),
+            [4, 8, 16, 32]
+        );
         // Bigger caches can only help the absolute baseline.
         assert!(rows[3].bc_cycles <= rows[0].bc_cycles);
         for r in &rows {

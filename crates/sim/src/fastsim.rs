@@ -11,7 +11,7 @@
 //! divergences are expected and tested for).
 
 use ccp_cache::{CacheSim, HierarchyStats};
-use ccp_trace::{Op, Trace};
+use ccp_trace::{Inst, Op, Trace, TraceSource};
 
 /// Results of a functional run.
 #[derive(Debug, Clone)]
@@ -39,6 +39,25 @@ impl FastStats {
 /// cache-warm-up means).
 pub fn run_functional(trace: &Trace, cache: &mut dyn CacheSim, warmup_mem_ops: u64) -> FastStats {
     *cache.mem_mut() = trace.initial_mem.clone();
+    replay(trace.insts.iter().copied(), cache, warmup_mem_ops)
+}
+
+/// Streaming counterpart of [`run_functional`]: replays a
+/// [`TraceSource`]'s memory operations without materializing the stream.
+pub fn run_functional_source(
+    source: &dyn TraceSource,
+    cache: &mut dyn CacheSim,
+    warmup_mem_ops: u64,
+) -> FastStats {
+    *cache.mem_mut() = source.initial_mem();
+    replay(source.stream(), cache, warmup_mem_ops)
+}
+
+fn replay<I: Iterator<Item = Inst>>(
+    insts: I,
+    cache: &mut dyn CacheSim,
+    warmup_mem_ops: u64,
+) -> FastStats {
     let mut seen = 0u64;
     let mut stats = FastStats {
         mem_ops: 0,
@@ -50,7 +69,7 @@ pub fn run_functional(trace: &Trace, cache: &mut dyn CacheSim, warmup_mem_ops: u
     if !warm {
         cache.reset_stats();
     }
-    for inst in &trace.insts {
+    for inst in insts {
         match inst.op {
             Op::Load { addr } => {
                 cache.read_pc(addr, inst.pc);

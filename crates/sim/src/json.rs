@@ -28,19 +28,7 @@ pub enum Json {
 impl Json {
     /// Builds an object from key/value pairs.
     pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-
-    /// Serializes to a compact JSON string.
-    pub fn to_string(&self) -> String {
-        let mut s = String::new();
-        self.write(&mut s);
-        s
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     fn write(&self, out: &mut String) {
@@ -99,6 +87,15 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+impl std::fmt::Display for Json {
+    /// Serializes to a compact JSON string.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
     }
 }
 

@@ -23,8 +23,8 @@
 //! SimpleScalar campaign produced the paper's plots.
 
 pub mod experiments;
-pub mod fastsim;
 pub mod extensions;
+pub mod fastsim;
 pub mod json;
 pub mod report;
 pub mod sweep;

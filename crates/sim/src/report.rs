@@ -38,11 +38,7 @@ pub fn render_table(headers: &[String], rows: &[Vec<String>]) -> String {
 /// per series — a terminal rendition of the paper's figure style. `values`
 /// are ratios (1.0 = 100%); bars scale so the largest value spans
 /// `width` cells.
-pub fn render_bars(
-    rows: &[(String, Vec<f64>)],
-    series: &[String],
-    width: usize,
-) -> String {
+pub fn render_bars(rows: &[(String, Vec<f64>)], series: &[String], width: usize) -> String {
     let max = rows
         .iter()
         .flat_map(|(_, v)| v.iter().copied())

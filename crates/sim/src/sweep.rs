@@ -1,17 +1,66 @@
-//! The simulation sweep: every benchmark × every design, in parallel.
+//! The simulation sweep: every workload × every design, in parallel.
 //!
-//! Each cell is an independent (trace, hierarchy, pipeline) triple, so the
-//! sweep parallelizes embarrassingly; traces are generated once per
-//! benchmark and shared read-only across the design runs (the HPC guides'
-//! scoped-thread data-parallel idiom, via `crossbeam::scope`).
+//! A workload is either one of the fourteen benchmark imitations or a
+//! `ccp-workgen` spec (`workgen:addr=zipf,small=0.6,...`) — the sweep
+//! machinery treats both as [`TraceSource`]s and never needs to know
+//! which is which. Each cell is an independent (source, hierarchy,
+//! pipeline) triple, so the sweep parallelizes embarrassingly; benchmark
+//! traces are generated once per workload and shared read-only across the
+//! design runs (the HPC guides' scoped-thread data-parallel idiom, via
+//! `std::thread::scope`), while synthetic sources regenerate their stream
+//! per cell (pure integer work, no storage).
 
 use crate::build_design;
 use ccp_cache::DesignKind;
-use ccp_pipeline::{run_trace, PipelineConfig, RunStats};
-use ccp_trace::{all_benchmarks, Benchmark, Trace};
+use ccp_pipeline::{run_source, run_trace, PipelineConfig, RunStats};
+use ccp_trace::{all_benchmarks, benchmark_by_name, BenchSource, Benchmark, Trace, TraceSource};
+use ccp_workgen::{SynthSource, WorkgenSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
+
+/// One sweep workload: a benchmark imitation or a synthetic generator.
+#[derive(Debug, Clone, Copy)]
+pub enum Workload {
+    /// One of the fourteen benchmark imitations.
+    Bench(Benchmark),
+    /// A `ccp-workgen` synthetic specification.
+    Synthetic(WorkgenSpec),
+}
+
+impl Workload {
+    /// Resolves a workload name: a benchmark name (`health`, `181.mcf`,
+    /// ...) or a workgen spec string (anything starting with `workgen:`).
+    pub fn by_name(name: &str) -> Result<Workload, String> {
+        let name = name.trim();
+        if name.starts_with("workgen:") {
+            WorkgenSpec::parse(name).map(Workload::Synthetic)
+        } else {
+            benchmark_by_name(name)
+                .map(Workload::Bench)
+                .ok_or_else(|| format!("unknown benchmark {name:?} (not a workgen: spec either)"))
+        }
+    }
+
+    /// The name cells are keyed by: paper spelling for benchmarks, the
+    /// canonical spec string for synthetics.
+    pub fn full_name(&self) -> String {
+        match self {
+            Workload::Bench(b) => b.full_name(),
+            Workload::Synthetic(s) => s.to_string(),
+        }
+    }
+
+    /// The workload as a replayable [`TraceSource`] pinned to a budget and
+    /// seed. Benchmark sources generate (and cache) their trace on first
+    /// use; synthetic sources hold no instruction storage at all.
+    pub fn source(&self, budget: usize, seed: u64) -> Box<dyn TraceSource + Send> {
+        match self {
+            Workload::Bench(b) => Box::new(BenchSource::new(*b, budget, seed)),
+            Workload::Synthetic(s) => Box::new(SynthSource::new(*s, seed, budget as u64)),
+        }
+    }
+}
 
 /// Sweep parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -20,6 +69,9 @@ pub struct SweepConfig {
     pub budget: usize,
     /// Workload generation seed.
     pub seed: u64,
+    /// Workload names — benchmark names and/or `workgen:` specs (empty =
+    /// all fourteen benchmarks).
+    pub workloads: Vec<String>,
     /// Designs to run (paper order by default).
     pub designs: Vec<String>,
     /// Halve the miss penalties (the Figure 14 variant runs).
@@ -34,9 +86,25 @@ impl SweepConfig {
         SweepConfig {
             budget,
             seed,
-            designs: DesignKind::ALL.iter().map(|d| d.name().to_string()).collect(),
+            workloads: Vec::new(),
+            designs: DesignKind::ALL
+                .iter()
+                .map(|d| d.name().to_string())
+                .collect(),
             halved_miss_penalty: false,
             threads: 0,
+        }
+    }
+
+    /// Resolves the configured workload list (empty = every benchmark).
+    pub fn workload_list(&self) -> Result<Vec<Workload>, String> {
+        if self.workloads.is_empty() {
+            Ok(all_benchmarks().into_iter().map(Workload::Bench).collect())
+        } else {
+            self.workloads
+                .iter()
+                .map(|n| Workload::by_name(n))
+                .collect()
         }
     }
 
@@ -54,12 +122,12 @@ impl SweepConfig {
     }
 }
 
-/// Results of one sweep: `(benchmark full name, design) → RunStats`.
+/// Results of one sweep: `(workload full name, design) → RunStats`.
 #[derive(Debug)]
 pub struct Sweep {
     /// Config the sweep ran with.
     pub config: SweepConfig,
-    /// Benchmarks in paper order.
+    /// Workload names in request order (benchmarks keep paper order).
     pub benchmarks: Vec<String>,
     /// Designs in requested order.
     pub designs: Vec<DesignKind>,
@@ -103,29 +171,56 @@ pub fn run_cell(trace: &Trace, design: DesignKind, halved: bool) -> RunStats {
     run_trace(trace, cache.as_mut(), &PipelineConfig::paper())
 }
 
-/// Generates all traces (in parallel) and runs every benchmark × design
-/// cell (in parallel).
+/// Runs one cell from a streaming [`TraceSource`] — the workload never
+/// needs to exist as a materialized `Trace`.
+pub fn run_cell_source(source: &dyn TraceSource, design: DesignKind, halved: bool) -> RunStats {
+    let mut cache = build_design(design);
+    if halved {
+        let lat = cache.latencies().halved_miss_penalty();
+        cache.set_latencies(lat);
+    }
+    run_source(source, cache.as_mut(), &PipelineConfig::paper())
+}
+
+/// Runs the configured workloads (all benchmarks unless
+/// [`SweepConfig::workloads`] names a subset or adds `workgen:` specs)
+/// against every design, in parallel.
 pub fn run_sweep(config: &SweepConfig) -> Sweep {
-    run_sweep_on(&all_benchmarks(), config)
+    let workloads = config
+        .workload_list()
+        .unwrap_or_else(|e| panic!("bad sweep workload: {e}"));
+    run_sweep_workloads(&workloads, config)
 }
 
 /// Sweep over an explicit benchmark subset.
 pub fn run_sweep_on(benchmarks: &[Benchmark], config: &SweepConfig) -> Sweep {
+    let workloads: Vec<Workload> = benchmarks.iter().map(|&b| Workload::Bench(b)).collect();
+    run_sweep_workloads(&workloads, config)
+}
+
+/// Sweep over an explicit workload list — benchmarks and synthetics mix
+/// freely. Every workload × design cell runs in parallel; each cell
+/// streams its source through a fresh hierarchy.
+pub fn run_sweep_workloads(workloads: &[Workload], config: &SweepConfig) -> Sweep {
     let designs = config.design_kinds();
     let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
     } else {
         config.threads
     };
 
-    // Phase 1: generate traces in parallel.
-    let traces: Vec<Arc<Trace>> = parallel_map(benchmarks, threads, |b| {
-        Arc::new(b.trace(config.budget, config.seed))
-    });
+    // Sources are lazy: a benchmark generates (and caches) its trace on
+    // first stream, a synthetic regenerates per stream. Either way the
+    // cells below share them read-only.
+    let sources: Vec<Box<dyn TraceSource + Send>> = workloads
+        .iter()
+        .map(|w| w.source(config.budget, config.seed))
+        .collect();
 
-    // Phase 2: run all cells in parallel.
     let mut jobs: Vec<(usize, DesignKind)> = Vec::new();
-    for (i, _) in benchmarks.iter().enumerate() {
+    for (i, _) in workloads.iter().enumerate() {
         for &d in &designs {
             jobs.push((i, d));
         }
@@ -133,13 +228,13 @@ pub fn run_sweep_on(benchmarks: &[Benchmark], config: &SweepConfig) -> Sweep {
     let halved = config.halved_miss_penalty;
     let results: Vec<((String, &'static str), RunStats)> =
         parallel_map(&jobs, threads, |&(i, d)| {
-            let stats = run_cell(&traces[i], d, halved);
-            ((benchmarks[i].full_name(), d.name()), stats)
+            let stats = run_cell_source(sources[i].as_ref(), d, halved);
+            ((workloads[i].full_name(), d.name()), stats)
         });
 
     Sweep {
         config: config.clone(),
-        benchmarks: benchmarks.iter().map(|b| b.full_name()).collect(),
+        benchmarks: workloads.iter().map(|w| w.full_name()).collect(),
         designs,
         cells: results.into_iter().collect(),
     }
@@ -147,7 +242,7 @@ pub fn run_sweep_on(benchmarks: &[Benchmark], config: &SweepConfig) -> Sweep {
 
 /// Order-preserving parallel map over a slice using scoped threads and a
 /// shared work queue.
-fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
+pub(crate) fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
     items: &[T],
     threads: usize,
     f: F,
@@ -156,9 +251,9 @@ fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
     let next = std::sync::atomic::AtomicUsize::new(0);
     let out: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
     let workers = threads.min(n.max(1));
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -167,8 +262,7 @@ fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
                 out.lock().expect("poisoned")[i] = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
+    });
     out.into_inner()
         .expect("poisoned")
         .into_iter()
@@ -234,9 +328,54 @@ mod tests {
         cfg.halved_miss_penalty = true;
         let halved = run_sweep_on(&benches, &cfg);
         let b = &normal.benchmarks[0];
-        assert!(
-            halved.cell(b, DesignKind::Bc).cycles < normal.cell(b, DesignKind::Bc).cycles
-        );
+        assert!(halved.cell(b, DesignKind::Bc).cycles < normal.cell(b, DesignKind::Bc).cycles);
+    }
+
+    #[test]
+    fn workload_by_name_resolves_benchmarks_and_specs() {
+        assert!(matches!(
+            Workload::by_name("health").unwrap(),
+            Workload::Bench(_)
+        ));
+        let w = Workload::by_name("workgen:addr=zipf,small=0.6").unwrap();
+        assert!(matches!(w, Workload::Synthetic(_)));
+        assert!(w.full_name().starts_with("workgen:addr=zipf"));
+        assert!(Workload::by_name("nonesuch").is_err());
+        assert!(Workload::by_name("workgen:addr=bogus").is_err());
+    }
+
+    #[test]
+    fn mixed_sweep_covers_synthetic_and_bench_cells() {
+        let workloads = [
+            Workload::by_name("treeadd").unwrap(),
+            Workload::by_name("workgen:addr=uniform,small=0.5,footprint=4096").unwrap(),
+        ];
+        let s = run_sweep_workloads(&workloads, &tiny_config());
+        assert_eq!(s.benchmarks.len(), 2);
+        for b in &s.benchmarks {
+            for d in DesignKind::ALL {
+                assert!(s.cell(b, d).cycles > 0, "{b}/{}", d.name());
+            }
+        }
+        // Synthetic cells are deterministic: a rerun reproduces cycles.
+        let s2 = run_sweep_workloads(&workloads, &tiny_config());
+        for b in &s.benchmarks {
+            assert_eq!(
+                s.cell(b, DesignKind::Cpp).cycles,
+                s2.cell(b, DesignKind::Cpp).cycles
+            );
+        }
+    }
+
+    #[test]
+    fn config_workload_list_accepts_specs() {
+        let mut c = tiny_config();
+        assert_eq!(c.workload_list().unwrap().len(), 14);
+        c.workloads = vec!["mst".into(), "workgen:addr=seq".into()];
+        let l = c.workload_list().unwrap();
+        assert_eq!(l.len(), 2);
+        c.workloads = vec!["bogus".into()];
+        assert!(c.workload_list().is_err());
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! [`ProgramCtx::at`] so loop bodies reuse PCs and the branch predictor and
 //! I-cache see realistic streams.
 
-use crate::{Addr, Inst, Op, Trace, Word, LAT_FALU, LAT_FDIV, LAT_FMUL, LAT_IALU, LAT_IDIV, LAT_IMUL};
+use crate::{
+    Addr, Inst, Op, Trace, Word, LAT_FALU, LAT_FDIV, LAT_FMUL, LAT_IALU, LAT_IDIV, LAT_IMUL,
+};
 use ccp_mem::MainMemory;
 
 /// A dataflow handle: the producing instruction's index + 1, with 0 meaning

@@ -21,9 +21,11 @@
 
 pub mod builder;
 pub mod serialize;
+pub mod source;
 pub mod workloads;
 
 pub use builder::{ProgramCtx, H};
+pub use source::{profile_source_values, BenchSource, TraceSource};
 pub use workloads::{all_benchmarks, benchmark_by_name, extra_benchmarks, Benchmark, Suite};
 
 use ccp_mem::MainMemory;
@@ -191,10 +193,8 @@ impl Trace {
                 }
             }
             match i.op {
-                Op::Load { addr } | Op::Store { addr, .. } => {
-                    if addr & 3 != 0 {
-                        return Err(format!("inst {n}: unaligned address {addr:#x}"));
-                    }
+                Op::Load { addr } | Op::Store { addr, .. } if addr & 3 != 0 => {
+                    return Err(format!("inst {n}: unaligned address {addr:#x}"));
                 }
                 _ => {}
             }

@@ -77,9 +77,7 @@ pub fn write_trace<W: Write>(trace: &Trace, w: &mut W) -> io::Result<()> {
             Op::IAlu { lat } => (TAG_IALU, u64::from(lat)),
             Op::FAlu { lat } => (TAG_FALU, u64::from(lat)),
             Op::Load { addr } => (TAG_LOAD, u64::from(addr)),
-            Op::Store { addr, value } => {
-                (TAG_STORE, u64::from(addr) | (u64::from(value) << 32))
-            }
+            Op::Store { addr, value } => (TAG_STORE, u64::from(addr) | (u64::from(value) << 32)),
             Op::Branch { taken } => (TAG_BRANCH, u64::from(taken)),
         };
         w.write_all(&[tag])?;

@@ -67,20 +67,76 @@ impl Benchmark {
 /// All fourteen benchmarks in the paper's presentation order.
 pub fn all_benchmarks() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "bisort", suite: Suite::Olden, generate: olden::bisort },
-        Benchmark { name: "em3d", suite: Suite::Olden, generate: olden::em3d },
-        Benchmark { name: "health", suite: Suite::Olden, generate: olden::health },
-        Benchmark { name: "mst", suite: Suite::Olden, generate: olden::mst },
-        Benchmark { name: "perimeter", suite: Suite::Olden, generate: olden::perimeter },
-        Benchmark { name: "power", suite: Suite::Olden, generate: olden::power },
-        Benchmark { name: "treeadd", suite: Suite::Olden, generate: olden::treeadd },
-        Benchmark { name: "tsp", suite: Suite::Olden, generate: olden::tsp },
-        Benchmark { name: "099.go", suite: Suite::Spec95, generate: spec::go },
-        Benchmark { name: "129.compress", suite: Suite::Spec95, generate: spec::compress },
-        Benchmark { name: "130.li", suite: Suite::Spec95, generate: spec::li },
-        Benchmark { name: "181.mcf", suite: Suite::Spec2000, generate: spec::mcf },
-        Benchmark { name: "197.parser", suite: Suite::Spec2000, generate: spec::parser },
-        Benchmark { name: "300.twolf", suite: Suite::Spec2000, generate: spec::twolf },
+        Benchmark {
+            name: "bisort",
+            suite: Suite::Olden,
+            generate: olden::bisort,
+        },
+        Benchmark {
+            name: "em3d",
+            suite: Suite::Olden,
+            generate: olden::em3d,
+        },
+        Benchmark {
+            name: "health",
+            suite: Suite::Olden,
+            generate: olden::health,
+        },
+        Benchmark {
+            name: "mst",
+            suite: Suite::Olden,
+            generate: olden::mst,
+        },
+        Benchmark {
+            name: "perimeter",
+            suite: Suite::Olden,
+            generate: olden::perimeter,
+        },
+        Benchmark {
+            name: "power",
+            suite: Suite::Olden,
+            generate: olden::power,
+        },
+        Benchmark {
+            name: "treeadd",
+            suite: Suite::Olden,
+            generate: olden::treeadd,
+        },
+        Benchmark {
+            name: "tsp",
+            suite: Suite::Olden,
+            generate: olden::tsp,
+        },
+        Benchmark {
+            name: "099.go",
+            suite: Suite::Spec95,
+            generate: spec::go,
+        },
+        Benchmark {
+            name: "129.compress",
+            suite: Suite::Spec95,
+            generate: spec::compress,
+        },
+        Benchmark {
+            name: "130.li",
+            suite: Suite::Spec95,
+            generate: spec::li,
+        },
+        Benchmark {
+            name: "181.mcf",
+            suite: Suite::Spec2000,
+            generate: spec::mcf,
+        },
+        Benchmark {
+            name: "197.parser",
+            suite: Suite::Spec2000,
+            generate: spec::parser,
+        },
+        Benchmark {
+            name: "300.twolf",
+            suite: Suite::Spec2000,
+            generate: spec::twolf,
+        },
     ]
 }
 
@@ -89,8 +145,16 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
 /// extension experiments.
 pub fn extra_benchmarks() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "bh", suite: Suite::Olden, generate: olden::bh },
-        Benchmark { name: "voronoi", suite: Suite::Olden, generate: olden::voronoi },
+        Benchmark {
+            name: "bh",
+            suite: Suite::Olden,
+            generate: olden::bh,
+        },
+        Benchmark {
+            name: "voronoi",
+            suite: Suite::Olden,
+            generate: olden::voronoi,
+        },
     ]
 }
 
@@ -100,12 +164,15 @@ pub fn extra_benchmarks() -> Vec<Benchmark> {
 /// program name (`"mcf"`).
 pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
     let lower = name.to_ascii_lowercase();
-    all_benchmarks().into_iter().chain(extra_benchmarks()).find(|b| {
-        let full = b.full_name().to_ascii_lowercase();
-        let short = b.name.to_ascii_lowercase();
-        let bare = short.rsplit('.').next().unwrap_or(&short);
-        full == lower || short == lower || bare == lower
-    })
+    all_benchmarks()
+        .into_iter()
+        .chain(extra_benchmarks())
+        .find(|b| {
+            let full = b.full_name().to_ascii_lowercase();
+            let short = b.name.to_ascii_lowercase();
+            let bare = short.rsplit('.').next().unwrap_or(&short);
+            full == lower || short == lower || bare == lower
+        })
 }
 
 #[cfg(test)]

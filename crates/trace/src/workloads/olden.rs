@@ -110,26 +110,31 @@ pub fn em3d(budget: usize, seed: u64) -> Trace {
         e_nodes.push(heap.alloc_aligned(32, 32));
         h_nodes.push(heap.alloc_aligned(32, 32));
     }
-    let init_side = |side: &Vec<u32>, other: &Vec<u32>, rng: &mut SmallRng, ctx: &mut ProgramCtx| {
-        for (i, &a) in side.iter().enumerate() {
-            ctx.init_write(a, big(rng)); // value
-            for k in 0..3 {
-                // Dependencies are local in the mesh: ±16 nodes.
-                let j = (i as i64 + rng.gen_range(-16i64..=16))
-                    .rem_euclid(other.len() as i64) as usize;
-                ctx.init_write(a + 4 + k * 4, other[j]); // from pointers
-                ctx.init_write(a + 16 + k * 4, big(rng)); // coefficients
+    let init_side =
+        |side: &Vec<u32>, other: &Vec<u32>, rng: &mut SmallRng, ctx: &mut ProgramCtx| {
+            for (i, &a) in side.iter().enumerate() {
+                ctx.init_write(a, big(rng)); // value
+                for k in 0..3 {
+                    // Dependencies are local in the mesh: ±16 nodes.
+                    let j = (i as i64 + rng.gen_range(-16i64..=16)).rem_euclid(other.len() as i64)
+                        as usize;
+                    ctx.init_write(a + 4 + k * 4, other[j]); // from pointers
+                    ctx.init_write(a + 16 + k * 4, big(rng)); // coefficients
+                }
+                ctx.init_write(a + 28, 3); // degree (small)
             }
-            ctx.init_write(a + 28, 3); // degree (small)
-        }
-    };
+        };
     init_side(&e_nodes, &h_nodes, &mut rng, &mut ctx);
     init_side(&h_nodes, &e_nodes, &mut rng, &mut ctx);
 
     let body = ctx.label();
     let mut phase = 0usize;
     while ctx.len() < budget {
-        let side = if phase % 2 == 0 { &e_nodes } else { &h_nodes };
+        let side = if phase.is_multiple_of(2) {
+            &e_nodes
+        } else {
+            &h_nodes
+        };
         for &a in side {
             if ctx.len() >= budget {
                 break;
@@ -166,7 +171,9 @@ pub fn health(budget: usize, seed: u64) -> Trace {
     // Village: {list_head, patient_count, parent, pad} — 16 B.
     // Patient: {next, time, id, data} — 16 B (paper Figure 5 layout).
     let n_villages = 256u32;
-    let villages: Vec<u32> = (0..n_villages).map(|_| heap.alloc_aligned(16, 16)).collect();
+    let villages: Vec<u32> = (0..n_villages)
+        .map(|_| heap.alloc_aligned(16, 16))
+        .collect();
     for (i, &v) in villages.iter().enumerate() {
         let parent = if i == 0 { 0 } else { villages[(i - 1) / 4] };
         // Build this village's patient list.
@@ -176,9 +183,9 @@ pub fn health(budget: usize, seed: u64) -> Trace {
             let a = heap.alloc_aligned(16, 16);
             ctx.init_write(a, head); // next
             ctx.init_write(a + 4, small(&mut rng, 100)); // time
-            // Type tag: only ~1/8 of patients are "type T" whose large
-            // info field the traversal must touch (paper Figure 5's point);
-            // about half are in treatment and get their time updated.
+                                                         // Type tag: only ~1/8 of patients are "type T" whose large
+                                                         // info field the traversal must touch (paper Figure 5's point);
+                                                         // about half are in treatment and get their time updated.
             let id = if p % 8 == 0 { 0 } else { 1 + (p & 1) };
             ctx.init_write(a + 8, id); // type/id (small)
             ctx.init_write(a + 12, big(&mut rng)); // data (large)
@@ -227,7 +234,7 @@ pub fn health(budget: usize, seed: u64) -> Trace {
             }
         }
         // Occasionally transfer the head patient to the parent village.
-        if vi % 7 == 0 {
+        if vi.is_multiple_of(7) {
             let (hpar, parent) = ctx.load(v + 8, H::NONE);
             if parent != 0 {
                 let (hh2, head2) = ctx.load(v, H::NONE);
@@ -294,7 +301,7 @@ pub fn mst(budget: usize, seed: u64) -> Trace {
         };
         // Periodically restart the vertex's best-edge search (each MST
         // round rescans with a fresh minimum).
-        if iter % 16 == 0 {
+        if iter.is_multiple_of(16) {
             let reset = ctx.alu(H::NONE, H::NONE);
             ctx.store(verts[vi] + 4, 16000, H::NONE, reset);
         }
@@ -345,7 +352,9 @@ pub fn perimeter(budget: usize, seed: u64) -> Trace {
         depth: u32,
     ) -> u32 {
         let a = heap.alloc_aligned(32, 32);
-        let is_leaf = depth == 0 || rng.gen_bool(0.3);
+        // The root is always internal: a leaf root degenerates every descent
+        // into a store-free spin for unlucky seeds.
+        let is_leaf = depth == 0 || (depth < 8 && rng.gen_bool(0.3));
         ctx.init_write(a, if is_leaf { rng.gen_range(1..3) } else { 0 });
         for k in 0..4 {
             let c = if is_leaf {
@@ -394,7 +403,7 @@ pub fn perimeter(budget: usize, seed: u64) -> Trace {
             accum = (accum + 4) & 0x3FFF;
             ctx.store(stack_base + (depth % 64) * 4, accum, H::NONE, total);
             depth += 1;
-            let pick = rng.gen_range(0..4);
+            let pick = rng.gen_range(0..4usize);
             if children[pick] == 0 {
                 break;
             }
@@ -487,10 +496,23 @@ pub fn treeadd(budget: usize, seed: u64) -> Trace {
     // Node: {left, right, value, pad}, allocated in depth-first order as
     // the original's recursive TreeAlloc does — a node's left child is its
     // immediate heap neighbour, so child pointers usually share the chunk.
-    fn build(heap: &mut ChunkAllocator, ctx: &mut ProgramCtx, rng: &mut SmallRng, depth: u32) -> u32 {
+    fn build(
+        heap: &mut ChunkAllocator,
+        ctx: &mut ProgramCtx,
+        rng: &mut SmallRng,
+        depth: u32,
+    ) -> u32 {
         let a = heap.alloc_aligned(16, 16);
-        let l = if depth > 1 { build(heap, ctx, rng, depth - 1) } else { 0 };
-        let r = if depth > 1 { build(heap, ctx, rng, depth - 1) } else { 0 };
+        let l = if depth > 1 {
+            build(heap, ctx, rng, depth - 1)
+        } else {
+            0
+        };
+        let r = if depth > 1 {
+            build(heap, ctx, rng, depth - 1)
+        } else {
+            0
+        };
         ctx.init_write(a, l);
         ctx.init_write(a + 4, r);
         ctx.init_write(a + 8, small(rng, 100));

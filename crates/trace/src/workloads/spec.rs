@@ -23,10 +23,10 @@ pub fn go(budget: usize, seed: u64) -> Trace {
     let mut ctx = ProgramCtx::new("spec95.099.go");
     let board_base = 0x2000_0000u32;
     let dim = 32u32; // padded 19x19 board
-    // Board of small stone values; a few auxiliary boards (liberty counts,
-    // group ids) as the original keeps.
-    // Staggered by an extra line so the three boards do not alias in the
-    // direct-mapped L1 (the original's globals are padded apart similarly).
+                     // Board of small stone values; a few auxiliary boards (liberty counts,
+                     // group ids) as the original keeps.
+                     // Staggered by an extra line so the three boards do not alias in the
+                     // direct-mapped L1 (the original's globals are padded apart similarly).
     let aux_base = board_base + dim * dim * 4 + 64;
     let group_base = aux_base + dim * dim * 4 + 1024;
     for i in 0..dim * dim {
@@ -109,7 +109,7 @@ pub fn compress(budget: usize, seed: u64) -> Trace {
     // Table entry: {code, prefix} pairs, pre-filled with residue from the
     // previous block: codes past the 16-bit range and raw data words.
     for i in 0..table_size {
-        ctx.init_write(table_base + i * 8, 0x1_0000 + rng.gen_range(0..0x8000));
+        ctx.init_write(table_base + i * 8, 0x1_0000 + rng.gen_range(0..0x8000u32));
         ctx.init_write(table_base + i * 8 + 4, rng.gen::<u32>());
     }
 

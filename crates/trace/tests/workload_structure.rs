@@ -53,7 +53,10 @@ fn treeadd_tree_is_a_proper_binary_tree() {
     let mut nodes = 0u32;
     let mut seen = std::collections::HashSet::new();
     while let Some(p) = stack.pop() {
-        assert!(seen.insert(p), "node {p:#x} reached twice — tree has sharing");
+        assert!(
+            seen.insert(p),
+            "node {p:#x} reached twice — tree has sharing"
+        );
         nodes += 1;
         for field in [0u32, 4] {
             let child = mem.read(p + field);

@@ -17,9 +17,7 @@ fn main() {
         .unwrap_or(150_000);
     let cfg = PipelineConfig::paper();
 
-    println!(
-        "CPP execution time relative to BC, per core model ({budget} instructions)\n"
-    );
+    println!("CPP execution time relative to BC, per core model ({budget} instructions)\n");
     println!(
         "{:22} {:>12} {:>12} {:>24}",
         "benchmark", "OOO", "in-order", "where the win comes from"
@@ -36,9 +34,8 @@ fn main() {
 
         let mut bc = build_design(DesignKind::Bc);
         let mut cpp = build_design(DesignKind::Cpp);
-        let ooo =
-            run_trace(&trace, cpp.as_mut(), &cfg).cycles as f64
-                / run_trace(&trace, bc.as_mut(), &cfg).cycles as f64;
+        let ooo = run_trace(&trace, cpp.as_mut(), &cfg).cycles as f64
+            / run_trace(&trace, bc.as_mut(), &cfg).cycles as f64;
 
         let mut bc2 = build_design(DesignKind::Bc);
         let mut cpp2 = build_design(DesignKind::Cpp);

@@ -26,7 +26,11 @@ const NODES: u32 = 4096; // 64 KB of list: larger than L1, fits L2
 fn build_list(mem: &mut MainMemory) {
     for i in 0..NODES {
         let a = HEAP + i * 16;
-        let next = if i + 1 < NODES { HEAP + (i + 1) * 16 } else { 0 };
+        let next = if i + 1 < NODES {
+            HEAP + (i + 1) * 16
+        } else {
+            0
+        };
         mem.write(a, next); // next pointer        (compressible)
         mem.write(a + 4, i % 3); // type tag       (small)
         mem.write(a + 8, 0x8000_0000 | (i * 0x0001_0001)); // info (large)

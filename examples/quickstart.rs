@@ -37,7 +37,10 @@ fn main() {
         .find(|(k, _)| *k == DesignKind::Bc)
         .map(|(_, s)| (s.cycles, s.hierarchy.memory_traffic_halfwords()))
         .expect("BC present");
-    println!("\n{:6} {:>10} {:>8} {:>10} {:>9} {:>9}", "design", "cycles", "rel", "L1 misses", "traffic", "rel");
+    println!(
+        "\n{:6} {:>10} {:>8} {:>10} {:>9} {:>9}",
+        "design", "cycles", "rel", "L1 misses", "traffic", "rel"
+    );
     for (kind, s) in &results {
         println!(
             "{:6} {:>10} {:>7.1}% {:>10} {:>9} {:>8.1}%",

@@ -19,6 +19,8 @@
 //! * [`cpp`] — the paper's contribution, the CPP hierarchy (§3),
 //! * [`pipeline`] — a 4-issue out-of-order timing model (Figure 9),
 //! * [`trace`] — fourteen synthetic Olden/SPEC-like workload generators,
+//! * [`workgen`] — composable streaming synthetic-workload generation
+//!   (address × value × mix parameter spaces),
 //! * [`sim`] — the experiment harness regenerating Figures 3 and 9–15.
 //!
 //! ## Quickstart
@@ -43,6 +45,7 @@ pub use ccp_mem as mem;
 pub use ccp_pipeline as pipeline;
 pub use ccp_sim as sim;
 pub use ccp_trace as trace;
+pub use ccp_workgen as workgen;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -55,7 +58,8 @@ pub mod prelude {
     pub use ccp_mem::MainMemory;
     pub use ccp_pipeline::{run_trace, PipelineConfig, RunStats};
     pub use ccp_sim::{build_design, run_sweep, SweepConfig};
-    pub use ccp_trace::{all_benchmarks, benchmark_by_name, Trace};
+    pub use ccp_trace::{all_benchmarks, benchmark_by_name, Trace, TraceSource};
+    pub use ccp_workgen::{SynthSource, WorkgenSpec};
 }
 
 #[cfg(test)]
@@ -69,5 +73,15 @@ mod tests {
         let r = cpp.read(0x1000);
         assert_eq!(r.value, 5);
         assert!(is_compressible(5, 0x1000));
+    }
+
+    #[test]
+    fn facade_exposes_workgen_sources() {
+        let spec = WorkgenSpec::parse("workgen:addr=seq,footprint=64").unwrap();
+        let source = SynthSource::new(spec, 1, 500);
+        assert_eq!(source.stream().count(), 500);
+        let mut cpp = CppHierarchy::paper();
+        let stats = crate::pipeline::run_source(&source, &mut cpp, &PipelineConfig::paper());
+        assert_eq!(stats.instructions, 500);
     }
 }

@@ -95,7 +95,7 @@ fn bcp_reduces_misses_but_costs_traffic_somewhere() {
         let bc = s.cell(b, DesignKind::Bc);
         let bcp = s.cell(b, DesignKind::Bcp);
         let bc_all = bc.hierarchy.l1.misses();
-        let bcp_all = bcp.hierarchy.l1.misses() ;
+        let bcp_all = bcp.hierarchy.l1.misses();
         assert!(
             bcp_all <= bc_all,
             "{b}: prefetch-buffer hits must not count as misses"
