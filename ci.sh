@@ -21,4 +21,26 @@ cargo build --release
 echo "== tier-1: cargo test"
 cargo test -q
 
+echo "== chaos smoke: fault injection is detected, no false positives"
+./target/release/trace-tool chaos --workload health --workload mst --budget 8000
+
+echo "== resume round-trip: interrupted + resumed sweep == uninterrupted"
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+SWEEP_ARGS="--budget 2000 --seed 7 --workloads health,mst --designs BC,CPP"
+# Phase 1: "crash" after 2 of 4 cells (exit 3 = incomplete, by design).
+set +e
+./target/release/ccp-sim sweep $SWEEP_ARGS --max-cells 2 \
+    --checkpoint "$SCRATCH/ck.jsonl" > "$SCRATCH/interrupted.txt"
+status=$?
+set -e
+[ "$status" -eq 3 ] || { echo "expected exit 3 (incomplete), got $status"; exit 1; }
+# Phase 2: resume finishes the grid; phase 3: an uninterrupted reference.
+./target/release/ccp-sim sweep $SWEEP_ARGS --resume "$SCRATCH/ck.jsonl" \
+    --json "$SCRATCH/resumed.json" > "$SCRATCH/resumed.txt"
+./target/release/ccp-sim sweep $SWEEP_ARGS \
+    --json "$SCRATCH/fresh.json" > "$SCRATCH/fresh.txt"
+cmp "$SCRATCH/resumed.txt" "$SCRATCH/fresh.txt"
+cmp "$SCRATCH/resumed.json" "$SCRATCH/fresh.json"
+
 echo "CI OK"

@@ -41,7 +41,7 @@ pub fn subset() -> Vec<Benchmark> {
 pub fn bench_sweep(halved: bool) -> Sweep {
     let mut cfg = SweepConfig::new(BENCH_BUDGET, BENCH_SEED);
     cfg.halved_miss_penalty = halved;
-    run_sweep_on(&subset(), &cfg)
+    run_sweep_on(&subset(), &cfg).expect("bench sweep")
 }
 
 #[cfg(test)]

@@ -84,6 +84,13 @@ impl DesignKind {
             DesignKind::Cpp => "CPP",
         }
     }
+
+    /// Resolves a design by its figure name, case-insensitively.
+    pub fn from_name(name: &str) -> Option<DesignKind> {
+        Self::ALL
+            .into_iter()
+            .find(|d| d.name().eq_ignore_ascii_case(name.trim()))
+    }
 }
 
 /// Full configuration of one hierarchy instance.
@@ -194,6 +201,16 @@ mod tests {
     fn design_names_match_paper() {
         let names: Vec<_> = DesignKind::ALL.iter().map(|d| d.name()).collect();
         assert_eq!(names, ["BC", "BCC", "HAC", "BCP", "CPP"]);
+    }
+
+    #[test]
+    fn from_name_roundtrips_and_ignores_case() {
+        for d in DesignKind::ALL {
+            assert_eq!(DesignKind::from_name(d.name()), Some(d));
+            assert_eq!(DesignKind::from_name(&d.name().to_lowercase()), Some(d));
+        }
+        assert_eq!(DesignKind::from_name(" cpp "), Some(DesignKind::Cpp));
+        assert_eq!(DesignKind::from_name("xyz"), None);
     }
 
     #[test]

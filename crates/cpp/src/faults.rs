@@ -1,0 +1,702 @@
+//! Fault injection and exhaustive invariant validation for the CPP
+//! hierarchy.
+//!
+//! Production memory-compression systems treat metadata corruption as a
+//! first-class failure mode: a flipped flag bit or a corrupted compressed
+//! word must be *detected*, not silently decoded into wrong data. This
+//! module provides the two halves of that argument for the simulator:
+//!
+//! * [`FaultInjector`] — deterministic, seeded injection of each corruption
+//!   class the paper's metadata admits: `PA`/`VCP`/`AA` flag corruption,
+//!   compressed-word bit flips, and affiliated-pairing (one-copy)
+//!   violations.
+//! * [`InvariantChecker`] — a validator that walks both levels and reports
+//!   *every* violation (unlike [`crate::CppHierarchy::check_invariants`],
+//!   which stops at the first): flag-structure consistency, flag/value
+//!   agreement, `tag ^ 0x1` pairing rules, and compress/decompress
+//!   round-trips of every word held in a compressed half-slot.
+//!
+//! The chaos harness (`trace-tool chaos`) runs a clean workload, asserts
+//! the checker reports nothing (no false positives), then injects each
+//! fault class and asserts the checker reports it (no false negatives).
+
+use crate::level::compress_mask;
+use crate::CppHierarchy;
+use ccp_cache::Addr;
+use ccp_compress::{is_compressible, roundtrips};
+use ccp_errors::{SimError, SimResult};
+use ccp_mem::MainMemory;
+
+/// The corruption classes the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Corrupt a primary-availability (`PA`) bit.
+    PaFlag,
+    /// Corrupt a value-compressed (`VCP`) bit.
+    VcpFlag,
+    /// Corrupt an affiliated-availability (`AA`) bit.
+    AaFlag,
+    /// Flip a high bit of a word held in compressed form, so its stored
+    /// 16-bit encoding can no longer represent it.
+    BitFlip,
+    /// Violate the affiliated-pairing one-copy rule: mark a line's pair as
+    /// affiliated content while the pair is also primary-resident.
+    Pairing,
+}
+
+impl FaultKind {
+    /// Every fault class, in injection-report order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::PaFlag,
+        FaultKind::VcpFlag,
+        FaultKind::AaFlag,
+        FaultKind::BitFlip,
+        FaultKind::Pairing,
+    ];
+
+    /// Short CLI name (`pa`, `vcp`, `aa`, `bitflip`, `pairing`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::PaFlag => "pa",
+            FaultKind::VcpFlag => "vcp",
+            FaultKind::AaFlag => "aa",
+            FaultKind::BitFlip => "bitflip",
+            FaultKind::Pairing => "pairing",
+        }
+    }
+
+    /// Resolves a CLI name, case-insensitively.
+    pub fn by_name(name: &str) -> SimResult<FaultKind> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name.trim()))
+            .ok_or_else(|| SimError::unknown("fault class", name))
+    }
+}
+
+/// What a successful injection did.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// The injected class.
+    pub kind: FaultKind,
+    /// The level injected into (always `"L1"` today — the strict-checked
+    /// level, so every class is detectable).
+    pub level: &'static str,
+    /// Base address of the corrupted line.
+    pub line_base: Addr,
+    /// Word slot involved.
+    pub word: u32,
+    /// Human-readable description of the corruption.
+    pub description: String,
+}
+
+impl std::fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} @ {} line {:#x} word {}: {}",
+            self.kind.name(),
+            self.level,
+            self.line_base,
+            self.word,
+            self.description
+        )
+    }
+}
+
+/// The invariant family a [`Violation`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationClass {
+    /// Per-line flag-structure rules (`VCP ⊆ PA`, `AA ⊆ VCP ∪ ¬PA`,
+    /// no bits beyond the line's words).
+    FlagStructure,
+    /// Flags disagree with architectural values (`VCP` claims an
+    /// incompressible word, or `AA` holds an incompressible pair word).
+    ValueMismatch,
+    /// The `tag ^ 0x1` pairing rules: one-copy violations or a broken
+    /// pair-base involution.
+    Pairing,
+    /// A word held in compressed form does not survive a
+    /// compress → decompress round trip.
+    RoundTrip,
+}
+
+impl ViolationClass {
+    /// Short report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationClass::FlagStructure => "flag-structure",
+            ViolationClass::ValueMismatch => "value-mismatch",
+            ViolationClass::Pairing => "pairing",
+            ViolationClass::RoundTrip => "round-trip",
+        }
+    }
+}
+
+/// One invariant violation found by the checker.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The level it was found in (`"L1"` / `"L2"`).
+    pub level: &'static str,
+    /// Base address of the offending line.
+    pub line_base: Addr,
+    /// The invariant family.
+    pub class: ViolationClass,
+    /// The specific inconsistency.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{} {} line {:#x}] {}",
+            self.level,
+            self.class.name(),
+            self.line_base,
+            self.detail
+        )
+    }
+}
+
+/// Exhaustive invariant validator over a [`CppHierarchy`].
+///
+/// Where [`CppHierarchy::check_invariants`] returns the *first* problem as
+/// a [`SimError`] (the cheap gate simulation tests use), the checker
+/// collects every violation with its class, so the chaos harness can
+/// attribute detection to the right invariant family.
+pub struct InvariantChecker;
+
+impl InvariantChecker {
+    /// Collects every violation in both levels. L1 is checked strictly
+    /// (flags vs. current values); L2 structurally only, since its flags
+    /// describe the line as of its last fill/write-back.
+    pub fn check(h: &CppHierarchy) -> Vec<Violation> {
+        let mut v = Self::check_level(&h.l1, &h.mem, true, "L1");
+        v.extend(Self::check_level(&h.l2, &h.mem, false, "L2"));
+        v
+    }
+
+    /// Asserts a clean hierarchy, converting the first violation into a
+    /// [`SimError::Invariant`].
+    pub fn assert_clean(h: &CppHierarchy) -> SimResult<()> {
+        match Self::check(h).into_iter().next() {
+            None => Ok(()),
+            Some(v) => Err(SimError::invariant(
+                format!("{} line {:#x}", v.level, v.line_base),
+                format!("{}: {}", v.class.name(), v.detail),
+            )),
+        }
+    }
+
+    /// Checks one level; `strict_values` enables the flag/value and
+    /// round-trip families.
+    pub fn check_level(
+        level: &crate::CppLevel,
+        mem: &MainMemory,
+        strict_values: bool,
+        name: &'static str,
+    ) -> Vec<Violation> {
+        let words = level.words();
+        let full = level.full_mask();
+        let mut out = Vec::new();
+        let mut push = |base: Addr, class: ViolationClass, detail: String| {
+            out.push(Violation {
+                level: name,
+                line_base: base,
+                class,
+                detail,
+            });
+        };
+        for (_idx, base) in level.valid_lines() {
+            let f = level.flags(level.lookup_primary(base).expect("valid line"));
+            // Flag structure.
+            if f.pa & !full != 0 || f.vcp & !full != 0 || f.aa & !full != 0 {
+                push(
+                    base,
+                    ViolationClass::FlagStructure,
+                    format!("flag bits beyond {words} words: {f:x?}"),
+                );
+            }
+            if f.vcp & !f.pa != 0 {
+                push(
+                    base,
+                    ViolationClass::FlagStructure,
+                    format!("VCP ⊄ PA: {f:x?}"),
+                );
+            }
+            if f.aa & !(f.vcp | !f.pa) & full != 0 {
+                push(
+                    base,
+                    ViolationClass::FlagStructure,
+                    format!("AA word without a free half-slot: {f:x?}"),
+                );
+            }
+            // Pairing: the affiliation map must be an involution, and a line
+            // may not be primary-resident and affiliated-resident at once.
+            let pair = level.pair_base(base);
+            if level.pair_base(pair) != base {
+                push(
+                    base,
+                    ViolationClass::Pairing,
+                    format!("pair_base not an involution: {base:#x} → {pair:#x}"),
+                );
+            }
+            if f.aa != 0 && level.lookup_primary(pair).is_some() {
+                push(
+                    base,
+                    ViolationClass::Pairing,
+                    format!("one-copy violated: {pair:#x} is primary but also affiliated here"),
+                );
+            }
+            if strict_values {
+                // Flag/value agreement.
+                let comp = compress_mask(mem, base, words);
+                if f.vcp & !comp != 0 {
+                    push(
+                        base,
+                        ViolationClass::ValueMismatch,
+                        format!(
+                            "VCP claims incompressible words (vcp={:#x} comp={comp:#x})",
+                            f.vcp
+                        ),
+                    );
+                }
+                let pair_comp = compress_mask(mem, pair, words);
+                if f.aa & !pair_comp != 0 {
+                    push(
+                        base,
+                        ViolationClass::ValueMismatch,
+                        format!(
+                            "AA holds incompressible pair words (aa={:#x} comp={pair_comp:#x})",
+                            f.aa
+                        ),
+                    );
+                }
+                // Round trips: every word a compressed half-slot claims must
+                // decode back to its architectural value.
+                for i in 0..words {
+                    if f.vcp & (1 << i) != 0 {
+                        let a = base + i * 4;
+                        if !roundtrips(mem.read(a), a) {
+                            push(
+                                base,
+                                ViolationClass::RoundTrip,
+                                format!("VCP word {i} at {a:#x} fails compress round-trip"),
+                            );
+                        }
+                    }
+                    if f.aa & (1 << i) != 0 {
+                        let a = pair + i * 4;
+                        if !roundtrips(mem.read(a), a) {
+                            push(
+                                base,
+                                ViolationClass::RoundTrip,
+                                format!("AA word {i} at {a:#x} fails compress round-trip"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// SplitMix64 — a tiny deterministic generator so injection sites are
+/// reproducible from a seed without pulling `rand` into the library.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index into `0..n` (`n > 0`).
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Deterministic seeded fault injector.
+///
+/// Each injection targets the L1 level (the strictly-checked one, so every
+/// class is detectable by [`InvariantChecker`]) and picks its site
+/// pseudo-randomly from the candidates the current cache state offers. The
+/// same seed over the same hierarchy state always corrupts the same site.
+pub struct FaultInjector {
+    rng: SplitMix64,
+}
+
+impl FaultInjector {
+    /// A new injector with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            rng: SplitMix64(seed),
+        }
+    }
+
+    /// Injects one fault of `kind` into `h`'s L1, returning what was done.
+    ///
+    /// Fails with [`SimError::Invariant`] when the current cache state
+    /// offers no site for the class (e.g. a pairing violation needs a
+    /// resident primary/affiliated pair) — run a workload first.
+    pub fn inject(&mut self, h: &mut CppHierarchy, kind: FaultKind) -> SimResult<FaultReport> {
+        match kind {
+            FaultKind::PaFlag => self.inject_pa(h),
+            FaultKind::VcpFlag => self.inject_vcp(h),
+            FaultKind::AaFlag => self.inject_aa(h),
+            FaultKind::BitFlip => self.inject_bitflip(h),
+            FaultKind::Pairing => self.inject_pairing(h),
+        }
+    }
+
+    fn no_site(kind: FaultKind) -> SimError {
+        SimError::invariant(
+            "fault injection",
+            format!(
+                "no L1 site for fault class {:?} — run a workload first",
+                kind
+            ),
+        )
+    }
+
+    /// Picks one element of a non-empty candidate list.
+    fn choose<T: Copy>(&mut self, candidates: &[T]) -> Option<T> {
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[self.rng.pick(candidates.len())])
+        }
+    }
+
+    /// Clear a `PA` bit that has `VCP` set, breaking `VCP ⊆ PA`; if no line
+    /// holds a compressed word, set a `PA` bit beyond the line's words.
+    fn inject_pa(&mut self, h: &mut CppHierarchy) -> SimResult<FaultReport> {
+        let words = h.l1.words();
+        let mut with_vcp = Vec::new();
+        let mut any = Vec::new();
+        for (idx, base) in h.l1.valid_lines() {
+            let f = h.l1.flags(idx);
+            any.push((idx, base));
+            for i in 0..words {
+                if f.vcp & (1 << i) != 0 {
+                    with_vcp.push((idx, base, i));
+                }
+            }
+        }
+        if let Some((idx, base, i)) = self.choose(&with_vcp) {
+            h.l1.flags_mut(idx).pa &= !(1 << i);
+            return Ok(FaultReport {
+                kind: FaultKind::PaFlag,
+                level: "L1",
+                line_base: base,
+                word: i,
+                description: format!("cleared PA bit {i} under a set VCP bit"),
+            });
+        }
+        let (idx, base) = self
+            .choose(&any)
+            .ok_or_else(|| Self::no_site(FaultKind::PaFlag))?;
+        h.l1.flags_mut(idx).pa |= 1 << words;
+        Ok(FaultReport {
+            kind: FaultKind::PaFlag,
+            level: "L1",
+            line_base: base,
+            word: words,
+            description: format!("set PA bit {words} beyond the {words}-word line"),
+        })
+    }
+
+    /// Set a `VCP` bit over an absent word (`VCP ⊄ PA`), or over a present
+    /// but incompressible word (flag/value mismatch), or beyond the line.
+    fn inject_vcp(&mut self, h: &mut CppHierarchy) -> SimResult<FaultReport> {
+        let words = h.l1.words();
+        let mut absent = Vec::new();
+        let mut incompressible = Vec::new();
+        let mut any = Vec::new();
+        for (idx, base) in h.l1.valid_lines() {
+            let f = h.l1.flags(idx);
+            any.push((idx, base));
+            for i in 0..words {
+                let bit = 1u32 << i;
+                if f.pa & bit == 0 {
+                    absent.push((idx, base, i));
+                } else if f.vcp & bit == 0
+                    && !is_compressible(h.mem.read(base + i * 4), base + i * 4)
+                {
+                    incompressible.push((idx, base, i));
+                }
+            }
+        }
+        if let Some((idx, base, i)) = self.choose(&absent) {
+            h.l1.flags_mut(idx).vcp |= 1 << i;
+            return Ok(FaultReport {
+                kind: FaultKind::VcpFlag,
+                level: "L1",
+                line_base: base,
+                word: i,
+                description: format!("set VCP bit {i} over an absent primary word"),
+            });
+        }
+        if let Some((idx, base, i)) = self.choose(&incompressible) {
+            h.l1.flags_mut(idx).vcp |= 1 << i;
+            return Ok(FaultReport {
+                kind: FaultKind::VcpFlag,
+                level: "L1",
+                line_base: base,
+                word: i,
+                description: format!("set VCP bit {i} over an incompressible word"),
+            });
+        }
+        let (idx, base) = self
+            .choose(&any)
+            .ok_or_else(|| Self::no_site(FaultKind::VcpFlag))?;
+        h.l1.flags_mut(idx).vcp |= 1 << words;
+        Ok(FaultReport {
+            kind: FaultKind::VcpFlag,
+            level: "L1",
+            line_base: base,
+            word: words,
+            description: format!("set VCP bit {words} beyond the {words}-word line"),
+        })
+    }
+
+    /// Set an `AA` bit in a slot with no free half (occupied by an
+    /// uncompressed primary word), or beyond the line.
+    fn inject_aa(&mut self, h: &mut CppHierarchy) -> SimResult<FaultReport> {
+        let words = h.l1.words();
+        let mut no_slot = Vec::new();
+        let mut any = Vec::new();
+        for (idx, base) in h.l1.valid_lines() {
+            let f = h.l1.flags(idx);
+            any.push((idx, base));
+            for i in 0..words {
+                let bit = 1u32 << i;
+                if f.pa & bit != 0 && f.vcp & bit == 0 && f.aa & bit == 0 {
+                    no_slot.push((idx, base, i));
+                }
+            }
+        }
+        if let Some((idx, base, i)) = self.choose(&no_slot) {
+            h.l1.flags_mut(idx).aa |= 1 << i;
+            return Ok(FaultReport {
+                kind: FaultKind::AaFlag,
+                level: "L1",
+                line_base: base,
+                word: i,
+                description: format!("set AA bit {i} in a slot with no free half"),
+            });
+        }
+        let (idx, base) = self
+            .choose(&any)
+            .ok_or_else(|| Self::no_site(FaultKind::AaFlag))?;
+        h.l1.flags_mut(idx).aa |= 1 << words;
+        Ok(FaultReport {
+            kind: FaultKind::AaFlag,
+            level: "L1",
+            line_base: base,
+            word: words,
+            description: format!("set AA bit {words} beyond the {words}-word line"),
+        })
+    }
+
+    /// Flip a high bit of a word some line holds in compressed form, so the
+    /// stored 16-bit encoding no longer represents the architectural value.
+    fn inject_bitflip(&mut self, h: &mut CppHierarchy) -> SimResult<FaultReport> {
+        let words = h.l1.words();
+        let mut compressed = Vec::new();
+        for (idx, base) in h.l1.valid_lines() {
+            let f = h.l1.flags(idx);
+            for i in 0..words {
+                let bit = 1u32 << i;
+                if f.vcp & bit != 0 {
+                    compressed.push((base + i * 4, i));
+                }
+                if f.aa & bit != 0 {
+                    compressed.push((h.l1.pair_base(base) + i * 4, i));
+                }
+            }
+        }
+        // Deterministically rotate the candidate list, then take the first
+        // word where some high-bit flip lands outside the compressible set.
+        if !compressed.is_empty() {
+            let start = self.rng.pick(compressed.len());
+            for k in 0..compressed.len() {
+                let (addr, word) = compressed[(start + k) % compressed.len()];
+                let old = h.mem.read(addr);
+                for b in [30u32, 29, 28, 26, 24, 22, 20, 18] {
+                    let new = old ^ (1 << b);
+                    if !is_compressible(new, addr) {
+                        h.mem.write(addr, new);
+                        return Ok(FaultReport {
+                            kind: FaultKind::BitFlip,
+                            level: "L1",
+                            line_base: addr & !0x3F,
+                            word,
+                            description: format!(
+                                "flipped bit {b} of compressed word at {addr:#x} ({old:#x} → {new:#x})"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Err(Self::no_site(FaultKind::BitFlip))
+    }
+
+    /// Mark a line as holding its pair's words while the pair is also
+    /// primary-resident — a one-copy violation.
+    fn inject_pairing(&mut self, h: &mut CppHierarchy) -> SimResult<FaultReport> {
+        let words = h.l1.words();
+        let mut candidates = Vec::new();
+        for (idx, base) in h.l1.valid_lines() {
+            let pair = h.l1.pair_base(base);
+            if h.l1.lookup_primary(pair).is_some() {
+                candidates.push((idx, base, pair));
+            }
+        }
+        let (idx, base, pair) = self
+            .choose(&candidates)
+            .ok_or_else(|| Self::no_site(FaultKind::Pairing))?;
+        // Prefer a structurally-legal slot holding a compressible pair word,
+        // so the *pairing* rule is the only invariant broken.
+        let f = h.l1.flags(idx);
+        let capacity = f.affiliated_capacity(words) & !f.aa;
+        let pair_comp = compress_mask(&h.mem, pair, words);
+        let mask = if capacity & pair_comp != 0 {
+            capacity & pair_comp
+        } else if capacity != 0 {
+            capacity
+        } else {
+            1
+        };
+        let word = mask.trailing_zeros();
+        h.l1.flags_mut(idx).aa |= 1 << word;
+        Ok(FaultReport {
+            kind: FaultKind::Pairing,
+            level: "L1",
+            line_base: base,
+            word,
+            description: format!(
+                "set AA bit {word} for pair {pair:#x} which is also primary-resident"
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccp_cache::CacheSim;
+
+    /// Populates a hierarchy with neighbouring compressible/incompressible
+    /// lines so every fault class has a site.
+    fn populated() -> CppHierarchy {
+        let mut c = CppHierarchy::paper();
+        for i in 0..64u32 {
+            c.mem_mut().write(0x1_0000 + i * 4, i % 7); // small values
+        }
+        for i in 0..32u32 {
+            c.mem_mut()
+                .write(0x2_0000 + i * 4, 0xDEAD_0000 | (i * 0x11)); // big
+        }
+        for i in 0..(64 * 16) {
+            c.read(0x1_0000 + (i % 64) * 4);
+        }
+        // Two incompressible sibling lines: no affiliated copy can hold
+        // their words, so both stay primary-resident — the state the
+        // pairing fault class needs (their L1 sets don't clash with the
+        // compressed lines kept above: 0x1_0080/0x1_00c0 survive).
+        for i in 0..32u32 {
+            c.read(0x2_0000 + i * 4);
+        }
+        c
+    }
+
+    #[test]
+    fn clean_hierarchy_has_no_violations() {
+        let c = populated();
+        let v = InvariantChecker::check(&c);
+        assert!(v.is_empty(), "false positives: {v:?}");
+        assert!(InvariantChecker::assert_clean(&c).is_ok());
+    }
+
+    #[test]
+    fn every_fault_class_is_detected() {
+        for kind in FaultKind::ALL {
+            let mut c = populated();
+            let mut inj = FaultInjector::new(42);
+            let report = inj.inject(&mut c, kind).expect("site available");
+            let violations = InvariantChecker::check(&c);
+            assert!(
+                !violations.is_empty(),
+                "{kind:?} went undetected ({report})"
+            );
+            assert!(
+                InvariantChecker::assert_clean(&c).is_err(),
+                "{kind:?}: assert_clean missed it"
+            );
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        for kind in FaultKind::ALL {
+            let mut c1 = populated();
+            let mut c2 = populated();
+            let r1 = FaultInjector::new(7).inject(&mut c1, kind).unwrap();
+            let r2 = FaultInjector::new(7).inject(&mut c2, kind).unwrap();
+            assert_eq!(r1.line_base, r2.line_base, "{kind:?}");
+            assert_eq!(r1.word, r2.word, "{kind:?}");
+            assert_eq!(r1.description, r2.description, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn empty_hierarchy_offers_no_sites() {
+        let mut c = CppHierarchy::paper();
+        let mut inj = FaultInjector::new(1);
+        for kind in FaultKind::ALL {
+            assert!(inj.inject(&mut c, kind).is_err(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn fault_kind_names_roundtrip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::by_name(kind.name()).unwrap(), kind);
+        }
+        assert!(FaultKind::by_name("nonesuch").is_err());
+    }
+
+    #[test]
+    fn pairing_injection_reports_pairing_class() {
+        let mut c = populated();
+        FaultInjector::new(3)
+            .inject(&mut c, FaultKind::Pairing)
+            .unwrap();
+        let v = InvariantChecker::check(&c);
+        assert!(
+            v.iter().any(|v| v.class == ViolationClass::Pairing),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn bitflip_injection_reports_value_mismatch() {
+        let mut c = populated();
+        FaultInjector::new(9)
+            .inject(&mut c, FaultKind::BitFlip)
+            .unwrap();
+        let v = InvariantChecker::check(&c);
+        assert!(
+            v.iter().any(|v| v.class == ViolationClass::ValueMismatch),
+            "{v:?}"
+        );
+    }
+}

@@ -71,16 +71,23 @@ impl CppFlags {
 
     /// Verifies the structural invariants; returns a description of the
     /// first violation.
-    pub fn check(&self, words: u32) -> Result<(), String> {
+    pub fn check(&self, words: u32) -> ccp_errors::SimResult<()> {
+        use ccp_errors::SimError;
         let m = mask_n(words);
         if self.pa & !m != 0 || self.vcp & !m != 0 || self.aa & !m != 0 {
-            return Err(format!("flag bits beyond {words} words: {self:x?}"));
+            return Err(SimError::invariant(
+                "",
+                format!("flag bits beyond {words} words: {self:x?}"),
+            ));
         }
         if self.vcp & !self.pa != 0 {
-            return Err(format!("VCP ⊄ PA: {self:x?}"));
+            return Err(SimError::invariant("", format!("VCP ⊄ PA: {self:x?}")));
         }
         if self.aa & !(self.vcp | !self.pa) != 0 {
-            return Err(format!("AA word without a free half-slot: {self:x?}"));
+            return Err(SimError::invariant(
+                "",
+                format!("AA word without a free half-slot: {self:x?}"),
+            ));
         }
         Ok(())
     }

@@ -16,6 +16,7 @@ use ccp_cache::geometry::CacheGeometry;
 use ccp_cache::set_assoc::{Evicted, SetAssocCache};
 use ccp_cache::Addr;
 use ccp_compress::is_compressible;
+use ccp_errors::{SimError, SimResult};
 use ccp_mem::MainMemory;
 
 /// Bitmask of compressible words in the `words`-long line at `base`,
@@ -271,40 +272,57 @@ impl CppLevel {
     /// write-back* — the hardware would hold that stale-but-consistent data
     /// physically, while this model keeps only current values — so L2 is
     /// checked structurally only.
-    pub fn check_invariants(&self, mem: &MainMemory, strict_values: bool) -> Result<(), String> {
+    pub fn check_invariants(&self, mem: &MainMemory, strict_values: bool) -> SimResult<()> {
         let words = self.words();
         for (idx, line) in self.arr.iter_valid() {
             let base = self.arr.base_of(idx);
             let f = line.extra;
-            f.check(words).map_err(|e| format!("line {base:#x}: {e}"))?;
+            f.check(words)
+                .map_err(|e| e.in_context(&format!("line {base:#x}")))?;
             if strict_values {
                 let comp = compress_mask(mem, base, words);
                 if f.vcp & !comp != 0 {
-                    return Err(format!(
-                        "line {base:#x}: VCP claims incompressible words (vcp={:#x} comp={comp:#x})",
-                        f.vcp
+                    return Err(SimError::invariant(
+                        format!("line {base:#x}"),
+                        format!(
+                            "VCP claims incompressible words (vcp={:#x} comp={comp:#x})",
+                            f.vcp
+                        ),
                     ));
                 }
             }
             if f.aa != 0 {
                 let pair = self.pair_base(base);
                 if self.arr.lookup(pair).is_some() {
-                    return Err(format!(
-                        "one-copy violated: {pair:#x} is primary but also affiliated in {base:#x}"
+                    return Err(SimError::invariant(
+                        format!("line {base:#x}"),
+                        format!("one-copy violated: {pair:#x} is primary but also affiliated here"),
                     ));
                 }
                 if strict_values {
                     let pair_comp = compress_mask(mem, pair, words);
                     if f.aa & !pair_comp != 0 {
-                        return Err(format!(
-                            "line {base:#x}: AA holds incompressible pair words (aa={:#x} comp={pair_comp:#x})",
-                            f.aa
+                        return Err(SimError::invariant(
+                            format!("line {base:#x}"),
+                            format!(
+                                "AA holds incompressible pair words (aa={:#x} comp={pair_comp:#x})",
+                                f.aa
+                            ),
                         ));
                     }
                 }
             }
         }
         Ok(())
+    }
+
+    /// Index and base address of every valid primary line, in physical-line
+    /// order — the enumeration the fault injector and invariant checker walk.
+    pub fn valid_lines(&self) -> Vec<(usize, Addr)> {
+        self.arr
+            .iter_valid()
+            .map(|(idx, _)| (idx, self.arr.base_of(idx)))
+            .collect()
     }
 
     /// Number of valid primary lines (tests).

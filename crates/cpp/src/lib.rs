@@ -29,9 +29,11 @@
 //!   (priority to primary); a store into an affiliated word promotes the
 //!   line.
 
+pub mod faults;
 pub mod flags;
 pub mod level;
 
+pub use faults::{FaultInjector, FaultKind, FaultReport, InvariantChecker, Violation};
 pub use flags::CppFlags;
 pub use level::{compress_mask, CppLevel, CppVictim};
 
@@ -128,16 +130,28 @@ impl CppHierarchy {
         &self.l2
     }
 
+    /// Mutable L1 access — exists for the fault-injection harness
+    /// ([`faults::FaultInjector`]) and white-box tests; simulation paths
+    /// never hand out mutable levels.
+    pub fn l1_level_mut(&mut self) -> &mut CppLevel {
+        &mut self.l1
+    }
+
+    /// Mutable L2 access (fault injection and white-box tests).
+    pub fn l2_level_mut(&mut self) -> &mut CppLevel {
+        &mut self.l2
+    }
+
     /// Verifies all structural invariants of both levels (strict value
     /// agreement at L1, which observes every store; structural-only at L2,
     /// whose flags describe the line as of its last fill/write-back).
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> ccp_errors::SimResult<()> {
         self.l1
             .check_invariants(&self.mem, true)
-            .map_err(|e| format!("L1: {e}"))?;
+            .map_err(|e| e.in_context("L1"))?;
         self.l2
             .check_invariants(&self.mem, false)
-            .map_err(|e| format!("L2: {e}"))
+            .map_err(|e| e.in_context("L2"))
     }
 
     /// Bus cost in half-words of transferring the masked words of the line

@@ -1,0 +1,301 @@
+#![warn(missing_docs)]
+
+//! Typed error taxonomy shared by every crate in the workspace.
+//!
+//! The simulator's failure surface splits into a small number of classes —
+//! bad workload specifications, malformed traces, violated hierarchy
+//! invariants, pipeline malfunctions, per-cell watchdog trips, and plain
+//! I/O — and the sweep runner treats them differently (an I/O hiccup is
+//! retryable, a spec error never is), so they are modeled as one enum
+//! rather than stringly-typed `Result<_, String>`s. The crate is
+//! dependency-free and sits below everything else in the workspace.
+
+use std::fmt;
+
+/// Shorthand for a result carrying a [`SimError`].
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Every failure class the simulation stack can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A workload specification failed to parse or validate
+    /// (`workgen:` specs, malformed fractions, bad address models).
+    Spec {
+        /// What was wrong with the spec.
+        detail: String,
+    },
+    /// A name lookup failed (benchmark, design, workload, figure).
+    Unknown {
+        /// The namespace searched (`"benchmark"`, `"design"`, ...).
+        kind: &'static str,
+        /// The name that did not resolve.
+        name: String,
+    },
+    /// A trace failed generation-time or load-time validation.
+    Trace {
+        /// The first inconsistency found.
+        detail: String,
+    },
+    /// A cache-hierarchy structural invariant does not hold.
+    Invariant {
+        /// Where the violation was found (level, line, cell).
+        context: String,
+        /// The violated invariant.
+        detail: String,
+    },
+    /// The timing pipeline malfunctioned (e.g. wedged without committing).
+    Pipeline {
+        /// The malfunction description.
+        detail: String,
+    },
+    /// A caught panic from an isolated unit of work.
+    Panic {
+        /// The unit that panicked (e.g. a sweep cell).
+        context: String,
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
+    /// A per-cell watchdog stopped a run that overshot its budget.
+    Watchdog {
+        /// The unit that tripped the watchdog.
+        context: String,
+        /// The instruction limit that was exceeded.
+        limit: u64,
+    },
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying OS error.
+        detail: String,
+    },
+    /// A persisted artifact (checkpoint, container) is malformed or does
+    /// not match the run it is being used with.
+    Corrupt {
+        /// The artifact kind (`"checkpoint"`, `"trace container"`, ...).
+        what: String,
+        /// What is wrong with it.
+        detail: String,
+    },
+}
+
+impl SimError {
+    /// A spec parse/validation error.
+    pub fn spec(detail: impl Into<String>) -> Self {
+        SimError::Spec {
+            detail: detail.into(),
+        }
+    }
+
+    /// A failed name lookup in namespace `kind`.
+    pub fn unknown(kind: &'static str, name: impl Into<String>) -> Self {
+        SimError::Unknown {
+            kind,
+            name: name.into(),
+        }
+    }
+
+    /// A trace-consistency error.
+    pub fn trace(detail: impl Into<String>) -> Self {
+        SimError::Trace {
+            detail: detail.into(),
+        }
+    }
+
+    /// An invariant violation found at `context`.
+    pub fn invariant(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        SimError::Invariant {
+            context: context.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// A pipeline malfunction.
+    pub fn pipeline(detail: impl Into<String>) -> Self {
+        SimError::Pipeline {
+            detail: detail.into(),
+        }
+    }
+
+    /// A watchdog trip in `context` after `limit` streamed instructions.
+    pub fn watchdog(context: impl Into<String>, limit: u64) -> Self {
+        SimError::Watchdog {
+            context: context.into(),
+            limit,
+        }
+    }
+
+    /// An I/O failure on `path`.
+    pub fn io(path: impl Into<String>, err: &std::io::Error) -> Self {
+        SimError::Io {
+            path: path.into(),
+            detail: err.to_string(),
+        }
+    }
+
+    /// A corrupt or mismatched persisted artifact.
+    pub fn corrupt(what: impl Into<String>, detail: impl Into<String>) -> Self {
+        SimError::Corrupt {
+            what: what.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Classifies a caught panic payload (from `std::panic::catch_unwind`)
+    /// raised inside `context`. Panics whose message identifies a pipeline
+    /// wedge are reported as [`SimError::Pipeline`]; everything else as
+    /// [`SimError::Panic`].
+    pub fn from_panic(context: impl Into<String>, payload: &(dyn std::any::Any + Send)) -> Self {
+        let msg = payload
+            .downcast_ref::<&'static str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        if msg.contains("pipeline wedged") {
+            SimError::pipeline(msg)
+        } else {
+            SimError::Panic {
+                context: context.into(),
+                detail: msg,
+            }
+        }
+    }
+
+    /// Prepends `context` to the location of an [`SimError::Invariant`]
+    /// (other variants are returned unchanged) — used when a lower layer
+    /// reports a violation and the caller knows which level it came from.
+    pub fn in_context(self, context: &str) -> Self {
+        match self {
+            SimError::Invariant {
+                context: inner,
+                detail,
+            } => SimError::Invariant {
+                context: if inner.is_empty() {
+                    context.to_string()
+                } else {
+                    format!("{context}: {inner}")
+                },
+                detail,
+            },
+            other => other,
+        }
+    }
+
+    /// Short class tag used in per-cell status reports (`failed{panic}`).
+    pub fn class(&self) -> &'static str {
+        match self {
+            SimError::Spec { .. } => "spec",
+            SimError::Unknown { .. } => "unknown-name",
+            SimError::Trace { .. } => "trace",
+            SimError::Invariant { .. } => "invariant",
+            SimError::Pipeline { .. } => "pipeline",
+            SimError::Panic { .. } => "panic",
+            SimError::Watchdog { .. } => "watchdog",
+            SimError::Io { .. } => "io",
+            SimError::Corrupt { .. } => "corrupt",
+        }
+    }
+
+    /// Whether retrying the failed operation could plausibly succeed.
+    /// Only I/O failures qualify: every other class is deterministic for a
+    /// fixed seed, so a retry would reproduce it exactly.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::Io { .. })
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Spec { detail } => write!(f, "bad workload spec: {detail}"),
+            SimError::Unknown { kind, name } => write!(f, "unknown {kind} {name:?}"),
+            SimError::Trace { detail } => write!(f, "invalid trace: {detail}"),
+            SimError::Invariant { context, detail } => {
+                if context.is_empty() {
+                    write!(f, "invariant violated: {detail}")
+                } else {
+                    write!(f, "invariant violated [{context}]: {detail}")
+                }
+            }
+            SimError::Pipeline { detail } => write!(f, "pipeline failure: {detail}"),
+            SimError::Panic { context, detail } => write!(f, "panic in {context}: {detail}"),
+            SimError::Watchdog { context, limit } => write!(
+                f,
+                "watchdog tripped in {context}: exceeded {limit} streamed instructions"
+            ),
+            SimError::Io { path, detail } => write!(f, "{path}: {detail}"),
+            SimError::Corrupt { what, detail } => write!(f, "corrupt {what}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(SimError, &str)> = vec![
+            (SimError::spec("small out of range"), "bad workload spec"),
+            (
+                SimError::unknown("benchmark", "nonesuch"),
+                "unknown benchmark",
+            ),
+            (SimError::trace("forward dependence"), "invalid trace"),
+            (SimError::invariant("L1", "VCP ⊄ PA"), "[L1]"),
+            (SimError::pipeline("wedged"), "pipeline failure"),
+            (SimError::watchdog("health/CPP", 100), "watchdog tripped"),
+            (
+                SimError::corrupt("checkpoint", "seed mismatch"),
+                "corrupt checkpoint",
+            ),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn io_is_the_only_transient_class() {
+        let io = SimError::io("/tmp/x", &std::io::Error::other("disk"));
+        assert!(io.is_transient());
+        assert!(!SimError::spec("x").is_transient());
+        assert!(!SimError::pipeline("x").is_transient());
+        assert!(!SimError::watchdog("c", 1).is_transient());
+    }
+
+    #[test]
+    fn from_panic_classifies_wedges_as_pipeline() {
+        let wedge: Box<dyn std::any::Any + Send> =
+            Box::new("pipeline wedged at cycle 12345".to_string());
+        assert!(matches!(
+            SimError::from_panic("cell", wedge.as_ref()),
+            SimError::Pipeline { .. }
+        ));
+        let plain: Box<dyn std::any::Any + Send> = Box::new("index out of bounds");
+        let e = SimError::from_panic("health/CPP", plain.as_ref());
+        assert!(matches!(e, SimError::Panic { .. }));
+        assert!(e.to_string().contains("health/CPP"));
+        let opaque: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert!(SimError::from_panic("c", opaque.as_ref())
+            .to_string()
+            .contains("non-string"));
+    }
+
+    #[test]
+    fn in_context_prefixes_invariants_only() {
+        let e = SimError::invariant("line 0x40", "AA without slot").in_context("L1");
+        assert_eq!(e, SimError::invariant("L1: line 0x40", "AA without slot"));
+        let io = SimError::spec("x").in_context("L1");
+        assert_eq!(io, SimError::spec("x"));
+    }
+
+    #[test]
+    fn class_tags_are_stable() {
+        assert_eq!(SimError::spec("x").class(), "spec");
+        assert_eq!(SimError::watchdog("c", 1).class(), "watchdog");
+        assert_eq!(SimError::corrupt("checkpoint", "x").class(), "corrupt");
+    }
+}

@@ -135,6 +135,15 @@ fn main() {
     let mut cfg = SweepConfig::new(args.budget, args.seed);
     cfg.threads = args.threads;
 
+    // A sweep failure (bad workload, invariant violation) is a typed
+    // SimError: report it on stderr and exit non-zero instead of panicking.
+    let run_or_die = |cfg: &SweepConfig| match run_sweep_on(&args.benchmarks, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error [{}]: {e}", e.class());
+            std::process::exit(1);
+        }
+    };
     let sweep = if needs_sweep {
         eprintln!(
             "running sweep: {} benchmarks x {} designs, {} instructions each...",
@@ -142,7 +151,7 @@ fn main() {
             cfg.designs.len(),
             args.budget
         );
-        Some(run_sweep_on(&args.benchmarks, &cfg))
+        Some(run_or_die(&cfg))
     } else {
         None
     };
@@ -150,7 +159,7 @@ fn main() {
         eprintln!("running halved-miss-penalty sweep (Figure 14)...");
         let mut hcfg = cfg.clone();
         hcfg.halved_miss_penalty = true;
-        Some(run_sweep_on(&args.benchmarks, &hcfg))
+        Some(run_or_die(&hcfg))
     } else {
         None
     };
@@ -281,6 +290,7 @@ fn main() {
             }
             "workgen" => {
                 eprintln!("running compressibility sweep (11 synthetic points, BC+CPP each)...");
+                // Infallible: a constant, known-good spec string.
                 let base = ccp_workgen::WorkgenSpec::parse("addr=uniform,ptr=0.0")
                     .expect("base workgen spec");
                 let rows = exp::compressibility_sweep(
@@ -316,8 +326,10 @@ fn main() {
 
     if let Some(path) = &args.json_path {
         let doc = Json::obj(json_out).to_string();
-        if let Err(e) = std::fs::write(path, doc) {
-            eprintln!("error writing {}: {e}", path.display());
+        // Atomic temp-then-rename write: a crash here can't leave a torn
+        // half-written results file for downstream tooling to choke on.
+        if let Err(e) = ccp_sim::json::write_atomic(path, &doc) {
+            eprintln!("error [{}]: {e}", e.class());
             std::process::exit(1);
         }
         eprintln!("wrote JSON results to {}", path.display());

@@ -7,18 +7,27 @@
 //! trace-tool profile <file.ccpt>
 //! trace-tool run <file.ccpt> [--design BC|BCC|HAC|BCP|CPP]
 //! trace-tool workgen [--spec S | model flags...] [--seed S] [--budget N]
+//! trace-tool chaos [--workload NAME|SPEC] [--all-benchmarks]
+//!                  [--budget N] [--seed S]
 //! ```
 //!
 //! `workgen` streams a synthetic workload (never materializing it) and
 //! prints its instruction mix, its measured compressibility profile, and
 //! functional BC/CPP traffic — deterministically: the same flags always
 //! print the same bytes.
+//!
+//! `chaos` runs the fault-injection harness: it replays each workload
+//! through a CPP hierarchy, asserts the exhaustive invariant checker is
+//! silent on the clean state (no false positives), then injects every
+//! metadata-corruption class and asserts each is detected. Exit 0 only
+//! when every class on every workload is caught.
 
 use ccp_cache::DesignKind;
 use ccp_compress::profile::ValueProfile;
 use ccp_pipeline::{run_trace, PipelineConfig};
-use ccp_sim::{build_design, fastsim};
-use ccp_trace::{benchmark_by_name, profile_source_values, Trace, TraceSource};
+use ccp_sim::sweep::Workload;
+use ccp_sim::{build_design, chaos, fastsim};
+use ccp_trace::{all_benchmarks, benchmark_by_name, profile_source_values, Trace, TraceSource};
 use ccp_workgen::{SynthSource, WorkgenSpec};
 use std::path::Path;
 use std::process::exit;
@@ -31,9 +40,82 @@ fn usage() -> ! {
          trace-tool workgen [--spec STR] [--addr seq|stride|uniform|zipf|chase]\n               \
          [--small-value F] [--pointer F] [--entropy F] [--mem F] [--store-ratio F]\n               \
          [--branch F] [--falu F] [--footprint W] [--stride W] [--zipf-skew K]\n               \
-         [--nodes N] [--seed S] [--budget N]"
+         [--nodes N] [--seed S] [--budget N]\n  \
+         trace-tool chaos [--workload NAME|SPEC] [--all-benchmarks] [--budget N] [--seed S]"
     );
     exit(2);
+}
+
+/// The `chaos` subcommand: invariant-detection proof over one workload or
+/// the whole benchmark suite.
+fn run_chaos_cmd(args: &[String]) {
+    let mut workloads: Vec<String> = Vec::new();
+    let mut budget = 20_000usize;
+    let mut seed = 1u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all-benchmarks" => {
+                workloads = all_benchmarks().iter().map(|b| b.full_name()).collect();
+                i += 1;
+            }
+            "--workload" | "--budget" | "--seed" => {
+                let flag = args[i].as_str();
+                let val = args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    exit(2);
+                });
+                match flag {
+                    "--workload" => workloads.push(val.clone()),
+                    "--budget" => {
+                        budget = val.parse().unwrap_or_else(|e| {
+                            eprintln!("bad --budget: {e}");
+                            exit(2);
+                        })
+                    }
+                    "--seed" => {
+                        seed = val.parse().unwrap_or_else(|e| {
+                            eprintln!("bad --seed: {e}");
+                            exit(2);
+                        })
+                    }
+                    _ => unreachable!(),
+                }
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    if workloads.is_empty() {
+        workloads.push("health".to_string());
+    }
+
+    let mut all_passed = true;
+    for name in &workloads {
+        let workload = match Workload::by_name(name) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("error [{}]: {e}", e.class());
+                exit(2);
+            }
+        };
+        match chaos::run_chaos(&workload, budget, seed) {
+            Ok(report) => {
+                print!("{}", report.render());
+                all_passed &= report.passed();
+            }
+            Err(e) => {
+                eprintln!("error [{}]: {e}", e.class());
+                all_passed = false;
+            }
+        }
+    }
+    if all_passed {
+        println!("chaos: every fault class detected, no false positives");
+    } else {
+        eprintln!("chaos: FAILED (escaped fault or false positive above)");
+        exit(1);
+    }
 }
 
 /// Builds a workgen spec from `workgen` subcommand flags. Flags translate
@@ -64,8 +146,18 @@ fn parse_workgen(args: &[String]) -> (WorkgenSpec, u64, u64) {
             "--stride" => pairs.push(format!("stride={val}")),
             "--zipf-skew" => pairs.push(format!("skew={val}")),
             "--nodes" => pairs.push(format!("nodes={val}")),
-            "--seed" => seed = val.parse().expect("seed"),
-            "--budget" => budget = val.parse().expect("budget"),
+            "--seed" => {
+                seed = val.parse().unwrap_or_else(|e| {
+                    eprintln!("bad --seed: {e}");
+                    exit(2);
+                })
+            }
+            "--budget" => {
+                budget = val.parse().unwrap_or_else(|e| {
+                    eprintln!("bad --budget: {e}");
+                    exit(2);
+                })
+            }
             _ => usage(),
         }
         i += 2;
@@ -136,11 +228,17 @@ fn main() {
             while i < args.len() {
                 match args[i].as_str() {
                     "--budget" => {
-                        budget = args[i + 1].parse().expect("budget");
+                        budget = args[i + 1].parse().unwrap_or_else(|e| {
+                            eprintln!("bad --budget: {e}");
+                            exit(2);
+                        });
                         i += 2;
                     }
                     "--seed" => {
-                        seed = args[i + 1].parse().expect("seed");
+                        seed = args[i + 1].parse().unwrap_or_else(|e| {
+                            eprintln!("bad --seed: {e}");
+                            exit(2);
+                        });
                         i += 2;
                     }
                     _ => usage(),
@@ -205,13 +303,10 @@ fn main() {
             }
             let t = load(&args[1]);
             let design = if args.len() >= 4 && args[2] == "--design" {
-                DesignKind::ALL
-                    .into_iter()
-                    .find(|d| d.name().eq_ignore_ascii_case(&args[3]))
-                    .unwrap_or_else(|| {
-                        eprintln!("unknown design {:?}", args[3]);
-                        exit(1);
-                    })
+                DesignKind::from_name(&args[3]).unwrap_or_else(|| {
+                    eprintln!("unknown design {:?}", args[3]);
+                    exit(1);
+                })
             } else {
                 DesignKind::Cpp
             };
@@ -228,6 +323,7 @@ fn main() {
             );
         }
         Some("workgen") => run_workgen(&args[1..]),
+        Some("chaos") => run_chaos_cmd(&args[1..]),
         _ => usage(),
     }
 }

@@ -465,7 +465,7 @@ mod tests {
         ];
         let mut cfg = SweepConfig::new(budget, 3);
         cfg.threads = 4;
-        run_sweep_on(&benches, &cfg)
+        run_sweep_on(&benches, &cfg).expect("sweep")
     }
 
     #[test]
@@ -530,9 +530,9 @@ mod tests {
         let benches = [benchmark_by_name("mcf").unwrap()];
         let mut cfg = SweepConfig::new(5_000, 3);
         cfg.threads = 4;
-        let normal = run_sweep_on(&benches, &cfg);
+        let normal = run_sweep_on(&benches, &cfg).expect("sweep");
         cfg.halved_miss_penalty = true;
-        let halved = run_sweep_on(&benches, &cfg);
+        let halved = run_sweep_on(&benches, &cfg).expect("sweep");
         let fig = figure14(&normal, &halved);
         for (_, vals) in &fig.rows {
             for &v in vals {

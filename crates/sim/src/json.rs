@@ -1,12 +1,19 @@
-//! A minimal JSON emitter for experiment results.
+//! A minimal JSON emitter/parser for experiment results and checkpoints.
 //!
 //! The approved dependency set includes `serde` but no JSON backend, and
 //! the experiment outputs are simple (strings, numbers, arrays, flat
-//! objects), so a small value tree with a spec-compliant writer keeps the
-//! `repro --json` feature dependency-free.
+//! objects), so a small value tree with a spec-compliant writer — plus a
+//! recursive-descent reader for sweep checkpoints — keeps the `repro
+//! --json` and `ccp-sim sweep --resume` features dependency-free.
+//!
+//! File output goes through [`write_atomic`]: contents land in a sibling
+//! temporary file first and are moved into place with `rename`, so a crash
+//! mid-write can never leave a torn half-written report or checkpoint.
 
+use ccp_errors::{SimError, SimResult};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +95,272 @@ impl Json {
             }
         }
     }
+}
+
+impl Json {
+    /// Parses a JSON document (the subset the writer emits: no exponent
+    /// loss concerns beyond `f64`, strings with the standard escapes).
+    pub fn parse(text: &str) -> SimResult<Json> {
+        let bytes = text.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(SimError::corrupt(
+                "json",
+                format!("trailing bytes at offset {}", p.pos),
+            ));
+        }
+        Ok(v)
+    }
+
+    /// The number, if this is a finite numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact unsigned integer, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n < 9.0e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj().and_then(|m| m.get(key))
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, detail: impl Into<String>) -> SimError {
+        SimError::corrupt("json", format!("{} at offset {}", detail.into(), self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> SimResult<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Json) -> SimResult<Json> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self) -> SimResult<Json> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn number(&mut self) -> SimResult<Json> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(format!("bad number {s:?}")))
+    }
+
+    fn string(&mut self) -> SimResult<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogates never appear in our own output;
+                            // map unpaired ones to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> SimResult<Json> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> SimResult<Json> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// temporary file which is then `rename`d into place, so readers (and
+/// crash recovery) only ever observe the old file or the complete new one,
+/// never a torn prefix.
+pub fn write_atomic(path: &Path, contents: &str) -> SimResult<()> {
+    let pstr = path.display().to_string();
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| SimError::corrupt("path", format!("no file name in {pstr:?}")))?;
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, contents).map_err(|e| SimError::io(tmp.display().to_string(), &e))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        SimError::io(&pstr, &e)
+    })?;
+    Ok(())
 }
 
 impl std::fmt::Display for Json {
@@ -187,6 +460,63 @@ mod tests {
     fn object_keys_are_sorted() {
         let j = Json::obj([("zeta", Json::Null), ("alpha", Json::Null)]);
         assert_eq!(j.to_string(), r#"{"alpha":null,"zeta":null}"#);
+    }
+
+    #[test]
+    fn parse_roundtrips_writer_output() {
+        let j = Json::obj([
+            ("name", Json::from("a\"b\\c\nd")),
+            ("vals", Json::Arr(vec![Json::Num(1.0), Json::Num(-2.5)])),
+            ("flag", Json::Bool(false)),
+            ("gap", Json::Null),
+            ("big", Json::from(123_456_789_012_345_u64)),
+        ]);
+        let parsed = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(parsed, j);
+        assert_eq!(
+            parsed.get("big").unwrap().as_u64(),
+            Some(123_456_789_012_345)
+        );
+        assert_eq!(parsed.get("name").unwrap().as_str(), Some("a\"b\\c\nd"));
+        assert_eq!(parsed.get("flag").unwrap().as_bool(), Some(false));
+        assert_eq!(parsed.get("vals").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "{", "[1,", "tru", "\"oops", "{\"a\" 1}", "1 2"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?}");
+        }
+        let e = Json::parse("nope").unwrap_err();
+        assert_eq!(e.class(), "corrupt");
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_escapes() {
+        let j = Json::parse(" { \"k\" : [ 1 , \"\\u0041\\t\" ] } ").unwrap();
+        assert_eq!(
+            j.get("k").unwrap().as_arr().unwrap()[1].as_str(),
+            Some("A\t")
+        );
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_file() {
+        let dir = std::env::temp_dir().join(format!("ccp-json-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_atomic(&path, "{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        write_atomic(&path, "{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        // No stray temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! numbers across figures are mutually consistent, exactly as one
 //! SimpleScalar campaign produced the paper's plots.
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod experiments;
 pub mod extensions;
 pub mod fastsim;
@@ -29,7 +31,10 @@ pub mod json;
 pub mod report;
 pub mod sweep;
 
-pub use sweep::{run_sweep, Sweep, SweepConfig};
+pub use sweep::{
+    run_sweep, run_sweep_resilient, CellOutcome, CellStatus, ResilienceConfig, ResilientSweep,
+    Sweep, SweepConfig,
+};
 
 use ccp_cache::{BcpHierarchy, CacheSim, DesignKind, HierarchyConfig, TwoLevelCache};
 use ccp_cpp::CppHierarchy;

@@ -11,12 +11,19 @@
 //! per cell (pure integer work, no storage).
 
 use crate::build_design;
+use crate::checkpoint::Checkpoint;
 use ccp_cache::DesignKind;
+use ccp_errors::{SimError, SimResult};
 use ccp_pipeline::{run_source, run_trace, PipelineConfig, RunStats};
-use ccp_trace::{all_benchmarks, benchmark_by_name, BenchSource, Benchmark, Trace, TraceSource};
+use ccp_trace::{
+    all_benchmarks, benchmark_by_name, BenchSource, Benchmark, Inst, Trace, TraceSource,
+};
 use ccp_workgen::{SynthSource, WorkgenSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// One sweep workload: a benchmark imitation or a synthetic generator.
@@ -31,14 +38,14 @@ pub enum Workload {
 impl Workload {
     /// Resolves a workload name: a benchmark name (`health`, `181.mcf`,
     /// ...) or a workgen spec string (anything starting with `workgen:`).
-    pub fn by_name(name: &str) -> Result<Workload, String> {
+    pub fn by_name(name: &str) -> SimResult<Workload> {
         let name = name.trim();
         if name.starts_with("workgen:") {
             WorkgenSpec::parse(name).map(Workload::Synthetic)
         } else {
             benchmark_by_name(name)
                 .map(Workload::Bench)
-                .ok_or_else(|| format!("unknown benchmark {name:?} (not a workgen: spec either)"))
+                .ok_or_else(|| SimError::unknown("benchmark (not a workgen: spec either)", name))
         }
     }
 
@@ -97,7 +104,7 @@ impl SweepConfig {
     }
 
     /// Resolves the configured workload list (empty = every benchmark).
-    pub fn workload_list(&self) -> Result<Vec<Workload>, String> {
+    pub fn workload_list(&self) -> SimResult<Vec<Workload>> {
         if self.workloads.is_empty() {
             Ok(all_benchmarks().into_iter().map(Workload::Bench).collect())
         } else {
@@ -108,16 +115,21 @@ impl SweepConfig {
         }
     }
 
+    /// The configured workload names (empty = every benchmark's name), in
+    /// run order, without requiring each to resolve.
+    pub fn workload_names(&self) -> Vec<String> {
+        if self.workloads.is_empty() {
+            all_benchmarks().iter().map(|b| b.full_name()).collect()
+        } else {
+            self.workloads.clone()
+        }
+    }
+
     /// Parsed design list.
-    pub fn design_kinds(&self) -> Vec<DesignKind> {
+    pub fn design_kinds(&self) -> SimResult<Vec<DesignKind>> {
         self.designs
             .iter()
-            .map(|s| {
-                DesignKind::ALL
-                    .into_iter()
-                    .find(|d| d.name().eq_ignore_ascii_case(s))
-                    .unwrap_or_else(|| panic!("unknown design {s:?}"))
-            })
+            .map(|s| DesignKind::from_name(s).ok_or_else(|| SimError::unknown("design", s)))
             .collect()
     }
 }
@@ -185,15 +197,13 @@ pub fn run_cell_source(source: &dyn TraceSource, design: DesignKind, halved: boo
 /// Runs the configured workloads (all benchmarks unless
 /// [`SweepConfig::workloads`] names a subset or adds `workgen:` specs)
 /// against every design, in parallel.
-pub fn run_sweep(config: &SweepConfig) -> Sweep {
-    let workloads = config
-        .workload_list()
-        .unwrap_or_else(|e| panic!("bad sweep workload: {e}"));
+pub fn run_sweep(config: &SweepConfig) -> SimResult<Sweep> {
+    let workloads = config.workload_list()?;
     run_sweep_workloads(&workloads, config)
 }
 
 /// Sweep over an explicit benchmark subset.
-pub fn run_sweep_on(benchmarks: &[Benchmark], config: &SweepConfig) -> Sweep {
+pub fn run_sweep_on(benchmarks: &[Benchmark], config: &SweepConfig) -> SimResult<Sweep> {
     let workloads: Vec<Workload> = benchmarks.iter().map(|&b| Workload::Bench(b)).collect();
     run_sweep_workloads(&workloads, config)
 }
@@ -201,8 +211,8 @@ pub fn run_sweep_on(benchmarks: &[Benchmark], config: &SweepConfig) -> Sweep {
 /// Sweep over an explicit workload list — benchmarks and synthetics mix
 /// freely. Every workload × design cell runs in parallel; each cell
 /// streams its source through a fresh hierarchy.
-pub fn run_sweep_workloads(workloads: &[Workload], config: &SweepConfig) -> Sweep {
-    let designs = config.design_kinds();
+pub fn run_sweep_workloads(workloads: &[Workload], config: &SweepConfig) -> SimResult<Sweep> {
+    let designs = config.design_kinds()?;
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
             .map(|p| p.get())
@@ -232,12 +242,12 @@ pub fn run_sweep_workloads(workloads: &[Workload], config: &SweepConfig) -> Swee
             ((workloads[i].full_name(), d.name()), stats)
         });
 
-    Sweep {
+    Ok(Sweep {
         config: config.clone(),
         benchmarks: workloads.iter().map(|w| w.full_name()).collect(),
         designs,
         cells: results.into_iter().collect(),
-    }
+    })
 }
 
 /// Order-preserving parallel map over a slice using scoped threads and a
@@ -259,6 +269,10 @@ pub(crate) fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
                     break;
                 }
                 let r = f(&items[i]);
+                // Infallible: resilient callers wrap `f` in catch_unwind, so
+                // a worker can't die while holding the lock; a panic from a
+                // non-resilient `f` propagates out of thread::scope before
+                // the results are read.
                 out.lock().expect("poisoned")[i] = Some(r);
             });
         }
@@ -268,6 +282,526 @@ pub(crate) fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
         .into_iter()
         .map(|r| r.expect("every index produced"))
         .collect()
+}
+
+/// Resilience knobs for [`run_sweep_resilient`] — retry, watchdog,
+/// checkpoint, and kill-emulation settings layered on top of a
+/// [`SweepConfig`].
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Extra attempts for cells failing with a *transient* error class
+    /// (I/O); deterministic failures (panics, invariants) never retry.
+    pub retries: u32,
+    /// Base backoff between retry attempts; attempt *n* waits `n ×` this.
+    pub backoff_ms: u64,
+    /// Streamed-instruction budget per cell before the watchdog trips
+    /// (0 = auto: `2 × budget + 1024`).
+    pub watchdog_limit: u64,
+    /// Stop scheduling after this many cells have run (remaining cells
+    /// report `skipped`). Emulates an interrupted run for resume tests and
+    /// time-boxes exploratory sweeps.
+    pub max_cells: Option<usize>,
+    /// JSONL checkpoint path; completed cells are recorded crash-safely.
+    pub checkpoint: Option<PathBuf>,
+    /// Load previously-completed cells from the checkpoint (if it exists)
+    /// instead of starting fresh.
+    pub resume: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            retries: 0,
+            backoff_ms: 50,
+            watchdog_limit: 0,
+            max_cells: None,
+            checkpoint: None,
+            resume: false,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// The effective watchdog limit for a given instruction budget.
+    pub fn effective_watchdog(&self, budget: usize) -> u64 {
+        if self.watchdog_limit == 0 {
+            2 * budget as u64 + 1024
+        } else {
+            self.watchdog_limit
+        }
+    }
+}
+
+/// Terminal state of one sweep cell.
+// `Ok` carries the full RunStats inline: a grid holds at most dozens of
+// cells, so the size spread is irrelevant and boxing would just cost an
+// indirection on every stats read.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum CellStatus {
+    /// The cell ran to completion.
+    Ok(RunStats),
+    /// The cell failed after its final attempt.
+    Failed(SimError),
+    /// The cell never ran (unresolvable workload or `max_cells` cut).
+    Skipped(String),
+}
+
+impl CellStatus {
+    /// Report keyword: `ok` / `failed` / `skipped`.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            CellStatus::Ok(_) => "ok",
+            CellStatus::Failed(_) => "failed",
+            CellStatus::Skipped(_) => "skipped",
+        }
+    }
+}
+
+/// One cell's outcome, with attempt accounting.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Workload full name.
+    pub workload: String,
+    /// Design short name.
+    pub design: &'static str,
+    /// Terminal status.
+    pub status: CellStatus,
+    /// Attempts consumed (0 for skipped cells; cells restored from a
+    /// checkpoint keep their recorded count).
+    pub attempts: u32,
+}
+
+/// Results of a hardened sweep: every scheduled cell has an outcome even
+/// when some cells crash, wedge, or never run.
+#[derive(Debug)]
+pub struct ResilientSweep {
+    /// Config the sweep ran with.
+    pub config: SweepConfig,
+    /// Workload names in request order.
+    pub workloads: Vec<String>,
+    /// Designs in request order.
+    pub designs: Vec<DesignKind>,
+    cells: BTreeMap<(String, &'static str), CellOutcome>,
+}
+
+impl ResilientSweep {
+    /// The outcome for `(workload, design)`.
+    pub fn outcome(&self, workload: &str, design: DesignKind) -> Option<&CellOutcome> {
+        self.cells.get(&(workload.to_string(), design.name()))
+    }
+
+    /// All outcomes in deterministic (workload request order × design
+    /// request order) order.
+    pub fn outcomes(&self) -> Vec<&CellOutcome> {
+        let mut out = Vec::with_capacity(self.cells.len());
+        for w in &self.workloads {
+            for d in &self.designs {
+                if let Some(c) = self.cells.get(&(w.clone(), d.name())) {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Cells that completed.
+    pub fn ok_count(&self) -> usize {
+        self.count(|s| matches!(s, CellStatus::Ok(_)))
+    }
+
+    /// Cells that failed terminally.
+    pub fn failed_count(&self) -> usize {
+        self.count(|s| matches!(s, CellStatus::Failed(_)))
+    }
+
+    /// Cells that never ran.
+    pub fn skipped_count(&self) -> usize {
+        self.count(|s| matches!(s, CellStatus::Skipped(_)))
+    }
+
+    fn count(&self, f: impl Fn(&CellStatus) -> bool) -> usize {
+        self.cells.values().filter(|c| f(&c.status)).count()
+    }
+
+    /// Whether every scheduled cell completed.
+    pub fn is_complete(&self) -> bool {
+        self.ok_count() == self.cells.len()
+    }
+
+    /// Converts to a plain [`Sweep`] when every cell completed (the figure
+    /// pipeline requires a full grid).
+    pub fn into_sweep(self) -> SimResult<Sweep> {
+        if !self.is_complete() {
+            return Err(SimError::corrupt(
+                "sweep",
+                format!(
+                    "incomplete grid: {} ok, {} failed, {} skipped",
+                    self.ok_count(),
+                    self.failed_count(),
+                    self.skipped_count()
+                ),
+            ));
+        }
+        let cells = self
+            .cells
+            .into_iter()
+            .map(|(k, c)| match c.status {
+                CellStatus::Ok(stats) => (k, stats),
+                _ => unreachable!("is_complete checked"),
+            })
+            .collect();
+        Ok(Sweep {
+            config: self.config,
+            benchmarks: self.workloads,
+            designs: self.designs,
+            cells,
+        })
+    }
+
+    /// Deterministic per-cell status report (identical bytes for an
+    /// interrupted-then-resumed run and an uninterrupted one).
+    pub fn render_report(&self) -> String {
+        use std::fmt::Write as _;
+        let wname = self
+            .workloads
+            .iter()
+            .map(|w| w.len())
+            .max()
+            .unwrap_or(8)
+            .max("workload".len());
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "resilient sweep: budget={} seed={} halved={}",
+            self.config.budget, self.config.seed, self.config.halved_miss_penalty
+        );
+        let _ = writeln!(
+            out,
+            "{:wname$}  {:6}  {:7}  {:8}  detail",
+            "workload", "design", "status", "attempts"
+        );
+        for c in self.outcomes() {
+            let detail = match &c.status {
+                CellStatus::Ok(s) => format!("cycles={} ipc={:.4}", s.cycles, s.ipc()),
+                CellStatus::Failed(e) => e.to_string(),
+                CellStatus::Skipped(r) => r.clone(),
+            };
+            let _ = writeln!(
+                out,
+                "{:wname$}  {:6}  {:7}  {:8}  {}",
+                c.workload,
+                c.design,
+                c.status.keyword(),
+                c.attempts,
+                detail
+            );
+        }
+        let _ = writeln!(
+            out,
+            "summary: ok={} failed={} skipped={}",
+            self.ok_count(),
+            self.failed_count(),
+            self.skipped_count()
+        );
+        out
+    }
+
+    /// The whole result grid as a JSON value (deterministic bytes).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let cells = self
+            .outcomes()
+            .into_iter()
+            .map(|c| {
+                let mut pairs = vec![
+                    ("workload", Json::from(c.workload.clone())),
+                    ("design", Json::from(c.design)),
+                    ("status", Json::from(c.status.keyword())),
+                    ("attempts", Json::from(c.attempts as u64)),
+                ];
+                match &c.status {
+                    CellStatus::Ok(s) => pairs.push(("stats", crate::checkpoint::stats_to_json(s))),
+                    CellStatus::Failed(e) => {
+                        pairs.push(("error", Json::from(e.to_string())));
+                        pairs.push(("class", Json::from(e.class())));
+                    }
+                    CellStatus::Skipped(r) => pairs.push(("reason", Json::from(r.clone()))),
+                }
+                Json::obj(pairs)
+            })
+            .collect();
+        Json::obj([
+            (
+                "config",
+                Json::obj([
+                    ("budget", Json::from(self.config.budget as u64)),
+                    ("seed", Json::from(self.config.seed)),
+                    ("halved", Json::Bool(self.config.halved_miss_penalty)),
+                    (
+                        "designs",
+                        Json::Arr(self.designs.iter().map(|d| Json::from(d.name())).collect()),
+                    ),
+                    (
+                        "workloads",
+                        Json::Arr(
+                            self.workloads
+                                .iter()
+                                .map(|w| Json::from(w.clone()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            ("cells", Json::Arr(cells)),
+            (
+                "summary",
+                Json::obj([
+                    ("ok", Json::from(self.ok_count() as u64)),
+                    ("failed", Json::from(self.failed_count() as u64)),
+                    ("skipped", Json::from(self.skipped_count() as u64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// A [`TraceSource`] wrapper that deterministically truncates the stream
+/// once `limit` instructions have been yielded, flagging the overrun so
+/// the cell can be reported as a watchdog trip instead of hanging the
+/// whole sweep on a runaway source.
+pub struct WatchdogSource<'a> {
+    inner: &'a dyn TraceSource,
+    limit: u64,
+    tripped: AtomicBool,
+}
+
+impl<'a> WatchdogSource<'a> {
+    /// Wraps `inner` with a streamed-instruction budget.
+    pub fn new(inner: &'a dyn TraceSource, limit: u64) -> Self {
+        WatchdogSource {
+            inner,
+            limit,
+            tripped: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether any stream exceeded the budget.
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+}
+
+impl TraceSource for WatchdogSource<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn initial_mem(&self) -> ccp_mem::MainMemory {
+        self.inner.initial_mem()
+    }
+
+    fn stream(&self) -> Box<dyn Iterator<Item = Inst> + '_> {
+        let limit = self.limit;
+        Box::new(
+            self.inner
+                .stream()
+                .enumerate()
+                .take_while(move |(i, _)| {
+                    if (*i as u64) < limit {
+                        true
+                    } else {
+                        self.tripped.store(true, Ordering::Relaxed);
+                        false
+                    }
+                })
+                .map(|(_, inst)| inst),
+        )
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.inner.len_hint().map(|n| n.min(self.limit))
+    }
+}
+
+/// Runs a sweep with per-cell crash isolation, watchdog, retry, and
+/// checkpoint/resume. Unlike [`run_sweep`], a cell that panics, wedges,
+/// or fails to resolve yields a `failed`/`skipped` outcome while its
+/// siblings complete normally.
+pub fn run_sweep_resilient(
+    config: &SweepConfig,
+    res: &ResilienceConfig,
+) -> SimResult<ResilientSweep> {
+    let names = config.workload_names();
+    let resolved: Vec<(String, SimResult<Workload>)> = names
+        .iter()
+        .map(|n| match Workload::by_name(n) {
+            Ok(w) => (w.full_name(), Ok(w)),
+            Err(e) => (n.clone(), Err(e)),
+        })
+        .collect();
+    let sources: Vec<Option<Box<dyn TraceSource + Send>>> = resolved
+        .iter()
+        .map(|(_, r)| {
+            r.as_ref()
+                .ok()
+                .map(|w| w.source(config.budget, config.seed))
+        })
+        .collect();
+    let limit = res.effective_watchdog(config.budget);
+    let halved = config.halved_miss_penalty;
+    run_resilient_with(config, res, &resolved, |wi, design| {
+        let source = sources[wi]
+            .as_ref()
+            .expect("runner only called when resolved");
+        let wd = WatchdogSource::new(source.as_ref(), limit);
+        let stats = run_cell_source(&wd, design, halved);
+        if wd.tripped() {
+            Err(SimError::watchdog(
+                format!("{}/{}", resolved[wi].0, design.name()),
+                limit,
+            ))
+        } else {
+            Ok(stats)
+        }
+    })
+}
+
+/// The resilient-execution core, generic over the cell runner so tests can
+/// inject panicking or flaky cells. `runner(workload_index, design)` is
+/// only invoked for workloads whose resolution succeeded.
+pub(crate) fn run_resilient_with<F>(
+    config: &SweepConfig,
+    res: &ResilienceConfig,
+    resolved: &[(String, SimResult<Workload>)],
+    runner: F,
+) -> SimResult<ResilientSweep>
+where
+    F: Fn(usize, DesignKind) -> SimResult<RunStats> + Sync,
+{
+    let designs = config.design_kinds()?;
+    let workload_names: Vec<String> = resolved.iter().map(|(n, _)| n.clone()).collect();
+
+    // Checkpoint: restore completed cells, keep recording new ones.
+    let mut restored: BTreeMap<(String, &'static str), CellOutcome> = BTreeMap::new();
+    let checkpoint = match &res.checkpoint {
+        None => None,
+        Some(path) => {
+            let cp = Checkpoint::open(path, config, &workload_names, &designs, res.resume)?;
+            for rec in cp.completed() {
+                let design = DesignKind::from_name(&rec.design).ok_or_else(|| {
+                    SimError::corrupt("checkpoint", format!("design {:?}", rec.design))
+                })?;
+                restored.insert(
+                    (rec.workload.clone(), design.name()),
+                    CellOutcome {
+                        workload: rec.workload.clone(),
+                        design: design.name(),
+                        status: CellStatus::Ok(rec.stats.clone()),
+                        attempts: rec.attempts,
+                    },
+                );
+            }
+            Some(Mutex::new(cp))
+        }
+    };
+
+    let mut cells: BTreeMap<(String, &'static str), CellOutcome> = BTreeMap::new();
+    let mut pending: Vec<(usize, DesignKind)> = Vec::new();
+    for (wi, (name, r)) in resolved.iter().enumerate() {
+        for &d in &designs {
+            let key = (name.clone(), d.name());
+            if let Some(done) = restored.get(&key) {
+                cells.insert(key, done.clone());
+            } else if let Err(e) = r {
+                cells.insert(
+                    key,
+                    CellOutcome {
+                        workload: name.clone(),
+                        design: d.name(),
+                        status: CellStatus::Skipped(format!("workload unresolved: {e}")),
+                        attempts: 0,
+                    },
+                );
+            } else {
+                pending.push((wi, d));
+            }
+        }
+    }
+
+    // Kill emulation / time boxing: everything past the cap is skipped.
+    let cut = res
+        .max_cells
+        .map(|m| m.min(pending.len()))
+        .unwrap_or(pending.len());
+    for &(wi, d) in &pending[cut..] {
+        let name = &resolved[wi].0;
+        cells.insert(
+            (name.clone(), d.name()),
+            CellOutcome {
+                workload: name.clone(),
+                design: d.name(),
+                status: CellStatus::Skipped(format!(
+                    "cell budget exhausted (--max-cells {})",
+                    res.max_cells.unwrap_or(0)
+                )),
+                attempts: 0,
+            },
+        );
+    }
+    let pending = &pending[..cut];
+
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        config.threads
+    };
+
+    let ran: Vec<CellOutcome> = parallel_map(pending, threads, |&(wi, d)| {
+        let name = resolved[wi].0.clone();
+        let cell = format!("{name}/{}", d.name());
+        let mut attempts = 0u32;
+        let status = loop {
+            attempts += 1;
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| runner(wi, d)))
+                .unwrap_or_else(|payload| Err(SimError::from_panic(&cell, payload.as_ref())));
+            match result {
+                Ok(stats) => break CellStatus::Ok(stats),
+                Err(e) if e.is_transient() && attempts <= res.retries => {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        res.backoff_ms.saturating_mul(attempts as u64),
+                    ));
+                }
+                Err(e) => break CellStatus::Failed(e),
+            }
+        };
+        if let (Some(cp), CellStatus::Ok(stats)) = (&checkpoint, &status) {
+            // A failed checkpoint write must not fail the cell: the record
+            // is an optimization for resume, not part of the result.
+            let _ = cp
+                .lock()
+                .expect("checkpoint lock")
+                .record(&name, d.name(), attempts, stats);
+        }
+        CellOutcome {
+            workload: name,
+            design: d.name(),
+            status,
+            attempts,
+        }
+    });
+    for c in ran {
+        cells.insert((c.workload.clone(), c.design), c);
+    }
+
+    Ok(ResilientSweep {
+        config: config.clone(),
+        workloads: workload_names,
+        designs,
+        cells,
+    })
 }
 
 #[cfg(test)]
@@ -287,7 +821,7 @@ mod tests {
             benchmark_by_name("health").unwrap(),
             benchmark_by_name("130.li").unwrap(),
         ];
-        let s = run_sweep_on(&benches, &tiny_config());
+        let s = run_sweep_on(&benches, &tiny_config()).expect("sweep");
         assert_eq!(s.benchmarks.len(), 2);
         for b in &s.benchmarks {
             for d in DesignKind::ALL {
@@ -301,7 +835,7 @@ mod tests {
     #[test]
     fn normalized_bc_is_unity() {
         let benches = [benchmark_by_name("treeadd").unwrap()];
-        let s = run_sweep_on(&benches, &tiny_config());
+        let s = run_sweep_on(&benches, &tiny_config()).expect("sweep");
         for (_, r) in s.normalized(DesignKind::Bc, |st| st.cycles as f64) {
             assert!((r - 1.0).abs() < 1e-12);
         }
@@ -310,7 +844,7 @@ mod tests {
     #[test]
     fn bcc_matches_bc_timing_in_sweep() {
         let benches = [benchmark_by_name("mst").unwrap()];
-        let s = run_sweep_on(&benches, &tiny_config());
+        let s = run_sweep_on(&benches, &tiny_config()).expect("sweep");
         let b = &s.benchmarks[0];
         assert_eq!(
             s.cell(b, DesignKind::Bc).cycles,
@@ -324,9 +858,9 @@ mod tests {
         let benches = [benchmark_by_name("mcf").unwrap()];
         let mut cfg = tiny_config();
         cfg.budget = 10_000;
-        let normal = run_sweep_on(&benches, &cfg);
+        let normal = run_sweep_on(&benches, &cfg).expect("sweep");
         cfg.halved_miss_penalty = true;
-        let halved = run_sweep_on(&benches, &cfg);
+        let halved = run_sweep_on(&benches, &cfg).expect("sweep");
         let b = &normal.benchmarks[0];
         assert!(halved.cell(b, DesignKind::Bc).cycles < normal.cell(b, DesignKind::Bc).cycles);
     }
@@ -350,7 +884,7 @@ mod tests {
             Workload::by_name("treeadd").unwrap(),
             Workload::by_name("workgen:addr=uniform,small=0.5,footprint=4096").unwrap(),
         ];
-        let s = run_sweep_workloads(&workloads, &tiny_config());
+        let s = run_sweep_workloads(&workloads, &tiny_config()).expect("sweep");
         assert_eq!(s.benchmarks.len(), 2);
         for b in &s.benchmarks {
             for d in DesignKind::ALL {
@@ -358,7 +892,7 @@ mod tests {
             }
         }
         // Synthetic cells are deterministic: a rerun reproduces cycles.
-        let s2 = run_sweep_workloads(&workloads, &tiny_config());
+        let s2 = run_sweep_workloads(&workloads, &tiny_config()).expect("sweep");
         for b in &s.benchmarks {
             assert_eq!(
                 s.cell(b, DesignKind::Cpp).cycles,
@@ -392,11 +926,208 @@ mod tests {
         c1.threads = 1;
         let mut c4 = tiny_config();
         c4.threads = 4;
-        let s1 = run_sweep_on(&benches, &c1);
-        let s4 = run_sweep_on(&benches, &c4);
+        let s1 = run_sweep_on(&benches, &c1).expect("sweep");
+        let s4 = run_sweep_on(&benches, &c4).expect("sweep");
         let b = &s1.benchmarks[0];
         for d in DesignKind::ALL {
             assert_eq!(s1.cell(b, d).cycles, s4.cell(b, d).cycles);
         }
+    }
+
+    // ---- resilient execution ------------------------------------------
+
+    fn fake_stats(cycles: u64) -> ccp_pipeline::RunStats {
+        ccp_pipeline::RunStats {
+            cycles,
+            instructions: 100,
+            loads: 10,
+            stores: 5,
+            forwarded_loads: 0,
+            branch_mispredicts: 1,
+            branches: 8,
+            icache_misses: 0,
+            miss_cycles: 2,
+            ready_len_sum: 3,
+            cpi_stack: Default::default(),
+            load_sources: Default::default(),
+            hierarchy: Default::default(),
+        }
+    }
+
+    fn two_workloads() -> Vec<(String, SimResult<Workload>)> {
+        vec![
+            ("wl-a".to_string(), Workload::by_name("health")),
+            ("wl-b".to_string(), Workload::by_name("mst")),
+        ]
+    }
+
+    fn resilient_config() -> SweepConfig {
+        let mut c = tiny_config();
+        c.designs = vec!["BC".into(), "CPP".into()];
+        c
+    }
+
+    #[test]
+    fn panicking_cell_fails_without_poisoning_siblings() {
+        let config = resilient_config();
+        let res = ResilienceConfig::default();
+        let s = run_resilient_with(&config, &res, &two_workloads(), |wi, d| {
+            if wi == 0 && d == DesignKind::Cpp {
+                panic!("synthetic cell crash");
+            }
+            Ok(fake_stats(1_000 + wi as u64))
+        })
+        .expect("resilient sweep");
+        assert_eq!(s.failed_count(), 1);
+        assert_eq!(s.ok_count(), 3);
+        for o in s.outcomes() {
+            if o.workload == "wl-a" && o.design == "CPP" {
+                match &o.status {
+                    CellStatus::Failed(e) => {
+                        assert_eq!(e.class(), "panic");
+                        let msg = e.to_string();
+                        assert!(msg.contains("synthetic cell crash"), "{msg}");
+                    }
+                    other => panic!("expected Failed, got {other:?}"),
+                }
+            } else {
+                assert!(
+                    matches!(o.status, CellStatus::Ok(_)),
+                    "{}/{}",
+                    o.workload,
+                    o.design
+                );
+            }
+        }
+        assert!(!s.is_complete());
+        assert!(s.into_sweep().is_err());
+    }
+
+    #[test]
+    fn unresolved_workload_cells_are_skipped_not_fatal() {
+        let config = resilient_config();
+        let res = ResilienceConfig::default();
+        let resolved = vec![
+            ("wl-a".to_string(), Workload::by_name("health")),
+            (
+                "bogus".to_string(),
+                Err(SimError::unknown("benchmark", "bogus")),
+            ),
+        ];
+        let s = run_resilient_with(&config, &res, &resolved, |_, _| Ok(fake_stats(1)))
+            .expect("resilient sweep");
+        assert_eq!(s.ok_count(), 2);
+        assert_eq!(s.skipped_count(), 2);
+        for o in s.outcomes().iter().filter(|o| o.workload == "bogus") {
+            match &o.status {
+                CellStatus::Skipped(reason) => {
+                    assert!(reason.contains("unresolved"), "{reason}")
+                }
+                other => panic!("expected Skipped, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn max_cells_marks_remainder_skipped() {
+        let config = resilient_config();
+        let res = ResilienceConfig {
+            max_cells: Some(1),
+            ..Default::default()
+        };
+        let s = run_resilient_with(&config, &res, &two_workloads(), |_, _| Ok(fake_stats(1)))
+            .expect("resilient sweep");
+        assert_eq!(s.ok_count(), 1);
+        assert_eq!(s.skipped_count(), 3);
+        let skipped: Vec<_> = s
+            .outcomes()
+            .into_iter()
+            .filter(|o| matches!(o.status, CellStatus::Skipped(_)))
+            .collect();
+        for o in &skipped {
+            match &o.status {
+                CellStatus::Skipped(r) => assert!(r.contains("--max-cells 1"), "{r}"),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn transient_errors_are_retried_to_success() {
+        use std::sync::atomic::AtomicU32;
+        let config = resilient_config();
+        let res = ResilienceConfig {
+            retries: 2,
+            backoff_ms: 0,
+            ..Default::default()
+        };
+        let calls = AtomicU32::new(0);
+        let resolved = vec![("wl-a".to_string(), Workload::by_name("health"))];
+        let s = run_resilient_with(&config, &res, &resolved, |_, d| {
+            // First attempt per cell fails with a transient I/O error.
+            if calls.fetch_add(1, Ordering::SeqCst) < 2 && d == DesignKind::Bc {
+                return Err(SimError::io("scratch", &std::io::Error::other("transient")));
+            }
+            Ok(fake_stats(7))
+        })
+        .expect("resilient sweep");
+        assert_eq!(s.failed_count(), 0);
+        let bc = s
+            .outcomes()
+            .into_iter()
+            .find(|o| o.design == "BC")
+            .expect("BC cell");
+        assert!(bc.attempts >= 2, "attempts = {}", bc.attempts);
+    }
+
+    #[test]
+    fn non_transient_errors_are_not_retried() {
+        let config = resilient_config();
+        let res = ResilienceConfig {
+            retries: 5,
+            backoff_ms: 0,
+            ..Default::default()
+        };
+        let resolved = vec![("wl-a".to_string(), Workload::by_name("health"))];
+        let s = run_resilient_with(&config, &res, &resolved, |_, _| {
+            Err(SimError::invariant("cell", "always broken"))
+        })
+        .expect("resilient sweep");
+        assert_eq!(s.failed_count(), 2);
+        for o in s.outcomes() {
+            assert_eq!(o.attempts, 1, "non-transient errors must not retry");
+        }
+    }
+
+    #[test]
+    fn watchdog_source_truncates_stream_and_trips() {
+        let source = Workload::by_name("health").unwrap().source(5_000, 1);
+        let wd = WatchdogSource::new(source.as_ref(), 100);
+        assert_eq!(wd.stream().count(), 100);
+        assert!(wd.tripped());
+        let wd_big = WatchdogSource::new(source.as_ref(), u64::MAX);
+        let n = wd_big.stream().count();
+        assert!(n > 0 && !wd_big.tripped());
+        assert_eq!(wd_big.len_hint(), source.len_hint());
+    }
+
+    #[test]
+    fn resilient_report_and_json_are_deterministic() {
+        let config = resilient_config();
+        let res = ResilienceConfig::default();
+        let runner = |wi: usize, d: DesignKind| {
+            if d == DesignKind::Cpp {
+                Err(SimError::pipeline(format!("wl {wi} wedged")))
+            } else {
+                Ok(fake_stats(50 + wi as u64))
+            }
+        };
+        let s1 = run_resilient_with(&config, &res, &two_workloads(), runner).expect("sweep");
+        let s2 = run_resilient_with(&config, &res, &two_workloads(), runner).expect("sweep");
+        assert_eq!(s1.render_report(), s2.render_report());
+        assert_eq!(s1.to_json().to_string(), s2.to_json().to_string());
+        let report = s1.render_report();
+        assert!(report.contains("failed"), "{report}");
+        assert!(report.contains("ok=2 failed=2 skipped=0"), "{report}");
     }
 }

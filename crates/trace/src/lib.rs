@@ -185,16 +185,21 @@ impl Trace {
 
     /// Validates internal consistency: dependence indices point strictly
     /// backwards and word accesses are aligned. Returns the first problem.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> ccp_errors::SimResult<()> {
+        use ccp_errors::SimError;
         for (n, i) in self.insts.iter().enumerate() {
             for d in [i.dep1, i.dep2] {
                 if d != 0 && (d - 1) as usize >= n {
-                    return Err(format!("inst {n}: dependence {d} not strictly earlier"));
+                    return Err(SimError::trace(format!(
+                        "inst {n}: dependence {d} not strictly earlier"
+                    )));
                 }
             }
             match i.op {
                 Op::Load { addr } | Op::Store { addr, .. } if addr & 3 != 0 => {
-                    return Err(format!("inst {n}: unaligned address {addr:#x}"));
+                    return Err(SimError::trace(format!(
+                        "inst {n}: unaligned address {addr:#x}"
+                    )));
                 }
                 _ => {}
             }

@@ -150,7 +150,7 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
         initial_mem: mem,
         insts,
     };
-    trace.validate().map_err(|e| bad(&e))?;
+    trace.validate().map_err(|e| bad(&e.to_string()))?;
     Ok(trace)
 }
 

@@ -2,6 +2,7 @@
 //! with a compact `key=value` text form so specs travel through CLIs and
 //! sweep configs (`workgen:addr=zipf,small=0.6,footprint=65536`).
 
+use ccp_errors::{SimError, SimResult};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -132,12 +133,12 @@ impl Default for WorkgenSpec {
 
 impl WorkgenSpec {
     /// Checks every parameter is in range; returns the first problem.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> SimResult<()> {
         let frac = |name: &str, v: f64| {
             if (0.0..=1.0).contains(&v) {
                 Ok(())
             } else {
-                Err(format!("{name} must be in [0, 1], got {v}"))
+                Err(SimError::spec(format!("{name} must be in [0, 1], got {v}")))
             }
         };
         frac("small", self.value.small_fraction)?;
@@ -148,30 +149,38 @@ impl WorkgenSpec {
         frac("branch", self.mix.branch_fraction)?;
         frac("falu", self.mix.falu_fraction)?;
         if self.value.small_fraction + self.value.pointer_fraction > 1.0 + 1e-12 {
-            return Err(format!(
+            return Err(SimError::spec(format!(
                 "small + ptr must not exceed 1, got {}",
                 self.value.small_fraction + self.value.pointer_fraction
-            ));
+            )));
         }
         let ctl = self.mix.mem_fraction + self.mix.branch_fraction + self.mix.falu_fraction;
         if ctl > 1.0 + 1e-12 {
-            return Err(format!("mem + branch + falu must not exceed 1, got {ctl}"));
+            return Err(SimError::spec(format!(
+                "mem + branch + falu must not exceed 1, got {ctl}"
+            )));
         }
         if self.footprint_words == 0 {
-            return Err("footprint must be at least 1 word".into());
+            return Err(SimError::spec("footprint must be at least 1 word"));
         }
         if self.footprint_words > (1 << 26) {
-            return Err("footprint above 2^26 words (256 MB) is unsupported".into());
+            return Err(SimError::spec(
+                "footprint above 2^26 words (256 MB) is unsupported",
+            ));
         }
         match self.addr {
-            AddrModel::Strided { stride: 0 } => Err("stride must be at least 1 word".into()),
-            AddrModel::Zipf { skew } if !(0.0..=8.0).contains(&skew) => {
-                Err(format!("skew must be in [0, 8], got {skew}"))
+            AddrModel::Strided { stride: 0 } => {
+                Err(SimError::spec("stride must be at least 1 word"))
             }
-            AddrModel::Chase { nodes } if nodes < 2 => Err("chase needs at least 2 nodes".into()),
-            AddrModel::Chase { nodes } if nodes > (1 << 23) => {
-                Err("chase above 2^23 nodes (256 MB) is unsupported".into())
+            AddrModel::Zipf { skew } if !(0.0..=8.0).contains(&skew) => Err(SimError::spec(
+                format!("skew must be in [0, 8], got {skew}"),
+            )),
+            AddrModel::Chase { nodes } if nodes < 2 => {
+                Err(SimError::spec("chase needs at least 2 nodes"))
             }
+            AddrModel::Chase { nodes } if nodes > (1 << 23) => Err(SimError::spec(
+                "chase above 2^23 nodes (256 MB) is unsupported",
+            )),
             _ => Ok(()),
         }
     }
@@ -181,7 +190,7 @@ impl WorkgenSpec {
     /// defaults. Keys: `addr` (seq|stride|uniform|zipf|chase), `stride`,
     /// `skew`, `nodes`, `small`, `ptr`, `entropy`, `mem`, `store`,
     /// `branch`, `falu`, `footprint`.
-    pub fn parse(text: &str) -> Result<WorkgenSpec, String> {
+    pub fn parse(text: &str) -> SimResult<WorkgenSpec> {
         let body = text.strip_prefix("workgen:").unwrap_or(text).trim();
         let mut spec = WorkgenSpec::default();
         // Structural params remembered until the addr kind is known, so
@@ -193,12 +202,14 @@ impl WorkgenSpec {
         for pair in body.split(',').filter(|p| !p.trim().is_empty()) {
             let (key, val) = pair
                 .split_once('=')
-                .ok_or_else(|| format!("expected key=value, got {pair:?}"))?;
+                .ok_or_else(|| SimError::spec(format!("expected key=value, got {pair:?}")))?;
             let (key, val) = (key.trim(), val.trim());
-            let as_f64 =
-                |v: &str| -> Result<f64, String> { v.parse().map_err(|e| format!("{key}: {e}")) };
-            let as_u32 =
-                |v: &str| -> Result<u32, String> { v.parse().map_err(|e| format!("{key}: {e}")) };
+            let as_f64 = |v: &str| -> SimResult<f64> {
+                v.parse().map_err(|e| SimError::spec(format!("{key}: {e}")))
+            };
+            let as_u32 = |v: &str| -> SimResult<u32> {
+                v.parse().map_err(|e| SimError::spec(format!("{key}: {e}")))
+            };
             match key {
                 "addr" => addr_tag = Some(val.to_string()),
                 "stride" => stride = Some(as_u32(val)?),
@@ -212,7 +223,7 @@ impl WorkgenSpec {
                 "branch" => spec.mix.branch_fraction = as_f64(val)?,
                 "falu" => spec.mix.falu_fraction = as_f64(val)?,
                 "footprint" => spec.footprint_words = as_u32(val)?,
-                _ => return Err(format!("unknown workgen key {key:?}")),
+                _ => return Err(SimError::spec(format!("unknown workgen key {key:?}"))),
             }
         }
         spec.addr = match addr_tag.as_deref().unwrap_or("uniform") {
@@ -227,7 +238,7 @@ impl WorkgenSpec {
             "chase" | "ptrchase" => AddrModel::Chase {
                 nodes: nodes.unwrap_or(16 * 1024),
             },
-            other => return Err(format!("unknown addr model {other:?}")),
+            other => return Err(SimError::spec(format!("unknown addr model {other:?}"))),
         };
         spec.validate()?;
         Ok(spec)
@@ -302,5 +313,14 @@ mod tests {
     #[test]
     fn validate_accepts_defaults() {
         assert!(WorkgenSpec::default().validate().is_ok());
+    }
+
+    #[test]
+    fn parse_errors_are_typed_spec_errors() {
+        for text in ["addr=bogus", "small=2.0", "smal=0.5", "small"] {
+            let e = WorkgenSpec::parse(text).unwrap_err();
+            assert_eq!(e.class(), "spec", "{text}");
+            assert!(!e.is_transient());
+        }
     }
 }

@@ -12,6 +12,7 @@
 //!
 //! The workspace contains everything the paper's evaluation needs:
 //!
+//! * [`errors`] — the workspace-wide [`SimError`](errors::SimError) taxonomy,
 //! * [`compress`] — the 16-bit value-compression scheme (§2.1, Figure 1–2),
 //! * [`mem`] — the functional memory image and bus-traffic meters,
 //! * [`cache`] — the cache substrate and the BC / BCC / HAC / BCP
@@ -41,6 +42,7 @@
 pub use ccp_cache as cache;
 pub use ccp_compress as compress;
 pub use ccp_cpp as cpp;
+pub use ccp_errors as errors;
 pub use ccp_mem as mem;
 pub use ccp_pipeline as pipeline;
 pub use ccp_sim as sim;
@@ -55,9 +57,12 @@ pub mod prelude {
     };
     pub use ccp_compress::{classify, compress, decompress, is_compressible, CompressKind};
     pub use ccp_cpp::CppHierarchy;
+    pub use ccp_errors::{SimError, SimResult};
     pub use ccp_mem::MainMemory;
     pub use ccp_pipeline::{run_trace, PipelineConfig, RunStats};
-    pub use ccp_sim::{build_design, run_sweep, SweepConfig};
+    pub use ccp_sim::{
+        build_design, run_sweep, run_sweep_resilient, ResilienceConfig, SweepConfig,
+    };
     pub use ccp_trace::{all_benchmarks, benchmark_by_name, Trace, TraceSource};
     pub use ccp_workgen::{SynthSource, WorkgenSpec};
 }

@@ -12,7 +12,7 @@ fn sweep(names: &[&str], budget: usize) -> ccp::sim::Sweep {
         .collect();
     let mut cfg = SweepConfig::new(budget, 11);
     cfg.threads = 4;
-    run_sweep_on(&benches, &cfg)
+    run_sweep_on(&benches, &cfg).expect("sweep")
 }
 
 #[test]
@@ -166,9 +166,9 @@ fn importance_decreases_under_cpp_for_pointer_chases() {
     let benches = [benchmark_by_name("treeadd").unwrap()];
     let mut cfg = SweepConfig::new(40_000, 11);
     cfg.threads = 4;
-    let normal = run_sweep_on(&benches, &cfg);
+    let normal = run_sweep_on(&benches, &cfg).expect("sweep");
     cfg.halved_miss_penalty = true;
-    let halved = run_sweep_on(&benches, &cfg);
+    let halved = run_sweep_on(&benches, &cfg).expect("sweep");
     let fig = ccp::sim::experiments::figure14(&normal, &halved);
     let bc_col = fig.designs.iter().position(|d| d == "BC").unwrap();
     let cpp_col = fig.designs.iter().position(|d| d == "CPP").unwrap();
