@@ -26,7 +26,8 @@ echo "== chaos smoke: fault injection is detected, no false positives"
 
 echo "== resume round-trip: interrupted + resumed sweep == uninterrupted"
 SCRATCH="$(mktemp -d)"
-trap 'rm -rf "$SCRATCH"' EXIT
+SERVED_PID=""
+trap 'if [ -n "$SERVED_PID" ]; then kill "$SERVED_PID" 2>/dev/null || true; fi; rm -rf "$SCRATCH"' EXIT
 SWEEP_ARGS="--budget 2000 --seed 7 --workloads health,mst --designs BC,CPP"
 # Phase 1: "crash" after 2 of 4 cells (exit 3 = incomplete, by design).
 set +e
@@ -42,5 +43,67 @@ set -e
     --json "$SCRATCH/fresh.json" > "$SCRATCH/fresh.txt"
 cmp "$SCRATCH/resumed.txt" "$SCRATCH/fresh.txt"
 cmp "$SCRATCH/resumed.json" "$SCRATCH/fresh.json"
+
+echo "== serve smoke: served results == direct runs, graceful drain"
+./target/release/ccp-served --workers 4 --cache 64 \
+    > "$SCRATCH/served.out" 2> "$SCRATCH/served.err" &
+SERVED_PID=$!
+i=0
+until grep -q "listening on" "$SCRATCH/served.out" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "ccp-served did not come up"; exit 1; }
+    sleep 0.1
+done
+ADDR="$(sed -n 's/^ccp-served listening on //p' "$SCRATCH/served.out")"
+
+# One benchmark job and one workgen job: the served stats must be
+# field-identical to direct ccp-sim runs of the same cells. (Comma-free
+# spec: the sweep CLI splits --workloads on commas.)
+WGSPEC="workgen:addr=zipf"
+./target/release/ccp-client --addr "$ADDR" submit --workload health --design CPP \
+    --budget 2000 --seed 7 --json "$SCRATCH/served-bench.json" > /dev/null
+./target/release/ccp-client --addr "$ADDR" submit --workload "$WGSPEC" --design BC \
+    --budget 2000 --seed 7 --json "$SCRATCH/served-wg.json" > /dev/null
+./target/release/ccp-sim sweep --budget 2000 --seed 7 --workloads health \
+    --designs CPP --json "$SCRATCH/direct-bench.json" > /dev/null
+./target/release/ccp-sim sweep --budget 2000 --seed 7 --workloads "$WGSPEC" \
+    --designs BC --json "$SCRATCH/direct-wg.json" > /dev/null
+for pair in "served-bench direct-bench" "served-wg direct-wg"; do
+    served_file="$SCRATCH/$(echo "$pair" | cut -d' ' -f1).json"
+    direct_file="$SCRATCH/$(echo "$pair" | cut -d' ' -f2).json"
+    for field in cycles instructions loads stores; do
+        s="$(grep -o "\"$field\":[0-9]*" "$served_file" | head -1)"
+        d="$(grep -o "\"$field\":[0-9]*" "$direct_file" | head -1)"
+        [ -n "$s" ] && [ "$s" = "$d" ] || {
+            echo "served/direct mismatch in $pair on $field: '$s' vs '$d'"; exit 1; }
+    done
+done
+
+# A poisoned (fault-injected, panicking) job must come back as a typed
+# error to its client while the server keeps serving.
+set +e
+./target/release/ccp-client --addr "$ADDR" submit --workload health --design CPP \
+    --budget 1500 --fault vcp > /dev/null 2> "$SCRATCH/fault.err"
+status=$?
+set -e
+[ "$status" -eq 1 ] || { echo "fault job: expected exit 1, got $status"; exit 1; }
+grep -q "\[panic\]" "$SCRATCH/fault.err" || {
+    echo "fault job did not report a typed panic:"; cat "$SCRATCH/fault.err"; exit 1; }
+./target/release/ccp-client --addr "$ADDR" submit --workload mst --design BCP \
+    --budget 2000 > /dev/null   # server survived the poisoned worker
+
+# Load generator: zipf(1.0) mix of 32 distinct jobs over 4 connections
+# must sustain >= 100 req/s with >= 90% cache hit rate.
+./target/release/ccp-client --addr "$ADDR" bench --conns 4 --requests 400 \
+    --jobs 32 --skew 1.0 --budget 1000 --min-throughput 100 --min-hit-rate 0.9
+
+# SIGTERM drains and exits 0 (no torn output: every line above parsed).
+kill -TERM "$SERVED_PID"
+set +e
+wait "$SERVED_PID"
+status=$?
+set -e
+SERVED_PID=""
+[ "$status" -eq 0 ] || { echo "ccp-served exit $status after SIGTERM"; exit 1; }
 
 echo "CI OK"

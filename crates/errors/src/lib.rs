@@ -77,6 +77,22 @@ pub enum SimError {
         /// What is wrong with it.
         detail: String,
     },
+    /// A peer sent something the wire protocol cannot accept (malformed
+    /// JSON, missing fields, unknown request type).
+    Protocol {
+        /// What was wrong with the message.
+        detail: String,
+    },
+    /// A job was canceled before it completed.
+    Canceled {
+        /// The unit that was canceled (e.g. a served job).
+        context: String,
+    },
+    /// The server is draining and rejected new work.
+    Shutdown {
+        /// Why the work was rejected.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -141,6 +157,27 @@ impl SimError {
         }
     }
 
+    /// A wire-protocol violation by a peer.
+    pub fn protocol(detail: impl Into<String>) -> Self {
+        SimError::Protocol {
+            detail: detail.into(),
+        }
+    }
+
+    /// A cancellation of the unit of work at `context`.
+    pub fn canceled(context: impl Into<String>) -> Self {
+        SimError::Canceled {
+            context: context.into(),
+        }
+    }
+
+    /// A rejection because the server is shutting down.
+    pub fn shutdown(detail: impl Into<String>) -> Self {
+        SimError::Shutdown {
+            detail: detail.into(),
+        }
+    }
+
     /// Classifies a caught panic payload (from `std::panic::catch_unwind`)
     /// raised inside `context`. Panics whose message identifies a pipeline
     /// wedge are reported as [`SimError::Pipeline`]; everything else as
@@ -193,6 +230,41 @@ impl SimError {
             SimError::Watchdog { .. } => "watchdog",
             SimError::Io { .. } => "io",
             SimError::Corrupt { .. } => "corrupt",
+            SimError::Protocol { .. } => "protocol",
+            SimError::Canceled { .. } => "canceled",
+            SimError::Shutdown { .. } => "shutdown",
+        }
+    }
+
+    /// Reconstructs an error from a `(class, message)` pair that traveled
+    /// over the wire. The original variant fields are gone — the message is
+    /// all a remote peer ever sees — so every class maps onto the variant
+    /// whose `detail` carries the full rendered message. Unknown classes
+    /// (from a newer server) degrade to [`SimError::Protocol`].
+    pub fn from_wire(class: &str, message: impl Into<String>) -> Self {
+        let message = message.into();
+        match class {
+            "spec" => SimError::spec(message),
+            "trace" => SimError::trace(message),
+            "invariant" => SimError::invariant("", message),
+            "pipeline" => SimError::pipeline(message),
+            "panic" => SimError::Panic {
+                context: "remote".to_string(),
+                detail: message,
+            },
+            "watchdog" => SimError::Watchdog {
+                context: message,
+                limit: 0,
+            },
+            "unknown-name" => SimError::unknown("name", message),
+            "io" => SimError::Io {
+                path: "remote".to_string(),
+                detail: message,
+            },
+            "corrupt" => SimError::corrupt("artifact", message),
+            "canceled" => SimError::canceled(message),
+            "shutdown" => SimError::shutdown(message),
+            _ => SimError::protocol(message),
         }
     }
 
@@ -225,6 +297,9 @@ impl fmt::Display for SimError {
             ),
             SimError::Io { path, detail } => write!(f, "{path}: {detail}"),
             SimError::Corrupt { what, detail } => write!(f, "corrupt {what}: {detail}"),
+            SimError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            SimError::Canceled { context } => write!(f, "canceled: {context}"),
+            SimError::Shutdown { detail } => write!(f, "server shutting down: {detail}"),
         }
     }
 }
@@ -251,6 +326,9 @@ mod tests {
                 SimError::corrupt("checkpoint", "seed mismatch"),
                 "corrupt checkpoint",
             ),
+            (SimError::protocol("missing field"), "protocol violation"),
+            (SimError::canceled("job 7"), "canceled"),
+            (SimError::shutdown("draining"), "shutting down"),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");
@@ -297,5 +375,38 @@ mod tests {
         assert_eq!(SimError::spec("x").class(), "spec");
         assert_eq!(SimError::watchdog("c", 1).class(), "watchdog");
         assert_eq!(SimError::corrupt("checkpoint", "x").class(), "corrupt");
+        assert_eq!(SimError::protocol("x").class(), "protocol");
+        assert_eq!(SimError::canceled("x").class(), "canceled");
+        assert_eq!(SimError::shutdown("x").class(), "shutdown");
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_class() {
+        let cases = vec![
+            SimError::spec("bad small"),
+            SimError::invariant("L1", "VCP ⊄ PA"),
+            SimError::pipeline("wedged"),
+            SimError::canceled("job 3"),
+            SimError::shutdown("draining"),
+            SimError::protocol("truncated line"),
+        ];
+        for e in cases {
+            let back = SimError::from_wire(e.class(), e.to_string());
+            assert_eq!(back.class(), e.class(), "{e}");
+        }
+        // Unknown classes degrade to protocol, never panic.
+        assert_eq!(
+            SimError::from_wire("from-the-future", "x").class(),
+            "protocol"
+        );
+        assert_eq!(SimError::from_wire("panic", "boom").class(), "panic");
+        assert_eq!(SimError::from_wire("watchdog", "cell").class(), "watchdog");
+    }
+
+    #[test]
+    fn server_classes_are_not_transient() {
+        assert!(!SimError::protocol("x").is_transient());
+        assert!(!SimError::canceled("x").is_transient());
+        assert!(!SimError::shutdown("x").is_transient());
     }
 }

@@ -177,7 +177,7 @@ impl LoadSources {
 }
 
 /// Results of one pipeline run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Default, Clone)]
 pub struct RunStats {
     /// Total execution cycles.
     pub cycles: u64,

@@ -1,0 +1,336 @@
+//! Content-addressed result cache with single-flight deduplication.
+//!
+//! Keys are [`JobSpec::cache_key`] values — FNV-1a over the canonical
+//! spec text — so the cache answers for *any* equivalent spelling of a
+//! job. Every entry also stores the canonical string itself: on the
+//! astronomically-unlikely 64-bit collision the strings differ, the
+//! stale entry is discarded, and a counter records the event — a
+//! collision can cost a recomputation, never a wrong answer.
+//!
+//! Single-flight: the first miss for a key becomes the *leader* and runs
+//! the simulation; identical submissions that arrive while it is in
+//! flight are parked as waiters on the same entry and all receive the
+//! leader's result. `n` identical concurrent jobs cost exactly one
+//! simulation.
+//!
+//! Eviction is LRU over *ready* entries only (in-flight entries are
+//! pinned — evicting one would strand its waiters), driven by a
+//! monotonic touch tick rather than wall-clock time so behaviour is
+//! deterministic under test.
+//!
+//! The cache is a plain data structure — callers provide locking. The
+//! waiter payload is generic (`W`) so the policy is testable without a
+//! server around it; `ccp-served` instantiates it with a handle that can
+//! reach the submitting connection's writer.
+//!
+//! [`JobSpec::cache_key`]: ccp_sim::JobSpec::cache_key
+
+use ccp_pipeline::RunStats;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a lookup tells the caller to do.
+#[derive(Debug)]
+pub enum Lookup {
+    /// Ready result — serve it immediately.
+    Hit(Arc<RunStats>),
+    /// An identical job is in flight; the caller was parked as a waiter
+    /// and will be handed the leader's result via [`ResultCache::complete`].
+    Joined,
+    /// Nothing cached or in flight: the caller is now the leader and must
+    /// run the simulation, then call [`ResultCache::complete`].
+    Miss,
+}
+
+enum Entry<W> {
+    Ready {
+        canonical: String,
+        stats: Arc<RunStats>,
+        last_used: u64,
+    },
+    InFlight {
+        canonical: String,
+        waiters: Vec<W>,
+    },
+}
+
+/// Hit/miss/eviction counters, exported verbatim into the `stats`
+/// response.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from a ready entry.
+    pub hits: u64,
+    /// Lookups parked on an in-flight leader.
+    pub joined: u64,
+    /// Lookups that elected a new leader.
+    pub misses: u64,
+    /// Ready entries evicted by LRU.
+    pub evictions: u64,
+    /// Key collisions detected (canonical text mismatch).
+    pub collisions: u64,
+}
+
+/// The content-addressed result cache. See the module docs for policy.
+pub struct ResultCache<W> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<u64, Entry<W>>,
+    counters: CacheCounters,
+}
+
+impl<W> ResultCache<W> {
+    /// An empty cache holding at most `capacity` ready results
+    /// (`capacity` 0 disables retention: every lookup is a miss or a
+    /// join, and completed results are dropped once delivered).
+    pub fn new(capacity: usize) -> ResultCache<W> {
+        ResultCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Looks up `key`. On [`Lookup::Joined`] the `waiter` is parked on the
+    /// in-flight entry; on hit or miss it is returned unused along with the
+    /// verdict (the caller either serves the hit or becomes the leader).
+    pub fn lookup(&mut self, key: u64, canonical: &str, waiter: W) -> (Lookup, Option<W>) {
+        self.tick += 1;
+        match self.map.get_mut(&key) {
+            Some(Entry::Ready {
+                canonical: c,
+                stats,
+                last_used,
+            }) if c == canonical => {
+                *last_used = self.tick;
+                self.counters.hits += 1;
+                (Lookup::Hit(Arc::clone(stats)), Some(waiter))
+            }
+            Some(Entry::InFlight {
+                canonical: c,
+                waiters,
+            }) if c == canonical => {
+                waiters.push(waiter);
+                self.counters.joined += 1;
+                (Lookup::Joined, None)
+            }
+            Some(_) => {
+                // 64-bit collision: different canonical text behind the same
+                // key. Discard the stale entry and recompute — never serve it.
+                self.counters.collisions += 1;
+                self.map.insert(
+                    key,
+                    Entry::InFlight {
+                        canonical: canonical.to_string(),
+                        waiters: Vec::new(),
+                    },
+                );
+                self.counters.misses += 1;
+                (Lookup::Miss, Some(waiter))
+            }
+            None => {
+                self.map.insert(
+                    key,
+                    Entry::InFlight {
+                        canonical: canonical.to_string(),
+                        waiters: Vec::new(),
+                    },
+                );
+                self.counters.misses += 1;
+                (Lookup::Miss, Some(waiter))
+            }
+        }
+    }
+
+    /// The leader finished: returns every parked waiter (the caller
+    /// delivers `result` to each of them and to itself). On success the
+    /// entry becomes ready (and LRU may evict the oldest ready entry);
+    /// on failure it is removed — errors are never cached, so a
+    /// transient failure doesn't poison the key.
+    pub fn complete(&mut self, key: u64, stats: Option<&Arc<RunStats>>) -> Vec<W> {
+        match self.map.remove(&key) {
+            Some(Entry::InFlight { canonical, waiters }) => {
+                if let Some(stats) = stats {
+                    self.tick += 1;
+                    self.map.insert(
+                        key,
+                        Entry::Ready {
+                            canonical,
+                            stats: Arc::clone(stats),
+                            last_used: self.tick,
+                        },
+                    );
+                    self.evict_to_capacity();
+                }
+                waiters
+            }
+            // A collision replaced this flight's entry; deliver to nobody
+            // extra (the replacing flight keeps its own waiters).
+            Some(other) => {
+                self.map.insert(key, other);
+                Vec::new()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Removes one waiter (identified by `pred`) from an in-flight entry.
+    /// Returns the waiter if found — used for cancelling a joined job
+    /// without disturbing the leader.
+    pub fn remove_waiter(&mut self, key: u64, pred: impl Fn(&W) -> bool) -> Option<W> {
+        if let Some(Entry::InFlight { waiters, .. }) = self.map.get_mut(&key) {
+            if let Some(ix) = waiters.iter().position(pred) {
+                return Some(waiters.swap_remove(ix));
+            }
+        }
+        None
+    }
+
+    /// Visits every waiter parked on `key` (for streaming progress to
+    /// joined submissions).
+    pub fn for_each_waiter(&self, key: u64, mut f: impl FnMut(&W)) {
+        if let Some(Entry::InFlight { waiters, .. }) = self.map.get(&key) {
+            waiters.iter().for_each(&mut f);
+        }
+    }
+
+    fn evict_to_capacity(&mut self) {
+        loop {
+            let ready = self
+                .map
+                .iter()
+                .filter_map(|(k, e)| match e {
+                    Entry::Ready { last_used, .. } => Some((*k, *last_used)),
+                    Entry::InFlight { .. } => None,
+                })
+                .collect::<Vec<_>>();
+            if ready.len() <= self.capacity {
+                return;
+            }
+            if let Some(&(oldest, _)) = ready.iter().min_by_key(|&&(_, t)| t) {
+                self.map.remove(&oldest);
+                self.counters.evictions += 1;
+            }
+        }
+    }
+
+    /// Ready entries currently held.
+    pub fn entries(&self) -> usize {
+        self.map
+            .values()
+            .filter(|e| matches!(e, Entry::Ready { .. }))
+            .count()
+    }
+
+    /// The counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: u64) -> Arc<RunStats> {
+        Arc::new(RunStats {
+            cycles,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn miss_then_hit_then_lru_eviction() {
+        let mut c: ResultCache<u32> = ResultCache::new(2);
+        for (k, name) in [(1, "a"), (2, "b"), (3, "c")] {
+            assert!(matches!(c.lookup(k, name, 0).0, Lookup::Miss));
+            let w = c.complete(k, Some(&stats(k)));
+            assert!(w.is_empty());
+        }
+        // Capacity 2: key 1 (oldest) was evicted, 2 and 3 remain.
+        assert_eq!(c.entries(), 2);
+        assert_eq!(c.counters().evictions, 1);
+        assert!(matches!(c.lookup(1, "a", 0).0, Lookup::Miss));
+        c.complete(1, Some(&stats(1)));
+        match c.lookup(3, "c", 0).0 {
+            Lookup::Hit(s) => assert_eq!(s.cycles, 3),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // Touching 3 made 2 the LRU entry now.
+        assert!(matches!(c.lookup(4, "d", 0).0, Lookup::Miss));
+        c.complete(4, Some(&stats(4)));
+        assert!(matches!(c.lookup(2, "b", 0).0, Lookup::Miss));
+    }
+
+    #[test]
+    fn single_flight_parks_waiters_and_delivers_once() {
+        let mut c: ResultCache<&str> = ResultCache::new(4);
+        assert!(matches!(c.lookup(7, "job", "leader").0, Lookup::Miss));
+        assert!(matches!(c.lookup(7, "job", "w1").0, Lookup::Joined));
+        assert!(matches!(c.lookup(7, "job", "w2").0, Lookup::Joined));
+        assert_eq!(c.counters().joined, 2);
+        let mut seen = 0;
+        c.for_each_waiter(7, |_| seen += 1);
+        assert_eq!(seen, 2);
+        let waiters = c.complete(7, Some(&stats(9)));
+        assert_eq!(waiters, vec!["w1", "w2"]);
+        match c.lookup(7, "job", "late").0 {
+            Lookup::Hit(s) => assert_eq!(s.cycles, 9),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failures_are_not_cached() {
+        let mut c: ResultCache<u32> = ResultCache::new(4);
+        assert!(matches!(c.lookup(5, "j", 1).0, Lookup::Miss));
+        assert!(matches!(c.lookup(5, "j", 2).0, Lookup::Joined));
+        let waiters = c.complete(5, None);
+        assert_eq!(waiters, vec![2]);
+        // The error was delivered but not retained: next lookup re-runs.
+        assert!(matches!(c.lookup(5, "j", 3).0, Lookup::Miss));
+        assert_eq!(c.entries(), 0);
+    }
+
+    #[test]
+    fn canceled_waiter_is_removed_without_disturbing_the_flight() {
+        let mut c: ResultCache<u32> = ResultCache::new(4);
+        c.lookup(5, "j", 1).0.assert_miss();
+        assert!(matches!(c.lookup(5, "j", 2).0, Lookup::Joined));
+        assert!(matches!(c.lookup(5, "j", 3).0, Lookup::Joined));
+        assert_eq!(c.remove_waiter(5, |w| *w == 2), Some(2));
+        assert_eq!(c.remove_waiter(5, |w| *w == 2), None);
+        assert_eq!(c.complete(5, Some(&stats(1))), vec![3]);
+    }
+
+    #[test]
+    fn collision_is_detected_and_recomputed() {
+        let mut c: ResultCache<u32> = ResultCache::new(4);
+        c.lookup(5, "alpha", 1).0.assert_miss();
+        c.complete(5, Some(&stats(1)));
+        // Same key, different canonical text: must NOT serve alpha's stats.
+        assert!(matches!(c.lookup(5, "beta", 2).0, Lookup::Miss));
+        assert_eq!(c.counters().collisions, 1);
+        c.complete(5, Some(&stats(2)));
+        match c.lookup(5, "beta", 3).0 {
+            Lookup::Hit(s) => assert_eq!(s.cycles, 2),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let mut c: ResultCache<u32> = ResultCache::new(0);
+        c.lookup(1, "a", 0).0.assert_miss();
+        c.complete(1, Some(&stats(1)));
+        c.lookup(1, "a", 0).0.assert_miss();
+        assert_eq!(c.entries(), 0);
+        assert_eq!(c.counters().misses, 2);
+    }
+
+    impl Lookup {
+        fn assert_miss(&self) {
+            assert!(matches!(self, Lookup::Miss), "expected miss, got {self:?}");
+        }
+    }
+}

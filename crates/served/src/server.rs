@@ -1,0 +1,576 @@
+//! The simulation server: listener, connection handlers, and the worker
+//! pool.
+//!
+//! ## Threading model
+//!
+//! One listener thread accepts connections (non-blocking, polling the
+//! drain flag). Each connection gets a *reader* thread (parses request
+//! lines, answers control requests inline, enqueues jobs) and a *writer*
+//! thread (drains an mpsc channel of pre-serialized lines onto the
+//! socket). Every message destined for a connection — replies from its
+//! own reader, results and progress from worker threads — funnels
+//! through that single writer, so concurrent jobs can never interleave
+//! torn JSON on the wire.
+//!
+//! A fixed pool of worker threads pops the FIFO job queue and runs each
+//! job through [`ccp_sim::run_job_ctl`] — the same guarded core a sweep
+//! cell uses, so a panicking or runaway simulation is returned to the
+//! submitter as a typed [`job_error`] while the worker thread survives.
+//!
+//! ## Shutdown
+//!
+//! `begin_drain` (SIGINT/SIGTERM in the binary, or a `shutdown` request)
+//! flips one flag: the listener stops accepting, new submissions are
+//! refused with a typed `shutting_down` response, and workers finish
+//! everything already queued before exiting. [`ServerHandle::wait`]
+//! returns once the last in-flight job has been delivered.
+//!
+//! [`job_error`]: crate::protocol::Response::JobError
+
+use crate::cache::{Lookup, ResultCache};
+use crate::protocol::{Request, Response, StatsSnapshot};
+use ccp_errors::{SimError, SimResult};
+use ccp_sim::checkpoint::stats_to_json;
+use ccp_sim::{run_job_ctl, JobCtl, JobSpec};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Longest accepted request line, including the newline. Guards the
+/// per-connection read buffer against an unframed flood.
+pub const MAX_LINE: usize = 1 << 20;
+
+/// Tunables for [`start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads — the bound on concurrently running simulations.
+    pub workers: usize,
+    /// Result-cache capacity in ready entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// A waiter parked on an in-flight cache entry: the submission's job id
+/// plus the submitting connection's writer channel.
+struct Waiter {
+    job: u64,
+    tx: Sender<String>,
+}
+
+/// A queued (leader) job.
+struct JobState {
+    id: u64,
+    key: u64,
+    spec: JobSpec,
+    cancel: AtomicBool,
+    tx: Sender<String>,
+}
+
+/// Where a live job id routes for cancellation.
+enum Route {
+    Leader(Arc<JobState>),
+    Waiter { key: u64 },
+}
+
+/// Cache + cancellation registry behind one lock: a submission's cache
+/// lookup and registry insert are atomic with respect to a worker's
+/// complete-and-unregister, which closes the register/complete race
+/// without any lock-ordering discipline across two mutexes.
+struct Inner {
+    cache: ResultCache<Waiter>,
+    registry: HashMap<u64, Route>,
+}
+
+struct Shared {
+    state: Mutex<Inner>,
+    queue: Mutex<VecDeque<Arc<JobState>>>,
+    queue_cv: Condvar,
+    draining: AtomicBool,
+    next_id: AtomicU64,
+    workers: usize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    canceled: AtomicU64,
+    sims_run: AtomicU64,
+}
+
+impl Shared {
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let (counters, entries) = {
+            let inner = self.state.lock().unwrap();
+            (inner.cache.counters(), inner.cache.entries() as u64)
+        };
+        let queue_depth = self.queue.lock().unwrap().len() as u64;
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            canceled: self.canceled.load(Ordering::Relaxed),
+            sims_run: self.sims_run.load(Ordering::Relaxed),
+            hits: counters.hits,
+            joined: counters.joined,
+            misses: counters.misses,
+            evictions: counters.evictions,
+            entries,
+            queue_depth,
+            workers: self.workers as u64,
+            draining: self.draining.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] then [`ServerHandle::wait`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a drain has begun (via [`shutdown`](Self::shutdown), a
+    /// client `shutdown` request, or a signal in the binary).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begins a graceful drain: stop accepting, refuse new submissions
+    /// with a typed response, finish queued and in-flight jobs.
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Blocks until the listener and every worker have exited. Only
+    /// returns after a drain has begun.
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds, spawns the listener and the worker pool, and returns
+/// immediately.
+pub fn start(config: ServerConfig) -> SimResult<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr).map_err(|e| SimError::io(&config.addr, &e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| SimError::io(&config.addr, &e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| SimError::io(&config.addr, &e))?;
+
+    let workers = config.workers.max(1);
+    let shared = Arc::new(Shared {
+        state: Mutex::new(Inner {
+            cache: ResultCache::new(config.cache_capacity),
+            registry: HashMap::new(),
+        }),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        draining: AtomicBool::new(false),
+        next_id: AtomicU64::new(0),
+        workers,
+        submitted: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        canceled: AtomicU64::new(0),
+        sims_run: AtomicU64::new(0),
+    });
+
+    let mut threads = Vec::with_capacity(workers + 1);
+    for i in 0..workers {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name(format!("ccp-served-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .map_err(|e| SimError::io("worker", &e))?,
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            thread::Builder::new()
+                .name("ccp-served-listener".into())
+                .spawn(move || listener_loop(listener, &shared))
+                .map_err(|e| SimError::io("listener", &e))?,
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                // Connection threads are detached: they die with their
+                // sockets, and must not delay a drained server's exit.
+                let _ = thread::Builder::new()
+                    .name("ccp-served-conn".into())
+                    .spawn(move || handle_conn(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared.queue_cv.wait(q).unwrap();
+            }
+        };
+        let Some(job) = job else { return };
+        let result = if job.cancel.load(Ordering::SeqCst) {
+            Err(SimError::canceled(job.spec.context()))
+        } else {
+            shared.sims_run.fetch_add(1, Ordering::Relaxed);
+            let progress = |done: u64, total: u64| {
+                let _ = job.tx.send(
+                    Response::Progress {
+                        job: job.id,
+                        done,
+                        total,
+                    }
+                    .to_line(),
+                );
+                let inner = shared.state.lock().unwrap();
+                inner.cache.for_each_waiter(job.key, |w| {
+                    let _ = w.tx.send(
+                        Response::Progress {
+                            job: w.job,
+                            done,
+                            total,
+                        }
+                        .to_line(),
+                    );
+                });
+            };
+            let ctl = JobCtl {
+                cancel: Some(&job.cancel),
+                progress: Some(&progress),
+                ..Default::default()
+            };
+            run_job_ctl(&job.spec, &ctl)
+        };
+
+        let stats = result.as_ref().ok().map(|s| Arc::new(s.clone()));
+        let waiters = {
+            let mut inner = shared.state.lock().unwrap();
+            let waiters = inner.cache.complete(job.key, stats.as_ref());
+            inner.registry.remove(&job.id);
+            for w in &waiters {
+                inner.registry.remove(&w.job);
+            }
+            waiters
+        };
+        let stats_json = stats.as_ref().map(|s| stats_to_json(s));
+        deliver(shared, &job.tx, job.id, false, &result, stats_json.as_ref());
+        for w in waiters {
+            deliver(shared, &w.tx, w.job, true, &result, stats_json.as_ref());
+        }
+    }
+}
+
+/// Sends the terminal response for one submission and bumps the outcome
+/// counters.
+fn deliver(
+    shared: &Shared,
+    tx: &Sender<String>,
+    job: u64,
+    cached: bool,
+    result: &SimResult<ccp_pipeline::RunStats>,
+    stats_json: Option<&ccp_sim::json::Json>,
+) {
+    let line = match (result, stats_json) {
+        (Ok(_), Some(stats)) => {
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            Response::Result {
+                job,
+                cached,
+                stats: stats.clone(),
+            }
+            .to_line()
+        }
+        _ => {
+            let e = result.as_ref().expect_err("no stats implies an error");
+            if e.class() == "canceled" {
+                shared.canceled.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::JobError {
+                job,
+                class: e.class().to_string(),
+                error: e.to_string(),
+            }
+            .to_line()
+        }
+    };
+    let _ = tx.send(line);
+}
+
+fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) {
+    // A finite read timeout keeps the reader loop responsive to server
+    // drain even on an idle connection; NODELAY because the protocol is
+    // small request/response lines and Nagle + delayed ACK would add
+    // ~40ms to every cached hit.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = channel::<String>();
+    let writer = thread::Builder::new()
+        .name("ccp-served-writer".into())
+        .spawn(move || {
+            let mut w = BufWriter::new(write_half);
+            // Each channel message is one complete line; the newline is
+            // appended here so a line is always flushed whole.
+            while let Ok(line) = rx.recv() {
+                if w.write_all(line.as_bytes())
+                    .and_then(|_| w.write_all(b"\n"))
+                    .and_then(|_| w.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        });
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        let remaining = (MAX_LINE + 1).saturating_sub(line.len());
+        if remaining == 0 {
+            let _ = tx.send(
+                Response::ProtocolError {
+                    error: format!("request line exceeds {MAX_LINE} bytes"),
+                }
+                .to_line(),
+            );
+            break;
+        }
+        match (&mut reader).take(remaining as u64).read_line(&mut line) {
+            Ok(0) => {
+                // EOF; a final unterminated line is still served.
+                if !line.trim().is_empty() {
+                    handle_request(line.trim(), &tx, shared);
+                }
+                break;
+            }
+            Ok(_) if line.ends_with('\n') => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    handle_request(trimmed, &tx, shared);
+                }
+                line.clear();
+            }
+            // Hit the `take` cap mid-line: loop back to report overflow.
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Partial bytes (if any) stay in `line`; keep waiting.
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    drop(tx);
+    if let Ok(w) = writer {
+        let _ = w.join();
+    }
+}
+
+fn handle_request(line: &str, tx: &Sender<String>, shared: &Arc<Shared>) {
+    let req = match Request::parse(line) {
+        Ok(req) => req,
+        Err(e) => {
+            let _ = tx.send(
+                Response::ProtocolError {
+                    error: e.to_string(),
+                }
+                .to_line(),
+            );
+            return;
+        }
+    };
+    match req {
+        Request::Ping => {
+            let _ = tx.send(Response::Pong.to_line());
+        }
+        Request::Stats => {
+            let _ = tx.send(Response::Stats(shared.snapshot()).to_line());
+        }
+        Request::Shutdown => {
+            shared.begin_drain();
+            let _ = tx.send(
+                Response::ShuttingDown {
+                    detail: "draining; queued and in-flight jobs will complete".into(),
+                }
+                .to_line(),
+            );
+        }
+        Request::Cancel { job } => cancel_job(job, tx, shared),
+        Request::Submit(spec) => submit_job(spec, tx, shared),
+    }
+}
+
+fn submit_job(spec: JobSpec, tx: &Sender<String>, shared: &Arc<Shared>) {
+    if shared.draining.load(Ordering::SeqCst) {
+        let _ = tx.send(
+            Response::ShuttingDown {
+                detail: "server is draining; submission refused".into(),
+            }
+            .to_line(),
+        );
+        return;
+    }
+    shared.submitted.fetch_add(1, Ordering::Relaxed);
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let key = spec.cache_key();
+    let _ = tx.send(
+        Response::Accepted {
+            job: id,
+            key: format!("{key:016x}"),
+        }
+        .to_line(),
+    );
+    if let Err(e) = spec.resolve() {
+        shared.failed.fetch_add(1, Ordering::Relaxed);
+        let _ = tx.send(
+            Response::JobError {
+                job: id,
+                class: e.class().to_string(),
+                error: e.to_string(),
+            }
+            .to_line(),
+        );
+        return;
+    }
+    let canonical = spec.canonical();
+    let waiter = Waiter {
+        job: id,
+        tx: tx.clone(),
+    };
+    let hit = {
+        let mut inner = shared.state.lock().unwrap();
+        match inner.cache.lookup(key, &canonical, waiter) {
+            (Lookup::Hit(stats), _) => Some(stats),
+            (Lookup::Joined, _) => {
+                inner.registry.insert(id, Route::Waiter { key });
+                None
+            }
+            (Lookup::Miss, returned) => {
+                let waiter = returned.expect("miss returns the waiter");
+                let job = Arc::new(JobState {
+                    id,
+                    key,
+                    spec,
+                    cancel: AtomicBool::new(false),
+                    tx: waiter.tx,
+                });
+                inner.registry.insert(id, Route::Leader(Arc::clone(&job)));
+                shared.queue.lock().unwrap().push_back(job);
+                shared.queue_cv.notify_one();
+                None
+            }
+        }
+    };
+    if let Some(stats) = hit {
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        let _ = tx.send(
+            Response::Result {
+                job: id,
+                cached: true,
+                stats: stats_to_json(&stats),
+            }
+            .to_line(),
+        );
+    }
+}
+
+fn cancel_job(job: u64, tx: &Sender<String>, shared: &Arc<Shared>) {
+    let mut inner = shared.state.lock().unwrap();
+    match inner.registry.get(&job) {
+        Some(Route::Leader(state)) => {
+            // Cooperative: the worker observes the flag at its next
+            // check and reports `canceled` to the leader and all
+            // waiters through the normal completion path.
+            state.cancel.store(true, Ordering::SeqCst);
+        }
+        Some(Route::Waiter { key }) => {
+            let key = *key;
+            if let Some(w) = inner.cache.remove_waiter(key, |w| w.job == job) {
+                inner.registry.remove(&job);
+                shared.canceled.fetch_add(1, Ordering::Relaxed);
+                let _ = w.tx.send(
+                    Response::JobError {
+                        job,
+                        class: "canceled".into(),
+                        error: format!("canceled: job {job} detached from shared flight"),
+                    }
+                    .to_line(),
+                );
+            }
+        }
+        None => {
+            let _ = tx.send(
+                Response::ProtocolError {
+                    error: format!("no live job {job} (already completed?)"),
+                }
+                .to_line(),
+            );
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! End-to-end tests against an in-process `ccp-served` instance: protocol
+//! round-trips over real TCP, result-cache semantics (including the
+//! single-flight dedup property), crash isolation, cancellation, and
+//! graceful drain.
+
+use ccp_served::{run_bench, start, BenchConfig, Client, Request, Response, ServerConfig};
+use ccp_sim::{run_job, JobSpec};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+fn serve(workers: usize) -> ccp_served::ServerHandle {
+    start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        cache_capacity: 64,
+    })
+    .expect("start server")
+}
+
+fn quick(workload: &str, design: &str, seed: u64) -> JobSpec {
+    let mut spec = JobSpec::new(workload, design);
+    spec.budget = 2_000;
+    spec.seed = seed;
+    spec
+}
+
+#[test]
+fn served_results_match_direct_runs() {
+    let server = serve(2);
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    for workload in ["health", "workgen:addr=uniform,small=0.5,footprint=4096"] {
+        let spec = quick(workload, "CPP", 7);
+        let outcome = client.submit_wait(&spec).expect("submit");
+        let direct = run_job(&spec).expect("direct run");
+        assert_eq!(
+            outcome.stats.get("cycles").and_then(|v| v.as_u64()),
+            Some(direct.cycles),
+            "{workload}: served cycles must equal a direct ccp-sim run"
+        );
+        assert_eq!(
+            outcome.stats.get("instructions").and_then(|v| v.as_u64()),
+            Some(direct.instructions),
+            "{workload}"
+        );
+        assert!(!outcome.cached, "first submission computes");
+
+        let again = client.submit_wait(&spec).expect("resubmit");
+        assert!(again.cached, "identical resubmission is a cache hit");
+        assert_eq!(again.stats, outcome.stats, "hit returns identical stats");
+    }
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn progress_events_stream_before_the_result() {
+    let server = serve(1);
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let mut spec = quick("health", "BC", 3);
+    spec.budget = 20_000;
+    let outcome = client.submit_wait(&spec).expect("submit");
+    assert!(
+        outcome.progress_events >= 2,
+        "a 20k-instruction job reports progress (saw {})",
+        outcome.progress_events
+    );
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn panicking_job_returns_typed_error_and_server_keeps_serving() {
+    let server = serve(2);
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // A PR-2 fault injection poisons the hierarchy and panics the worker.
+    let mut poisoned = quick("health", "CPP", 11);
+    poisoned.budget = 1_500;
+    poisoned.fault = Some("vcp".into());
+    let err = client.submit_wait(&poisoned).expect_err("fault job fails");
+    assert_eq!(err.class(), "panic", "{err}");
+    assert!(err.to_string().contains("poisoned"), "{err}");
+
+    // Same connection, same server: still fully functional.
+    let ok = client.submit_wait(&quick("mst", "BCP", 11)).expect("after");
+    assert!(ok.stats.get("cycles").is_some());
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 1);
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn malformed_lines_get_typed_errors_without_killing_the_connection() {
+    let server = serve(1);
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    client.send(&Request::Ping).expect("send");
+    assert!(matches!(client.recv().expect("recv"), Response::Pong));
+
+    // Raw garbage on the same wire.
+    use std::io::Write;
+    let mut raw = std::net::TcpStream::connect(&addr).expect("raw connect");
+    raw.write_all(b"this is not json\n{\"type\":\"warp\"}\n")
+        .expect("write");
+    // The garbled connection answers each bad line with a typed error...
+    let mut reader = std::io::BufReader::new(raw.try_clone().expect("clone"));
+    for _ in 0..2 {
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut line).expect("read");
+        let resp = Response::parse(line.trim()).expect("parse");
+        assert!(matches!(resp, Response::ProtocolError { .. }), "{resp:?}");
+    }
+    // ...and keeps serving afterwards.
+    raw.write_all(b"{\"type\":\"ping\"}\n").expect("write ping");
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).expect("read");
+    assert!(matches!(
+        Response::parse(line.trim()).expect("parse"),
+        Response::Pong
+    ));
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn unknown_names_come_back_as_typed_job_errors() {
+    let server = serve(1);
+    let addr = server.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let err = client
+        .submit_wait(&quick("nonesuch", "CPP", 1))
+        .expect_err("bad workload");
+    assert_eq!(err.class(), "unknown-name");
+    let err = client
+        .submit_wait(&quick("health", "XYZ", 1))
+        .expect_err("bad design");
+    assert_eq!(err.class(), "unknown-name");
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn shutdown_drains_inflight_jobs_and_refuses_new_ones() {
+    let server = serve(1);
+    let addr = server.addr().to_string();
+
+    // Occupy the single worker with a longer job, submitted raw so we can
+    // interleave other connections while it runs.
+    let mut slow = quick("health", "CPP", 21);
+    slow.budget = 400_000;
+    let mut submitter = Client::connect(&addr).expect("connect");
+    submitter.send(&Request::Submit(slow)).expect("send");
+    match submitter.recv().expect("accepted") {
+        Response::Accepted { .. } => {}
+        other => panic!("expected accepted, got {other:?}"),
+    }
+
+    // Opened pre-drain: the listener stops accepting once draining, so a
+    // refused submission needs an already-established connection.
+    let mut late = Client::connect(&addr).expect("connect");
+
+    let mut controller = Client::connect(&addr).expect("connect");
+    let detail = controller.shutdown().expect("shutdown ack");
+    assert!(detail.contains("drain"), "{detail}");
+    assert!(server.is_draining());
+
+    // New submissions are refused with the typed shutdown class.
+    let err = late
+        .submit_wait(&quick("mst", "BC", 1))
+        .expect_err("refused");
+    assert_eq!(err.class(), "shutdown", "{err}");
+
+    // The in-flight job still completes and is delivered whole.
+    loop {
+        match submitter.recv().expect("drain delivers the result") {
+            Response::Progress { .. } => continue,
+            Response::Result { cached, stats, .. } => {
+                assert!(!cached);
+                assert!(stats.get("cycles").and_then(|v| v.as_u64()).unwrap() > 0);
+                break;
+            }
+            other => panic!("expected result, got {other:?}"),
+        }
+    }
+    server.wait();
+}
+
+#[test]
+fn cancel_hits_queued_leaders_and_joined_waiters() {
+    let server = serve(1);
+    let addr = server.addr().to_string();
+
+    // Fill the only worker.
+    let mut slow = quick("health", "CPP", 31);
+    slow.budget = 400_000;
+    let mut holder = Client::connect(&addr).expect("connect");
+    holder.send(&Request::Submit(slow.clone())).expect("send");
+    let Response::Accepted { .. } = holder.recv().expect("accepted") else {
+        panic!("expected accepted");
+    };
+
+    // A queued leader (distinct spec) and a joined waiter (same spec).
+    let mut queued = Client::connect(&addr).expect("connect");
+    queued
+        .send(&Request::Submit(quick("mst", "BC", 31)))
+        .expect("send");
+    let Response::Accepted { job: queued_id, .. } = queued.recv().expect("accepted") else {
+        panic!("expected accepted");
+    };
+    let mut joined = Client::connect(&addr).expect("connect");
+    joined.send(&Request::Submit(slow)).expect("send");
+    let Response::Accepted { job: joined_id, .. } = joined.recv().expect("accepted") else {
+        panic!("expected accepted");
+    };
+
+    let mut controller = Client::connect(&addr).expect("connect");
+    controller.cancel(queued_id).expect("cancel queued");
+    controller.cancel(joined_id).expect("cancel joined");
+
+    let err = loop {
+        match queued.recv().expect("queued response") {
+            Response::Progress { .. } => continue,
+            Response::JobError { class, .. } => break class,
+            other => panic!("expected job_error, got {other:?}"),
+        }
+    };
+    assert_eq!(err, "canceled");
+    let err = loop {
+        match joined.recv().expect("joined response") {
+            Response::Progress { .. } => continue,
+            Response::JobError { class, .. } => break class,
+            other => panic!("expected job_error, got {other:?}"),
+        }
+    };
+    assert_eq!(err, "canceled");
+
+    // The in-flight holder is untouched by either cancellation.
+    loop {
+        match holder.recv().expect("holder result") {
+            Response::Progress { .. } => continue,
+            Response::Result { .. } => break,
+            other => panic!("expected result, got {other:?}"),
+        }
+    }
+    server.shutdown();
+    server.wait();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Two identical concurrent submissions cost exactly one simulation
+    /// and both receive the same stats — the single-flight property,
+    /// exercised over fresh cache keys (per-case seeds) and both
+    /// workload families.
+    #[test]
+    fn concurrent_identical_jobs_run_once(case_seed in 0u64..10_000, synthetic in any::<bool>()) {
+        use std::sync::OnceLock;
+        static SERVER: OnceLock<(ccp_served::ServerHandle, String)> = OnceLock::new();
+        static UNIQUE: AtomicU64 = AtomicU64::new(0);
+        let (_, addr) = SERVER.get_or_init(|| {
+            let s = serve(4);
+            let addr = s.addr().to_string();
+            (s, addr)
+        });
+
+        // A seed never used before on this server: every case starts as a
+        // cache miss.
+        let seed = 100_000 + case_seed * 10_000 + UNIQUE.fetch_add(1, Ordering::Relaxed);
+        let workload = if synthetic {
+            "workgen:addr=zipf,small=0.3,footprint=8192"
+        } else {
+            "perimeter"
+        };
+        let spec = quick(workload, "CPP", seed);
+
+        let mut control = Client::connect(addr).expect("control");
+        let before = control.stats().expect("stats");
+
+        let barrier = Arc::new(Barrier::new(2));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let spec = spec.clone();
+                let addr = addr.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    barrier.wait();
+                    client.submit_wait(&spec).expect("submit")
+                })
+            })
+            .collect();
+        let outcomes: Vec<_> = threads
+            .into_iter()
+            .map(|t| t.join().expect("no panics"))
+            .collect();
+
+        let after = control.stats().expect("stats");
+        prop_assert_eq!(
+            after.sims_run - before.sims_run,
+            1,
+            "two identical concurrent jobs must run one simulation"
+        );
+        prop_assert_eq!(&outcomes[0].stats, &outcomes[1].stats);
+        prop_assert_eq!(
+            outcomes.iter().filter(|o| o.cached).count(),
+            1,
+            "exactly one leader computes; the other joins or hits"
+        );
+    }
+}
+
+#[test]
+fn bench_mode_reports_high_hit_rate_on_zipf_mix() {
+    let server = serve(4);
+    let addr = server.addr().to_string();
+    let report = run_bench(&BenchConfig {
+        addr: addr.clone(),
+        conns: 4,
+        requests: 200,
+        distinct: 16,
+        skew: 1.0,
+        budget: 1_000,
+        ..Default::default()
+    })
+    .expect("bench");
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert_eq!(report.completed, 200);
+    assert!(
+        report.hit_rate > 0.80,
+        "zipf mix over 16 jobs must mostly hit: {report:?}"
+    );
+    assert!(
+        report.sims_run <= 16,
+        "at most one simulation per distinct spec: {report:?}"
+    );
+    server.shutdown();
+    server.wait();
+}

@@ -100,9 +100,19 @@ impl Json {
 impl Json {
     /// Parses a JSON document (the subset the writer emits: no exponent
     /// loss concerns beyond `f64`, strings with the standard escapes).
+    ///
+    /// The parser also sits on a network boundary (`ccp-served` reads
+    /// requests off a TCP socket with it), so it must *reject* rather than
+    /// panic or recurse unboundedly on adversarial input: nesting deeper
+    /// than [`MAX_DEPTH`] and numbers that overflow `f64` to ±∞ are
+    /// reported as [`SimError::Corrupt`].
     pub fn parse(text: &str) -> SimResult<Json> {
         let bytes = text.as_bytes();
-        let mut p = Parser { bytes, pos: 0 };
+        let mut p = Parser {
+            bytes,
+            pos: 0,
+            depth: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -169,14 +179,28 @@ impl Json {
     }
 }
 
+/// Maximum container nesting depth the parser accepts. Recursive descent
+/// consumes native stack per level; unbounded `[[[[…` from an untrusted
+/// peer must fail cleanly, not overflow the stack.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
     fn err(&self, detail: impl Into<String>) -> SimError {
         SimError::corrupt("json", format!("{} at offset {}", detail.into(), self.pos))
+    }
+
+    fn enter(&mut self) -> SimResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        Ok(())
     }
 
     fn skip_ws(&mut self) {
@@ -235,9 +259,14 @@ impl Parser<'_> {
             }
         }
         let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-        s.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err(format!("bad number {s:?}")))
+        match s.parse::<f64>() {
+            // `"1e999".parse::<f64>()` is Ok(inf): overflowing literals
+            // must be rejected, not smuggled in as ±∞ (the writer never
+            // emits them, and ∞ round-trips as null).
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            Ok(_) => Err(self.err(format!("non-finite number {s:?}"))),
+            Err(_) => Err(self.err(format!("bad number {s:?}"))),
+        }
     }
 
     fn string(&mut self) -> SimResult<String> {
@@ -291,11 +320,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> SimResult<Json> {
+        self.enter()?;
         self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -307,6 +338,7 @@ impl Parser<'_> {
                 }
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -315,11 +347,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> SimResult<Json> {
+        self.enter()?;
         self.eat(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(map));
         }
         loop {
@@ -336,6 +370,7 @@ impl Parser<'_> {
                 }
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(map));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -489,6 +524,27 @@ mod tests {
         }
         let e = Json::parse("nope").unwrap_err();
         assert_eq!(e.class(), "corrupt");
+    }
+
+    #[test]
+    fn parse_rejects_pathological_depth_and_numbers() {
+        // Nesting at the limit parses; one past it is a clean error.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(Json::parse(&deep).is_err());
+        // A torrent of openers with no closers (the cheap DoS shape).
+        assert!(Json::parse(&"[".repeat(100_000)).is_err());
+        assert!(Json::parse(&"{\"a\":".repeat(100_000)).is_err());
+        // Overflowing literals must not smuggle in ±∞.
+        for bad in ["1e999", "-1e999", "1e, "] {
+            assert!(Json::parse(bad).is_err(), "{bad:?}");
+        }
+        assert_eq!(Json::parse("1e308").unwrap().as_f64(), Some(1e308));
     }
 
     #[test]

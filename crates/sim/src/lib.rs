@@ -27,10 +27,12 @@ pub mod checkpoint;
 pub mod experiments;
 pub mod extensions;
 pub mod fastsim;
+pub mod job;
 pub mod json;
 pub mod report;
 pub mod sweep;
 
+pub use job::{run_job, run_job_ctl, JobCtl, JobSpec};
 pub use sweep::{
     run_sweep, run_sweep_resilient, CellOutcome, CellStatus, ResilienceConfig, ResilientSweep,
     Sweep, SweepConfig,

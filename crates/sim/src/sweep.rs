@@ -648,22 +648,25 @@ pub fn run_sweep_resilient(
                 .map(|w| w.source(config.budget, config.seed))
         })
         .collect();
-    let limit = res.effective_watchdog(config.budget);
     let halved = config.halved_miss_penalty;
+    // Per-cell guard rails are the job layer's: a sweep cell and a served
+    // job run through the same `run_guarded_source` core.
+    let ctl = crate::job::JobCtl {
+        watchdog_limit: res.watchdog_limit,
+        ..Default::default()
+    };
     run_resilient_with(config, res, &resolved, |wi, design| {
         let source = sources[wi]
             .as_ref()
             .expect("runner only called when resolved");
-        let wd = WatchdogSource::new(source.as_ref(), limit);
-        let stats = run_cell_source(&wd, design, halved);
-        if wd.tripped() {
-            Err(SimError::watchdog(
-                format!("{}/{}", resolved[wi].0, design.name()),
-                limit,
-            ))
-        } else {
-            Ok(stats)
-        }
+        crate::job::run_guarded_source(
+            &format!("{}/{}", resolved[wi].0, design.name()),
+            source.as_ref(),
+            design,
+            halved,
+            config.budget,
+            &ctl,
+        )
     })
 }
 

@@ -1,0 +1,147 @@
+//! Property tests for `ccp_sim::json` as a *network-boundary* parser.
+//!
+//! `ccp-served` feeds whatever bytes a TCP peer sends straight into
+//! `Json::parse`, so the contract is stronger than "round-trips our own
+//! writer": for arbitrary, malformed, truncated, or adversarial input the
+//! parser must return `Ok` or a typed error — never panic, never hang,
+//! never overflow the stack.
+
+use ccp_sim::json::Json;
+use proptest::prelude::*;
+
+/// One strategy-grown JSON value of bounded size (depth ≤ 4, fanout ≤ 4).
+fn gen_value(rng_val: u64, depth: u32) -> Json {
+    // Deterministic structural expansion of a seed word: cheap and
+    // reproducible without needing a recursive Strategy type.
+    let mut x = rng_val;
+    let mut next = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x >> 33
+    };
+    build(&mut next, depth)
+}
+
+fn build(next: &mut impl FnMut() -> u64, depth: u32) -> Json {
+    let pick = if depth == 0 { next() % 4 } else { next() % 6 };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(next().is_multiple_of(2)),
+        2 => {
+            // Mix integers, negatives, and fractions.
+            let n = next() as i64 % 1_000_000;
+            if next().is_multiple_of(2) {
+                Json::Num(n as f64)
+            } else {
+                Json::Num(n as f64 / 128.0)
+            }
+        }
+        3 => {
+            let len = (next() % 12) as usize;
+            let s: String = (0..len)
+                .map(|_| {
+                    // Bias toward characters that exercise escaping.
+                    match next() % 8 {
+                        0 => '"',
+                        1 => '\\',
+                        2 => '\n',
+                        3 => '\t',
+                        4 => '\u{1}',
+                        5 => 'é',
+                        _ => char::from(b'a' + (next() % 26) as u8),
+                    }
+                })
+                .collect();
+            Json::Str(s)
+        }
+        4 => {
+            let len = (next() % 4) as usize;
+            Json::Arr((0..len).map(|_| build(next, depth - 1)).collect())
+        }
+        _ => {
+            let len = (next() % 4) as usize;
+            Json::Obj(
+                (0..len)
+                    .map(|i| (format!("k{i}-{}", next() % 100), build(next, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup (interpreted as lossy UTF-8) never panics the
+    /// parser — it either parses or returns a typed `corrupt` error.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        match Json::parse(&text) {
+            Ok(_) => {}
+            Err(e) => prop_assert_eq!(e.class(), "corrupt"),
+        }
+    }
+
+    /// JSON-flavoured token soup — the structurally-plausible garbage a
+    /// confused (or malicious) client actually produces.
+    #[test]
+    fn token_soup_never_panics(tokens in prop::collection::vec(0usize..14, 1..64)) {
+        const PIECES: [&str; 14] = [
+            "{", "}", "[", "]", ",", ":", "\"", "\\u00", "null", "true",
+            "1e999", "-", "\"unterminated", "9999999999999999999999",
+        ];
+        let text: String = tokens.iter().map(|&t| PIECES[t]).collect();
+        match Json::parse(&text) {
+            Ok(_) => {}
+            Err(e) => prop_assert_eq!(e.class(), "corrupt"),
+        }
+    }
+
+    /// Every truncation of a valid document is handled cleanly: either a
+    /// typed error, or (e.g. a numeric literal cut short) a value whose
+    /// own serialization re-parses — never a panic, never garbage.
+    #[test]
+    fn truncations_never_panic(seed: u64, cut in 0usize..1000) {
+        let doc = gen_value(seed, 4).to_string();
+        let cut = cut % (doc.len() + 1);
+        // Cut on a char boundary (multi-byte strings are in the alphabet).
+        let mut cut = cut;
+        while !doc.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let prefix = &doc[..cut];
+        match Json::parse(prefix) {
+            Ok(v) => {
+                let again = Json::parse(&v.to_string()).expect("re-parse");
+                prop_assert_eq!(again, v);
+            }
+            Err(e) => prop_assert_eq!(e.class(), "corrupt"),
+        }
+    }
+
+    /// Writer output always round-trips through the parser.
+    #[test]
+    fn writer_output_roundtrips(seed: u64) {
+        let v = gen_value(seed, 4);
+        let text = v.to_string();
+        let back = Json::parse(&text).expect("writer output must parse");
+        prop_assert_eq!(back.to_string(), text);
+    }
+
+    /// Deep nesting beyond the limit is rejected with a typed error, at
+    /// any depth and with any container mix.
+    #[test]
+    fn deep_nesting_is_rejected_not_fatal(extra in 1usize..64, obj: bool) {
+        let depth = ccp_sim::json::MAX_DEPTH + extra;
+        let doc = if obj {
+            format!("{}1{}", "{\"k\":".repeat(depth), "}".repeat(depth))
+        } else {
+            format!("{}1{}", "[".repeat(depth), "]".repeat(depth))
+        };
+        let e = Json::parse(&doc).expect_err("over-deep nesting must fail");
+        prop_assert_eq!(e.class(), "corrupt");
+        prop_assert!(e.to_string().contains("nesting"), "{}", e);
+    }
+}

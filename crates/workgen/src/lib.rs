@@ -36,9 +36,11 @@
 
 pub mod spec;
 pub mod stream;
+pub mod zipf;
 
 pub use spec::{AddrModel, MixModel, ValueModel, WorkgenSpec};
 pub use stream::{build_initial_mem, WorkgenStream, DATA_BASE, HEAP_BASE, NODE_BYTES};
+pub use zipf::ZipfSampler;
 
 use ccp_mem::MainMemory;
 use ccp_trace::{Inst, TraceSource};

@@ -11,6 +11,7 @@
 //! point.
 
 use crate::spec::{AddrModel, ValueModel, WorkgenSpec};
+use crate::zipf::ZipfSampler;
 use ccp_mem::MainMemory;
 use ccp_trace::{Addr, Inst, Op, Word, LAT_FALU, LAT_IALU};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
@@ -132,7 +133,7 @@ pub fn build_initial_mem(spec: &WorkgenSpec, seed: u64) -> MainMemory {
 enum AddrState {
     Walk { pos: u32, stride: u32 },
     Uniform,
-    Zipf { cdf: Vec<f64> },
+    Zipf { sampler: ZipfSampler },
     Chase { next: Vec<u32>, cur: u32 },
 }
 
@@ -142,21 +143,10 @@ impl AddrState {
             AddrModel::Sequential => AddrState::Walk { pos: 0, stride: 1 },
             AddrModel::Strided { stride } => AddrState::Walk { pos: 0, stride },
             AddrModel::Uniform => AddrState::Uniform,
-            AddrModel::Zipf { skew } => {
-                // Zipf over at most 64Ki ranks (the hot set); the CDF is
-                // built once and binary-searched per access.
-                let ranks = spec.footprint_words.min(64 * 1024) as usize;
-                let mut cdf = Vec::with_capacity(ranks);
-                let mut total = 0.0f64;
-                for r in 0..ranks {
-                    total += 1.0 / ((r + 1) as f64).powf(skew);
-                    cdf.push(total);
-                }
-                for c in &mut cdf {
-                    *c /= total;
-                }
-                AddrState::Zipf { cdf }
-            }
+            AddrModel::Zipf { skew } => AddrState::Zipf {
+                // Zipf over at most 64Ki ranks (the hot set).
+                sampler: ZipfSampler::new(spec.footprint_words.min(64 * 1024) as usize, skew),
+            },
             AddrModel::Chase { nodes } => AddrState::Chase {
                 next: chase_permutation(seed, nodes),
                 cur: 0,
@@ -246,9 +236,8 @@ impl WorkgenStream {
                 i
             }
             AddrState::Uniform => self.addr_rng.gen_range(0..footprint),
-            AddrState::Zipf { cdf } => {
-                let u: f64 = self.addr_rng.gen();
-                let rank = cdf.partition_point(|&c| c < u).min(cdf.len() - 1) as u64;
+            AddrState::Zipf { sampler } => {
+                let rank = sampler.sample(&mut self.addr_rng) as u64;
                 // Scatter ranks across the footprint (multiplicative
                 // hashing): the skew is temporal, not a hot prefix.
                 ((rank * 2_654_435_761) % u64::from(footprint)) as u32

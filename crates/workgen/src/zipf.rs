@@ -1,0 +1,106 @@
+//! A reusable zipfian rank sampler.
+//!
+//! Two consumers share this model: the `addr=zipf` address model in
+//! [`crate::stream`], and the `ccp-client bench` request generator, which
+//! replays a zipf-distributed job mix against `ccp-served` — the same
+//! skewed-popularity shape that makes a result cache worth having.
+
+use rand::Rng;
+
+/// Zipfian sampling over `ranks` ranks: rank `r` is drawn with weight
+/// `1/(r+1)^skew` (rank 0 is the hottest). The CDF is built once and
+/// binary-searched per draw, so sampling is `O(log ranks)` with no
+/// per-draw allocation.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler. `ranks` must be ≥ 1; `skew` ≥ 0 (0 degenerates
+    /// to uniform).
+    pub fn new(ranks: usize, skew: f64) -> ZipfSampler {
+        assert!(ranks >= 1, "zipf needs at least one rank");
+        assert!(skew >= 0.0 && skew.is_finite(), "zipf skew {skew} invalid");
+        let mut cdf = Vec::with_capacity(ranks);
+        let mut total = 0.0f64;
+        for r in 0..ranks {
+            total += 1.0 / ((r + 1) as f64).powf(skew);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank in `0..ranks()`; rank 0 is the most popular.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn samples_stay_in_range_and_are_deterministic() {
+        let z = ZipfSampler::new(32, 1.0);
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let ra = z.sample(&mut a);
+            assert!(ra < 32);
+            assert_eq!(ra, z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_low_ranks() {
+        let z = ZipfSampler::new(32, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0u32; 32];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 carries 1/H(32) ≈ 24.6% of the mass at skew 1.0.
+        let frac0 = counts[0] as f64 / draws as f64;
+        assert!((frac0 - 0.246).abs() < 0.02, "rank-0 fraction {frac0}");
+        // The top 8 ranks carry well over half the mass.
+        let top8: u32 = counts[..8].iter().sum();
+        assert!(top8 as f64 / draws as f64 > 0.6, "top-8 {top8}");
+        assert!(counts.iter().all(|&c| c > 0), "every rank reachable");
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let z = ZipfSampler::new(16, 0.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0u32; 16];
+        for _ in 0..160_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / 160_000.0;
+            assert!((frac - 1.0 / 16.0).abs() < 0.01, "rank {r}: {frac}");
+        }
+    }
+
+    #[test]
+    fn single_rank_always_samples_zero() {
+        let z = ZipfSampler::new(1, 2.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

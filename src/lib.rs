@@ -22,7 +22,9 @@
 //! * [`trace`] — fourteen synthetic Olden/SPEC-like workload generators,
 //! * [`workgen`] — composable streaming synthetic-workload generation
 //!   (address × value × mix parameter spaces),
-//! * [`sim`] — the experiment harness regenerating Figures 3 and 9–15.
+//! * [`sim`] — the experiment harness regenerating Figures 3 and 9–15,
+//! * [`served`] — simulation-as-a-service: the NDJSON-over-TCP job
+//!   server with single-flight result caching, and its client/loadgen.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub use ccp_cpp as cpp;
 pub use ccp_errors as errors;
 pub use ccp_mem as mem;
 pub use ccp_pipeline as pipeline;
+pub use ccp_served as served;
 pub use ccp_sim as sim;
 pub use ccp_trace as trace;
 pub use ccp_workgen as workgen;
@@ -60,8 +63,10 @@ pub mod prelude {
     pub use ccp_errors::{SimError, SimResult};
     pub use ccp_mem::MainMemory;
     pub use ccp_pipeline::{run_trace, PipelineConfig, RunStats};
+    pub use ccp_served::{BenchConfig, Client, ServerConfig};
     pub use ccp_sim::{
-        build_design, run_sweep, run_sweep_resilient, ResilienceConfig, SweepConfig,
+        build_design, run_job, run_sweep, run_sweep_resilient, JobSpec, ResilienceConfig,
+        SweepConfig,
     };
     pub use ccp_trace::{all_benchmarks, benchmark_by_name, Trace, TraceSource};
     pub use ccp_workgen::{SynthSource, WorkgenSpec};
@@ -78,6 +83,27 @@ mod tests {
         let r = cpp.read(0x1000);
         assert_eq!(r.value, 5);
         assert!(is_compressible(5, 0x1000));
+    }
+
+    #[test]
+    fn facade_serves_jobs() {
+        let server = crate::served::start(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            cache_capacity: 4,
+        })
+        .unwrap();
+        let mut client = Client::connect(&server.addr().to_string()).unwrap();
+        let mut spec = JobSpec::new("health", "CPP");
+        spec.budget = 1_500;
+        let served = client.submit_wait(&spec).unwrap();
+        let direct = run_job(&spec).unwrap();
+        assert_eq!(
+            served.stats.get("cycles").and_then(|v| v.as_u64()),
+            Some(direct.cycles)
+        );
+        server.shutdown();
+        server.wait();
     }
 
     #[test]
