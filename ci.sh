@@ -21,13 +21,35 @@ cargo build --release
 echo "== tier-1: cargo test"
 cargo test -q
 
+SCRATCH="$(mktemp -d)"
+SERVED_PID=""
+trap 'if [ -n "$SERVED_PID" ]; then kill "$SERVED_PID" 2>/dev/null || true; fi; rm -rf "$SCRATCH"' EXIT
+
+echo "== ccp-lint: workspace invariants (deny warnings)"
+./target/release/ccp-lint --deny warnings --json "$SCRATCH/lint-report.json"
+grep -q '"failed":false' "$SCRATCH/lint-report.json" || {
+    echo "lint-report.json disagrees with the exit status"; exit 1; }
+
+echo "== ccp-lint: fixture corpus matches the golden file"
+./target/release/ccp-lint --check-fixtures crates/lint/tests/fixtures
+
+echo "== ccp-lint: a seeded violation must fail the gate"
+mkdir -p "$SCRATCH/seeded/crates/sim/src"
+cat > "$SCRATCH/seeded/crates/sim/src/violation.rs" <<'EOF'
+fn seeded(opt: Option<u32>) -> u32 {
+    opt.unwrap()
+}
+EOF
+set +e
+./target/release/ccp-lint --root "$SCRATCH/seeded" --quiet "$SCRATCH/seeded"
+status=$?
+set -e
+[ "$status" -eq 1 ] || { echo "seeded violation: expected exit 1, got $status"; exit 1; }
+
 echo "== chaos smoke: fault injection is detected, no false positives"
 ./target/release/trace-tool chaos --workload health --workload mst --budget 8000
 
 echo "== resume round-trip: interrupted + resumed sweep == uninterrupted"
-SCRATCH="$(mktemp -d)"
-SERVED_PID=""
-trap 'if [ -n "$SERVED_PID" ]; then kill "$SERVED_PID" 2>/dev/null || true; fi; rm -rf "$SCRATCH"' EXIT
 SWEEP_ARGS="--budget 2000 --seed 7 --workloads health,mst --designs BC,CPP"
 # Phase 1: "crash" after 2 of 4 cells (exit 3 = incomplete, by design).
 set +e

@@ -156,7 +156,9 @@ pub fn is_compressible(value: Word, addr: Addr) -> bool {
 #[inline]
 pub fn compress(value: Word, addr: Addr) -> Option<Compressed> {
     match classify(value, addr) {
+        // ccp-lint: allow(no-lossy-cast-in-hot-path) — classify() just proved the high bits are redundant; the truncation IS the compression
         CompressKind::Small => Some(Compressed((value as u16) & PAYLOAD_MASK)),
+        // ccp-lint: allow(no-lossy-cast-in-hot-path) — classify() just proved bits 31..=15 match the storage address
         CompressKind::Pointer => Some(Compressed(((value as u16) & PAYLOAD_MASK) | VT_BIT)),
         CompressKind::Incompressible => None,
     }
@@ -173,6 +175,7 @@ pub fn decompress(c: Compressed, addr: Addr) -> Word {
         (addr & !(u32::from(PAYLOAD_MASK))) | payload
     } else {
         // Sign-extend bit 14 over bits 31..=15.
+        // ccp-lint: allow(no-lossy-cast-in-hot-path) — same-width i32↔u32 reinterpretation for the arithmetic shift; nothing is truncated
         (((payload << (32 - PAYLOAD_BITS)) as i32) >> (32 - PAYLOAD_BITS)) as u32
     }
 }

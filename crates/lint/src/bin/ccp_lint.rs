@@ -1,0 +1,188 @@
+//! `ccp-lint` — lint the workspace against its correctness invariants.
+//!
+//! ```text
+//! ccp-lint [OPTIONS] [PATHS...]
+//!
+//! PATHS: files or directories to lint (default: the whole tree at --root)
+//!
+//! OPTIONS:
+//!   --root DIR             workspace root paths are reported relative to (default .)
+//!   --deny warnings        treat warn-level findings as failures
+//!   --json FILE            additionally write a machine-readable report (atomic)
+//!   --quiet                suppress per-finding lines, keep the summary
+//!   --list-rules           print the rule catalogue and exit
+//!   --check-fixtures DIR   golden-diff the fixture corpus against expected.txt
+//!   --render-fixtures DIR  print the corpus rendering (to regenerate expected.txt)
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings at failing severity (or fixture
+//! drift), 2 usage or I/O error.
+
+use ccp_lint::{all_rules, check_fixtures, render_fixtures, render_human, render_json};
+use std::path::{Path, PathBuf};
+
+const HELP: &str = "ccp-lint — workspace static analysis for the CPP simulator
+usage: ccp-lint [--root DIR] [--deny warnings] [--json FILE] [--quiet]
+                [--list-rules] [--check-fixtures DIR] [--render-fixtures DIR]
+                [PATHS...]";
+
+struct Args {
+    root: PathBuf,
+    deny_warnings: bool,
+    json: Option<PathBuf>,
+    quiet: bool,
+    list_rules: bool,
+    check_fixtures: Option<PathBuf>,
+    render_fixtures: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn usage_err(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{HELP}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        deny_warnings: false,
+        json: None,
+        quiet: false,
+        list_rules: false,
+        check_fixtures: None,
+        render_fixtures: None,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(v) => args.root = PathBuf::from(v),
+                None => usage_err("--root needs a directory"),
+            },
+            "--deny" => match it.next().as_deref() {
+                Some("warnings") => args.deny_warnings = true,
+                _ => usage_err("--deny takes `warnings`"),
+            },
+            "--json" => match it.next() {
+                Some(v) => args.json = Some(PathBuf::from(v)),
+                None => usage_err("--json needs a path"),
+            },
+            "--quiet" => args.quiet = true,
+            "--list-rules" => args.list_rules = true,
+            "--check-fixtures" => match it.next() {
+                Some(v) => args.check_fixtures = Some(PathBuf::from(v)),
+                None => usage_err("--check-fixtures needs a directory"),
+            },
+            "--render-fixtures" => match it.next() {
+                Some(v) => args.render_fixtures = Some(PathBuf::from(v)),
+                None => usage_err("--render-fixtures needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => usage_err(&format!("unknown option {other:?}")),
+            other => args.paths.push(PathBuf::from(other)),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let rules = all_rules();
+
+    if args.list_rules {
+        for r in &rules {
+            println!(
+                "{:<28} {:<4}  {}",
+                r.name(),
+                r.severity().label(),
+                r.describe()
+            );
+        }
+        return;
+    }
+    if let Some(dir) = &args.render_fixtures {
+        match render_fixtures(dir, &rules) {
+            Ok(s) => print!("{s}"),
+            Err(e) => usage_err(&e.to_string()),
+        }
+        return;
+    }
+    if let Some(dir) = &args.check_fixtures {
+        match check_fixtures(dir, &rules) {
+            Ok(()) => {
+                println!("ccp-lint: fixture corpus matches expected.txt");
+                return;
+            }
+            Err(diff) => {
+                eprint!("{diff}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let outcome = if args.paths.is_empty() {
+        ccp_lint::lint_tree(&args.root, &rules)
+    } else {
+        lint_paths(&args.root, &args.paths, &rules)
+    };
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => usage_err(&e.to_string()),
+    };
+
+    let human = render_human(&outcome, args.deny_warnings);
+    if args.quiet {
+        if let Some(summary) = human.lines().last() {
+            println!("{summary}");
+        }
+    } else {
+        print!("{human}");
+    }
+    if let Some(path) = &args.json {
+        let doc = render_json(&outcome, args.deny_warnings);
+        if let Err(e) = ccp_lint::write_report(path, &doc) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    if outcome.failed(args.deny_warnings) {
+        std::process::exit(1);
+    }
+}
+
+/// Lints an explicit set of files/directories, reporting paths relative
+/// to `root` so scoping works no matter where the tool is invoked from.
+fn lint_paths(
+    root: &Path,
+    paths: &[PathBuf],
+    rules: &[Box<dyn ccp_lint::Rule>],
+) -> std::io::Result<ccp_lint::Outcome> {
+    let mut total = ccp_lint::Outcome::default();
+    for p in paths {
+        let files = if p.is_dir() {
+            ccp_lint::walk(p)?
+        } else {
+            vec![p.clone()]
+        };
+        for f in files {
+            let bytes = std::fs::read(&f)?;
+            let src = String::from_utf8_lossy(&bytes);
+            let rel = ccp_lint::engine::rel_path(root, &f);
+            let one = ccp_lint::lint_source(&rel, &src, rules);
+            total.suppressed += one.suppressed;
+            total.files += 1;
+            for mut finding in one.findings {
+                finding.path = rel.clone();
+                total.findings.push(finding);
+            }
+        }
+    }
+    total
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(total)
+}

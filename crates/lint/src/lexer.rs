@@ -1,0 +1,455 @@
+//! A minimal, total Rust lexer: the token stream `ccp-lint` rules match
+//! against.
+//!
+//! The lexer is *total* — it produces a token vector for any input,
+//! including non-UTF-8 bytes run through `from_utf8_lossy`, unterminated
+//! strings, and stray control characters — because a lint pass that can
+//! panic on a weird source file is worse than no lint pass at all. It is
+//! also *lossless*: every byte of the input is either inside exactly one
+//! token span or is inter-token whitespace, so spans can be mapped back
+//! to lines and columns exactly (a property the proptests pin down).
+//!
+//! Fidelity is deliberately partial: enough to never mistake the inside
+//! of a string literal, character literal, or (nested) comment for code —
+//! the failure mode that turns a text-match lint into a false-positive
+//! machine — while keeping the implementation dependency-free and small.
+//! Numeric literals and exotic raw identifiers are tokenized coarsely;
+//! rules only ever match identifiers, punctuation, and string contents.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `r#raw`).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal (integer or float, suffix included).
+    Number,
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A `// …` comment (doc comments included), newline excluded.
+    LineComment,
+    /// A `/* … */` comment, nesting respected.
+    BlockComment,
+    /// A single punctuation byte (`.`, `<`, `!`, …). Multi-byte operators
+    /// arrive as adjacent single-byte tokens.
+    Punct,
+}
+
+/// One lexeme with its byte span and 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The lexeme class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based byte column of `start` within its line.
+    pub col: u32,
+}
+
+#[inline]
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+#[inline]
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Internal cursor: position plus line bookkeeping.
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            b: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+        }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, keeping the line counter honest.
+    #[inline]
+    fn bump(&mut self) {
+        if self.b.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+            self.line_start = self.pos + 1;
+        }
+        self.pos += 1;
+    }
+
+    #[inline]
+    fn col(&self) -> u32 {
+        (self.pos - self.line_start) as u32 + 1
+    }
+
+    /// Consumes bytes while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Tokenizes `src`. Total: never panics, consumes every byte, and the
+/// returned spans are strictly increasing and non-overlapping.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (start, line, col) = (cur.pos, cur.line, cur.col());
+        let kind = match c {
+            b' ' | b'\t' | b'\r' | b'\n' | 0x0b | 0x0c => {
+                cur.bump();
+                continue;
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                cur.eat_while(|b| b != b'\n');
+                TokKind::LineComment
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                block_comment(&mut cur);
+                TokKind::BlockComment
+            }
+            b'"' => {
+                cur.bump();
+                quoted(&mut cur, b'"');
+                TokKind::Str
+            }
+            b'\'' => char_or_lifetime(&mut cur),
+            b'r' | b'b' | b'c' if string_prefix(&cur).is_some() => {
+                // Checked above; re-derive to consume.
+                let (letters, hashes) = string_prefix(&cur).unwrap_or_default();
+                let raw = hashes > 0 || cur.b[cur.pos..cur.pos + letters].contains(&b'r');
+                for _ in 0..letters + hashes + 1 {
+                    cur.bump(); // prefix letters, hashes, opening quote
+                }
+                if raw {
+                    raw_string(&mut cur, hashes);
+                } else {
+                    quoted(&mut cur, b'"');
+                }
+                TokKind::Str
+            }
+            b'r' if cur.peek_at(1) == Some(b'#')
+                && cur.peek_at(2).is_some_and(is_ident_start)
+                && cur.peek_at(2) != Some(b'"') =>
+            {
+                // Raw identifier r#name: one Ident token whose text keeps
+                // the r# prefix, so `r#fn` never matches the keyword `fn`.
+                cur.bump();
+                cur.bump();
+                cur.eat_while(is_ident_continue);
+                TokKind::Ident
+            }
+            b'b' if cur.peek_at(1) == Some(b'\'') => {
+                // Byte literal b'x'.
+                cur.bump();
+                char_or_lifetime(&mut cur)
+            }
+            c if is_ident_start(c) => {
+                cur.eat_while(is_ident_continue);
+                TokKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                number(&mut cur);
+                TokKind::Number
+            }
+            _ => {
+                cur.bump();
+                TokKind::Punct
+            }
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Consumes a (possibly nested) block comment; tolerant of EOF.
+fn block_comment(cur: &mut Cursor) {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(_), _) => cur.bump(),
+            (None, _) => return,
+        }
+    }
+}
+
+/// Consumes an escape-aware quoted literal body up to and including the
+/// closing `quote`; tolerant of EOF (unterminated literals run to EOF).
+fn quoted(cur: &mut Cursor, quote: u8) {
+    while let Some(c) = cur.peek() {
+        cur.bump();
+        if c == b'\\' {
+            if cur.peek().is_some() {
+                cur.bump(); // the escaped byte
+            }
+        } else if c == quote {
+            return;
+        }
+    }
+}
+
+/// Consumes a raw-string body terminated by `"` followed by `hashes`
+/// `#` bytes; tolerant of EOF.
+fn raw_string(cur: &mut Cursor, hashes: usize) {
+    'scan: while let Some(c) = cur.peek() {
+        cur.bump();
+        if c == b'"' {
+            for k in 0..hashes {
+                if cur.peek_at(k) != Some(b'#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            return;
+        }
+    }
+}
+
+/// Matches a string-literal prefix (`r`, `b`, `c`, `br`, `cr` + `#`* + `"`)
+/// at the cursor without consuming. Returns `(prefix_letters, hashes)`.
+fn string_prefix(cur: &Cursor) -> Option<(usize, usize)> {
+    let (mut letters, mut has_r) = match cur.peek_at(0)? {
+        b'r' => (1usize, true),
+        b'b' | b'c' => (1usize, false),
+        _ => return None,
+    };
+    if !has_r && cur.peek_at(1) == Some(b'r') {
+        has_r = true;
+        letters = 2;
+    }
+    let mut hashes = 0usize;
+    if has_r {
+        while cur.peek_at(letters + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+    }
+    (cur.peek_at(letters + hashes) == Some(b'"')).then_some((letters, hashes))
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal) at a
+/// `'`; consumes either and returns the token kind.
+fn char_or_lifetime(cur: &mut Cursor) -> TokKind {
+    cur.bump(); // opening '
+    if cur.peek() == Some(b'\\') {
+        quoted(cur, b'\'');
+        return TokKind::Char;
+    }
+    // Measure the identifier-continue run after the quote.
+    let mut run = 0usize;
+    while cur.peek_at(run).is_some_and(is_ident_continue) {
+        run += 1;
+    }
+    if run > 0 && cur.peek_at(run) == Some(b'\'') {
+        for _ in 0..=run {
+            cur.bump();
+        }
+        TokKind::Char
+    } else if run > 0 {
+        for _ in 0..run {
+            cur.bump();
+        }
+        TokKind::Lifetime
+    } else if cur.peek() == Some(b'\'') {
+        // '' — treat as an (empty, malformed) char literal.
+        cur.bump();
+        TokKind::Char
+    } else {
+        // A lone quote (e.g. inside a macro) — punct-like, but keep the
+        // Char kind so rules never see it as code.
+        TokKind::Char
+    }
+}
+
+/// Consumes a numeric literal: digits, alphanumeric suffix/radix chars,
+/// and a decimal point only when followed by a digit (so `1..2` stays a
+/// range and `x.0` field access is untouched).
+fn number(cur: &mut Cursor) {
+    loop {
+        match cur.peek() {
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' => cur.bump(),
+            Some(b'.') if cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()) => cur.bump(),
+            _ => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let got = kinds("let x = a.unwrap();");
+        assert_eq!(got[0], (TokKind::Ident, "let"));
+        assert_eq!(got[1], (TokKind::Ident, "x"));
+        assert_eq!(got[2], (TokKind::Punct, "="));
+        assert_eq!(got[3], (TokKind::Ident, "a"));
+        assert_eq!(got[4], (TokKind::Punct, "."));
+        assert_eq!(got[5], (TokKind::Ident, "unwrap"));
+        assert_eq!(got[6], (TokKind::Punct, "("));
+    }
+
+    #[test]
+    fn strings_swallow_code_like_text() {
+        let got = kinds(r#"let s = "x.unwrap() // not code";"#);
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("unwrap")));
+        assert!(!got
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"a "quoted" .unwrap()"# ; next"##;
+        let got = kinds(src);
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("quoted")));
+        assert_eq!(
+            got.last().map(|(k, t)| (*k, *t)),
+            Some((TokKind::Ident, "next"))
+        );
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let got = kinds(r#"b"bytes" c"cstr" br"raw""#);
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let got = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].1, "a");
+        assert_eq!(got[1].0, TokKind::BlockComment);
+        assert_eq!(got[2].1, "b");
+    }
+
+    #[test]
+    fn line_comments_stop_at_newline() {
+        let got = kinds("a // unwrap() here\nb");
+        assert_eq!(got[0].1, "a");
+        assert_eq!(got[1].0, TokKind::LineComment);
+        assert_eq!(got[2], (TokKind::Ident, "b"));
+        assert_eq!(lex("a // c\nb")[2].line, 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let got = kinds(r"<'a> 'x' '\n' 'static b'z'");
+        assert_eq!(got[1], (TokKind::Lifetime, "'a"));
+        assert_eq!(got[3], (TokKind::Char, "'x'"));
+        assert_eq!(got[4], (TokKind::Char, r"'\n'"));
+        assert_eq!(got[5], (TokKind::Lifetime, "'static"));
+        assert_eq!(got[6].0, TokKind::Char);
+    }
+
+    #[test]
+    fn raw_identifier_keeps_prefix() {
+        let got = kinds("r#fn r#type normal");
+        assert_eq!(got[0], (TokKind::Ident, "r#fn"));
+        assert_eq!(got[1], (TokKind::Ident, "r#type"));
+        assert_eq!(got[2], (TokKind::Ident, "normal"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_fields() {
+        let got = kinds("1..2 3.5 0xFF_u32 x.0");
+        assert_eq!(got[0], (TokKind::Number, "1"));
+        assert_eq!(got[1].1, ".");
+        assert_eq!(got[2].1, ".");
+        assert_eq!(got[3], (TokKind::Number, "2"));
+        assert_eq!(got[4], (TokKind::Number, "3.5"));
+        assert_eq!(got[5], (TokKind::Number, "0xFF_u32"));
+    }
+
+    #[test]
+    fn unterminated_constructs_run_to_eof() {
+        for src in ["\"never closed", "r#\"also open", "/* open", "'\\", "b\"x"] {
+            let toks = lex(src);
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn multibyte_utf8_stays_whole() {
+        let src = "let héllo = \"ωorld\"; // caféine";
+        let toks = lex(src);
+        // Spans must slice cleanly at char boundaries.
+        for t in &toks {
+            let _ = &src[t.start..t.end];
+        }
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && &src[t.start..t.end] == "héllo"));
+    }
+
+    #[test]
+    fn columns_are_one_based_bytes() {
+        let toks = lex("ab cd\n  ef");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (1, 4));
+        assert_eq!((toks[2].line, toks[2].col), (2, 3));
+    }
+}

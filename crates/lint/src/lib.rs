@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! `ccp-lint` — a workspace-specific static-analysis pass enforcing the
+//! simulator's correctness invariants.
+//!
+//! Earlier PRs established conventions the compiler cannot check: typed
+//! [`SimError`]s instead of `Result<_, String>` (PR 2), atomic
+//! temp-then-rename for every JSON artifact (PR 2), a single
+//! cache/cancellation mutex with one sanctioned nesting order (PR 3),
+//! `catch_unwind`-isolated job paths that panics must not cross, and
+//! deterministic sim cores with no wall-clock reads. This crate scans the
+//! workspace with its own minimal Rust lexer ([`lexer`]) and a small rule
+//! engine ([`engine`]) carrying six rules ([`rules`]) that pin those
+//! conventions down, the way a training/inference stack accretes
+//! sanitizer + custom-lint wiring as it grows.
+//!
+//! The crate is dependency-free (it must be able to lint every other
+//! crate without depending on any of them) and offline, consistent with
+//! the `crates/compat` approach. See `DESIGN.md` §9 for the rule
+//! catalogue and the `// ccp-lint: allow(rule)` suppression syntax.
+//!
+//! [`SimError`]: ../ccp_errors/enum.SimError.html
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{lint_source, lint_tree, walk, Finding, Outcome, Rule, Severity, SourceFile};
+pub use report::{check_fixtures, render_fixtures, render_human, render_json, write_report};
+pub use rules::all_rules;

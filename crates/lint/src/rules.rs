@@ -1,0 +1,809 @@
+//! The six workspace-specific rules. Each one guards an invariant an
+//! earlier PR established by hand; see `DESIGN.md` §9 for the rationale
+//! behind every rule and the suppression syntax.
+//!
+//! Rules are lexical, not type-aware: they trade soundness-in-the-limit
+//! for zero dependencies and total robustness, and lean on inline
+//! `ccp-lint: allow(…)` suppressions (each carrying a one-line
+//! justification) where the approximation is conservative.
+
+use crate::engine::{Finding, Rule, Severity, SourceFile};
+use crate::lexer::TokKind;
+
+/// All shipped rules, in documentation order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoStringlyErrors),
+        Box::new(NoPanicInServicePath),
+        Box::new(AtomicJsonWrites),
+        Box::new(LockOrder),
+        Box::new(NoWallclockInSim),
+        Box::new(NoLossyCastInHotPath),
+    ]
+}
+
+/// Paths every rule ignores even when its own scope matches.
+fn globally_excluded(path: &str) -> bool {
+    path.starts_with("crates/compat/") || path.starts_with("crates/lint/tests/fixtures/")
+}
+
+/// True when `path` lies under any of `dirs`.
+fn under(path: &str, dirs: &[&str]) -> bool {
+    dirs.iter().any(|d| path.starts_with(d))
+}
+
+// ---------------------------------------------------------------------------
+// R1: no-stringly-errors
+// ---------------------------------------------------------------------------
+
+/// R1 — `Result<_, String>` is banned outside `crates/compat`: PR 2
+/// introduced the typed [`SimError`] taxonomy precisely because stringly
+/// errors cannot be classified for retry/exit-code decisions.
+///
+/// [`SimError`]: ../../ccp_errors/enum.SimError.html
+pub struct NoStringlyErrors;
+
+impl Rule for NoStringlyErrors {
+    fn name(&self) -> &'static str {
+        "no-stringly-errors"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn describe(&self) -> &'static str {
+        "ban Result<_, String>: use ccp_errors::SimError / SimResult (PR 2 error taxonomy)"
+    }
+    fn applies(&self, path: &str) -> bool {
+        !globally_excluded(path)
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for k in 0..file.n_code() {
+            if !file.is_ident(k, "Result") || !file.is_punct(k + 1, '<') {
+                continue;
+            }
+            if let Some(err_arg) = second_generic_arg(file, k + 1) {
+                if err_arg.len() == 1 && file.is_ident(err_arg[0], "String") {
+                    out.push(file.finding(
+                        self.name(),
+                        self.severity(),
+                        k,
+                        "`Result<_, String>` is stringly-typed; return \
+                         `ccp_errors::SimResult<_>` (a typed `SimError`) so callers can \
+                         classify the failure",
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Token indices (into `file.code`) of the second top-level generic
+/// argument of the `<…>` list opening at code index `open`. `None` when
+/// the construct does not look like a two-argument generic list (bounded
+/// scan; comparison expressions bail out on `;`/`{`).
+fn second_generic_arg(file: &SourceFile, open: usize) -> Option<Vec<usize>> {
+    let mut depth = 0i32;
+    let mut args: Vec<Vec<usize>> = vec![Vec::new()];
+    let limit = (open + 256).min(file.n_code());
+    for j in open..limit {
+        if file.is_punct(j, '<') {
+            depth += 1;
+            if depth == 1 {
+                continue;
+            }
+        } else if file.is_punct(j, '>') {
+            // `->` inside a generic list (fn types): the `>` is glued to a
+            // preceding `-`; don't let it close the list.
+            let arrow =
+                j > 0 && file.is_punct(j - 1, '-') && file.tok(j - 1).end == file.tok(j).start;
+            if !arrow {
+                depth -= 1;
+                if depth == 0 {
+                    return (args.len() == 2).then(|| args.swap_remove(1));
+                }
+            }
+        } else if file.is_punct(j, '(') || file.is_punct(j, '[') {
+            depth += 1;
+        } else if file.is_punct(j, ')') || file.is_punct(j, ']') {
+            depth -= 1;
+        } else if file.is_punct(j, ';') || file.is_punct(j, '{') {
+            return None; // not a generic list after all
+        }
+        if depth == 1 && file.is_punct(j, ',') {
+            args.push(Vec::new());
+            continue;
+        }
+        if let Some(last) = args.last_mut() {
+            last.push(j);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// R2: no-panic-in-service-path
+// ---------------------------------------------------------------------------
+
+/// R2 — panic-capable calls are banned in non-test code of the crates
+/// whose panics cross the `catch_unwind` isolation boundary (`served`,
+/// `sim`, `errors`). A panic there either kills a worker thread or turns
+/// into a spurious `SimError::Panic` blamed on the job being run.
+pub struct NoPanicInServicePath;
+
+/// Method names that panic on the error/none case.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+/// Macros that unconditionally panic.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+impl Rule for NoPanicInServicePath {
+    fn name(&self) -> &'static str {
+        "no-panic-in-service-path"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn describe(&self) -> &'static str {
+        "ban .unwrap()/.expect()/panic!/unreachable! in non-test served/sim/errors code \
+         (panics cross the catch_unwind boundary)"
+    }
+    fn applies(&self, path: &str) -> bool {
+        !globally_excluded(path)
+            && under(
+                path,
+                &[
+                    "crates/served/src/",
+                    "crates/sim/src/",
+                    "crates/errors/src/",
+                ],
+            )
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for k in 0..file.n_code() {
+            if file.in_test(file.tok(k).start) || file.tok(k).kind != TokKind::Ident {
+                continue;
+            }
+            let text = file.ct(k);
+            let hit = if PANIC_METHODS.contains(&text) {
+                k > 0 && file.is_punct(k - 1, '.') && file.is_punct(k + 1, '(')
+            } else if PANIC_MACROS.contains(&text) {
+                file.is_punct(k + 1, '!')
+            } else {
+                false
+            };
+            if hit {
+                out.push(file.finding(
+                    self.name(),
+                    self.severity(),
+                    k,
+                    format!(
+                        "`{text}` can panic on a service path; return a typed `SimError` \
+                         (or allow with a one-line justification if genuinely infallible)"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R3: atomic-json-writes
+// ---------------------------------------------------------------------------
+
+/// R3 — JSON artifacts must be written via the atomic temp-then-rename
+/// helper (`ccp_sim::json::write_atomic`, PR 2): a function that both
+/// creates a file directly and mentions a `.json`/`.jsonl` path can tear
+/// its output on a crash, which is exactly what the resumable-sweep
+/// checkpoints exist to prevent. Direct file creation without JSON
+/// evidence is still surfaced (at warn) because the path may arrive from
+/// a caller.
+pub struct AtomicJsonWrites;
+
+impl Rule for AtomicJsonWrites {
+    fn name(&self) -> &'static str {
+        "atomic-json-writes"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn describe(&self) -> &'static str {
+        "JSON artifacts go through write_atomic's temp-then-rename, never a bare \
+         File::create / fs::write"
+    }
+    fn applies(&self, path: &str) -> bool {
+        // json.rs hosts write_atomic itself — the one sanctioned call site.
+        !globally_excluded(path) && path != "crates/sim/src/json.rs"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for k in 0..file.n_code() {
+            if file.in_test(file.tok(k).start) {
+                continue;
+            }
+            // `File::create(`  |  `fs::write(`  (any path prefix).
+            let creates = (file.is_ident(k, "File")
+                && file.is_punct(k + 1, ':')
+                && file.is_punct(k + 2, ':')
+                && file.is_ident(k + 3, "create")
+                && file.is_punct(k + 4, '('))
+                || (file.is_ident(k, "fs")
+                    && file.is_punct(k + 1, ':')
+                    && file.is_punct(k + 2, ':')
+                    && file.is_ident(k + 3, "write")
+                    && file.is_punct(k + 4, '('));
+            if !creates {
+                continue;
+            }
+            let json_nearby = enclosing_fn_mentions_json(file, k);
+            let (severity, message) = if json_nearby {
+                (
+                    Severity::Deny,
+                    "direct file creation in a function handling `.json`/`.jsonl` paths — \
+                     a crash here tears the artifact; use `ccp_sim::json::write_atomic` \
+                     (temp-then-rename)",
+                )
+            } else {
+                (
+                    Severity::Warn,
+                    "direct file creation bypasses the atomic temp-then-rename discipline; \
+                     route JSON artifacts through `ccp_sim::json::write_atomic`, or allow \
+                     with a justification naming the non-JSON format",
+                )
+            };
+            out.push(file.finding(self.name(), severity, k, message));
+        }
+        out
+    }
+}
+
+/// Whether the innermost `fn` containing code token `k` (or the whole
+/// file, outside any fn) contains a string literal mentioning `.json`.
+fn enclosing_fn_mentions_json(file: &SourceFile, k: usize) -> bool {
+    let range = file
+        .fns
+        .iter()
+        .filter(|f| f.body_open <= k && k <= f.body_close)
+        .min_by_key(|f| f.body_close - f.body_open)
+        .map(|f| (f.body_open, f.body_close))
+        .unwrap_or((0, file.n_code().saturating_sub(1)));
+    (range.0..=range.1).any(|j| {
+        j < file.n_code() && file.tok(j).kind == TokKind::Str && file.ct(j).contains(".json")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// R4: lock-order
+// ---------------------------------------------------------------------------
+
+/// The declared lock hierarchy for `crates/served`: a thread holding a
+/// lock may only acquire locks strictly later in this list. PR 3 merged
+/// the cache and cancellation registry behind the single `state` mutex to
+/// close a submit/complete race; the only sanctioned nesting is
+/// `state → queue` (enqueue a leader while its registry entry is being
+/// inserted).
+pub const SERVED_LOCK_HIERARCHY: &[&str] = &["state", "queue"];
+
+/// R4 — per-function nested `.lock()` acquisitions in `crates/served`
+/// must respect [`SERVED_LOCK_HIERARCHY`]. Cycles across two functions
+/// are out of scope for a lexical pass; within one function this catches
+/// both inverted nesting (deadlock with the sanctioned order) and
+/// re-entrant acquisition (self-deadlock with `std::sync::Mutex`).
+pub struct LockOrder;
+
+/// One lock currently considered held at a point in the scan.
+struct Held {
+    name: String,
+    rank: Option<usize>,
+    /// Brace depth at acquisition: popped when the scan leaves the block.
+    depth: i32,
+    /// Temporary guard (not `let`-bound): popped at end of statement.
+    stmt_scoped: bool,
+}
+
+impl Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn describe(&self) -> &'static str {
+        "nested .lock() acquisitions in crates/served must follow the declared \
+         hierarchy (state -> queue)"
+    }
+    fn applies(&self, path: &str) -> bool {
+        !globally_excluded(path) && under(path, &["crates/served/src/"])
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for f in &file.fns {
+            // Skip fns nested inside another fn: the outer scan covers its
+            // own statements and skips the nested body below.
+            if file
+                .fns
+                .iter()
+                .any(|g| g.body_open < f.body_open && f.body_close < g.body_close)
+            {
+                continue;
+            }
+            self.scan_fn(file, f.body_open, f.body_close, &mut out);
+        }
+        out
+    }
+}
+
+impl LockOrder {
+    fn rank_of(name: &str) -> Option<usize> {
+        SERVED_LOCK_HIERARCHY.iter().position(|l| *l == name)
+    }
+
+    fn scan_fn(&self, file: &SourceFile, open: usize, close: usize, out: &mut Vec<Finding>) {
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 0i32;
+        let mut j = open;
+        while j <= close && j < file.n_code() {
+            if file.in_test(file.tok(j).start) {
+                j += 1;
+                continue;
+            }
+            if file.is_punct(j, '{') {
+                depth += 1;
+            } else if file.is_punct(j, '}') {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth);
+            } else if file.is_punct(j, ';') {
+                held.retain(|h| !(h.stmt_scoped && h.depth >= depth));
+            } else if file.is_ident(j, "fn") {
+                // Nested fn: its body is its own scan; skip over it.
+                if let Some(nested) = file
+                    .fns
+                    .iter()
+                    .find(|g| g.body_open > j && file.tok(g.body_open).start > file.tok(j).start)
+                    .filter(|g| g.body_open <= close)
+                {
+                    j = nested.body_close;
+                }
+            } else if let Some(name) = lock_receiver(file, j) {
+                let rank = Self::rank_of(&name);
+                for h in &held {
+                    if h.name == name {
+                        out.push(file.finding(
+                            self.name(),
+                            Severity::Deny,
+                            j,
+                            format!(
+                                "lock `{name}` acquired while already held — std::sync::Mutex \
+                                 self-deadlocks on re-entry"
+                            ),
+                        ));
+                    } else {
+                        match (h.rank, rank) {
+                            (Some(hr), Some(nr)) if nr < hr => out.push(file.finding(
+                                self.name(),
+                                Severity::Deny,
+                                j,
+                                format!(
+                                    "lock `{name}` acquired while `{}` is held — violates the \
+                                     declared hierarchy ({}); a thread nesting the other way \
+                                     deadlocks",
+                                    h.name,
+                                    SERVED_LOCK_HIERARCHY.join(" -> "),
+                                ),
+                            )),
+                            (None, _) | (_, None) => out.push(file.finding(
+                                self.name(),
+                                Severity::Warn,
+                                j,
+                                format!(
+                                    "nested acquisition of `{name}` while `{}` is held, but \
+                                     one of them is not in the declared hierarchy ({}); \
+                                     extend SERVED_LOCK_HIERARCHY or restructure",
+                                    h.name,
+                                    SERVED_LOCK_HIERARCHY.join(" -> "),
+                                ),
+                            )),
+                            _ => {}
+                        }
+                    }
+                }
+                held.push(Held {
+                    name,
+                    rank,
+                    depth,
+                    stmt_scoped: !is_let_bound(file, j),
+                });
+            }
+            j += 1;
+        }
+    }
+}
+
+/// If code token `j` is the receiver-dot of a lock acquisition —
+/// `recv.lock(` or `recv.lock_unpoisoned(` — returns the receiver's last
+/// identifier (`shared.state.lock()` → `state`).
+fn lock_receiver(file: &SourceFile, j: usize) -> Option<String> {
+    if !(file.is_ident(j, "lock") || file.is_ident(j, "lock_unpoisoned")) {
+        return None;
+    }
+    if !(j >= 2 && file.is_punct(j - 1, '.') && file.is_punct(j + 1, '(')) {
+        return None;
+    }
+    (file.tok(j - 2).kind == TokKind::Ident).then(|| file.ct(j - 2).to_string())
+}
+
+/// Whether the lock expression whose `lock` ident sits at `j` is bound by
+/// a `let` (guard lives to end of block) rather than used as a temporary
+/// (guard dropped at end of statement). Walks the receiver chain
+/// backwards to its head, then looks for `let [mut] name =` or a plain
+/// assignment `name =`.
+fn is_let_bound(file: &SourceFile, j: usize) -> bool {
+    // Walk back over `ident . ident . … .lock`.
+    let mut k = j - 1; // the '.' before lock
+    loop {
+        if k == 0 {
+            return false;
+        }
+        if file.is_punct(k, '.') && k >= 1 && file.tok(k - 1).kind == TokKind::Ident {
+            if k >= 2 && file.is_punct(k - 2, '.') {
+                k -= 2;
+                continue;
+            }
+            k -= 1; // chain head ident
+            break;
+        }
+        return false;
+    }
+    if k == 0 {
+        return false;
+    }
+    // Before the chain head: `=` then (ident | `mut` ident) with `let`
+    // somewhere directly before, or a plain re-assignment `name =`.
+    if !file.is_punct(k - 1, '=') {
+        return false;
+    }
+    // `==` is a comparison, not a binding.
+    if k >= 2
+        && (file.is_punct(k - 2, '=')
+            || file.is_punct(k - 2, '!')
+            || file.is_punct(k - 2, '<')
+            || file.is_punct(k - 2, '>'))
+    {
+        return false;
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// R5: no-wallclock-in-sim
+// ---------------------------------------------------------------------------
+
+/// R5 — the deterministic simulation cores (`compress`, `cache`, `cpp`,
+/// `workgen`) must not read wall-clock time: resumed sweeps are verified
+/// byte-identical to uninterrupted ones, and a single `Instant::now()`
+/// in a core breaks that reproducibility. Drivers (`sim` binaries,
+/// `served`, `bench`) are deliberately out of scope.
+pub struct NoWallclockInSim;
+
+impl Rule for NoWallclockInSim {
+    fn name(&self) -> &'static str {
+        "no-wallclock-in-sim"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn describe(&self) -> &'static str {
+        "ban SystemTime::now/Instant::now in the deterministic cores \
+         (compress/cache/cpp/workgen)"
+    }
+    fn applies(&self, path: &str) -> bool {
+        !globally_excluded(path)
+            && under(
+                path,
+                &[
+                    "crates/compress/",
+                    "crates/cache/",
+                    "crates/cpp/",
+                    "crates/workgen/",
+                ],
+            )
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for k in 0..file.n_code() {
+            let clock = (file.is_ident(k, "SystemTime") || file.is_ident(k, "Instant"))
+                && file.is_punct(k + 1, ':')
+                && file.is_punct(k + 2, ':')
+                && file.is_ident(k + 3, "now");
+            if clock {
+                out.push(file.finding(
+                    self.name(),
+                    self.severity(),
+                    k,
+                    format!(
+                        "`{}::now` in a deterministic core breaks seeded reproducibility \
+                         (resume byte-identity, proptest replay); thread time in from the \
+                         driver if needed",
+                        file.ct(k)
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R6: no-lossy-cast-in-hot-path
+// ---------------------------------------------------------------------------
+
+/// R6 — truncating `as u16` / `as u32` casts in the word-packing code of
+/// `compress`/`cpp` silently drop the very bits the paper's compression
+/// predicates (§3: 18 uniform high bits for small values, 17 shared high
+/// bits for pointers) exist to check. Packing must go through the
+/// checked predicates ([`compress`]/[`classify`]) or carry a
+/// justification proving the bits are dead.
+///
+/// [`compress`]: ../../ccp_compress/fn.compress.html
+/// [`classify`]: ../../ccp_compress/fn.classify.html
+pub struct NoLossyCastInHotPath;
+
+impl Rule for NoLossyCastInHotPath {
+    fn name(&self) -> &'static str {
+        "no-lossy-cast-in-hot-path"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn describe(&self) -> &'static str {
+        "flag as u16 / as u32 truncations in compress/cpp word-packing: use the checked \
+         compression predicates or justify"
+    }
+    fn applies(&self, path: &str) -> bool {
+        !globally_excluded(path) && under(path, &["crates/compress/src/", "crates/cpp/src/"])
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for k in 0..file.n_code() {
+            if file.in_test(file.tok(k).start) {
+                continue;
+            }
+            if file.is_ident(k, "as")
+                && (file.is_ident(k + 1, "u16") || file.is_ident(k + 1, "u32"))
+            {
+                out.push(file.finding(
+                    self.name(),
+                    self.severity(),
+                    k,
+                    format!(
+                        "`as {}` here can truncate a word without consulting the 18/17 \
+                         high-bit compression predicates; use `u32::from`/`u16::try_from` \
+                         or the checked compress()/classify() path, or allow with a \
+                         justification",
+                        file.ct(k + 1)
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::lint_source;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        lint_source(path, src, &all_rules()).findings
+    }
+
+    #[test]
+    fn r1_flags_stringly_results_only() {
+        let hits = run(
+            "crates/sim/src/lib.rs",
+            "fn a() -> Result<Args, String> { x }\n\
+             fn b() -> Result<Vec<String>, SimError> { x }\n\
+             fn c() -> SimResult<String> { x }\n\
+             fn d(x: Result<(), String>) {}\n",
+        );
+        let r1: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == "no-stringly-errors")
+            .collect();
+        assert_eq!(r1.len(), 2, "{hits:?}");
+        assert_eq!(r1[0].line, 1);
+        assert_eq!(r1[1].line, 4);
+    }
+
+    #[test]
+    fn r1_skips_compat_and_comments() {
+        assert!(run(
+            "crates/compat/rand/src/lib.rs",
+            "fn a() -> Result<A, String> {}"
+        )
+        .is_empty());
+        assert!(run(
+            "crates/sim/src/x.rs",
+            "// returns Result<A, String>\nfn a() {}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn r2_flags_panics_outside_tests() {
+        let src = "\
+fn live() { x.unwrap(); y.expect(\"m\"); panic!(\"boom\"); unreachable!() }
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); panic!(); }
+}
+";
+        let hits = run("crates/served/src/server.rs", src);
+        let r2: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == "no-panic-in-service-path")
+            .collect();
+        assert_eq!(r2.len(), 4, "{r2:?}");
+        assert!(r2.iter().all(|f| f.line == 1));
+        // Out of scope: other crates.
+        assert!(run("crates/cache/src/lib.rs", "fn a() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn r2_ignores_non_calls() {
+        // unwrap_or_default is a different identifier; `unwrap` without a
+        // receiver dot (fn def) is not a call.
+        let hits = run(
+            "crates/sim/src/x.rs",
+            "fn unwrap() {} fn a() { b.unwrap_or_default(); }",
+        );
+        assert!(
+            hits.iter().all(|f| f.rule != "no-panic-in-service-path"),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn r3_deny_with_json_evidence_warn_without() {
+        let deny = run(
+            "crates/sim/src/report.rs",
+            "fn save() { let f = File::create(\"out.json\"); }",
+        );
+        assert_eq!(deny.len(), 1);
+        assert_eq!(deny[0].severity, Severity::Deny);
+        let warn = run(
+            "crates/trace/src/serialize.rs",
+            "fn save(p: &Path) { let f = File::create(p); }",
+        );
+        assert_eq!(warn.len(), 1);
+        assert_eq!(warn[0].severity, Severity::Warn);
+        // fs::write of a .jsonl checkpoint: flagged too.
+        let deny2 = run(
+            "crates/sim/src/checkpoint.rs",
+            "fn ck() { fs::write(path, b\"x\"); let p = \"ck.jsonl\"; }",
+        );
+        assert!(deny2.iter().any(|f| f.severity == Severity::Deny));
+        // The helper file itself is sanctioned.
+        assert!(run(
+            "crates/sim/src/json.rs",
+            "fn write_atomic() { fs::write(tmp, s); let n = \".json\"; }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn r4_flags_inverted_and_reentrant_nesting() {
+        // queue held, then state: inverted w.r.t. state -> queue.
+        let src = "\
+fn bad(shared: &Shared) {
+    let q = shared.queue.lock().unwrap();
+    let s = shared.state.lock().unwrap();
+}
+";
+        let hits = run("crates/served/src/server.rs", src);
+        assert!(
+            hits.iter()
+                .any(|f| f.rule == "lock-order" && f.severity == Severity::Deny && f.line == 3),
+            "{hits:?}"
+        );
+        let reent = run(
+            "crates/served/src/server.rs",
+            "fn bad(s: &S) { let a = s.state.lock().unwrap(); let b = s.state.lock().unwrap(); }",
+        );
+        assert!(reent
+            .iter()
+            .any(|f| f.rule == "lock-order" && f.message.contains("re-entry")));
+    }
+
+    #[test]
+    fn r4_accepts_sanctioned_order_and_sequential_use() {
+        // state -> queue nesting is the declared order.
+        let ok = run(
+            "crates/served/src/server.rs",
+            "fn good(s: &S) { let st = s.state.lock().unwrap(); s.queue.lock().unwrap().push(1); }",
+        );
+        assert!(ok.iter().all(|f| f.rule != "lock-order"), "{ok:?}");
+        // Sequential (block-scoped then released) acquisitions don't nest.
+        let seq = "\
+fn seq(s: &S) {
+    let n = { let q = s.queue.lock().unwrap(); q.len() };
+    let st = s.state.lock().unwrap();
+}
+";
+        let hits = run("crates/served/src/server.rs", seq);
+        assert!(hits.iter().all(|f| f.rule != "lock-order"), "{hits:?}");
+        // Temporary guard released at end of statement, not end of block.
+        let tmp = "\
+fn tmp(s: &S) {
+    s.queue.lock().unwrap().push(1);
+    let st = s.state.lock().unwrap();
+}
+";
+        let hits = run("crates/served/src/server.rs", tmp);
+        assert!(hits.iter().all(|f| f.rule != "lock-order"), "{hits:?}");
+    }
+
+    #[test]
+    fn r4_warns_on_unknown_lock_nesting() {
+        let src =
+            "fn f(s: &S) { let a = s.state.lock().unwrap(); let b = s.mystery.lock().unwrap(); }";
+        let hits = run("crates/served/src/server.rs", src);
+        assert!(hits
+            .iter()
+            .any(|f| f.rule == "lock-order" && f.severity == Severity::Warn));
+    }
+
+    #[test]
+    fn r5_flags_wallclock_in_cores_only() {
+        let hits = run(
+            "crates/workgen/src/stream.rs",
+            "fn f() { let t = Instant::now(); let s = SystemTime::now(); }",
+        );
+        assert_eq!(
+            hits.iter()
+                .filter(|f| f.rule == "no-wallclock-in-sim")
+                .count(),
+            2
+        );
+        assert!(run(
+            "crates/served/src/client.rs",
+            "fn f() { let t = Instant::now(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn r6_flags_truncating_casts_outside_tests() {
+        let src = "\
+fn pack(v: u32) -> u16 { (v as u16) & MASK }
+#[cfg(test)]
+mod tests { fn t() { let x = 3i32 as u32; } }
+";
+        let hits = run("crates/compress/src/lib.rs", src);
+        let r6: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == "no-lossy-cast-in-hot-path")
+            .collect();
+        assert_eq!(r6.len(), 1);
+        assert_eq!(r6[0].severity, Severity::Warn);
+        assert!(run("crates/cache/src/lib.rs", "fn f(v: u64) { v as u32; }").is_empty());
+    }
+
+    #[test]
+    fn suppressions_silence_and_count() {
+        let src =
+            "fn f() { x.unwrap(); } // ccp-lint: allow(no-panic-in-service-path) — infallible\n";
+        let out = lint_source("crates/sim/src/x.rs", src, &all_rules());
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.suppressed, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Golden-file check of the fixture corpus: every rule must reproduce
+//! exactly the findings pinned in `tests/fixtures/expected.txt`. The same
+//! check runs in `ci.sh` via `ccp-lint --check-fixtures`, so a rule whose
+//! behaviour drifts fails both gates with a diff.
+
+use ccp_lint::{all_rules, check_fixtures, render_fixtures};
+use std::path::Path;
+
+fn fixtures_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures"))
+}
+
+#[test]
+fn corpus_matches_expected_txt() {
+    if let Err(diff) = check_fixtures(fixtures_dir(), &all_rules()) {
+        panic!("{diff}");
+    }
+}
+
+#[test]
+fn corpus_reproduces_every_rule_at_least_once() {
+    let rendered = render_fixtures(fixtures_dir(), &all_rules()).expect("fixtures render");
+    for rule in all_rules() {
+        assert!(
+            rendered.contains(&format!("[{}]", rule.name())),
+            "rule {} never fires in the fixture corpus",
+            rule.name()
+        );
+    }
+    // The corpus must also exercise the suppression machinery.
+    assert!(
+        rendered.contains("suppressions.rs: 2 suppressed"),
+        "suppression fixtures drifted:\n{rendered}"
+    );
+}

@@ -1,0 +1,46 @@
+// ccp-lint-fixture: crates/sim/src/fixture_fp.rs
+//! False-positive regression corpus: every construct here once looked
+//! like a violation to some draft of a rule and must stay clean.
+
+fn string_on_the_ok_side() -> Result<String, std::io::Error> {
+    Ok(String::new())
+}
+
+fn string_nested_in_ok() -> Result<Vec<String>, SimError> {
+    Ok(Vec::new())
+}
+
+fn generic_error_of_string(r: Result<u32, Box<String>>) -> bool {
+    r.is_ok()
+}
+
+fn expect_is_just_a_name(headers: &HeaderMap) -> bool {
+    headers.contains_key("expect")
+}
+
+fn unwrap_family_that_cannot_panic(opt: Option<u32>) -> u32 {
+    opt.unwrap_or(0) + opt.unwrap_or_else(|| 1) + opt.unwrap_or_default()
+}
+
+fn comparisons_are_not_generics(a: usize, b: usize) -> bool {
+    a < b && b > 3
+}
+
+fn r#fn<'a>(x: &'a str) -> char {
+    let _lifetime_not_char: &'a str = x;
+    'x'
+}
+
+fn ranges_and_fields(xs: &[u32], pair: (u32, u32)) -> u32 {
+    xs[1..2].iter().sum::<u32>() + pair.0
+}
+
+const SNIPPET: &str =
+    "opt.unwrap(); panic!(); Instant::now(); word as u16; fn f() -> Result<u32, String> {}";
+
+/* Block comments hide everything too:
+   opt.unwrap(); SystemTime::now(); std::fs::File::create("x.json");
+   nested /* Result<u32, String> */ still inside the outer comment */
+fn after_the_comment() -> u32 {
+    0
+}

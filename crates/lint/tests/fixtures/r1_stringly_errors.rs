@@ -1,0 +1,19 @@
+// ccp-lint-fixture: crates/sim/src/fixture.rs
+//! R1 `no-stringly-errors`: `Result<_, String>` is denied; typed errors
+//! and `String` on the Ok side pass.
+
+fn bad_parse(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "not a number".to_string())
+}
+
+fn typed(s: &str) -> Result<u32, SimError> {
+    s.parse().map_err(|_| SimError::spec("not a number"))
+}
+
+fn string_is_the_payload() -> Result<String, std::io::Error> {
+    Ok(String::new())
+}
+
+fn not_a_result(map: HashMap<String, Vec<String>>) -> usize {
+    map.len()
+}

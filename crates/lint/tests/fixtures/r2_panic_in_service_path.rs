@@ -1,0 +1,33 @@
+// ccp-lint-fixture: crates/served/src/fixture.rs
+//! R2 `no-panic-in-service-path`: panic-capable calls outside
+//! `#[cfg(test)]` are denied; lookalikes and test code pass.
+
+fn service(opt: Option<u32>) -> u32 {
+    let a = opt.unwrap();
+    let b = opt.expect("present");
+    if a + b > 3 {
+        panic!("boom");
+    }
+    unreachable!()
+}
+
+fn tolerant(opt: Option<u32>) -> u32 {
+    opt.unwrap_or_default()
+}
+
+fn lookalikes() {
+    unwrap();
+    let quoted = "calling .unwrap() inside a string is fine";
+    // calling .unwrap() inside a comment is fine
+    let _ = quoted;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        Some(1).unwrap();
+        None::<u32>.expect("tests are excluded");
+        panic!("fine in tests");
+    }
+}

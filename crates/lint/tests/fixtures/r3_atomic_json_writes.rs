@@ -1,0 +1,23 @@
+// ccp-lint-fixture: crates/sim/src/fixture_io.rs
+//! R3 `atomic-json-writes`: direct file creation is denied when the
+//! enclosing function shows JSON evidence, warned otherwise; the atomic
+//! helper passes.
+
+fn dump_results(dir: &Path) -> std::io::Result<()> {
+    let name = format!("{}/results.json", dir.display());
+    let mut f = std::fs::File::create(&name)?;
+    f.write_all(b"{}")
+}
+
+fn append_log(lines: &[String]) -> std::io::Result<()> {
+    std::fs::write("events.jsonl", lines.join("\n"))
+}
+
+fn dump_binary(path: &Path) -> std::io::Result<()> {
+    let _f = std::fs::File::create(path)?;
+    Ok(())
+}
+
+fn sanctioned(path: &Path) -> SimResult<()> {
+    ccp_sim::json::write_atomic(path, "{}")
+}

@@ -1,0 +1,39 @@
+// ccp-lint-fixture: crates/served/src/fixture_locks.rs
+//! R4 `lock-order`: nested acquisitions must follow the declared
+//! `state → queue` hierarchy; release-before-acquire passes.
+
+fn sanctioned(shared: &Shared) {
+    let mut inner = shared.state.lock_unpoisoned();
+    inner.touch();
+    shared.queue.lock_unpoisoned().push_back(1);
+}
+
+fn inverted(shared: &Shared) {
+    let q = shared.queue.lock_unpoisoned();
+    let inner = shared.state.lock_unpoisoned();
+    drop(inner);
+    drop(q);
+}
+
+fn reentrant(shared: &Shared) {
+    let a = shared.state.lock_unpoisoned();
+    let b = shared.state.lock_unpoisoned();
+    drop(b);
+    drop(a);
+}
+
+fn undeclared(shared: &Shared) {
+    let s = shared.state.lock_unpoisoned();
+    let m = shared.mystery.lock_unpoisoned();
+    drop(m);
+    drop(s);
+}
+
+fn sequential(shared: &Shared) {
+    {
+        let q = shared.queue.lock_unpoisoned();
+        q.clear();
+    }
+    let s = shared.state.lock_unpoisoned();
+    drop(s);
+}

@@ -1,0 +1,15 @@
+// ccp-lint-fixture: crates/cache/src/fixture.rs
+//! R5 `no-wallclock-in-sim`: deterministic sim cores must not read the
+//! wall clock; simulated time and mentions in strings/comments pass.
+
+fn tick(now_cycle: u64) -> u64 {
+    let _t = std::time::Instant::now();
+    let _s = SystemTime::now();
+    now_cycle + 1
+}
+
+fn deterministic(now_cycle: u64) -> u64 {
+    // Instant::now() in a comment is fine.
+    let _quoted = "SystemTime::now() in a string is fine";
+    now_cycle + 1
+}

@@ -1,0 +1,27 @@
+// ccp-lint-fixture: crates/cpp/src/fixture.rs
+//! R6 `no-lossy-cast-in-hot-path`: truncating `as` casts to u16/u32 in
+//! the compression path are warned; lossless conversions and test code
+//! pass.
+
+fn truncate(word: u64) -> u16 {
+    word as u16
+}
+
+fn narrow(word: u64) -> u32 {
+    word as u32
+}
+
+fn widen(half: u16) -> u32 {
+    u32::from(half)
+}
+
+fn not_flagged(x: u64) -> usize {
+    x as usize
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_helper(w: u32) -> u16 {
+        w as u16
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the lint lexer and the `#[cfg(test)]` scoping the
+//! rules depend on.
+//!
+//! The lexer is the foundation every rule stands on, and it runs over
+//! whatever bytes a workspace file happens to contain — so the contract
+//! is totality: for arbitrary input it must return tokens with sound
+//! spans, never panic, and never split a multi-byte character. The
+//! scoping properties pin the behaviours that keep rules quiet where
+//! they must be quiet: identifiers inside strings and comments are
+//! invisible, and `#[cfg(test)]` regions shield panic-capable calls.
+
+use ccp_lint::engine::lint_source;
+use ccp_lint::lexer::{lex, TokKind};
+use ccp_lint::rules::all_rules;
+use proptest::prelude::*;
+
+/// The lexer's whitespace set: ASCII whitespace plus vertical tab,
+/// which rustc also skips but `is_ascii_whitespace` omits.
+fn is_lexer_whitespace(c: char) -> bool {
+    c.is_ascii_whitespace() || c == '\u{b}'
+}
+
+/// Byte soup biased toward the lexer's tricky territory: quotes, hashes,
+/// slashes, backslashes, and raw multi-byte/continuation bytes.
+fn spicy_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => any::<u8>(),
+            1 => Just(b'"'),
+            1 => Just(b'\''),
+            1 => Just(b'#'),
+            1 => Just(b'/'),
+            1 => Just(b'*'),
+            1 => Just(b'\\'),
+            1 => Just(b'r'),
+            1 => Just(0xE2u8), // common UTF-8 lead byte (em-dash family)
+        ],
+        0..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Totality + span soundness on arbitrary byte soup: every token is
+    /// in bounds, non-empty, non-overlapping, ordered, sliceable at char
+    /// boundaries, and the gaps between tokens hold only whitespace.
+    #[test]
+    fn lexer_is_total_with_sound_spans(bytes in spicy_bytes()) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let tokens = lex(&src);
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start >= prev_end, "tokens overlap or go backwards");
+            prop_assert!(t.start < t.end, "empty token span");
+            prop_assert!(t.end <= src.len(), "span out of bounds");
+            // Panics here (not just a failed assert) if a span splits a
+            // multi-byte character — exactly what the property forbids.
+            let text = &src[t.start..t.end];
+            prop_assert!(!text.is_empty());
+            for gap_char in src[prev_end..t.start].chars() {
+                prop_assert!(
+                    is_lexer_whitespace(gap_char),
+                    "non-whitespace byte {gap_char:?} fell between tokens",
+                );
+            }
+            prev_end = t.end;
+        }
+        for tail in src[prev_end..].chars() {
+            prop_assert!(is_lexer_whitespace(tail), "trailing {tail:?} was dropped");
+        }
+    }
+
+    /// Line/column bookkeeping matches an independent recount of the
+    /// newlines preceding each token.
+    #[test]
+    fn line_numbers_match_a_recount(bytes in spicy_bytes()) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        for t in lex(&src) {
+            let expected = 1 + src[..t.start].bytes().filter(|&b| b == b'\n').count() as u32;
+            prop_assert_eq!(t.line, expected, "line drifted from newline count");
+        }
+    }
+
+    /// An identifier smuggled inside a string literal, a line comment, or
+    /// a block comment never surfaces as an `Ident` token, while the same
+    /// identifier in code always does.
+    #[test]
+    fn strings_and_comments_hide_identifiers(
+        letters in prop::collection::vec(0u8..26, 3..10),
+        container in 0u32..4,
+    ) {
+        let payload: String =
+            letters.iter().map(|&b| char::from(b'h' + (b % 13))).collect();
+        let src = match container {
+            0 => format!("let x = \"{payload}\";\n"),
+            1 => format!("let x = 1; // {payload}\n"),
+            2 => format!("/* outer /* {payload} */ still */ let x = 1;\n"),
+            _ => format!("let x = r#\"{payload}\"#;\n"),
+        };
+        let hidden = lex(&src)
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && src[t.start..t.end] == *payload);
+        prop_assert!(!hidden, "{payload:?} leaked out of {src:?}");
+
+        let code = format!("fn demo() {{ let {payload} = 1; }}\n");
+        let visible = lex(&code)
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && code[t.start..t.end] == *payload);
+        prop_assert!(visible, "{payload:?} not tokenized as an identifier");
+    }
+
+    /// `no-panic-in-service-path` counts exactly the panic-capable calls
+    /// outside `#[cfg(test)]`, however many are sprinkled inside it.
+    #[test]
+    fn cfg_test_regions_shield_panics(inside in 0usize..5, outside in 0usize..5) {
+        let mut src = String::from("fn live(opt: Option<u32>) -> u32 {\n");
+        for _ in 0..outside {
+            src.push_str("    let _ = opt.unwrap();\n");
+        }
+        src.push_str("    0\n}\n\n#[cfg(test)]\nmod tests {\n    fn t(opt: Option<u32>) {\n");
+        for _ in 0..inside {
+            src.push_str("        opt.unwrap();\n");
+        }
+        src.push_str("        panic!(\"test-only\");\n    }\n}\n");
+
+        let rules = all_rules();
+        let out = lint_source("crates/sim/src/generated.rs", &src, &rules);
+        let panics = out
+            .findings
+            .iter()
+            .filter(|f| f.rule == "no-panic-in-service-path")
+            .count();
+        prop_assert_eq!(panics, outside, "in {src}");
+    }
+}

@@ -29,17 +29,22 @@ use ccp_pipeline::RunStats;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// What a lookup tells the caller to do.
+/// What a lookup tells the caller to do. Exactly one variant owns the
+/// waiter afterwards: `Joined` parks it inside the cache, `Miss` hands
+/// it back as the leader token, and `Hit` drops it (the caller already
+/// holds everything needed to serve the ready result).
 #[derive(Debug)]
-pub enum Lookup {
+pub enum Lookup<W> {
     /// Ready result — serve it immediately.
     Hit(Arc<RunStats>),
     /// An identical job is in flight; the caller was parked as a waiter
     /// and will be handed the leader's result via [`ResultCache::complete`].
     Joined,
     /// Nothing cached or in flight: the caller is now the leader and must
-    /// run the simulation, then call [`ResultCache::complete`].
-    Miss,
+    /// run the simulation, then call [`ResultCache::complete`]. Carries
+    /// the waiter back so leadership is encoded in the type — there is no
+    /// "miss but the waiter vanished" state to `expect` away.
+    Miss(W),
 }
 
 enum Entry<W> {
@@ -92,9 +97,9 @@ impl<W> ResultCache<W> {
     }
 
     /// Looks up `key`. On [`Lookup::Joined`] the `waiter` is parked on the
-    /// in-flight entry; on hit or miss it is returned unused along with the
-    /// verdict (the caller either serves the hit or becomes the leader).
-    pub fn lookup(&mut self, key: u64, canonical: &str, waiter: W) -> (Lookup, Option<W>) {
+    /// in-flight entry; on [`Lookup::Miss`] it is handed back and the
+    /// caller becomes the leader; on [`Lookup::Hit`] it is dropped.
+    pub fn lookup(&mut self, key: u64, canonical: &str, waiter: W) -> Lookup<W> {
         self.tick += 1;
         match self.map.get_mut(&key) {
             Some(Entry::Ready {
@@ -104,7 +109,7 @@ impl<W> ResultCache<W> {
             }) if c == canonical => {
                 *last_used = self.tick;
                 self.counters.hits += 1;
-                (Lookup::Hit(Arc::clone(stats)), Some(waiter))
+                Lookup::Hit(Arc::clone(stats))
             }
             Some(Entry::InFlight {
                 canonical: c,
@@ -112,7 +117,7 @@ impl<W> ResultCache<W> {
             }) if c == canonical => {
                 waiters.push(waiter);
                 self.counters.joined += 1;
-                (Lookup::Joined, None)
+                Lookup::Joined
             }
             Some(_) => {
                 // 64-bit collision: different canonical text behind the same
@@ -126,7 +131,7 @@ impl<W> ResultCache<W> {
                     },
                 );
                 self.counters.misses += 1;
-                (Lookup::Miss, Some(waiter))
+                Lookup::Miss(waiter)
             }
             None => {
                 self.map.insert(
@@ -137,7 +142,7 @@ impl<W> ResultCache<W> {
                     },
                 );
                 self.counters.misses += 1;
-                (Lookup::Miss, Some(waiter))
+                Lookup::Miss(waiter)
             }
         }
     }
@@ -243,38 +248,42 @@ mod tests {
     fn miss_then_hit_then_lru_eviction() {
         let mut c: ResultCache<u32> = ResultCache::new(2);
         for (k, name) in [(1, "a"), (2, "b"), (3, "c")] {
-            assert!(matches!(c.lookup(k, name, 0).0, Lookup::Miss));
+            c.lookup(k, name, 0).assert_miss();
             let w = c.complete(k, Some(&stats(k)));
             assert!(w.is_empty());
         }
         // Capacity 2: key 1 (oldest) was evicted, 2 and 3 remain.
         assert_eq!(c.entries(), 2);
         assert_eq!(c.counters().evictions, 1);
-        assert!(matches!(c.lookup(1, "a", 0).0, Lookup::Miss));
+        c.lookup(1, "a", 0).assert_miss();
         c.complete(1, Some(&stats(1)));
-        match c.lookup(3, "c", 0).0 {
+        match c.lookup(3, "c", 0) {
             Lookup::Hit(s) => assert_eq!(s.cycles, 3),
             other => panic!("expected hit, got {other:?}"),
         }
         // Touching 3 made 2 the LRU entry now.
-        assert!(matches!(c.lookup(4, "d", 0).0, Lookup::Miss));
+        c.lookup(4, "d", 0).assert_miss();
         c.complete(4, Some(&stats(4)));
-        assert!(matches!(c.lookup(2, "b", 0).0, Lookup::Miss));
+        c.lookup(2, "b", 0).assert_miss();
     }
 
     #[test]
     fn single_flight_parks_waiters_and_delivers_once() {
         let mut c: ResultCache<&str> = ResultCache::new(4);
-        assert!(matches!(c.lookup(7, "job", "leader").0, Lookup::Miss));
-        assert!(matches!(c.lookup(7, "job", "w1").0, Lookup::Joined));
-        assert!(matches!(c.lookup(7, "job", "w2").0, Lookup::Joined));
+        // The miss hands the waiter back as the leader token.
+        assert!(matches!(
+            c.lookup(7, "job", "leader"),
+            Lookup::Miss("leader")
+        ));
+        assert!(matches!(c.lookup(7, "job", "w1"), Lookup::Joined));
+        assert!(matches!(c.lookup(7, "job", "w2"), Lookup::Joined));
         assert_eq!(c.counters().joined, 2);
         let mut seen = 0;
         c.for_each_waiter(7, |_| seen += 1);
         assert_eq!(seen, 2);
         let waiters = c.complete(7, Some(&stats(9)));
         assert_eq!(waiters, vec!["w1", "w2"]);
-        match c.lookup(7, "job", "late").0 {
+        match c.lookup(7, "job", "late") {
             Lookup::Hit(s) => assert_eq!(s.cycles, 9),
             other => panic!("expected hit, got {other:?}"),
         }
@@ -283,21 +292,21 @@ mod tests {
     #[test]
     fn failures_are_not_cached() {
         let mut c: ResultCache<u32> = ResultCache::new(4);
-        assert!(matches!(c.lookup(5, "j", 1).0, Lookup::Miss));
-        assert!(matches!(c.lookup(5, "j", 2).0, Lookup::Joined));
+        c.lookup(5, "j", 1).assert_miss();
+        assert!(matches!(c.lookup(5, "j", 2), Lookup::Joined));
         let waiters = c.complete(5, None);
         assert_eq!(waiters, vec![2]);
         // The error was delivered but not retained: next lookup re-runs.
-        assert!(matches!(c.lookup(5, "j", 3).0, Lookup::Miss));
+        c.lookup(5, "j", 3).assert_miss();
         assert_eq!(c.entries(), 0);
     }
 
     #[test]
     fn canceled_waiter_is_removed_without_disturbing_the_flight() {
         let mut c: ResultCache<u32> = ResultCache::new(4);
-        c.lookup(5, "j", 1).0.assert_miss();
-        assert!(matches!(c.lookup(5, "j", 2).0, Lookup::Joined));
-        assert!(matches!(c.lookup(5, "j", 3).0, Lookup::Joined));
+        c.lookup(5, "j", 1).assert_miss();
+        assert!(matches!(c.lookup(5, "j", 2), Lookup::Joined));
+        assert!(matches!(c.lookup(5, "j", 3), Lookup::Joined));
         assert_eq!(c.remove_waiter(5, |w| *w == 2), Some(2));
         assert_eq!(c.remove_waiter(5, |w| *w == 2), None);
         assert_eq!(c.complete(5, Some(&stats(1))), vec![3]);
@@ -306,13 +315,13 @@ mod tests {
     #[test]
     fn collision_is_detected_and_recomputed() {
         let mut c: ResultCache<u32> = ResultCache::new(4);
-        c.lookup(5, "alpha", 1).0.assert_miss();
+        c.lookup(5, "alpha", 1).assert_miss();
         c.complete(5, Some(&stats(1)));
         // Same key, different canonical text: must NOT serve alpha's stats.
-        assert!(matches!(c.lookup(5, "beta", 2).0, Lookup::Miss));
+        assert_eq!(c.lookup(5, "beta", 2).assert_miss(), 2);
         assert_eq!(c.counters().collisions, 1);
         c.complete(5, Some(&stats(2)));
-        match c.lookup(5, "beta", 3).0 {
+        match c.lookup(5, "beta", 3) {
             Lookup::Hit(s) => assert_eq!(s.cycles, 2),
             other => panic!("expected hit, got {other:?}"),
         }
@@ -321,16 +330,20 @@ mod tests {
     #[test]
     fn zero_capacity_disables_retention() {
         let mut c: ResultCache<u32> = ResultCache::new(0);
-        c.lookup(1, "a", 0).0.assert_miss();
+        c.lookup(1, "a", 0).assert_miss();
         c.complete(1, Some(&stats(1)));
-        c.lookup(1, "a", 0).0.assert_miss();
+        c.lookup(1, "a", 0).assert_miss();
         assert_eq!(c.entries(), 0);
         assert_eq!(c.counters().misses, 2);
     }
 
-    impl Lookup {
-        fn assert_miss(&self) {
-            assert!(matches!(self, Lookup::Miss), "expected miss, got {self:?}");
+    impl<W: std::fmt::Debug> Lookup<W> {
+        /// Asserts the miss and returns the leader token.
+        fn assert_miss(self) -> W {
+            match self {
+                Lookup::Miss(w) => w,
+                other => panic!("expected miss, got {other:?}"),
+            }
         }
     }
 }

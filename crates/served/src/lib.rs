@@ -16,7 +16,8 @@
 //! * [`protocol`] — the wire format (requests, responses, counters);
 //! * [`cache`] — the content-addressed single-flight result cache;
 //! * [`server`] — listener, connection handling, worker pool, drain;
-//! * [`client`] — blocking client and the `bench` load generator.
+//! * [`client`] — blocking client and the `bench` load generator;
+//! * [`sync`] — poison-transparent locking shared by the above.
 //!
 //! Everything rides on [`ccp_sim::JobSpec`]: its canonical form is the
 //! cache key, its resolution produces the typed errors the wire carries,
@@ -28,6 +29,7 @@ pub mod cache;
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod sync;
 
 pub use cache::{CacheCounters, Lookup, ResultCache};
 pub use client::{run_bench, BenchConfig, BenchReport, Client, JobOutcome};

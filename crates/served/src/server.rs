@@ -29,6 +29,7 @@
 
 use crate::cache::{Lookup, ResultCache};
 use crate::protocol::{Request, Response, StatsSnapshot};
+use crate::sync::{CondvarExt, LockExt};
 use ccp_errors::{SimError, SimResult};
 use ccp_sim::checkpoint::stats_to_json;
 use ccp_sim::{run_job_ctl, JobCtl, JobSpec};
@@ -120,10 +121,10 @@ impl Shared {
 
     fn snapshot(&self) -> StatsSnapshot {
         let (counters, entries) = {
-            let inner = self.state.lock().unwrap();
+            let inner = self.state.lock_unpoisoned();
             (inner.cache.counters(), inner.cache.entries() as u64)
         };
-        let queue_depth = self.queue.lock().unwrap().len() as u64;
+        let queue_depth = self.queue.lock_unpoisoned().len() as u64;
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -257,7 +258,7 @@ fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let job = {
-            let mut q = shared.queue.lock().unwrap();
+            let mut q = shared.queue.lock_unpoisoned();
             loop {
                 if let Some(j) = q.pop_front() {
                     break Some(j);
@@ -265,7 +266,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 if shared.draining.load(Ordering::SeqCst) {
                     break None;
                 }
-                q = shared.queue_cv.wait(q).unwrap();
+                q = shared.queue_cv.wait_unpoisoned(q);
             }
         };
         let Some(job) = job else { return };
@@ -282,7 +283,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                     }
                     .to_line(),
                 );
-                let inner = shared.state.lock().unwrap();
+                let inner = shared.state.lock_unpoisoned();
                 inner.cache.for_each_waiter(job.key, |w| {
                     let _ = w.tx.send(
                         Response::Progress {
@@ -302,9 +303,18 @@ fn worker_loop(shared: &Arc<Shared>) {
             run_job_ctl(&job.spec, &ctl)
         };
 
-        let stats = result.as_ref().ok().map(|s| Arc::new(s.clone()));
+        // Success pairs the shared stats with their one-time JSON
+        // rendering, so delivery can't reach a "completed but no stats"
+        // state that would need an `expect` to rule out.
+        let outcome: Result<(Arc<ccp_pipeline::RunStats>, ccp_sim::json::Json), SimError> = result
+            .map(|s| {
+                let s = Arc::new(s);
+                let json = stats_to_json(&s);
+                (s, json)
+            });
+        let stats = outcome.as_ref().ok().map(|(s, _)| Arc::clone(s));
         let waiters = {
-            let mut inner = shared.state.lock().unwrap();
+            let mut inner = shared.state.lock_unpoisoned();
             let waiters = inner.cache.complete(job.key, stats.as_ref());
             inner.registry.remove(&job.id);
             for w in &waiters {
@@ -312,10 +322,13 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
             waiters
         };
-        let stats_json = stats.as_ref().map(|s| stats_to_json(s));
-        deliver(shared, &job.tx, job.id, false, &result, stats_json.as_ref());
+        let response = match &outcome {
+            Ok((_, json)) => Ok(json),
+            Err(e) => Err(e),
+        };
+        deliver(shared, &job.tx, job.id, false, response);
         for w in waiters {
-            deliver(shared, &w.tx, w.job, true, &result, stats_json.as_ref());
+            deliver(shared, &w.tx, w.job, true, response);
         }
     }
 }
@@ -327,11 +340,10 @@ fn deliver(
     tx: &Sender<String>,
     job: u64,
     cached: bool,
-    result: &SimResult<ccp_pipeline::RunStats>,
-    stats_json: Option<&ccp_sim::json::Json>,
+    outcome: Result<&ccp_sim::json::Json, &SimError>,
 ) {
-    let line = match (result, stats_json) {
-        (Ok(_), Some(stats)) => {
+    let line = match outcome {
+        Ok(stats) => {
             shared.completed.fetch_add(1, Ordering::Relaxed);
             Response::Result {
                 job,
@@ -340,8 +352,7 @@ fn deliver(
             }
             .to_line()
         }
-        _ => {
-            let e = result.as_ref().expect_err("no stats implies an error");
+        Err(e) => {
             if e.class() == "canceled" {
                 shared.canceled.fetch_add(1, Ordering::Relaxed);
             } else {
@@ -504,15 +515,14 @@ fn submit_job(spec: JobSpec, tx: &Sender<String>, shared: &Arc<Shared>) {
         tx: tx.clone(),
     };
     let hit = {
-        let mut inner = shared.state.lock().unwrap();
+        let mut inner = shared.state.lock_unpoisoned();
         match inner.cache.lookup(key, &canonical, waiter) {
-            (Lookup::Hit(stats), _) => Some(stats),
-            (Lookup::Joined, _) => {
+            Lookup::Hit(stats) => Some(stats),
+            Lookup::Joined => {
                 inner.registry.insert(id, Route::Waiter { key });
                 None
             }
-            (Lookup::Miss, returned) => {
-                let waiter = returned.expect("miss returns the waiter");
+            Lookup::Miss(waiter) => {
                 let job = Arc::new(JobState {
                     id,
                     key,
@@ -521,7 +531,10 @@ fn submit_job(spec: JobSpec, tx: &Sender<String>, shared: &Arc<Shared>) {
                     tx: waiter.tx,
                 });
                 inner.registry.insert(id, Route::Leader(Arc::clone(&job)));
-                shared.queue.lock().unwrap().push_back(job);
+                // Sanctioned state → queue nesting (see SERVED_LOCK_HIERARCHY
+                // in ccp-lint): insert-then-enqueue must be atomic under
+                // `state` or a worker could complete the job before it routes.
+                shared.queue.lock_unpoisoned().push_back(job);
                 shared.queue_cv.notify_one();
                 None
             }
@@ -541,7 +554,7 @@ fn submit_job(spec: JobSpec, tx: &Sender<String>, shared: &Arc<Shared>) {
 }
 
 fn cancel_job(job: u64, tx: &Sender<String>, shared: &Arc<Shared>) {
-    let mut inner = shared.state.lock().unwrap();
+    let mut inner = shared.state.lock_unpoisoned();
     match inner.registry.get(&job) {
         Some(Route::Leader(state)) => {
             // Cooperative: the worker observes the flag at its next

@@ -1,0 +1,78 @@
+//! Poison-transparent locking, the served crate's answer to the
+//! `no-panic-in-service-path` lint.
+//!
+//! Every shared structure in this crate (`state`, `queue`) is only ever
+//! mutated under short, panic-audited critical sections, and workers run
+//! jobs through `catch_unwind` — a poisoned mutex here means a bug
+//! *outside* the guarded region, and unwinding the surviving threads on
+//! top of it would turn one wounded request into a dead server that
+//! drops every queued job. These extension methods take the other
+//! branch: recover the guard and keep draining, matching the crate's
+//! shutdown contract ("finish everything already queued").
+//!
+//! The lock-order lint recognises `.lock_unpoisoned(…)` exactly like
+//! `.lock(…)`, so routing acquisitions through this trait keeps the
+//! declared `state → queue` hierarchy machine-checked.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// [`Mutex`] locking that shrugs off poison instead of panicking.
+pub trait LockExt<T> {
+    /// Locks the mutex, recovering the guard from a poisoned lock.
+    fn lock_unpoisoned(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockExt<T> for Mutex<T> {
+    fn lock_unpoisoned(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// [`Condvar`] waiting that shrugs off poison instead of panicking.
+pub trait CondvarExt {
+    /// Waits on the condvar, recovering the guard from a poisoned lock.
+    fn wait_unpoisoned<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T>;
+}
+
+impl CondvarExt for Condvar {
+    fn wait_unpoisoned<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_unpoisoned_recovers_after_a_panicked_holder() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*m.lock_unpoisoned(), 7);
+    }
+
+    #[test]
+    fn wait_unpoisoned_round_trips_the_guard() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *m.lock_unpoisoned() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut guard = m.lock_unpoisoned();
+        while !*guard {
+            guard = cv.wait_unpoisoned(guard);
+        }
+        drop(guard);
+        t.join().unwrap();
+    }
+}

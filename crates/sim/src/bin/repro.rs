@@ -16,11 +16,17 @@
 //!   --json FILE    additionally write results as JSON
 //! ```
 
+use ccp_errors::{SimError, SimResult};
 use ccp_sim::experiments as exp;
 use ccp_sim::extensions as ext;
 use ccp_sim::json::{normalized_figure_json, Json};
-use ccp_sim::sweep::{run_sweep_on, SweepConfig};
+use ccp_sim::sweep::{run_sweep_on, Sweep, SweepConfig};
 use ccp_trace::{all_benchmarks, benchmark_by_name, Benchmark};
+
+/// A typed bad-usage error: `class() == "spec"` maps to exit code 2.
+fn spec_err(arg: &str, detail: impl std::fmt::Display) -> SimError {
+    SimError::spec(format!("{arg}: {detail}"))
+}
 
 #[derive(Debug)]
 struct Args {
@@ -33,7 +39,7 @@ struct Args {
     bars: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> SimResult<Args> {
     let mut budget = 400_000usize;
     let mut seed = 1u64;
     let mut threads = 0usize;
@@ -41,42 +47,31 @@ fn parse_args() -> Result<Args, String> {
     let mut figures: Vec<String> = Vec::new();
     let mut json_path = None;
     let mut bars = false;
+    let value = |flag: &str, v: Option<String>| v.ok_or_else(|| spec_err(flag, "needs a value"));
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--budget" => {
-                budget = it
-                    .next()
-                    .ok_or("--budget needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --budget: {e}"))?;
+                budget = value(&a, it.next())?.parse().map_err(|e| spec_err(&a, e))?;
             }
             "--seed" => {
-                seed = it
-                    .next()
-                    .ok_or("--seed needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --seed: {e}"))?;
+                seed = value(&a, it.next())?.parse().map_err(|e| spec_err(&a, e))?;
             }
             "--threads" => {
-                threads = it
-                    .next()
-                    .ok_or("--threads needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --threads: {e}"))?;
+                threads = value(&a, it.next())?.parse().map_err(|e| spec_err(&a, e))?;
             }
             "--benchmarks" => {
-                let list = it.next().ok_or("--benchmarks needs a value")?;
-                benchmarks = list
+                benchmarks = value(&a, it.next())?
                     .split(',')
-                    .map(|n| benchmark_by_name(n.trim()).ok_or(format!("unknown benchmark {n:?}")))
-                    .collect::<Result<Vec<_>, _>>()?;
+                    .map(|n| {
+                        benchmark_by_name(n.trim())
+                            .ok_or_else(|| SimError::unknown("benchmark", n.trim()))
+                    })
+                    .collect::<SimResult<Vec<_>>>()?;
             }
             "--bars" => bars = true,
             "--json" => {
-                json_path = Some(std::path::PathBuf::from(
-                    it.next().ok_or("--json needs a path")?,
-                ));
+                json_path = Some(std::path::PathBuf::from(value(&a, it.next())?));
             }
             "--help" | "-h" => {
                 println!("{HELP}");
@@ -85,7 +80,9 @@ fn parse_args() -> Result<Args, String> {
             f if f.starts_with("fig") || f.starts_with("ext") || f == "all" || f == "workgen" => {
                 figures.push(f.to_string())
             }
-            other => return Err(format!("unknown argument {other:?} (try --help)")),
+            other => {
+                return Err(spec_err(other, "unknown argument (try --help)"));
+            }
         }
     }
     if figures.is_empty() || figures.iter().any(|f| f == "all") {
@@ -113,6 +110,18 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
+/// Fetches the pre-computed sweep a figure arm depends on. `needs_sweep`
+/// / `needs_halved` are derived from the same figure list, so a `None`
+/// here is a bookkeeping bug in this file — reported as a typed
+/// invariant error and a non-zero exit rather than a panic.
+fn require<'a>(sweep: &'a Option<Sweep>, figure: &str) -> &'a Sweep {
+    sweep.as_ref().unwrap_or_else(|| {
+        let e = SimError::invariant("repro", format!("no sweep precomputed for {figure}"));
+        eprintln!("error [{}]: {e}", e.class());
+        std::process::exit(1);
+    })
+}
+
 const HELP: &str = "repro — regenerate the paper's tables and figures
 usage: repro [--budget N] [--seed S] [--threads T] [--benchmarks a,b,..] [--json FILE] [--bars]
              [fig3..fig15 | exta | extb | extc | ext | workgen | all]";
@@ -121,7 +130,7 @@ fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("error [{}]: {e}", e.class());
             std::process::exit(2);
         }
     };
@@ -193,7 +202,7 @@ fn main() {
             }
             "fig9" => println!("{}", exp::figure9()),
             "fig10" => {
-                let fig = exp::figure10(sweep.as_ref().expect("sweep"));
+                let fig = exp::figure10(require(&sweep, "fig10"));
                 println!("{}", fig.render());
                 if args.bars {
                     println!("{}", fig.render_bars());
@@ -201,7 +210,7 @@ fn main() {
                 json_out.push(("fig10", normalized_figure_json(&fig)));
             }
             "fig11" => {
-                let fig = exp::figure11(sweep.as_ref().expect("sweep"));
+                let fig = exp::figure11(require(&sweep, "fig11"));
                 println!("{}", fig.render());
                 if args.bars {
                     println!("{}", fig.render_bars());
@@ -209,7 +218,7 @@ fn main() {
                 json_out.push(("fig11", normalized_figure_json(&fig)));
             }
             "fig12" => {
-                let fig = exp::figure12(sweep.as_ref().expect("sweep"));
+                let fig = exp::figure12(require(&sweep, "fig12"));
                 println!("{}", fig.render());
                 if args.bars {
                     println!("{}", fig.render_bars());
@@ -217,7 +226,7 @@ fn main() {
                 json_out.push(("fig12", normalized_figure_json(&fig)));
             }
             "fig13" => {
-                let fig = exp::figure13(sweep.as_ref().expect("sweep"));
+                let fig = exp::figure13(require(&sweep, "fig13"));
                 println!("{}", fig.render());
                 if args.bars {
                     println!("{}", fig.render_bars());
@@ -226,8 +235,8 @@ fn main() {
             }
             "fig14" => {
                 let fig = exp::figure14(
-                    sweep.as_ref().expect("sweep"),
-                    halved.as_ref().expect("halved sweep"),
+                    require(&sweep, "fig14"),
+                    require(&halved, "fig14 (halved-penalty)"),
                 );
                 println!("{}", fig.render());
                 if args.bars {
@@ -236,7 +245,7 @@ fn main() {
                 json_out.push(("fig14", normalized_figure_json(&fig)));
             }
             "fig15" => {
-                let rows = exp::figure15(sweep.as_ref().expect("sweep"));
+                let rows = exp::figure15(require(&sweep, "fig15"));
                 println!("{}", exp::render_figure15(&rows));
                 json_out.push((
                     "fig15",
@@ -290,8 +299,8 @@ fn main() {
             }
             "workgen" => {
                 eprintln!("running compressibility sweep (11 synthetic points, BC+CPP each)...");
-                // Infallible: a constant, known-good spec string.
                 let base = ccp_workgen::WorkgenSpec::parse("addr=uniform,ptr=0.0")
+                    // ccp-lint: allow(no-panic-in-service-path) — constant spec literal, covered by the workgen parser tests
                     .expect("base workgen spec");
                 let rows = exp::compressibility_sweep(
                     &base,

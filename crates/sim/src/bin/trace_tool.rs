@@ -79,7 +79,9 @@ fn run_chaos_cmd(args: &[String]) {
                             exit(2);
                         })
                     }
-                    _ => unreachable!(),
+                    // The outer arm admits exactly the three flags above;
+                    // falling through to usage keeps this panic-free.
+                    _ => usage(),
                 }
                 i += 2;
             }

@@ -258,7 +258,9 @@ impl Parser<'_> {
                 break;
             }
         }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Only ASCII bytes were consumed above, so the slice is valid
+        // UTF-8; lossy conversion keeps this total without an `expect`.
+        let s = String::from_utf8_lossy(&self.bytes[start..self.pos]);
         match s.parse::<f64>() {
             // `"1e999".parse::<f64>()` is Ok(inf): overflowing literals
             // must be rejected, not smuggled in as ±∞ (the writer never
@@ -311,7 +313,9 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
+                    let Some(c) = rest.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -148,9 +148,14 @@ pub struct Sweep {
 
 impl Sweep {
     /// The run statistics for `(benchmark, design)`.
+    ///
+    /// Panics if the pair was not part of this sweep — like slice
+    /// indexing, asking for a cell that was never run is a caller bug,
+    /// and the figure code only indexes with the sweep's own config.
     pub fn cell(&self, benchmark: &str, design: DesignKind) -> &RunStats {
         self.cells
             .get(&(benchmark.to_string(), design.name()))
+            // ccp-lint: allow(no-panic-in-service-path) — indexing API; documented to panic on a caller bug, like `Index`
             .unwrap_or_else(|| panic!("no cell for {benchmark}/{}", design.name()))
     }
 
@@ -269,17 +274,18 @@ pub(crate) fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
                     break;
                 }
                 let r = f(&items[i]);
-                // Infallible: resilient callers wrap `f` in catch_unwind, so
-                // a worker can't die while holding the lock; a panic from a
-                // non-resilient `f` propagates out of thread::scope before
-                // the results are read.
-                out.lock().expect("poisoned")[i] = Some(r);
+                // Poison-transparent: the store itself can't panic, so a
+                // poisoned lock only means some *other* worker died after
+                // its own store — this slot's write is still sound.
+                out.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
             });
         }
     });
     out.into_inner()
-        .expect("poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
+        // ccp-lint: allow(no-panic-in-service-path) — the worker loop above covers every index in 0..n before scope exit
         .map(|r| r.expect("every index produced"))
         .collect()
 }
@@ -448,6 +454,7 @@ impl ResilientSweep {
             .into_iter()
             .map(|(k, c)| match c.status {
                 CellStatus::Ok(stats) => (k, stats),
+                // ccp-lint: allow(no-panic-in-service-path) — guarded by the is_complete() check just above
                 _ => unreachable!("is_complete checked"),
             })
             .collect();
@@ -658,6 +665,7 @@ pub fn run_sweep_resilient(
     run_resilient_with(config, res, &resolved, |wi, design| {
         let source = sources[wi]
             .as_ref()
+            // ccp-lint: allow(no-panic-in-service-path) — `resolved` and `sources` are built together; every runner index was resolved above
             .expect("runner only called when resolved");
         crate::job::run_guarded_source(
             &format!("{}/{}", resolved[wi].0, design.name()),
@@ -785,7 +793,7 @@ where
             // is an optimization for resume, not part of the result.
             let _ = cp
                 .lock()
-                .expect("checkpoint lock")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .record(&name, d.name(), attempts, stats);
         }
         CellOutcome {

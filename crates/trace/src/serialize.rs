@@ -181,6 +181,7 @@ impl Trace {
 
     /// Saves the trace to `path`.
     pub fn save(&self, path: &std::path::Path) -> io::Result<()> {
+        // ccp-lint: allow(atomic-json-writes) — `.ccpt` binary container, not a JSON artifact; readers validate the magic header
         let mut f = io::BufWriter::new(std::fs::File::create(path)?);
         write_trace(self, &mut f)
     }
