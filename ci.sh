@@ -46,6 +46,17 @@ status=$?
 set -e
 [ "$status" -eq 1 ] || { echo "seeded violation: expected exit 1, got $status"; exit 1; }
 
+echo "== difftest: optimized and reference CPP engines byte-identical"
+./target/release/repro difftest > "$SCRATCH/difftest.txt"
+grep -q "byte-identical across engines" "$SCRATCH/difftest.txt" || {
+    echo "difftest did not report full identity:"; cat "$SCRATCH/difftest.txt"; exit 1; }
+
+echo "== perf smoke: hot-path overhaul holds a conservative speedup floor"
+# The committed BENCH_core.json records the full-budget margin (~3.3x);
+# the CI floor is deliberately low so machine noise cannot flake it.
+./target/release/repro perf --budget 60000 --assert-min-speedup 1.5 \
+    --out "$SCRATCH/BENCH_core.json" > "$SCRATCH/perf.txt"
+
 echo "== chaos smoke: fault injection is detected, no false positives"
 ./target/release/trace-tool chaos --workload health --workload mst --budget 8000
 

@@ -125,7 +125,7 @@ impl TwoLevelCache {
                 let hw = line_transfer_halfwords(&self.mem, ev.base, l1_words, self.compress_bus);
                 self.stats.l1_l2_bus.writeback_halfwords(hw);
                 if let Some(idx) = self.l2.lookup(ev.base) {
-                    self.l2.line_mut(idx).dirty = true;
+                    self.l2.set_dirty(idx);
                 } else {
                     // The line left L2 while L1 still held it: write back to
                     // memory directly.
@@ -148,7 +148,7 @@ impl TwoLevelCache {
         if let Some(idx) = self.l1.lookup(addr) {
             self.l1.touch(idx);
             if let Some(v) = write {
-                self.l1.line_mut(idx).dirty = true;
+                self.l1.set_dirty(idx);
                 self.mem.write(addr, v);
             }
             return AccessResult {
@@ -168,7 +168,7 @@ impl TwoLevelCache {
         self.fill_l1(addr);
         if let Some(v) = write {
             let idx = self.l1.lookup(addr).expect("just filled");
-            self.l1.line_mut(idx).dirty = true;
+            self.l1.set_dirty(idx);
             self.mem.write(addr, v);
         }
         let latency = match source {

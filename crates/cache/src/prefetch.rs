@@ -208,7 +208,7 @@ impl BcpHierarchy {
             if ev.dirty {
                 self.stats.l1_l2_bus.writeback_words(l1_words);
                 if let Some(idx) = self.l2.lookup(ev.base) {
-                    self.l2.line_mut(idx).dirty = true;
+                    self.l2.set_dirty(idx);
                 } else {
                     self.stats.mem_bus.writeback_words(l1_words);
                 }
@@ -249,7 +249,7 @@ impl BcpHierarchy {
         if let Some(idx) = self.l1.lookup(addr) {
             self.l1.touch(idx);
             if let Some(v) = write {
-                self.l1.line_mut(idx).dirty = true;
+                self.l1.set_dirty(idx);
                 self.mem.write(addr, v);
             }
             return AccessResult {
@@ -267,7 +267,7 @@ impl BcpHierarchy {
             self.fill_l1(addr);
             if let Some(v) = write {
                 let idx = self.l1.lookup(addr).expect("just filled");
-                self.l1.line_mut(idx).dirty = true;
+                self.l1.set_dirty(idx);
                 self.mem.write(addr, v);
             }
             return AccessResult {
@@ -288,7 +288,7 @@ impl BcpHierarchy {
         self.prefetch_next_into_l1_buffer(l1_base);
         if let Some(v) = write {
             let idx = self.l1.lookup(addr).expect("just filled");
-            self.l1.line_mut(idx).dirty = true;
+            self.l1.set_dirty(idx);
             self.mem.write(addr, v);
         }
         let latency = match source {

@@ -4,35 +4,16 @@
 //! [`ccp_mem::MainMemory`]); each line carries `valid`/`dirty`/`tag` plus a
 //! design-specific payload `T` — empty for the baseline designs, the
 //! `PA`/`VCP`/`AA` flag bundle for CPP.
+//!
+//! Line state is held in structure-of-arrays form: the tag/valid words a
+//! lookup scans are contiguous per set (one or two cache lines of host
+//! memory for the whole probe), and the colder dirty/LRU/payload columns
+//! are only touched on the paths that need them. The way-count and set
+//! shift are precomputed so a probe is shift/mask arithmetic plus a short
+//! contiguous scan.
 
 use crate::geometry::CacheGeometry;
 use crate::Addr;
-
-/// One cache line's bookkeeping state.
-#[derive(Debug, Clone)]
-pub struct LineState<T> {
-    /// Whether the line holds a valid (primary) tag.
-    pub valid: bool,
-    /// Tag of the resident line.
-    pub tag: u32,
-    /// Whether the resident line is dirty.
-    pub dirty: bool,
-    lru_stamp: u64,
-    /// Design-specific per-line state.
-    pub extra: T,
-}
-
-impl<T: Default> Default for LineState<T> {
-    fn default() -> Self {
-        LineState {
-            valid: false,
-            tag: 0,
-            dirty: false,
-            lru_stamp: 0,
-            extra: T::default(),
-        }
-    }
-}
 
 /// Information about a line displaced by [`SetAssocCache::insert`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,16 +30,32 @@ pub struct Evicted<T> {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<T> {
     geom: CacheGeometry,
-    lines: Vec<LineState<T>>,
+    /// Ways per set (copied out of `geom` for the probe loop).
+    assoc: usize,
+    /// log2 of the way count: global index of `(set, way)` is
+    /// `(set << assoc_shift) | way`.
+    assoc_shift: u32,
+    tags: Vec<u32>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    lru_stamp: Vec<u64>,
+    extra: Vec<T>,
     clock: u64,
 }
 
 impl<T: Default + Clone> SetAssocCache<T> {
     /// Creates an empty (all-invalid) array for `geom`.
     pub fn new(geom: CacheGeometry) -> Self {
+        let n = geom.num_lines() as usize;
         SetAssocCache {
             geom,
-            lines: vec![LineState::default(); geom.num_lines() as usize],
+            assoc: geom.assoc() as usize,
+            assoc_shift: geom.assoc().trailing_zeros(),
+            tags: vec![0; n],
+            valid: vec![false; n],
+            dirty: vec![false; n],
+            lru_stamp: vec![0; n],
+            extra: vec![T::default(); n],
             clock: 0,
         }
     }
@@ -68,57 +65,75 @@ impl<T: Default + Clone> SetAssocCache<T> {
         &self.geom
     }
 
-    /// Global line index of `(set, way)`.
+    /// Global line index of the first way of `addr`'s set.
     #[inline]
-    fn idx(&self, set: u32, way: u32) -> usize {
-        (set * self.geom.assoc() + way) as usize
+    fn set_base(&self, addr: Addr) -> usize {
+        (self.geom.set_index(addr) << self.assoc_shift) as usize
     }
 
     /// Looks up the line containing `addr`. Returns its global line index on
     /// a tag match. Does **not** update LRU state.
+    #[inline]
     pub fn lookup(&self, addr: Addr) -> Option<usize> {
-        let set = self.geom.set_index(addr);
         let tag = self.geom.tag(addr);
-        (0..self.geom.assoc()).find_map(|way| {
-            let i = self.idx(set, way);
-            let l = &self.lines[i];
-            (l.valid && l.tag == tag).then_some(i)
-        })
+        let base = self.set_base(addr);
+        (base..base + self.assoc).find(|&i| self.valid[i] && self.tags[i] == tag)
     }
 
     /// Marks line `idx` most-recently used.
+    #[inline]
     pub fn touch(&mut self, idx: usize) {
         self.clock += 1;
-        self.lines[idx].lru_stamp = self.clock;
+        self.lru_stamp[idx] = self.clock;
     }
 
-    /// Shared access to line `idx`.
-    pub fn line(&self, idx: usize) -> &LineState<T> {
-        &self.lines[idx]
+    /// Whether line `idx` holds a valid (primary) tag.
+    #[inline]
+    pub fn is_valid(&self, idx: usize) -> bool {
+        self.valid[idx]
     }
 
-    /// Mutable access to line `idx`.
-    pub fn line_mut(&mut self, idx: usize) -> &mut LineState<T> {
-        &mut self.lines[idx]
+    /// Whether line `idx` is dirty.
+    #[inline]
+    pub fn is_dirty(&self, idx: usize) -> bool {
+        self.dirty[idx]
+    }
+
+    /// Marks line `idx` dirty.
+    #[inline]
+    pub fn set_dirty(&mut self, idx: usize) {
+        self.dirty[idx] = true;
+    }
+
+    /// Shared access to line `idx`'s design-specific payload.
+    #[inline]
+    pub fn extra(&self, idx: usize) -> &T {
+        &self.extra[idx]
+    }
+
+    /// Mutable access to line `idx`'s design-specific payload.
+    #[inline]
+    pub fn extra_mut(&mut self, idx: usize) -> &mut T {
+        &mut self.extra[idx]
     }
 
     /// Base byte address of the (valid) line at `idx`.
+    #[inline]
     pub fn base_of(&self, idx: usize) -> Addr {
-        let set = idx as u32 / self.geom.assoc();
-        self.geom.base_from_tag_set(self.lines[idx].tag, set)
+        let set = (idx >> self.assoc_shift) as u32;
+        self.geom.base_from_tag_set(self.tags[idx], set)
     }
 
     /// The way that would be victimized in `addr`'s set: an invalid way if
     /// one exists, else the LRU way. Returns a global line index.
     pub fn victim_index(&self, addr: Addr) -> usize {
-        let set = self.geom.set_index(addr);
-        let mut best = self.idx(set, 0);
-        for way in 0..self.geom.assoc() {
-            let i = self.idx(set, way);
-            if !self.lines[i].valid {
+        let base = self.set_base(addr);
+        let mut best = base;
+        for i in base..base + self.assoc {
+            if !self.valid[i] {
                 return i;
             }
-            if self.lines[i].lru_stamp < self.lines[best].lru_stamp {
+            if self.lru_stamp[i] < self.lru_stamp[best] {
                 best = i;
             }
         }
@@ -139,48 +154,49 @@ impl<T: Default + Clone> SetAssocCache<T> {
             self.geom.line_base(addr)
         );
         let idx = self.victim_index(addr);
-        let evicted = if self.lines[idx].valid {
+        let evicted = if self.valid[idx] {
             Some(Evicted {
                 base: self.base_of(idx),
-                dirty: self.lines[idx].dirty,
-                extra: self.lines[idx].extra.clone(),
+                dirty: self.dirty[idx],
+                extra: self.extra[idx].clone(),
             })
         } else {
             None
         };
         self.clock += 1;
-        self.lines[idx] = LineState {
-            valid: true,
-            tag: self.geom.tag(addr),
-            dirty,
-            lru_stamp: self.clock,
-            extra,
-        };
+        self.valid[idx] = true;
+        self.tags[idx] = self.geom.tag(addr);
+        self.dirty[idx] = dirty;
+        self.lru_stamp[idx] = self.clock;
+        self.extra[idx] = extra;
         (evicted, idx)
     }
 
     /// Invalidates line `idx`, returning its prior state.
     pub fn invalidate(&mut self, idx: usize) -> Option<Evicted<T>> {
-        if !self.lines[idx].valid {
+        if !self.valid[idx] {
             return None;
         }
         let ev = Evicted {
             base: self.base_of(idx),
-            dirty: self.lines[idx].dirty,
-            extra: self.lines[idx].extra.clone(),
+            dirty: self.dirty[idx],
+            extra: std::mem::take(&mut self.extra[idx]),
         };
-        self.lines[idx] = LineState::default();
+        self.valid[idx] = false;
+        self.tags[idx] = 0;
+        self.dirty[idx] = false;
+        self.lru_stamp[idx] = 0;
         Some(ev)
     }
 
     /// Number of currently valid lines.
     pub fn valid_count(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.valid.iter().filter(|&&v| v).count()
     }
 
-    /// Iterates over `(global_index, line)` pairs of valid lines.
-    pub fn iter_valid(&self) -> impl Iterator<Item = (usize, &LineState<T>)> {
-        self.lines.iter().enumerate().filter(|(_, l)| l.valid)
+    /// Iterates over the global indices of valid lines.
+    pub fn iter_valid(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.valid.len()).filter(|&i| self.valid[i])
     }
 }
 
@@ -286,10 +302,25 @@ mod tests {
     fn payload_travels_with_line() {
         let mut c: SetAssocCache<u8> = SetAssocCache::new(CacheGeometry::new(8 * 1024, 1, 64));
         let (_, idx) = c.insert(0x3000, false, 42);
-        assert_eq!(c.line(idx).extra, 42);
-        c.line_mut(idx).extra = 7;
+        assert_eq!(*c.extra(idx), 42);
+        *c.extra_mut(idx) = 7;
         let ev = c.insert(0x3000 + 8 * 1024, false, 0).0.unwrap();
         assert_eq!(ev.extra, 7);
+    }
+
+    #[test]
+    fn iter_valid_yields_valid_indices_only() {
+        let mut c = assoc2_64k_128b();
+        let stride = 64 * 1024 / 2;
+        let (_, a) = c.insert(0x0080, false, ());
+        let (_, b) = c.insert(0x0080 + stride, false, ());
+        let (_, d) = c.insert(0x4200, false, ());
+        c.invalidate(b);
+        let mut got: Vec<usize> = c.iter_valid().collect();
+        got.sort_unstable();
+        let mut want = vec![a, d];
+        want.sort_unstable();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -175,7 +175,7 @@ impl StrideHierarchy {
             if ev.dirty {
                 self.stats.l1_l2_bus.writeback_words(l1_words);
                 if let Some(idx) = self.l2.lookup(ev.base) {
-                    self.l2.line_mut(idx).dirty = true;
+                    self.l2.set_dirty(idx);
                 } else {
                     self.stats.mem_bus.writeback_words(l1_words);
                 }
@@ -220,7 +220,7 @@ impl StrideHierarchy {
         let result = if let Some(idx) = self.l1.lookup(addr) {
             self.l1.touch(idx);
             if let Some(v) = write {
-                self.l1.line_mut(idx).dirty = true;
+                self.l1.set_dirty(idx);
                 self.mem.write(addr, v);
             }
             AccessResult {
@@ -233,7 +233,7 @@ impl StrideHierarchy {
             self.fill_l1(addr);
             if let Some(v) = write {
                 let idx = self.l1.lookup(addr).expect("just filled");
-                self.l1.line_mut(idx).dirty = true;
+                self.l1.set_dirty(idx);
                 self.mem.write(addr, v);
             }
             AccessResult {
@@ -251,7 +251,7 @@ impl StrideHierarchy {
             self.fill_l1(addr);
             if let Some(v) = write {
                 let idx = self.l1.lookup(addr).expect("just filled");
-                self.l1.line_mut(idx).dirty = true;
+                self.l1.set_dirty(idx);
                 self.mem.write(addr, v);
             }
             AccessResult {

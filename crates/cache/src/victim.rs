@@ -142,7 +142,7 @@ impl VictimHierarchy {
         let l1_words = u64::from(self.cfg.l1.line_words());
         self.stats.l1_l2_bus.writeback_words(l1_words);
         if let Some(idx) = self.l2.lookup(base) {
-            self.l2.line_mut(idx).dirty = true;
+            self.l2.set_dirty(idx);
         } else {
             self.stats.mem_bus.writeback_words(l1_words);
         }
@@ -172,7 +172,7 @@ impl VictimHierarchy {
         if let Some(idx) = self.l1.lookup(addr) {
             self.l1.touch(idx);
             if let Some(v) = write {
-                self.l1.line_mut(idx).dirty = true;
+                self.l1.set_dirty(idx);
                 self.mem.write(addr, v);
             }
             return AccessResult {

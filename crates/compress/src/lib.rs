@@ -136,6 +136,48 @@ pub fn is_compressible(value: Word, addr: Addr) -> bool {
     classify(value, addr).is_compressible()
 }
 
+/// Branch-free compressibility test: `1` when either rule applies, else `0`.
+///
+/// Same decision as [`is_compressible`], expressed as mask arithmetic (the
+/// comparisons lower to flag-setting instructions, not branches) so the
+/// per-line scan in [`line_compress_mask`] runs without a data-dependent
+/// branch per word — the word values a simulated program produces are
+/// exactly the kind of unpredictable input that makes a branchy check
+/// mispredict.
+#[inline]
+pub fn compressible_bit(value: Word, addr: Addr) -> u32 {
+    // Small: bits 31..=14 uniform — the arithmetic shift leaves 0 or -1.
+    let hi = (value as i32) >> (32 - SMALL_PREFIX_BITS);
+    let small = u32::from(hi == 0) | u32::from(hi == -1);
+    // Pointer: bits 31..=15 equal those of the storage address.
+    let ptr = u32::from((value ^ addr) >> (32 - POINTER_PREFIX_BITS) == 0);
+    small | ptr
+}
+
+/// Compressibility mask of a whole line: bit *i* is set iff `words[i]`,
+/// stored at `base + 4*i`, is compressible.
+///
+/// This is the hot kernel of the cache hierarchies — every fill, merge,
+/// park, and promotion classifies a full line — so it takes the line as a
+/// slice (one page-table walk in the caller) and uses the branch-free
+/// per-word test.
+///
+/// # Panics
+/// Debug-asserts `words.len() <= 32` (flag masks are 32 bits wide).
+#[inline]
+pub fn line_compress_mask(words: &[Word], base: Addr) -> u32 {
+    debug_assert!(words.len() <= 32, "flag masks hold at most 32 words");
+    let mut mask = 0u32;
+    let mut bit = 1u32;
+    let mut addr = base;
+    for &w in words {
+        mask |= bit & compressible_bit(w, addr).wrapping_neg();
+        bit = bit.wrapping_shl(1);
+        addr = addr.wrapping_add(WORD_BYTES);
+    }
+    mask
+}
+
 /// Compresses `value` (stored at `addr`) to its 16-bit form, or `None` when
 /// the word is incompressible.
 ///
@@ -333,6 +375,59 @@ mod tests {
         assert!(!small.is_pointer());
         assert!(ptr.is_pointer());
         assert_ne!(small, ptr);
+    }
+
+    #[test]
+    fn compressible_bit_agrees_with_predicate() {
+        let mut x = 0x1234_5678u32;
+        for i in 0..20_000u32 {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            let addr = (x.wrapping_mul(2654435761) & !3).wrapping_add(i * 4);
+            assert_eq!(
+                compressible_bit(x, addr),
+                u32::from(is_compressible(x, addr)),
+                "value {x:#x} at {addr:#x}"
+            );
+        }
+        for v in [
+            0,
+            1,
+            SMALL_MAX as u32,
+            (SMALL_MAX + 1) as u32,
+            SMALL_MIN as u32,
+            (SMALL_MIN - 1) as u32,
+            0xDEAD_BEEF,
+        ] {
+            assert_eq!(
+                compressible_bit(v, 0x1000),
+                u32::from(is_compressible(v, 0x1000))
+            );
+        }
+    }
+
+    #[test]
+    fn line_compress_mask_matches_per_word_classification() {
+        let base = 0x4000_0F00u32;
+        let words: Vec<u32> = (0..32u32)
+            .map(|i| match i % 4 {
+                0 => i,               // small
+                1 => base | (i << 2), // same-chunk pointer
+                2 => 0x8000_0000 | i, // incompressible
+                _ => (-3i32) as u32,  // small (negative)
+            })
+            .collect();
+        let mask = line_compress_mask(&words, base);
+        for (i, &w) in words.iter().enumerate() {
+            let a = base + 4 * (i as u32);
+            assert_eq!(
+                mask >> i & 1 == 1,
+                is_compressible(w, a),
+                "word {i} ({w:#x}) at {a:#x}"
+            );
+        }
+        assert_eq!(line_compress_mask(&[], base), 0);
     }
 
     #[test]

@@ -83,4 +83,46 @@ proptest! {
             }
         }
     }
+
+    /// Boundary values: ±16383 and -16384 sit inside the small range,
+    /// +16384 and -16385 just outside — and each compressible one
+    /// round-trips exactly, at any storage address.
+    #[test]
+    fn small_boundary_roundtrip(addr: u32) {
+        let addr = addr & !0x3;
+        for v in [16383i32, -16383, -16384] {
+            let w = v as u32;
+            prop_assert!(is_small(w), "{v} must be small");
+            let c = compress(w, addr).expect("boundary small value compresses");
+            prop_assert_eq!(decompress(c, addr), w);
+        }
+        for v in [16384i32, -16385] {
+            prop_assert!(!is_small(v as u32), "{v} must not be small");
+        }
+    }
+
+    /// The pointer rule flips exactly at the 32 KB chunk edge: the first
+    /// and last words of the storage address's chunk qualify, the words
+    /// one step outside it on either side never do.
+    #[test]
+    fn pointer_chunk_edge(chunk in 1u32..0x1FFFF, off in 0u32..0x8000) {
+        let base = chunk << 15;
+        let addr = base + (off & !0x3);
+        prop_assert!(is_same_chunk_pointer(base, addr));
+        prop_assert!(is_same_chunk_pointer(base + 0x7FFF, addr));
+        prop_assert!(!is_same_chunk_pointer(base - 1, addr));
+        prop_assert!(!is_same_chunk_pointer(base + 0x8000, addr));
+    }
+
+    /// Metamorphic: flipping the line-address low bit — bit 6 for the
+    /// 64-byte L1 line, bit 7 for the 128-byte L2 line — moves a word to
+    /// its affiliated line without ever changing its compressibility
+    /// class, which is what lets CPP hold affiliated words in freed
+    /// half-slots at the same offset.
+    #[test]
+    fn class_invariant_under_affiliated_flip(value: u32, addr: u32) {
+        for line_bit in [0x40u32, 0x80] {
+            prop_assert_eq!(classify(value, addr), classify(value, addr ^ line_bit));
+        }
+    }
 }

@@ -15,21 +15,33 @@ use crate::flags::{mask_n, CppFlags};
 use ccp_cache::geometry::CacheGeometry;
 use ccp_cache::set_assoc::{Evicted, SetAssocCache};
 use ccp_cache::Addr;
-use ccp_compress::is_compressible;
+use ccp_compress::{is_compressible, line_compress_mask};
 use ccp_errors::{SimError, SimResult};
-use ccp_mem::MainMemory;
+use ccp_mem::{LineView, MainMemory};
 
 /// Bitmask of compressible words in the `words`-long line at `base`,
 /// evaluated against current memory values.
+///
+/// Lines are aligned and at most a page long, so the common case is a
+/// single page-table walk ([`MainMemory::line_view`]) followed by the
+/// branch-free slice scan; an untouched page is all zeros, which are small
+/// values, hence fully compressible.
 pub fn compress_mask(mem: &MainMemory, base: Addr, words: u32) -> u32 {
-    let mut m = 0u32;
-    for i in 0..words {
-        let a = base + i * 4;
-        if is_compressible(mem.read(a), a) {
-            m |= 1 << i;
+    match mem.line_view(base, words) {
+        LineView::Resident(slice) => line_compress_mask(slice, base),
+        LineView::Zero => mask_n(words),
+        // Unaligned run straddling a page: per-word fallback.
+        LineView::Split => {
+            let mut m = 0u32;
+            for i in 0..words {
+                let a = base.wrapping_add(i * 4);
+                if is_compressible(mem.read(a), a) {
+                    m |= 1 << i;
+                }
+            }
+            m
         }
     }
-    m
 }
 
 /// A victim displaced from a level by an install.
@@ -104,22 +116,22 @@ impl CppLevel {
 
     /// Shared flag access.
     pub fn flags(&self, idx: usize) -> CppFlags {
-        self.arr.line(idx).extra
+        *self.arr.extra(idx)
     }
 
     /// Mutable flag access.
     pub fn flags_mut(&mut self, idx: usize) -> &mut CppFlags {
-        &mut self.arr.line_mut(idx).extra
+        self.arr.extra_mut(idx)
     }
 
     /// Whether line `idx` is dirty.
     pub fn dirty(&self, idx: usize) -> bool {
-        self.arr.line(idx).dirty
+        self.arr.is_dirty(idx)
     }
 
     /// Marks line `idx` dirty.
     pub fn set_dirty(&mut self, idx: usize) {
-        self.arr.line_mut(idx).dirty = true;
+        self.arr.set_dirty(idx);
     }
 
     /// Base address of the valid line at `idx`.
@@ -148,7 +160,7 @@ impl CppLevel {
         debug_assert!(flags.check(self.words()).is_ok(), "{flags:x?}");
         // One-copy rule: drop the affiliated copy of this line, if present.
         if let Some(aidx) = self.lookup_affiliated(base) {
-            self.arr.line_mut(aidx).extra.aa = 0;
+            self.arr.extra_mut(aidx).aa = 0;
         }
         let (evicted, _idx) = self.arr.insert(base, dirty, flags);
         evicted.map(|Evicted { base, dirty, extra }| CppVictim {
@@ -166,7 +178,7 @@ impl CppLevel {
         let Some(pidx) = self.arr.lookup(self.pair_base(victim_base)) else {
             return 0;
         };
-        let host = self.arr.line(pidx).extra;
+        let host = *self.arr.extra(pidx);
         debug_assert_eq!(
             host.aa, 0,
             "one-copy rule: victim {victim_base:#x} was both primary and affiliated"
@@ -174,7 +186,7 @@ impl CppLevel {
         let comp = compress_mask(mem, victim_base, self.words());
         let parked = victim_pa & comp & host.affiliated_capacity(self.words());
         if parked != 0 {
-            self.arr.line_mut(pidx).extra.aa = parked;
+            self.arr.extra_mut(pidx).aa = parked;
         }
         parked.count_ones()
     }
@@ -183,8 +195,8 @@ impl CppLevel {
     /// mask in the pair's physical line), e.g. ahead of a promotion.
     pub fn take_affiliated(&mut self, base: Addr) -> u32 {
         if let Some(aidx) = self.lookup_affiliated(base) {
-            let aa = self.arr.line_mut(aidx).extra.aa;
-            self.arr.line_mut(aidx).extra.aa = 0;
+            let aa = self.arr.extra(aidx).aa;
+            self.arr.extra_mut(aidx).aa = 0;
             aa
         } else {
             0
@@ -203,7 +215,7 @@ impl CppLevel {
         evict_whole_affiliated_line: bool,
     ) -> u32 {
         let bit = 1u32 << off;
-        let f = &mut self.arr.line_mut(idx).extra;
+        let f = self.arr.extra_mut(idx);
         debug_assert!(f.pa & bit != 0, "updating an absent primary word");
         if now_compressible {
             f.vcp |= bit;
@@ -233,7 +245,7 @@ impl CppLevel {
     pub fn merge_primary_words(&mut self, mem: &MainMemory, idx: usize, new_mask: u32) -> u32 {
         let base = self.base_of(idx);
         let comp = compress_mask(mem, base, self.words());
-        let f = &mut self.arr.line_mut(idx).extra;
+        let f = self.arr.extra_mut(idx);
         f.pa |= new_mask;
         f.vcp = (f.vcp & !new_mask) | (comp & new_mask);
         let conflict = f.aa & new_mask & !f.vcp;
@@ -246,7 +258,7 @@ impl CppLevel {
     /// half-slot are dropped. Returns the mask actually stored.
     pub fn add_affiliated_words(&mut self, idx: usize, aff_mask: u32) -> u32 {
         let words = self.words();
-        let f = &mut self.arr.line_mut(idx).extra;
+        let f = self.arr.extra_mut(idx);
         let add = aff_mask & f.affiliated_capacity(words);
         f.aa |= add;
         add
@@ -274,9 +286,9 @@ impl CppLevel {
     /// checked structurally only.
     pub fn check_invariants(&self, mem: &MainMemory, strict_values: bool) -> SimResult<()> {
         let words = self.words();
-        for (idx, line) in self.arr.iter_valid() {
+        for idx in self.arr.iter_valid() {
             let base = self.arr.base_of(idx);
-            let f = line.extra;
+            let f = *self.arr.extra(idx);
             f.check(words)
                 .map_err(|e| e.in_context(&format!("line {base:#x}")))?;
             if strict_values {
@@ -321,7 +333,7 @@ impl CppLevel {
     pub fn valid_lines(&self) -> Vec<(usize, Addr)> {
         self.arr
             .iter_valid()
-            .map(|(idx, _)| (idx, self.arr.base_of(idx)))
+            .map(|idx| (idx, self.arr.base_of(idx)))
             .collect()
     }
 

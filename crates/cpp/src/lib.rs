@@ -32,10 +32,12 @@
 pub mod faults;
 pub mod flags;
 pub mod level;
+pub mod reference;
 
 pub use faults::{FaultInjector, FaultKind, FaultReport, InvariantChecker, Violation};
 pub use flags::CppFlags;
 pub use level::{compress_mask, CppLevel, CppVictim};
+pub use reference::RefCppHierarchy;
 
 use ccp_cache::config::{DesignKind, HierarchyConfig, LatencyConfig};
 use ccp_cache::stats::HierarchyStats;
@@ -157,18 +159,12 @@ impl CppHierarchy {
     /// Bus cost in half-words of transferring the masked words of the line
     /// at `base` in compressed form, plus one half-word per affiliated word.
     fn compressed_transfer_hw(&self, base: Addr, mask: u32, aff: u32) -> u64 {
-        let mut hw = 0u64;
-        for i in 0..self.l1.words() {
-            if mask & (1 << i) != 0 {
-                let a = base + i * 4;
-                hw += if is_compressible(self.mem.read(a), a) {
-                    1
-                } else {
-                    2
-                };
-            }
-        }
-        hw + u64::from(aff.count_ones())
+        // Compressible words cost one half-word, incompressible two:
+        // |mask| + |mask \ comp|.
+        let comp = compress_mask(&self.mem, base, self.l1.words());
+        u64::from(mask.count_ones())
+            + u64::from((mask & !comp).count_ones())
+            + u64::from(aff.count_ones())
     }
 
     /// Splits an L2-line availability mask into `(avail, aff)` for the
@@ -288,18 +284,8 @@ impl CppHierarchy {
         if !self.cfg.compress_writebacks {
             return 2 * u64::from(mask.count_ones());
         }
-        let mut hw = 0u64;
-        for i in 0..32 {
-            if mask & (1 << i) != 0 {
-                let a = base + i * 4;
-                hw += if is_compressible(self.mem.read(a), a) {
-                    1
-                } else {
-                    2
-                };
-            }
-        }
-        hw
+        let comp = compress_mask(&self.mem, base, self.l2.words());
+        u64::from(mask.count_ones()) + u64::from((mask & !comp).count_ones())
     }
 
     /// Write-back + parking for a line displaced from L2.

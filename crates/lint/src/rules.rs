@@ -1,4 +1,4 @@
-//! The six workspace-specific rules. Each one guards an invariant an
+//! The seven workspace-specific rules. Each one guards an invariant an
 //! earlier PR established by hand; see `DESIGN.md` §9 for the rationale
 //! behind every rule and the suppression syntax.
 //!
@@ -19,6 +19,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(LockOrder),
         Box::new(NoWallclockInSim),
         Box::new(NoLossyCastInHotPath),
+        Box::new(NoNarrowCounters),
     ]
 }
 
@@ -597,6 +598,96 @@ impl Rule for NoLossyCastInHotPath {
     }
 }
 
+// ---------------------------------------------------------------------------
+// R7: no-narrow-counters
+// ---------------------------------------------------------------------------
+
+/// R7 — scalar event-counter fields in `*Stats` / `*Meter` structs must
+/// be `u64`. Resolution of the counter-width audit that accompanied the
+/// hot-path overhaul: a long `ccp-workgen` stream replays well past 2³²
+/// events, and a `u32` counter wraps silently — the run completes, the
+/// numbers are just wrong. Only bare `u8`/`u16`/`u32` field types are
+/// flagged (a `Vec<u32>` payload is not a counter).
+pub struct NoNarrowCounters;
+
+/// Struct-name suffixes the rule treats as counter carriers.
+const COUNTER_STRUCT_SUFFIXES: &[&str] = &["Stats", "Meter"];
+
+impl Rule for NoNarrowCounters {
+    fn name(&self) -> &'static str {
+        "no-narrow-counters"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn describe(&self) -> &'static str {
+        "counter fields in *Stats / *Meter structs must be u64: u32 wraps silently on \
+         long workgen runs"
+    }
+    fn applies(&self, path: &str) -> bool {
+        !globally_excluded(path)
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for k in 0..file.n_code() {
+            if file.in_test(file.tok(k).start) || !file.is_ident(k, "struct") {
+                continue;
+            }
+            let sname = file.ct(k + 1);
+            if !COUNTER_STRUCT_SUFFIXES.iter().any(|s| sname.ends_with(s)) {
+                continue;
+            }
+            // Find the body `{`; a `;` first means a unit/tuple struct.
+            let mut open = k + 2;
+            while open < file.n_code() && !file.is_punct(open, '{') && !file.is_punct(open, ';') {
+                open += 1;
+            }
+            if open >= file.n_code() || file.is_punct(open, ';') {
+                continue;
+            }
+            let mut depth = 0i32;
+            let mut j = open;
+            while j < file.n_code() {
+                if file.is_punct(j, '{') {
+                    depth += 1;
+                } else if file.is_punct(j, '}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth == 1
+                    && file.is_punct(j, ':')
+                    && (file.is_ident(j + 1, "u8")
+                        || file.is_ident(j + 1, "u16")
+                        || file.is_ident(j + 1, "u32"))
+                    && (file.is_punct(j + 2, ',') || file.is_punct(j + 2, '}'))
+                {
+                    out.push(file.finding(
+                        self.name(),
+                        self.severity(),
+                        j + 1,
+                        format!(
+                            "`{}` counter field in `{sname}` wraps silently once a long \
+                             workgen run passes 2^{} events; count in u64 (widening is \
+                             free on the hot path), or allow with a justification naming \
+                             the bound",
+                            file.ct(j + 1),
+                            match file.ct(j + 1) {
+                                "u8" => "8",
+                                "u16" => "16",
+                                _ => "32",
+                            },
+                        ),
+                    ));
+                }
+                j += 1;
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -796,6 +887,48 @@ mod tests { fn t() { let x = 3i32 as u32; } }
         assert_eq!(r6.len(), 1);
         assert_eq!(r6[0].severity, Severity::Warn);
         assert!(run("crates/cache/src/lib.rs", "fn f(v: u64) { v as u32; }").is_empty());
+    }
+
+    #[test]
+    fn r7_flags_narrow_counters_in_stats_and_meter_structs() {
+        let src = "\
+pub struct QueueStats {
+    pub hits: u32,
+    pub misses: u64,
+    pub depth: u16,
+}
+pub struct FlowMeter { pub packets: u32 }
+";
+        let hits = run("crates/served/src/metrics.rs", src);
+        let r7: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == "no-narrow-counters")
+            .collect();
+        assert_eq!(r7.len(), 3, "{r7:?}");
+        assert!(r7.iter().all(|f| f.severity == Severity::Warn));
+        assert_eq!(r7[0].line, 2);
+        assert_eq!(r7[1].line, 4);
+        assert_eq!(r7[2].line, 6);
+    }
+
+    #[test]
+    fn r7_ignores_non_counter_structs_and_non_scalar_fields() {
+        // Struct name without the Stats/Meter suffix: out of scope.
+        assert!(run("crates/cache/src/x.rs", "pub struct Line { pub tag: u32 }").is_empty());
+        // Vec<u32> payloads and u64 counters are fine; so are tests.
+        let src = "\
+pub struct HistStats {
+    pub buckets: Vec<u32>,
+    pub total: u64,
+}
+#[cfg(test)]
+mod tests { struct TinyStats { n: u32 } }
+";
+        let hits = run("crates/cache/src/stats.rs", src);
+        assert!(
+            hits.iter().all(|f| f.rule != "no-narrow-counters"),
+            "{hits:?}"
+        );
     }
 
     #[test]

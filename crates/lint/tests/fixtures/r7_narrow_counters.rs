@@ -1,0 +1,31 @@
+// ccp-lint-fixture: crates/cache/src/fixture.rs
+//! R7 `no-narrow-counters`: scalar u8/u16/u32 fields in `*Stats` /
+//! `*Meter` structs are warned (they wrap silently on long workgen
+//! runs); u64 counters, non-scalar payloads, structs outside the naming
+//! convention, and test code all pass.
+
+pub struct WrapStats {
+    pub hits: u32,
+    pub misses: u64,
+    pub retries: u16,
+}
+
+pub struct DropMeter {
+    pub dropped: u32,
+}
+
+pub struct SafeStats {
+    pub events: u64,
+    pub histogram: Vec<u32>,
+}
+
+pub struct LineState {
+    pub tag: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    struct TinyStats {
+        n: u32,
+    }
+}

@@ -10,6 +10,13 @@
 //! compressible and incompressible exactly as the simulated program writes
 //! them.
 //!
+//! Storage is a two-level radix table over 4 KB pages (1024-entry root →
+//! 1024-page leaves), so the per-word `read`/`write` on the simulation hot
+//! path is two array indexations instead of a hash lookup, and a whole
+//! cache line can be scanned through [`MainMemory::line_view`] with a
+//! single page walk (lines are power-of-two aligned and ≤ 4 KB, so an
+//! aligned line never crosses a page).
+//!
 //! [`TrafficMeter`] counts bus transfers in 16-bit half-word units so that a
 //! compressed bus (one half-word per compressible word) and a conventional
 //! bus (two half-words per word) are measured on the same scale.
@@ -19,8 +26,6 @@ pub mod traffic;
 
 pub use alloc::ChunkAllocator;
 pub use traffic::TrafficMeter;
-
-use std::collections::HashMap;
 
 /// A 32-bit machine word.
 pub type Word = u32;
@@ -34,14 +39,60 @@ const PAGE_WORDS: usize = 1024;
 /// Byte shift selecting the page number of an address.
 const PAGE_SHIFT: u32 = 12;
 
+/// Pages per leaf table (low 10 bits of the 20-bit page number).
+const LEAF_PAGES: usize = 1024;
+
+/// Leaf tables per root (high 10 bits of the 20-bit page number).
+const ROOT_SLOTS: usize = 1024;
+
+type Page = Box<[Word; PAGE_WORDS]>;
+
+/// Second radix level: the 1024 pages of one 4 MB region.
+#[derive(Debug, Clone)]
+struct Leaf {
+    pages: [Option<Page>; LEAF_PAGES],
+}
+
+impl Default for Leaf {
+    fn default() -> Self {
+        Leaf {
+            pages: std::array::from_fn(|_| None),
+        }
+    }
+}
+
+/// A zero-copy view of a word run returned by [`MainMemory::line_view`].
+#[derive(Debug)]
+pub enum LineView<'a> {
+    /// The run lies within one resident page.
+    Resident(&'a [Word]),
+    /// The run lies within one page that was never materialized: all words
+    /// read as zero.
+    Zero,
+    /// The run crosses a page boundary (only possible for runs that are not
+    /// aligned to their own size); the caller must fall back to per-word
+    /// reads.
+    Split,
+}
+
 /// Sparse, word-addressable 32-bit memory.
 ///
 /// Pages materialize on first write; reads of untouched memory return zero
 /// (which is also the most compressible value, matching the zero-filled
 /// pages a real OS would hand out).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct MainMemory {
-    pages: HashMap<u32, Box<[Word; PAGE_WORDS]>>,
+    roots: Vec<Option<Box<Leaf>>>,
+    resident: usize,
+}
+
+impl Default for MainMemory {
+    fn default() -> Self {
+        MainMemory {
+            roots: vec![None; ROOT_SLOTS],
+            resident: 0,
+        }
+    }
 }
 
 impl MainMemory {
@@ -54,9 +105,12 @@ impl MainMemory {
     #[inline]
     pub fn read(&self, addr: Addr) -> Word {
         debug_assert_eq!(addr & 0x3, 0, "unaligned word read at {addr:#x}");
-        let page = addr >> PAGE_SHIFT;
-        match self.pages.get(&page) {
-            Some(p) => p[(addr as usize >> 2) & (PAGE_WORDS - 1)],
+        let page = (addr >> PAGE_SHIFT) as usize;
+        match &self.roots[page / LEAF_PAGES] {
+            Some(leaf) => match &leaf.pages[page % LEAF_PAGES] {
+                Some(p) => p[(addr as usize >> 2) % PAGE_WORDS],
+                None => 0,
+            },
             None => 0,
         }
     }
@@ -65,19 +119,47 @@ impl MainMemory {
     #[inline]
     pub fn write(&mut self, addr: Addr, value: Word) {
         debug_assert_eq!(addr & 0x3, 0, "unaligned word write at {addr:#x}");
-        let page = addr >> PAGE_SHIFT;
-        let slot = (addr as usize >> 2) & (PAGE_WORDS - 1);
-        if let Some(p) = self.pages.get_mut(&page) {
-            p[slot] = value;
-            return;
+        let page = (addr >> PAGE_SHIFT) as usize;
+        let slot = (addr as usize >> 2) % PAGE_WORDS;
+        let root = &mut self.roots[page / LEAF_PAGES];
+        if let Some(leaf) = root {
+            if let Some(p) = &mut leaf.pages[page % LEAF_PAGES] {
+                p[slot] = value;
+                return;
+            }
         }
         // Avoid materializing a page just to store a zero.
         if value == 0 {
             return;
         }
-        let mut p = Box::new([0u32; PAGE_WORDS]);
+        let leaf = root.get_or_insert_with(Box::default);
+        let mut p: Page = Box::new([0u32; PAGE_WORDS]);
         p[slot] = value;
-        self.pages.insert(page, p);
+        leaf.pages[page % LEAF_PAGES] = Some(p);
+        self.resident += 1;
+    }
+
+    /// A zero-copy view of the `words` consecutive words starting at `base`
+    /// (word-aligned).
+    ///
+    /// Cache lines are power-of-two sized, line-aligned, and at most 4 KB,
+    /// so a line's run never crosses a page and the whole line can be
+    /// classified from one slice without further table walks.
+    #[inline]
+    pub fn line_view(&self, base: Addr, words: u32) -> LineView<'_> {
+        debug_assert_eq!(base & 0x3, 0, "unaligned line view at {base:#x}");
+        let start = (base as usize >> 2) % PAGE_WORDS;
+        if start + words as usize > PAGE_WORDS {
+            return LineView::Split;
+        }
+        let page = (base >> PAGE_SHIFT) as usize;
+        match &self.roots[page / LEAF_PAGES] {
+            Some(leaf) => match &leaf.pages[page % LEAF_PAGES] {
+                Some(p) => LineView::Resident(&p[start..start + words as usize]),
+                None => LineView::Zero,
+            },
+            None => LineView::Zero,
+        }
     }
 
     /// Reads `buf.len()` consecutive words starting at `base` (word-aligned).
@@ -96,24 +178,40 @@ impl MainMemory {
 
     /// Number of 4 KB pages currently materialized.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.resident
     }
 
     /// Sorted list of resident page numbers (page = byte address >> 12).
     pub fn page_numbers(&self) -> Vec<u32> {
-        let mut v: Vec<u32> = self.pages.keys().copied().collect();
-        v.sort_unstable();
+        let mut v = Vec::with_capacity(self.resident);
+        for (r, leaf) in self.roots.iter().enumerate() {
+            let Some(leaf) = leaf else { continue };
+            for (l, page) in leaf.pages.iter().enumerate() {
+                if page.is_some() {
+                    v.push((r * LEAF_PAGES + l) as u32);
+                }
+            }
+        }
         v
     }
 
     /// The 1024 words of resident page `page`, if materialized.
     pub fn page_words(&self, page: u32) -> Option<&[Word; 1024]> {
-        self.pages.get(&page).map(|b| &**b)
+        let page = page as usize;
+        self.roots[page / LEAF_PAGES]
+            .as_ref()
+            .and_then(|leaf| leaf.pages[page % LEAF_PAGES].as_ref())
+            .map(|b| &**b)
     }
 
     /// Replaces page `page` wholesale (serialization support).
     pub fn write_page(&mut self, page: u32, words: [Word; 1024]) {
-        self.pages.insert(page, Box::new(words));
+        let page = page as usize;
+        let leaf = self.roots[page / LEAF_PAGES].get_or_insert_with(Box::default);
+        if leaf.pages[page % LEAF_PAGES].is_none() {
+            self.resident += 1;
+        }
+        leaf.pages[page % LEAF_PAGES] = Some(Box::new(words));
     }
 }
 
@@ -212,6 +310,7 @@ mod tests {
         assert_eq!(m2.read(0x1004), 7);
         assert_eq!(m2.read(0x5_3000), 9);
         assert_eq!(m2.page_words(0x99), None);
+        assert_eq!(m2.resident_pages(), 2);
     }
 
     #[test]
@@ -222,5 +321,49 @@ mod tests {
         a.write(0x3000, 10);
         assert_eq!(b.read(0x3000), 9);
         assert_eq!(a.read(0x3000), 10);
+    }
+
+    #[test]
+    fn line_view_matches_per_word_reads() {
+        let mut m = MainMemory::new();
+        for i in 0..16u32 {
+            m.write(0x7_2000 + i * 4, i * 3 + 1);
+        }
+        match m.line_view(0x7_2000, 16) {
+            LineView::Resident(s) => {
+                assert_eq!(s.len(), 16);
+                for (i, &w) in s.iter().enumerate() {
+                    assert_eq!(w, m.read(0x7_2000 + (i as u32) * 4));
+                }
+            }
+            other => panic!("expected resident view, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_view_of_untouched_page_is_zero() {
+        let m = MainMemory::new();
+        assert!(matches!(m.line_view(0x9_0000, 32), LineView::Zero));
+    }
+
+    #[test]
+    fn line_view_refuses_page_straddle() {
+        let mut m = MainMemory::new();
+        m.write(0x4FE0, 5);
+        assert!(matches!(m.line_view(0x4FE0, 16), LineView::Split));
+    }
+
+    #[test]
+    fn line_view_spans_whole_page() {
+        let mut m = MainMemory::new();
+        m.write(0x3000, 1);
+        m.write(0x3FFC, 2);
+        match m.line_view(0x3000, 1024) {
+            LineView::Resident(s) => {
+                assert_eq!(s[0], 1);
+                assert_eq!(s[1023], 2);
+            }
+            other => panic!("expected resident view, got {other:?}"),
+        }
     }
 }

@@ -37,6 +37,9 @@ struct Args {
     figures: Vec<String>,
     json_path: Option<std::path::PathBuf>,
     bars: bool,
+    min_speedup: Option<f64>,
+    out_path: Option<std::path::PathBuf>,
+    goldens_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> SimResult<Args> {
@@ -47,6 +50,9 @@ fn parse_args() -> SimResult<Args> {
     let mut figures: Vec<String> = Vec::new();
     let mut json_path = None;
     let mut bars = false;
+    let mut min_speedup = None;
+    let mut out_path = None;
+    let mut goldens_dir = None;
     let value = |flag: &str, v: Option<String>| v.ok_or_else(|| spec_err(flag, "needs a value"));
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -73,11 +79,26 @@ fn parse_args() -> SimResult<Args> {
             "--json" => {
                 json_path = Some(std::path::PathBuf::from(value(&a, it.next())?));
             }
+            "--assert-min-speedup" => {
+                min_speedup = Some(value(&a, it.next())?.parse().map_err(|e| spec_err(&a, e))?);
+            }
+            "--out" => {
+                out_path = Some(std::path::PathBuf::from(value(&a, it.next())?));
+            }
+            "--render-goldens" => {
+                goldens_dir = Some(std::path::PathBuf::from(value(&a, it.next())?));
+            }
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0);
             }
-            f if f.starts_with("fig") || f.starts_with("ext") || f == "all" || f == "workgen" => {
+            f if f.starts_with("fig")
+                || f.starts_with("ext")
+                || f == "all"
+                || f == "workgen"
+                || f == "difftest"
+                || f == "perf" =>
+            {
                 figures.push(f.to_string())
             }
             other => {
@@ -107,6 +128,9 @@ fn parse_args() -> SimResult<Args> {
         figures,
         json_path,
         bars,
+        min_speedup,
+        out_path,
+        goldens_dir,
     })
 }
 
@@ -124,7 +148,18 @@ fn require<'a>(sweep: &'a Option<Sweep>, figure: &str) -> &'a Sweep {
 
 const HELP: &str = "repro — regenerate the paper's tables and figures
 usage: repro [--budget N] [--seed S] [--threads T] [--benchmarks a,b,..] [--json FILE] [--bars]
-             [fig3..fig15 | exta | extb | extc | ext | workgen | all]";
+             [fig3..fig15 | exta | extb | extc | ext | workgen | all]
+       repro difftest [--budget N] [--seed S] [--benchmarks a,b,..]
+                      [--render-goldens DIR]
+           replay every benchmark through the optimized and reference CPP
+           engines; exit 1 unless their stats are byte-identical;
+           --render-goldens regenerates the pinned stats fixtures
+           (crates/sim/tests/expected_stats) after auditing a change
+       repro perf [--budget N] [--seed S] [--benchmarks a,b,..]
+                  [--out FILE] [--assert-min-speedup X]
+           time optimized vs reference replay, write BENCH_core.json
+           (default; override with --out), exit 1 if the geomean speedup
+           falls below X";
 
 fn main() {
     let args = match parse_args() {
@@ -296,6 +331,63 @@ fn main() {
                 let bench = &args.benchmarks[0];
                 let rows = ext::size_sensitivity(bench, args.budget, args.seed);
                 println!("{}", ext::render_sensitivity(&bench.full_name(), &rows));
+            }
+            "difftest" => {
+                if let Some(dir) = &args.goldens_dir {
+                    match ccp_sim::difftest::render_goldens(dir) {
+                        Ok(written) => {
+                            for p in written {
+                                eprintln!("wrote {}", p.display());
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("error [{}]: {e}", e.class());
+                            std::process::exit(1);
+                        }
+                    }
+                    continue;
+                }
+                eprintln!(
+                    "running differential conformance: {} benchmarks x 2 engines, {} instructions each...",
+                    args.benchmarks.len(),
+                    args.budget
+                );
+                let outcomes =
+                    ccp_sim::difftest::run_difftest(&args.benchmarks, args.budget, args.seed);
+                println!("{}", ccp_sim::difftest::render_difftest(&outcomes));
+                if outcomes.iter().any(|o| !o.matches()) {
+                    eprintln!("error [conformance]: optimized and reference CPP engines diverged");
+                    std::process::exit(1);
+                }
+            }
+            "perf" => {
+                eprintln!(
+                    "running core hot-path benchmark: {} benchmarks x 2 engines, {} instructions each...",
+                    args.benchmarks.len(),
+                    args.budget
+                );
+                let report = ccp_sim::perf::run_perf(&args.benchmarks, args.budget, args.seed);
+                println!("{}", ccp_sim::perf::render_perf(&report));
+                let out = args
+                    .out_path
+                    .clone()
+                    .unwrap_or_else(|| std::path::PathBuf::from("BENCH_core.json"));
+                let doc = ccp_sim::perf::perf_json(&report).to_string();
+                if let Err(e) = ccp_sim::json::write_atomic(&out, &doc) {
+                    eprintln!("error [{}]: {e}", e.class());
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {}", out.display());
+                if let Some(min) = args.min_speedup {
+                    let got = report.geomean_speedup();
+                    if got < min {
+                        eprintln!(
+                            "error [perf]: geomean speedup {got:.2}x below required {min:.2}x"
+                        );
+                        std::process::exit(1);
+                    }
+                    eprintln!("geomean speedup {got:.2}x >= required {min:.2}x");
+                }
             }
             "workgen" => {
                 eprintln!("running compressibility sweep (11 synthetic points, BC+CPP each)...");

@@ -1,0 +1,292 @@
+//! Differential conformance suite: optimized CPP vs the reference engine.
+//!
+//! The hot-path work in `ccp-cpp`/`ccp-cache`/`ccp-mem` (packed flag words,
+//! SoA tag arrays, page-table memory with slice-level compressibility scans)
+//! is only shippable because this module can prove it changes *nothing*
+//! observable: every synthetic benchmark is replayed through both
+//! [`CppHierarchy`] and the naive [`RefCppHierarchy`] and the resulting
+//! [`HierarchyStats`] must be **identical in every field** — miss counts,
+//! bus half-words, prefetch/promotion/parking counters, all of it. The
+//! comparison is doubled through the stats-JSON rendering so the golden
+//! fixtures in `tests/expected_stats/` are covered by the same code path.
+//!
+//! Everything here returns data instead of panicking (this crate's service
+//! paths are lint-gated panic-free); the `repro difftest` subcommand and the
+//! test-suite wrappers decide how to fail.
+
+use crate::fastsim::run_functional;
+use crate::json::Json;
+use ccp_cache::stats::HierarchyStats;
+use ccp_cpp::{CppHierarchy, RefCppHierarchy};
+use ccp_errors::{SimError, SimResult};
+use ccp_trace::{all_benchmarks, benchmark_by_name, Benchmark};
+use std::path::{Path, PathBuf};
+
+/// Result of replaying one benchmark through both engines.
+#[derive(Debug, Clone)]
+pub struct DiffOutcome {
+    /// Benchmark full name.
+    pub benchmark: String,
+    /// Memory operations replayed (identical for both engines by
+    /// construction — the trace is shared).
+    pub mem_ops: u64,
+    /// Stats of the optimized engine.
+    pub optimized: HierarchyStats,
+    /// Stats of the reference engine.
+    pub reference: HierarchyStats,
+    /// JSON paths of fields that differ (empty iff the engines agree).
+    pub divergences: Vec<String>,
+}
+
+impl DiffOutcome {
+    /// Whether the engines produced byte-identical statistics.
+    pub fn matches(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Renders a [`HierarchyStats`] as a stable, fully-field-covering JSON
+/// object (sorted keys; used by the difftest comparison and the golden
+/// stats fixtures).
+pub fn hierarchy_stats_json(h: &HierarchyStats) -> Json {
+    let traffic = |t: &ccp_mem::TrafficMeter| {
+        Json::obj([
+            ("in_halfwords", Json::from(t.in_halfwords)),
+            ("out_halfwords", Json::from(t.out_halfwords)),
+            ("in_transactions", Json::from(t.in_transactions)),
+            ("out_transactions", Json::from(t.out_transactions)),
+        ])
+    };
+    let level = |l: &ccp_cache::LevelStats| {
+        Json::obj([
+            ("reads", Json::from(l.reads)),
+            ("writes", Json::from(l.writes)),
+            ("read_misses", Json::from(l.read_misses)),
+            ("write_misses", Json::from(l.write_misses)),
+            ("prefetch_buffer_hits", Json::from(l.prefetch_buffer_hits)),
+            ("affiliated_hits", Json::from(l.affiliated_hits)),
+            ("partial_line_misses", Json::from(l.partial_line_misses)),
+            ("victim_hits", Json::from(l.victim_hits)),
+        ])
+    };
+    Json::obj([
+        ("l1", level(&h.l1)),
+        ("l2", level(&h.l2)),
+        ("mem_bus", traffic(&h.mem_bus)),
+        ("l1_l2_bus", traffic(&h.l1_l2_bus)),
+        ("prefetches_issued", Json::from(h.prefetches_issued)),
+        ("prefetches_discarded", Json::from(h.prefetches_discarded)),
+        ("promotions", Json::from(h.promotions)),
+        ("parked_lines", Json::from(h.parked_lines)),
+        (
+            "compressibility_evictions",
+            Json::from(h.compressibility_evictions),
+        ),
+    ])
+}
+
+/// Lists the JSON paths at which `a` and `b` differ (empty iff equal).
+pub fn json_diff(a: &Json, b: &Json, path: &str, out: &mut Vec<String>) {
+    match (a, b) {
+        (Json::Obj(ma), Json::Obj(mb)) => {
+            for key in ma.keys().chain(mb.keys().filter(|k| !ma.contains_key(*k))) {
+                let sub = format!("{path}.{key}");
+                match (ma.get(key), mb.get(key)) {
+                    (Some(x), Some(y)) => json_diff(x, y, &sub, out),
+                    _ => out.push(format!("{sub} (missing on one side)")),
+                }
+            }
+        }
+        _ if a == b => {}
+        _ => out.push(format!("{path}: {a} != {b}")),
+    }
+}
+
+/// Replays `bench` through both engines and compares their statistics,
+/// both structurally and through the JSON rendering.
+pub fn diff_benchmark(bench: &Benchmark, budget: usize, seed: u64) -> DiffOutcome {
+    let trace = bench.trace(budget, seed);
+    let mut opt = CppHierarchy::paper();
+    let o = run_functional(&trace, &mut opt, 0);
+    let mut rf = RefCppHierarchy::paper();
+    let r = run_functional(&trace, &mut rf, 0);
+
+    let mut divergences = Vec::new();
+    json_diff(
+        &hierarchy_stats_json(&o.hierarchy),
+        &hierarchy_stats_json(&r.hierarchy),
+        "stats",
+        &mut divergences,
+    );
+    // The struct comparison is stricter than the JSON one only if the JSON
+    // rendering dropped a field; catching that here keeps the two in sync.
+    if divergences.is_empty() && o.hierarchy != r.hierarchy {
+        divergences.push("stats (field not covered by hierarchy_stats_json)".to_string());
+    }
+    DiffOutcome {
+        benchmark: bench.full_name(),
+        mem_ops: o.mem_ops,
+        optimized: o.hierarchy,
+        reference: r.hierarchy,
+        divergences,
+    }
+}
+
+/// Benchmarks pinned by the golden stats fixtures in
+/// `crates/sim/tests/expected_stats/` — they span the compressibility
+/// range (pointer-chase, high-compressibility, conflict-prone).
+pub const GOLDEN_BENCHMARKS: [&str; 3] = ["olden.health", "spec95.130.li", "spec2000.300.twolf"];
+
+/// Instruction budget the golden fixtures are rendered at (small enough
+/// for the debug-profile test suite to replay).
+pub const GOLDEN_BUDGET: usize = 40_000;
+
+/// Workload seed the golden fixtures are rendered at.
+pub const GOLDEN_SEED: u64 = 1;
+
+/// Renders the pinned stats document for one golden benchmark: the
+/// optimized engine's full [`HierarchyStats`] through the same JSON
+/// rendering the difftest compares, plus the replay parameters so a
+/// fixture can never be silently compared at the wrong budget.
+pub fn golden_stats_doc(bench: &Benchmark) -> String {
+    let trace = bench.trace(GOLDEN_BUDGET, GOLDEN_SEED);
+    let mut opt = CppHierarchy::paper();
+    let s = run_functional(&trace, &mut opt, 0);
+    Json::obj([
+        ("benchmark", Json::from(bench.full_name())),
+        ("budget", Json::from(GOLDEN_BUDGET as u64)),
+        ("seed", Json::from(GOLDEN_SEED)),
+        ("mem_ops", Json::from(s.mem_ops)),
+        ("stats", hierarchy_stats_json(&s.hierarchy)),
+    ])
+    .to_string()
+}
+
+/// Regenerates every golden fixture under `dir` (the
+/// `repro difftest --render-goldens DIR` path). Returns the files written.
+pub fn render_goldens(dir: &Path) -> SimResult<Vec<PathBuf>> {
+    let mut written = Vec::new();
+    for name in GOLDEN_BENCHMARKS {
+        let bench = benchmark_by_name(name).ok_or_else(|| SimError::unknown("benchmark", name))?;
+        let path = dir.join(format!("{name}.json"));
+        let mut doc = golden_stats_doc(&bench);
+        doc.push('\n');
+        crate::json::write_atomic(&path, &doc)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Runs the differential suite over `benchmarks` (all 14 when empty).
+pub fn run_difftest(benchmarks: &[Benchmark], budget: usize, seed: u64) -> Vec<DiffOutcome> {
+    let all;
+    let benches = if benchmarks.is_empty() {
+        all = all_benchmarks();
+        &all
+    } else {
+        benchmarks
+    };
+    benches
+        .iter()
+        .map(|b| diff_benchmark(b, budget, seed))
+        .collect()
+}
+
+/// Renders the suite's outcome as a table.
+pub fn render_difftest(outcomes: &[DiffOutcome]) -> String {
+    let mut s = String::from(
+        "differential conformance: optimized CPP vs reference CPP\n\
+         benchmark            mem_ops      verdict\n",
+    );
+    for o in outcomes {
+        let verdict = if o.matches() { "identical" } else { "DIVERGED" };
+        s.push_str(&format!(
+            "{:<20} {:>10}   {verdict}\n",
+            o.benchmark, o.mem_ops
+        ));
+        for d in &o.divergences {
+            s.push_str(&format!("    {d}\n"));
+        }
+    }
+    let failed = outcomes.iter().filter(|o| !o.matches()).count();
+    if failed == 0 {
+        s.push_str(&format!(
+            "all {} benchmarks byte-identical across engines\n",
+            outcomes.len()
+        ));
+    } else {
+        s.push_str(&format!("{failed} benchmark(s) DIVERGED\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tier-1 gate: every benchmark, modest budget (debug builds run
+    /// this too; `repro difftest` re-runs it at full budget in release).
+    #[test]
+    fn all_benchmarks_difftest_identical() {
+        let outcomes = run_difftest(&[], 40_000, 1);
+        assert_eq!(outcomes.len(), all_benchmarks().len());
+        for o in &outcomes {
+            assert!(
+                o.matches(),
+                "{} diverged:\n{}",
+                o.benchmark,
+                o.divergences.join("\n")
+            );
+            assert!(o.mem_ops > 0, "{} replayed nothing", o.benchmark);
+        }
+    }
+
+    #[test]
+    fn difftest_is_seed_sensitive_but_still_identical() {
+        let b = all_benchmarks();
+        let o = diff_benchmark(&b[0], 20_000, 7);
+        assert!(o.matches(), "{:?}", o.divergences);
+    }
+
+    #[test]
+    fn json_diff_reports_paths() {
+        let a = Json::obj([("x", Json::from(1u64)), ("y", Json::from(2u64))]);
+        let b = Json::obj([("x", Json::from(1u64)), ("y", Json::from(3u64))]);
+        let mut out = Vec::new();
+        json_diff(&a, &b, "root", &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].starts_with("root.y"));
+    }
+
+    #[test]
+    fn stats_json_covers_every_field() {
+        // A stats value with every field distinct; if a field is missing
+        // from the JSON, the struct comparison in diff_benchmark catches it,
+        // and this test pins the rendering itself.
+        let mut h = HierarchyStats::new();
+        h.l1.reads = 1;
+        h.l2.writes = 2;
+        h.mem_bus.fetch_words(3);
+        h.l1_l2_bus.writeback_halfwords(4);
+        h.prefetches_issued = 5;
+        h.prefetches_discarded = 6;
+        h.promotions = 7;
+        h.parked_lines = 8;
+        h.compressibility_evictions = 9;
+        let j = hierarchy_stats_json(&h);
+        let text = j.to_string();
+        for key in [
+            "l1",
+            "l2",
+            "mem_bus",
+            "l1_l2_bus",
+            "prefetches_issued",
+            "prefetches_discarded",
+            "promotions",
+            "parked_lines",
+            "compressibility_evictions",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

@@ -24,11 +24,13 @@
 
 pub mod chaos;
 pub mod checkpoint;
+pub mod difftest;
 pub mod experiments;
 pub mod extensions;
 pub mod fastsim;
 pub mod job;
 pub mod json;
+pub mod perf;
 pub mod report;
 pub mod sweep;
 

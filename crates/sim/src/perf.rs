@@ -1,0 +1,273 @@
+//! `repro perf` — the core hot-path performance harness.
+//!
+//! Times functional replay of every synthetic benchmark through the
+//! optimized [`CppHierarchy`] and the naive reference engine
+//! ([`RefCppHierarchy`]), reporting per-benchmark wall time, replay
+//! throughput, and the speedup of the optimized engine. The reference
+//! engine preserves the pre-overhaul representation (per-word flag
+//! booleans, per-word memory reads, scan-based lookup), so the speedup
+//! column is the measured value of the storage/batching overhaul — and the
+//! difftest guarantees the two engines are observably identical, so the
+//! comparison is apples to apples.
+//!
+//! Results are written to `BENCH_core.json` (atomic temp-then-rename) so
+//! the committed snapshot regenerates with one command; see DESIGN.md §10.
+//!
+//! Wall-clock use is confined to this crate by the `no-wallclock` lint rule
+//! (model crates must stay deterministic).
+
+use crate::difftest::diff_benchmark;
+use crate::fastsim::run_functional;
+use crate::json::Json;
+use ccp_cache::CacheSim;
+use ccp_cpp::{CppHierarchy, RefCppHierarchy};
+use ccp_trace::{all_benchmarks, Benchmark, Trace};
+use std::time::Instant;
+
+/// Timing of one benchmark on both engines.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Benchmark full name.
+    pub benchmark: String,
+    /// Memory operations replayed per engine run.
+    pub mem_ops: u64,
+    /// Optimized-engine wall time in seconds.
+    pub optimized_secs: f64,
+    /// Reference-engine wall time in seconds.
+    pub reference_secs: f64,
+}
+
+impl PerfRow {
+    /// Reference time over optimized time (>1 means the overhaul pays).
+    pub fn speedup(&self) -> f64 {
+        if self.optimized_secs > 0.0 {
+            self.reference_secs / self.optimized_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Optimized replay throughput in million memory operations per second.
+    pub fn optimized_mops(&self) -> f64 {
+        if self.optimized_secs > 0.0 {
+            self.mem_ops as f64 / self.optimized_secs / 1.0e6
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The whole harness run.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Per-benchmark timings.
+    pub rows: Vec<PerfRow>,
+    /// Instruction budget per benchmark.
+    pub budget: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl PerfReport {
+    /// Geometric mean of per-benchmark speedups (the headline number; the
+    /// geomean weights every benchmark equally regardless of trace length).
+    pub fn geomean_speedup(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self.rows.iter().map(|r| r.speedup().ln()).sum();
+        (log_sum / self.rows.len() as f64).exp()
+    }
+
+    /// Aggregate speedup: total reference time over total optimized time.
+    pub fn total_speedup(&self) -> f64 {
+        let opt: f64 = self.rows.iter().map(|r| r.optimized_secs).sum();
+        let rf: f64 = self.rows.iter().map(|r| r.reference_secs).sum();
+        if opt > 0.0 {
+            rf / opt
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn time_replay(trace: &Trace, cache: &mut dyn CacheSim) -> (f64, u64) {
+    let t0 = Instant::now();
+    let s = run_functional(trace, cache, 0);
+    (t0.elapsed().as_secs_f64(), s.mem_ops)
+}
+
+/// Times one benchmark on both engines. The trace is generated once and
+/// shared; each engine gets an untimed warm-up run (page tables, branch
+/// predictors, frequency scaling) followed by the timed run.
+pub fn perf_benchmark(bench: &Benchmark, budget: usize, seed: u64) -> PerfRow {
+    let trace = bench.trace(budget, seed);
+    let mut opt = CppHierarchy::paper();
+    time_replay(&trace, &mut opt); // warm-up, untimed
+    let (optimized_secs, mem_ops) = time_replay(&trace, &mut opt);
+    let mut rf = RefCppHierarchy::paper();
+    let (reference_secs, _) = time_replay(&trace, &mut rf);
+    PerfRow {
+        benchmark: bench.full_name(),
+        mem_ops,
+        optimized_secs,
+        reference_secs,
+    }
+}
+
+/// Runs the harness over `benchmarks` (all 14 when empty).
+pub fn run_perf(benchmarks: &[Benchmark], budget: usize, seed: u64) -> PerfReport {
+    let all;
+    let benches = if benchmarks.is_empty() {
+        all = all_benchmarks();
+        &all
+    } else {
+        benchmarks
+    };
+    PerfReport {
+        rows: benches
+            .iter()
+            .map(|b| perf_benchmark(b, budget, seed))
+            .collect(),
+        budget,
+        seed,
+    }
+}
+
+/// Conformance guard for the perf path: re-checks a benchmark's engines
+/// agree before publishing numbers for them. Returns the names of any
+/// diverging benchmarks (normally empty — the full difftest already
+/// gates CI).
+pub fn conformance_spot_check(benchmarks: &[Benchmark], budget: usize, seed: u64) -> Vec<String> {
+    benchmarks
+        .iter()
+        .filter_map(|b| {
+            let o = diff_benchmark(b, budget, seed);
+            if o.matches() {
+                None
+            } else {
+                Some(o.benchmark)
+            }
+        })
+        .collect()
+}
+
+/// Renders the report as a table.
+pub fn render_perf(report: &PerfReport) -> String {
+    let mut s = format!(
+        "core hot-path benchmark (budget {} insts, seed {})\n\
+         benchmark              mem_ops   optimized    reference    speedup   Mops/s\n",
+        report.budget, report.seed
+    );
+    for r in &report.rows {
+        s.push_str(&format!(
+            "{:<20} {:>10}   {:>8.2} ms  {:>8.2} ms  {:>6.2}x  {:>7.2}\n",
+            r.benchmark,
+            r.mem_ops,
+            r.optimized_secs * 1e3,
+            r.reference_secs * 1e3,
+            r.speedup(),
+            r.optimized_mops(),
+        ));
+    }
+    s.push_str(&format!(
+        "geomean speedup {:.2}x, aggregate {:.2}x\n",
+        report.geomean_speedup(),
+        report.total_speedup()
+    ));
+    s
+}
+
+/// Converts the report to the `BENCH_core.json` document.
+pub fn perf_json(report: &PerfReport) -> Json {
+    Json::obj([
+        ("name", Json::from("core_hotpath")),
+        ("budget", Json::from(report.budget as u64)),
+        ("seed", Json::from(report.seed)),
+        (
+            "rows",
+            Json::Arr(
+                report
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("benchmark", Json::from(r.benchmark.clone())),
+                            ("mem_ops", Json::from(r.mem_ops)),
+                            ("optimized_secs", Json::from(r.optimized_secs)),
+                            ("reference_secs", Json::from(r.reference_secs)),
+                            ("speedup", Json::from(r.speedup())),
+                            ("optimized_mops", Json::from(r.optimized_mops())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("geomean_speedup", Json::from(report.geomean_speedup())),
+        ("total_speedup", Json::from(report.total_speedup())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccp_trace::benchmark_by_name;
+
+    #[test]
+    fn perf_row_math() {
+        let r = PerfRow {
+            benchmark: "x".into(),
+            mem_ops: 2_000_000,
+            optimized_secs: 0.5,
+            reference_secs: 2.0,
+        };
+        assert!((r.speedup() - 4.0).abs() < 1e-12);
+        assert!((r.optimized_mops() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_and_total_speedup() {
+        let report = PerfReport {
+            rows: vec![
+                PerfRow {
+                    benchmark: "a".into(),
+                    mem_ops: 1,
+                    optimized_secs: 1.0,
+                    reference_secs: 2.0,
+                },
+                PerfRow {
+                    benchmark: "b".into(),
+                    mem_ops: 1,
+                    optimized_secs: 1.0,
+                    reference_secs: 8.0,
+                },
+            ],
+            budget: 0,
+            seed: 0,
+        };
+        assert!((report.geomean_speedup() - 4.0).abs() < 1e-9);
+        assert!((report.total_speedup() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harness_times_a_small_benchmark() {
+        let b = benchmark_by_name("health")
+            .map(|b| vec![b])
+            .unwrap_or_default();
+        let report = run_perf(&b, 5_000, 1);
+        assert_eq!(report.rows.len(), 1);
+        let r = &report.rows[0];
+        assert!(r.mem_ops > 0);
+        assert!(r.optimized_secs >= 0.0 && r.reference_secs >= 0.0);
+        let doc = perf_json(&report).to_string();
+        assert!(doc.contains("core_hotpath") && doc.contains("geomean_speedup"));
+    }
+
+    #[test]
+    fn conformance_spot_check_is_clean() {
+        let b = benchmark_by_name("mst")
+            .map(|b| vec![b])
+            .unwrap_or_default();
+        assert!(conformance_spot_check(&b, 10_000, 1).is_empty());
+    }
+}
