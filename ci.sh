@@ -23,7 +23,9 @@ cargo test -q
 
 SCRATCH="$(mktemp -d)"
 SERVED_PID=""
-trap 'if [ -n "$SERVED_PID" ]; then kill "$SERVED_PID" 2>/dev/null || true; fi; rm -rf "$SCRATCH"' EXIT
+W1_PID=""
+W2_PID=""
+trap 'for p in $SERVED_PID $W1_PID $W2_PID; do kill -9 "$p" 2>/dev/null || true; done; rm -rf "$SCRATCH"' EXIT
 
 echo "== ccp-lint: workspace invariants (deny warnings)"
 ./target/release/ccp-lint --deny warnings --json "$SCRATCH/lint-report.json"
@@ -78,7 +80,7 @@ cmp "$SCRATCH/resumed.txt" "$SCRATCH/fresh.txt"
 cmp "$SCRATCH/resumed.json" "$SCRATCH/fresh.json"
 
 echo "== serve smoke: served results == direct runs, graceful drain"
-./target/release/ccp-served --workers 4 --cache 64 \
+./target/release/ccp-served --workers 4 --cache-bytes 65536 \
     > "$SCRATCH/served.out" 2> "$SCRATCH/served.err" &
 SERVED_PID=$!
 i=0
@@ -138,5 +140,86 @@ status=$?
 set -e
 SERVED_PID=""
 [ "$status" -eq 0 ] || { echo "ccp-served exit $status after SIGTERM"; exit 1; }
+
+echo "== fabric: distributed sweep is byte-identical to the local driver"
+FABSTORE="$SCRATCH/store"
+start_worker() {  # $1 = output basename; prints nothing, sets WORKER_ADDR
+    ./target/release/ccp-served --workers 2 --store "$FABSTORE" \
+        > "$SCRATCH/$1.out" 2> "$SCRATCH/$1.err" &
+    WORKER_PID=$!
+    i=0
+    until grep -q "listening on" "$SCRATCH/$1.out" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -le 100 ] || { echo "worker $1 did not come up"; exit 1; }
+        sleep 0.1
+    done
+    WORKER_ADDR="$(sed -n 's/^ccp-served listening on //p' "$SCRATCH/$1.out")"
+}
+start_worker w1; W1_PID=$WORKER_PID; W1_ADDR=$WORKER_ADDR
+start_worker w2; W2_PID=$WORKER_PID; W2_ADDR=$WORKER_ADDR
+
+FAB_ARGS="--budget 2000 --seed 7 --workloads health,mst,treeadd --designs BC,CPP"
+./target/release/ccp-coord sweep --workers "$W1_ADDR,$W2_ADDR" $FAB_ARGS \
+    --store "$FABSTORE" --json "$SCRATCH/fab.json" \
+    > "$SCRATCH/fab.txt" 2> "$SCRATCH/fab.log"
+./target/release/ccp-sim sweep $FAB_ARGS \
+    --json "$SCRATCH/fab-local.json" > "$SCRATCH/fab-local.txt"
+cmp "$SCRATCH/fab.txt" "$SCRATCH/fab-local.txt"
+cmp "$SCRATCH/fab.json" "$SCRATCH/fab-local.json"
+
+echo "== fabric: a repeat run is answered from the disk tier"
+# A fresh coordinator process has an empty RAM tier, so every one of the
+# 6 cells must come back as a verified disk hit (>= 90% required; we get
+# 100%) without a single dispatch to the workers.
+ccpz_count="$(ls "$FABSTORE"/*.ccpz 2>/dev/null | wc -l)"
+[ "$ccpz_count" -ge 6 ] || { echo "expected >= 6 .ccpz entries, got $ccpz_count"; exit 1; }
+./target/release/ccp-coord sweep --workers "$W1_ADDR,$W2_ADDR" $FAB_ARGS \
+    --store "$FABSTORE" --json "$SCRATCH/fab2.json" \
+    --summary-json "$SCRATCH/fab2-sum.json" > "$SCRATCH/fab2.txt" 2> /dev/null
+cmp "$SCRATCH/fab2.json" "$SCRATCH/fab-local.json"
+grep -q '"store_disk_hits":6' "$SCRATCH/fab2-sum.json" || {
+    echo "repeat run was not served from the disk tier:"
+    cat "$SCRATCH/fab2-sum.json"; exit 1; }
+grep -q '"store_misses":0' "$SCRATCH/fab2-sum.json" || {
+    echo "repeat run missed the store:"; cat "$SCRATCH/fab2-sum.json"; exit 1; }
+
+echo "== fabric: killing a worker mid-run still completes the grid"
+# Fresh grid (different seed, no store) so cells actually dispatch. The
+# budget makes the 28-cell grid run for seconds; w1 is killed as soon as
+# its stats report a simulation started, which is guaranteed mid-grid.
+KILL_ARGS="--budget 400000 --seed 11 --designs BC,CPP"
+./target/release/ccp-coord sweep --workers "$W1_ADDR,$W2_ADDR" $KILL_ARGS \
+    --retries 6 --strikes 2 --backoff-ms 10 \
+    --json "$SCRATCH/kill.json" > "$SCRATCH/kill.txt" 2> "$SCRATCH/kill.log" &
+COORD_PID=$!
+i=0
+until ./target/release/ccp-client --addr "$W1_ADDR" stats 2>/dev/null \
+        | grep -q "sims run [1-9]"; do
+    i=$((i + 1))
+    [ "$i" -le 200 ] || { echo "w1 never started simulating"; exit 1; }
+    sleep 0.05
+done
+kill -9 "$W1_PID" 2>/dev/null || true
+set +e
+wait "$COORD_PID"
+status=$?
+set -e
+W1_PID=""
+[ "$status" -eq 0 ] || {
+    echo "coordinator exit $status after worker kill:"; cat "$SCRATCH/kill.log"; exit 1; }
+# The survivor must have absorbed the dead worker's cells: the fabric
+# summary records at least one worker loss and the report is still
+# byte-identical to the local driver.
+grep -q "lost=[1-9]" "$SCRATCH/kill.log" || {
+    echo "worker kill did not register as a loss:"; cat "$SCRATCH/kill.log"; exit 1; }
+# Results must match the local driver modulo the attempts column (the
+# retried cell legitimately records attempts > 1; everything else —
+# status, cycles, every stat field — is byte-identical).
+./target/release/ccp-sim sweep $KILL_ARGS \
+    --json "$SCRATCH/kill-local.json" > "$SCRATCH/kill-local.txt"
+for f in kill kill-local; do
+    sed 's/"attempts":[0-9]*/"attempts":_/g' "$SCRATCH/$f.json" > "$SCRATCH/$f.norm"
+done
+cmp "$SCRATCH/kill.norm" "$SCRATCH/kill-local.norm"
 
 echo "CI OK"

@@ -93,6 +93,23 @@ pub enum SimError {
         /// Why the work was rejected.
         detail: String,
     },
+    /// A remote worker died, hung up, or otherwise stopped answering while
+    /// it held a unit of work. The work itself is presumed fine — the
+    /// fabric coordinator retries it on another worker.
+    WorkerLost {
+        /// The worker address that was lost.
+        worker: String,
+        /// What the loss looked like (connection reset, bad response, ...).
+        detail: String,
+    },
+    /// An operation exceeded its deadline (a remote call that never
+    /// answered, a heartbeat that never came back).
+    Timeout {
+        /// The operation that timed out.
+        context: String,
+        /// The deadline that was exceeded.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -178,6 +195,22 @@ impl SimError {
         }
     }
 
+    /// A worker that stopped answering while it held work.
+    pub fn worker_lost(worker: impl Into<String>, detail: impl Into<String>) -> Self {
+        SimError::WorkerLost {
+            worker: worker.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// A deadline exceeded by the operation at `context`.
+    pub fn timeout(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        SimError::Timeout {
+            context: context.into(),
+            detail: detail.into(),
+        }
+    }
+
     /// Classifies a caught panic payload (from `std::panic::catch_unwind`)
     /// raised inside `context`. Panics whose message identifies a pipeline
     /// wedge are reported as [`SimError::Pipeline`]; everything else as
@@ -233,6 +266,8 @@ impl SimError {
             SimError::Protocol { .. } => "protocol",
             SimError::Canceled { .. } => "canceled",
             SimError::Shutdown { .. } => "shutdown",
+            SimError::WorkerLost { .. } => "worker-lost",
+            SimError::Timeout { .. } => "timeout",
         }
     }
 
@@ -264,15 +299,21 @@ impl SimError {
             "corrupt" => SimError::corrupt("artifact", message),
             "canceled" => SimError::canceled(message),
             "shutdown" => SimError::shutdown(message),
+            "worker-lost" => SimError::worker_lost("remote", message),
+            "timeout" => SimError::timeout("remote", message),
             _ => SimError::protocol(message),
         }
     }
 
     /// Whether retrying the failed operation could plausibly succeed.
-    /// Only I/O failures qualify: every other class is deterministic for a
-    /// fixed seed, so a retry would reproduce it exactly.
+    /// I/O hiccups, lost workers, and timeouts qualify — the environment
+    /// caused them, not the input. Every other class is deterministic for
+    /// a fixed seed, so a retry would reproduce it exactly.
     pub fn is_transient(&self) -> bool {
-        matches!(self, SimError::Io { .. })
+        matches!(
+            self,
+            SimError::Io { .. } | SimError::WorkerLost { .. } | SimError::Timeout { .. }
+        )
     }
 }
 
@@ -300,6 +341,12 @@ impl fmt::Display for SimError {
             SimError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
             SimError::Canceled { context } => write!(f, "canceled: {context}"),
             SimError::Shutdown { detail } => write!(f, "server shutting down: {detail}"),
+            SimError::WorkerLost { worker, detail } => {
+                write!(f, "worker {worker} lost: {detail}")
+            }
+            SimError::Timeout { context, detail } => {
+                write!(f, "timeout in {context}: {detail}")
+            }
         }
     }
 }
@@ -329,6 +376,14 @@ mod tests {
             (SimError::protocol("missing field"), "protocol violation"),
             (SimError::canceled("job 7"), "canceled"),
             (SimError::shutdown("draining"), "shutting down"),
+            (
+                SimError::worker_lost("127.0.0.1:7700", "connection reset"),
+                "worker 127.0.0.1:7700 lost",
+            ),
+            (
+                SimError::timeout("submit_wait", "no response in 5000ms"),
+                "timeout in submit_wait",
+            ),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle), "{e}");
@@ -336,9 +391,11 @@ mod tests {
     }
 
     #[test]
-    fn io_is_the_only_transient_class() {
+    fn environmental_classes_are_transient() {
         let io = SimError::io("/tmp/x", &std::io::Error::other("disk"));
         assert!(io.is_transient());
+        assert!(SimError::worker_lost("w0", "reset").is_transient());
+        assert!(SimError::timeout("submit", "deadline").is_transient());
         assert!(!SimError::spec("x").is_transient());
         assert!(!SimError::pipeline("x").is_transient());
         assert!(!SimError::watchdog("c", 1).is_transient());
@@ -378,6 +435,8 @@ mod tests {
         assert_eq!(SimError::protocol("x").class(), "protocol");
         assert_eq!(SimError::canceled("x").class(), "canceled");
         assert_eq!(SimError::shutdown("x").class(), "shutdown");
+        assert_eq!(SimError::worker_lost("w", "x").class(), "worker-lost");
+        assert_eq!(SimError::timeout("c", "x").class(), "timeout");
     }
 
     #[test]
@@ -389,6 +448,8 @@ mod tests {
             SimError::canceled("job 3"),
             SimError::shutdown("draining"),
             SimError::protocol("truncated line"),
+            SimError::worker_lost("127.0.0.1:7700", "connection reset"),
+            SimError::timeout("submit_wait", "deadline exceeded"),
         ];
         for e in cases {
             let back = SimError::from_wire(e.class(), e.to_string());

@@ -1,0 +1,220 @@
+//! `ccp-coord` — the distributed sweep coordinator.
+//!
+//! ```text
+//! ccp-coord sweep --workers HOST:PORT,.. [OPTIONS]
+//!
+//! OPTIONS:
+//!   --workers L         comma-separated ccp-served addresses (required)
+//!   --budget N          instructions per workload        (default 60000)
+//!   --seed S            workload generation seed         (default 1)
+//!   --workloads L       comma-separated benchmark names and/or workgen:
+//!                       specs                            (default: all 14)
+//!   --designs L         comma-separated design subset    (default: all 5)
+//!   --halved            halve the miss penalties (Figure 14 variant)
+//!   --retries N         retry cells whose worker faulted (default 2)
+//!   --backoff-ms MS     base re-dial backoff per consecutive loss
+//!                                                        (default 50)
+//!   --strikes N         consecutive losses before a worker is excluded
+//!                                                        (default 3)
+//!   --timeout-ms MS     per-response read deadline, 0 = none
+//!                                                        (default 30000)
+//!   --max-cells N       stop after N cells (rest report `skipped`)
+//!   --checkpoint FILE   record completed cells to a JSONL checkpoint
+//!   --resume FILE       load FILE as checkpoint, skip finished cells,
+//!                       and keep recording into it
+//!   --store DIR         two-tier content-addressed result store
+//!   --store-bytes N     RAM-tier budget in bytes         (default 4 MiB)
+//!   --json FILE         write the full outcome grid as JSON (atomic)
+//!   --summary-json FILE write fabric dispatch/store accounting (atomic)
+//!
+//! EXIT CODE: 0 all cells ok · 1 any cell failed (or bad I/O)
+//!            2 usage error  · 3 grid incomplete (cells skipped)
+//! ```
+//!
+//! The stdout report and `--json` grid are byte-identical to a local
+//! `ccp-sim sweep` over the same grid; the checkpoint file is the same
+//! format, so an interrupted coordinator resumes with either driver. The
+//! fabric's own accounting (per-worker dispatch counts, store tier hits,
+//! retries) goes to stderr and `--summary-json`, never stdout.
+
+use ccp_fabric::{run_fabric_sweep, FabricConfig, TcpExecutor};
+use ccp_sim::sweep::CellStatus;
+use ccp_sim::SweepConfig;
+
+const HELP: &str = "ccp-coord — distributed sweep coordinator
+usage: ccp-coord sweep --workers HOST:PORT,.. [--budget N] [--seed S]
+                       [--workloads a,b,..] [--designs BC,CPP,..] [--halved]
+                       [--retries N] [--backoff-ms MS] [--strikes N]
+                       [--timeout-ms MS] [--max-cells N]
+                       [--checkpoint FILE | --resume FILE]
+                       [--store DIR] [--store-bytes N]
+                       [--json FILE] [--summary-json FILE]
+exit codes: 0 ok · 1 failed cells · 2 usage · 3 incomplete (skipped cells)";
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{HELP}");
+    std::process::exit(2);
+}
+
+struct Args {
+    config: SweepConfig,
+    fab: FabricConfig,
+    json_path: Option<std::path::PathBuf>,
+    summary_path: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut it = std::env::args().skip(1);
+    match it.next().as_deref() {
+        Some("sweep") => {}
+        Some("--help") | Some("-h") => {
+            println!("{HELP}");
+            std::process::exit(0);
+        }
+        Some(other) => usage(&format!("unknown subcommand {other:?}")),
+        None => usage("missing subcommand (try `ccp-coord sweep`)"),
+    }
+
+    let mut config = SweepConfig::new(60_000, 1);
+    let mut fab = FabricConfig::default();
+    let mut json_path = None;
+    let mut summary_path = None;
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next()
+            .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+    };
+    let list = |raw: String| -> Vec<String> {
+        raw.split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect()
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => fab.workers = list(need(&mut it, "--workers")),
+            "--budget" => {
+                config.budget = need(&mut it, "--budget")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("bad --budget: {e}")));
+            }
+            "--seed" => {
+                config.seed = need(&mut it, "--seed")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("bad --seed: {e}")));
+            }
+            "--workloads" => config.workloads = list(need(&mut it, "--workloads")),
+            "--designs" => config.designs = list(need(&mut it, "--designs")),
+            "--halved" => config.halved_miss_penalty = true,
+            "--retries" => {
+                fab.retries = need(&mut it, "--retries")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("bad --retries: {e}")));
+            }
+            "--backoff-ms" => {
+                fab.backoff_ms = need(&mut it, "--backoff-ms")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("bad --backoff-ms: {e}")));
+            }
+            "--strikes" => {
+                fab.worker_strikes = need(&mut it, "--strikes")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("bad --strikes: {e}")));
+            }
+            "--timeout-ms" => {
+                fab.timeout_ms = need(&mut it, "--timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("bad --timeout-ms: {e}")));
+            }
+            "--max-cells" => {
+                fab.max_cells = Some(
+                    need(&mut it, "--max-cells")
+                        .parse()
+                        .unwrap_or_else(|e| usage(&format!("bad --max-cells: {e}"))),
+                );
+            }
+            "--checkpoint" => {
+                fab.checkpoint = Some(need(&mut it, "--checkpoint").into());
+                fab.resume = false;
+            }
+            "--resume" => {
+                fab.checkpoint = Some(need(&mut it, "--resume").into());
+                fab.resume = true;
+            }
+            "--store" => fab.store_dir = Some(need(&mut it, "--store").into()),
+            "--store-bytes" => {
+                fab.store_bytes = need(&mut it, "--store-bytes")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("bad --store-bytes: {e}")));
+            }
+            "--json" => json_path = Some(std::path::PathBuf::from(need(&mut it, "--json"))),
+            "--summary-json" => {
+                summary_path = Some(std::path::PathBuf::from(need(&mut it, "--summary-json")));
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if fab.workers.is_empty() {
+        usage("--workers needs at least one ccp-served address");
+    }
+    Args {
+        config,
+        fab,
+        json_path,
+        summary_path,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let executor = TcpExecutor::new(&args.fab.workers, args.fab.timeout());
+    let outcome = match run_fabric_sweep(&args.config, &args.fab, &executor) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error [{}]: {e}", e.class());
+            std::process::exit(if e.class() == "unknown-name" { 2 } else { 1 });
+        }
+    };
+    let sweep = &outcome.sweep;
+
+    print!("{}", sweep.render_report());
+    for cell in sweep.outcomes() {
+        if let CellStatus::Failed(e) = &cell.status {
+            eprintln!(
+                "cell {}/{} failed [{}]: {e}",
+                cell.workload,
+                cell.design,
+                e.class()
+            );
+        }
+    }
+    eprint!("{}", outcome.stats.render());
+
+    if let Some(path) = &args.json_path {
+        let doc = sweep.to_json().to_string();
+        if let Err(e) = ccp_sim::json::write_atomic(path, &doc) {
+            eprintln!("error [{}]: {e}", e.class());
+            std::process::exit(1);
+        }
+        eprintln!("wrote JSON outcome grid to {}", path.display());
+    }
+    if let Some(path) = &args.summary_path {
+        let doc = outcome.stats.to_json().to_string();
+        if let Err(e) = ccp_sim::json::write_atomic(path, &doc) {
+            eprintln!("error [{}]: {e}", e.class());
+            std::process::exit(1);
+        }
+        eprintln!("wrote fabric summary to {}", path.display());
+    }
+
+    if sweep.failed_count() > 0 {
+        std::process::exit(1);
+    }
+    if sweep.skipped_count() > 0 {
+        std::process::exit(3);
+    }
+}

@@ -1,0 +1,696 @@
+//! The sweep coordinator: shards a grid across workers, survives worker
+//! loss, and checkpoints crash-safely.
+//!
+//! One dispatcher thread per worker pulls cells from a shared deque
+//! (work-stealing: a fast worker simply takes more cells). A cell whose
+//! worker faults is pushed back to the *front* of the deque — the next
+//! free dispatcher (almost always a different worker) retries it — while
+//! the faulted dispatcher backs off and re-dials; after
+//! [`FabricConfig::worker_strikes`] consecutive losses the worker is
+//! excluded and the rest of the pool finishes the grid. Completed cells
+//! are recorded to the same crash-safe JSONL checkpoint `ccp-sim sweep`
+//! uses (identical header), so a killed coordinator resumes with either
+//! driver, and the merged grid is assembled through
+//! [`ResilientSweep::from_outcomes`] so its report/JSON bytes come from
+//! exactly the same rendering code as a local sweep.
+//!
+//! Before dispatching, each cell consults the optional two-tier
+//! [`TieredStore`]: a hit (RAM or disk) satisfies the cell without
+//! touching any worker, and every fresh result is published back, so a
+//! repeated grid is answered almost entirely from the store.
+
+use crate::exec::{is_worker_fault, CellExecutor};
+use ccp_cache::DesignKind;
+use ccp_errors::{SimError, SimResult};
+use ccp_served::sync::LockExt;
+use ccp_sim::checkpoint::Checkpoint;
+use ccp_sim::json::Json;
+use ccp_sim::sweep::{CellOutcome, CellStatus, ResilientSweep, Workload};
+use ccp_sim::{JobSpec, SweepConfig};
+use ccp_store::{DiskTier, TieredStore};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Coordinator knobs layered on top of a [`SweepConfig`] (which fixes
+/// *what* to run; this fixes *where and how resiliently*).
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Worker addresses (`host:port` of `ccp-served` instances). One
+    /// dispatcher thread runs per worker.
+    pub workers: Vec<String>,
+    /// Extra attempts for a cell whose worker faulted; mirrors the local
+    /// sweep's retry budget (total attempts ≤ `retries + 1`).
+    pub retries: u32,
+    /// Base re-dial backoff after a worker fault; the n-th consecutive
+    /// loss waits `n ×` this before the dispatcher tries again.
+    pub backoff_ms: u64,
+    /// Consecutive losses before a worker is excluded from the pool.
+    pub worker_strikes: u32,
+    /// Stop scheduling after this many cells (the rest report `skipped`,
+    /// with the same message the local sweep uses) — kill emulation for
+    /// the resume tests, time-boxing for exploratory grids.
+    pub max_cells: Option<usize>,
+    /// JSONL checkpoint path — same format as `ccp-sim sweep`.
+    pub checkpoint: Option<PathBuf>,
+    /// Load completed cells from the checkpoint instead of starting fresh.
+    pub resume: bool,
+    /// Content-addressed disk tier directory (None = no result store).
+    pub store_dir: Option<PathBuf>,
+    /// RAM-tier budget in bytes for the two-tier store.
+    pub store_bytes: usize,
+    /// Per-response read deadline for TCP executors, milliseconds
+    /// (0 = wait forever).
+    pub timeout_ms: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            workers: Vec::new(),
+            retries: 2,
+            backoff_ms: 50,
+            worker_strikes: 3,
+            max_cells: None,
+            checkpoint: None,
+            resume: false,
+            store_dir: None,
+            store_bytes: 4 << 20,
+            timeout_ms: 30_000,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// The configured read deadline as a `Duration` (None when 0).
+    pub fn timeout(&self) -> Option<Duration> {
+        (self.timeout_ms > 0).then(|| Duration::from_millis(self.timeout_ms))
+    }
+}
+
+/// Per-worker dispatch accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Cells sent to this worker (retries of the same cell count again).
+    pub dispatched: u64,
+    /// Cells this worker completed.
+    pub completed: u64,
+    /// Worker faults observed on this worker's connection.
+    pub lost: u64,
+}
+
+/// What the fabric did beyond the sweep results themselves. Reported on
+/// stderr / `--summary-json` so the stdout report stays byte-identical
+/// to a local `ccp-sim sweep`.
+#[derive(Debug, Clone, Default)]
+pub struct FabricStats {
+    /// Dispatch accounting per worker address.
+    pub workers: BTreeMap<String, WorkerStats>,
+    /// Workers excluded after repeated consecutive losses.
+    pub excluded: Vec<String>,
+    /// Cells restored from the checkpoint (never scheduled).
+    pub restored: u64,
+    /// Cells satisfied by the store's RAM tier.
+    pub store_ram_hits: u64,
+    /// Cells satisfied by the store's disk tier.
+    pub store_disk_hits: u64,
+    /// Cells that missed the store (and were dispatched).
+    pub store_misses: u64,
+    /// Cells requeued after a worker fault.
+    pub retried: u64,
+}
+
+impl FabricStats {
+    /// Cells answered by either store tier.
+    pub fn store_hits(&self) -> u64 {
+        self.store_ram_hits + self.store_disk_hits
+    }
+
+    /// The summary as deterministic JSON (for `--summary-json`).
+    pub fn to_json(&self) -> Json {
+        let workers = self
+            .workers
+            .iter()
+            .map(|(w, s)| {
+                Json::obj([
+                    ("addr", Json::from(w.clone())),
+                    ("dispatched", Json::from(s.dispatched)),
+                    ("completed", Json::from(s.completed)),
+                    ("lost", Json::from(s.lost)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("workers", Json::Arr(workers)),
+            (
+                "excluded",
+                Json::Arr(
+                    self.excluded
+                        .iter()
+                        .map(|w| Json::from(w.clone()))
+                        .collect(),
+                ),
+            ),
+            ("restored", Json::from(self.restored)),
+            ("store_ram_hits", Json::from(self.store_ram_hits)),
+            ("store_disk_hits", Json::from(self.store_disk_hits)),
+            ("store_misses", Json::from(self.store_misses)),
+            ("retried", Json::from(self.retried)),
+        ])
+    }
+
+    /// Human-readable summary block.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fabric: workers={} excluded={} restored={} retried={}",
+            self.workers.len(),
+            self.excluded.len(),
+            self.restored,
+            self.retried,
+        );
+        let _ = writeln!(
+            out,
+            "store: ram_hits={} disk_hits={} misses={}",
+            self.store_ram_hits, self.store_disk_hits, self.store_misses,
+        );
+        for (w, s) in &self.workers {
+            let _ = writeln!(
+                out,
+                "worker {w}: dispatched={} completed={} lost={}",
+                s.dispatched, s.completed, s.lost,
+            );
+        }
+        out
+    }
+}
+
+/// A distributed sweep's results: the merged grid plus fabric accounting.
+#[derive(Debug)]
+pub struct FabricOutcome {
+    /// The merged grid — rendered by the same code as a local sweep.
+    pub sweep: ResilientSweep,
+    /// Dispatch/store/retry accounting.
+    pub stats: FabricStats,
+}
+
+/// One schedulable cell.
+struct Cell {
+    wi: usize,
+    design: DesignKind,
+    attempts: u32,
+}
+
+/// Everything dispatchers share. `grid` and `store` are separate locks
+/// and are never held together (the declared fabric hierarchy is
+/// `grid → store`; the code keeps every critical section disjoint).
+struct GridState {
+    pending: VecDeque<Cell>,
+    in_flight: usize,
+    done: Vec<CellOutcome>,
+    retried: u64,
+}
+
+struct Ctx<'a> {
+    grid: Mutex<GridState>,
+    store: Option<Mutex<TieredStore>>,
+    cp: Option<Mutex<Checkpoint>>,
+    resolved: &'a [(String, SimResult<Workload>)],
+    config: &'a SweepConfig,
+    fab: &'a FabricConfig,
+}
+
+/// The [`JobSpec`] a grid cell submits — the same spec a `ccp-served`
+/// client would build, so the worker's result cache and the coordinator's
+/// store share content addresses.
+pub fn cell_spec(config: &SweepConfig, workload: &str, design: DesignKind) -> JobSpec {
+    let mut spec = JobSpec::new(workload, design.name());
+    spec.budget = config.budget;
+    spec.seed = config.seed;
+    spec.halved = config.halved_miss_penalty;
+    spec
+}
+
+/// Runs `config`'s grid across `fab.workers` via `executor`.
+///
+/// The merged [`ResilientSweep`] renders byte-identically to a local
+/// `ccp-sim sweep` over the same grid when every cell completes on its
+/// first attempt — and a coordinator killed and resumed from its
+/// checkpoint reproduces the same bytes too.
+pub fn run_fabric_sweep(
+    config: &SweepConfig,
+    fab: &FabricConfig,
+    executor: &dyn CellExecutor,
+) -> SimResult<FabricOutcome> {
+    if fab.workers.is_empty() {
+        return Err(SimError::spec("fabric needs at least one worker"));
+    }
+    let designs = config.design_kinds()?;
+    let names = config.workload_names();
+    let resolved: Vec<(String, SimResult<Workload>)> = names
+        .iter()
+        .map(|n| match Workload::by_name(n) {
+            Ok(w) => (w.full_name(), Ok(w)),
+            Err(e) => (n.clone(), Err(e)),
+        })
+        .collect();
+    let workload_names: Vec<String> = resolved.iter().map(|(n, _)| n.clone()).collect();
+
+    // Checkpoint: restore completed cells, keep recording new ones. The
+    // header is identical to the local sweep driver's, so either driver
+    // can resume the other's file.
+    let mut restored: BTreeMap<(String, &'static str), CellOutcome> = BTreeMap::new();
+    let cp = match &fab.checkpoint {
+        None => None,
+        Some(path) => {
+            let cp = Checkpoint::open(path, config, &workload_names, &designs, fab.resume)?;
+            for rec in cp.completed() {
+                let design = DesignKind::from_name(&rec.design).ok_or_else(|| {
+                    SimError::corrupt("checkpoint", format!("design {:?}", rec.design))
+                })?;
+                restored.insert(
+                    (rec.workload.clone(), design.name()),
+                    CellOutcome {
+                        workload: rec.workload.clone(),
+                        design: design.name(),
+                        status: CellStatus::Ok(rec.stats.clone()),
+                        attempts: rec.attempts,
+                    },
+                );
+            }
+            Some(Mutex::new(cp))
+        }
+    };
+
+    let store = match &fab.store_dir {
+        None => None,
+        Some(dir) => Some(Mutex::new(TieredStore::new(
+            fab.store_bytes,
+            Some(DiskTier::open(dir)?),
+        ))),
+    };
+
+    // Grid assembly mirrors the local resilient sweep exactly: restored
+    // cells are done, unresolved workloads are skipped, and the max_cells
+    // cut skips the tail of the pending list — same messages, same order.
+    let mut cells: BTreeMap<(String, &'static str), CellOutcome> = BTreeMap::new();
+    let mut pending: Vec<(usize, DesignKind)> = Vec::new();
+    for (wi, (name, r)) in resolved.iter().enumerate() {
+        for &d in &designs {
+            let key = (name.clone(), d.name());
+            if let Some(done) = restored.get(&key) {
+                cells.insert(key, done.clone());
+            } else if let Err(e) = r {
+                cells.insert(
+                    key,
+                    CellOutcome {
+                        workload: name.clone(),
+                        design: d.name(),
+                        status: CellStatus::Skipped(format!("workload unresolved: {e}")),
+                        attempts: 0,
+                    },
+                );
+            } else {
+                pending.push((wi, d));
+            }
+        }
+    }
+    let cut = fab
+        .max_cells
+        .map(|m| m.min(pending.len()))
+        .unwrap_or(pending.len());
+    for &(wi, d) in &pending[cut..] {
+        let name = &resolved[wi].0;
+        cells.insert(
+            (name.clone(), d.name()),
+            CellOutcome {
+                workload: name.clone(),
+                design: d.name(),
+                status: CellStatus::Skipped(format!(
+                    "cell budget exhausted (--max-cells {})",
+                    fab.max_cells.unwrap_or(0)
+                )),
+                attempts: 0,
+            },
+        );
+    }
+    let queue: VecDeque<Cell> = pending[..cut]
+        .iter()
+        .map(|&(wi, design)| Cell {
+            wi,
+            design,
+            attempts: 0,
+        })
+        .collect();
+
+    let ctx = Ctx {
+        grid: Mutex::new(GridState {
+            pending: queue,
+            in_flight: 0,
+            done: Vec::new(),
+            retried: 0,
+        }),
+        store,
+        cp,
+        resolved: &resolved,
+        config,
+        fab,
+    };
+
+    let mut stats = FabricStats {
+        restored: restored.len() as u64,
+        ..Default::default()
+    };
+    let worker_results: Vec<(String, WorkerStats, bool)> = std::thread::scope(|s| {
+        let handles: Vec<_> = fab
+            .workers
+            .iter()
+            .map(|w| {
+                let ctx = &ctx;
+                s.spawn(move || {
+                    let (ws, excluded) = dispatcher(w, ctx, executor);
+                    (w.clone(), ws, excluded)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // A panicking dispatcher counts as a fully-lost worker;
+                // its in-flight cell (if any) is drained as failed below.
+                Err(_) => (
+                    "<panicked dispatcher>".to_string(),
+                    WorkerStats::default(),
+                    true,
+                ),
+            })
+            .collect()
+    });
+    for (w, ws, excluded) in worker_results {
+        if excluded {
+            stats.excluded.push(w.clone());
+        }
+        stats.workers.insert(w, ws);
+    }
+
+    let grid = ctx
+        .grid
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    for c in grid.done {
+        cells.insert((c.workload.clone(), c.design), c);
+    }
+    // Every dispatcher exited with cells still queued: the whole pool is
+    // gone. Fail the remainder with a typed worker loss so the report
+    // says what actually happened instead of hanging.
+    for cell in grid.pending {
+        let name = resolved[cell.wi].0.clone();
+        cells.insert(
+            (name.clone(), cell.design.name()),
+            CellOutcome {
+                workload: name,
+                design: cell.design.name(),
+                status: CellStatus::Failed(SimError::worker_lost(
+                    "pool",
+                    "every worker excluded before this cell could run",
+                )),
+                attempts: cell.attempts,
+            },
+        );
+    }
+    stats.retried = grid.retried;
+    if let Some(store) = &ctx.store {
+        let st = store.lock_unpoisoned();
+        let c = st.counters();
+        stats.store_ram_hits = c.ram_hits;
+        stats.store_disk_hits = c.disk_hits;
+        stats.store_misses = c.misses;
+    }
+
+    Ok(FabricOutcome {
+        sweep: ResilientSweep::from_outcomes(
+            config.clone(),
+            workload_names,
+            designs,
+            cells.into_values(),
+        ),
+        stats,
+    })
+}
+
+/// One worker's dispatch loop. Returns its accounting and whether it
+/// struck out (was excluded).
+fn dispatcher(worker: &str, ctx: &Ctx<'_>, executor: &dyn CellExecutor) -> (WorkerStats, bool) {
+    let mut ws = WorkerStats::default();
+    let mut consecutive_losses = 0u32;
+    loop {
+        let popped = {
+            let mut g = ctx.grid.lock_unpoisoned();
+            match g.pending.pop_front() {
+                Some(c) => {
+                    g.in_flight += 1;
+                    Some(c)
+                }
+                None if g.in_flight == 0 => return (ws, false), // drained
+                None => None, // an in-flight cell may still requeue
+            }
+        };
+        let Some(mut cell) = popped else {
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        };
+        let name = ctx.resolved[cell.wi].0.clone();
+        let spec = cell_spec(ctx.config, &name, cell.design);
+
+        // Store consult: a hit satisfies the cell without any worker, and
+        // reports attempts=1 — indistinguishable from a clean local run.
+        let mut hit = None;
+        if let Some(store) = &ctx.store {
+            hit = store
+                .lock_unpoisoned()
+                .get(spec.cache_key(), &spec.canonical());
+        }
+        if let Some(stats) = hit {
+            finish(
+                ctx,
+                &name,
+                cell.design,
+                cell.attempts.max(1),
+                CellStatus::Ok((*stats).clone()),
+            );
+            continue;
+        }
+
+        cell.attempts += 1;
+        ws.dispatched += 1;
+        match executor.run(worker, &spec) {
+            Ok(stats) => {
+                ws.completed += 1;
+                consecutive_losses = 0;
+                if let Some(store) = &ctx.store {
+                    store.lock_unpoisoned().put(
+                        spec.cache_key(),
+                        &spec.canonical(),
+                        Arc::new(stats.clone()),
+                    );
+                }
+                finish(
+                    ctx,
+                    &name,
+                    cell.design,
+                    cell.attempts,
+                    CellStatus::Ok(stats),
+                );
+            }
+            Err(e) if is_worker_fault(&e) => {
+                ws.lost += 1;
+                consecutive_losses += 1;
+                {
+                    let mut g = ctx.grid.lock_unpoisoned();
+                    g.in_flight -= 1;
+                    if cell.attempts <= ctx.fab.retries {
+                        g.retried += 1;
+                        // Front of the deque: the next free dispatcher —
+                        // almost always a different worker — retries it
+                        // before any untouched cell.
+                        g.pending.push_front(cell);
+                    } else {
+                        g.done.push(CellOutcome {
+                            workload: name,
+                            design: cell.design.name(),
+                            status: CellStatus::Failed(e),
+                            attempts: cell.attempts,
+                        });
+                    }
+                }
+                if consecutive_losses >= ctx.fab.worker_strikes {
+                    return (ws, true); // excluded: leave the grid to the pool
+                }
+                std::thread::sleep(Duration::from_millis(
+                    ctx.fab.backoff_ms.saturating_mul(consecutive_losses as u64),
+                ));
+            }
+            Err(e) => {
+                // A deterministic cell failure (panic class, invariant,
+                // unknown name…): retrying elsewhere cannot help.
+                consecutive_losses = 0;
+                finish(
+                    ctx,
+                    &name,
+                    cell.design,
+                    cell.attempts,
+                    CellStatus::Failed(e),
+                );
+            }
+        }
+    }
+}
+
+/// Records a terminal cell outcome: checkpoint (completions only), then
+/// the grid's done list. Locks are taken strictly one at a time.
+fn finish(ctx: &Ctx<'_>, workload: &str, design: DesignKind, attempts: u32, status: CellStatus) {
+    if let (Some(cp), CellStatus::Ok(stats)) = (&ctx.cp, &status) {
+        // A failed checkpoint write must not fail the cell: the record is
+        // an optimization for resume, not part of the result.
+        let _ = cp
+            .lock_unpoisoned()
+            .record(workload, design.name(), attempts, stats);
+    }
+    let mut g = ctx.grid.lock_unpoisoned();
+    g.in_flight -= 1;
+    g.done.push(CellOutcome {
+        workload: workload.to_string(),
+        design: design.name(),
+        status,
+        attempts,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccp_pipeline::RunStats;
+
+    fn fake_stats(cycles: u64) -> RunStats {
+        RunStats {
+            cycles,
+            instructions: 100,
+            loads: 10,
+            ..Default::default()
+        }
+    }
+
+    struct OkExec;
+    impl CellExecutor for OkExec {
+        fn run(&self, _worker: &str, spec: &JobSpec) -> SimResult<RunStats> {
+            Ok(fake_stats(spec.cache_key() % 100_000 + 1))
+        }
+    }
+
+    fn grid_config() -> SweepConfig {
+        let mut c = SweepConfig::new(2_000, 7);
+        c.workloads = vec!["health".into(), "mst".into()];
+        c.designs = vec!["BC".into(), "CPP".into()];
+        c
+    }
+
+    fn two_workers() -> FabricConfig {
+        FabricConfig {
+            workers: vec!["alpha".into(), "beta".into()],
+            backoff_ms: 0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_worker_pool_is_a_spec_error() {
+        let e = run_fabric_sweep(&grid_config(), &FabricConfig::default(), &OkExec).unwrap_err();
+        assert_eq!(e.class(), "spec");
+    }
+
+    #[test]
+    fn full_grid_completes_across_the_pool() {
+        let out = run_fabric_sweep(&grid_config(), &two_workers(), &OkExec).expect("fabric");
+        assert!(out.sweep.is_complete());
+        assert_eq!(out.sweep.ok_count(), 4);
+        let dispatched: u64 = out.stats.workers.values().map(|w| w.dispatched).sum();
+        assert_eq!(dispatched, 4);
+        assert!(out.stats.excluded.is_empty());
+        for o in out.sweep.outcomes() {
+            assert_eq!(o.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn unresolved_workloads_skip_with_the_local_sweep_message() {
+        let mut config = grid_config();
+        config.workloads = vec!["health".into(), "bogus".into()];
+        let out = run_fabric_sweep(&config, &two_workers(), &OkExec).expect("fabric");
+        assert_eq!(out.sweep.ok_count(), 2);
+        assert_eq!(out.sweep.skipped_count(), 2);
+        for o in out.sweep.outcomes() {
+            if o.workload == "bogus" {
+                match &o.status {
+                    CellStatus::Skipped(r) => assert!(r.contains("workload unresolved"), "{r}"),
+                    other => panic!("expected Skipped, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_cells_skips_the_tail_with_the_local_sweep_message() {
+        let fab = FabricConfig {
+            max_cells: Some(1),
+            ..two_workers()
+        };
+        let out = run_fabric_sweep(&grid_config(), &fab, &OkExec).expect("fabric");
+        assert_eq!(out.sweep.ok_count(), 1);
+        assert_eq!(out.sweep.skipped_count(), 3);
+        for o in out.sweep.outcomes() {
+            if let CellStatus::Skipped(r) = &o.status {
+                assert!(r.contains("--max-cells 1"), "{r}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_workers_dead_fails_cells_with_worker_lost() {
+        struct DeadExec;
+        impl CellExecutor for DeadExec {
+            fn run(&self, worker: &str, _spec: &JobSpec) -> SimResult<RunStats> {
+                Err(SimError::worker_lost(worker, "connection refused"))
+            }
+        }
+        let fab = FabricConfig {
+            retries: 1,
+            worker_strikes: 2,
+            ..two_workers()
+        };
+        let out = run_fabric_sweep(&grid_config(), &fab, &DeadExec).expect("fabric");
+        assert_eq!(out.sweep.ok_count(), 0);
+        assert_eq!(out.sweep.failed_count() + out.sweep.skipped_count(), 4);
+        assert!(out.sweep.failed_count() >= 1);
+        assert_eq!(out.stats.excluded.len(), 2);
+        for o in out.sweep.outcomes() {
+            if let CellStatus::Failed(e) = &o.status {
+                assert_eq!(e.class(), "worker-lost");
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_stats_render_and_json_are_deterministic() {
+        let out = run_fabric_sweep(&grid_config(), &two_workers(), &OkExec).expect("fabric");
+        let text = out.stats.render();
+        assert!(text.contains("fabric: workers=2"), "{text}");
+        assert!(text.contains("worker alpha:"), "{text}");
+        let json = out.stats.to_json().to_string();
+        assert!(json.contains("\"restored\":0"), "{json}");
+        assert!(json.contains("\"excluded\":[]"), "{json}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Cell executors: how the coordinator actually runs one grid cell on a
+//! named worker.
+//!
+//! The coordinator core is generic over [`CellExecutor`] so the
+//! dispatch/retry/checkpoint machinery can be tested with deterministic
+//! in-process executors (including ones that emulate worker crashes at
+//! chosen cells). Production uses [`TcpExecutor`]: one lazily-established
+//! NDJSON connection per `ccp-served` worker, re-dialed after any loss.
+
+use ccp_errors::{SimError, SimResult};
+use ccp_pipeline::RunStats;
+use ccp_served::sync::LockExt;
+use ccp_served::{Client, PROTO_VERSION};
+use ccp_sim::checkpoint::stats_from_json;
+use ccp_sim::JobSpec;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Runs one cell on one worker. Implementations signal a *worker* fault
+/// (connection refused, connection dropped, response deadline elapsed,
+/// worker draining) with an error whose [`SimError::class`] is
+/// environmental — the coordinator then requeues the cell for another
+/// worker. Any other error is a *cell* fault and fails the cell itself.
+pub trait CellExecutor: Sync {
+    /// Executes `spec` on the worker named `worker`, blocking until its
+    /// terminal result.
+    fn run(&self, worker: &str, spec: &JobSpec) -> SimResult<RunStats>;
+}
+
+/// Whether `e` indicts the worker (retry the cell elsewhere) rather than
+/// the cell (fail it). Transient classes are environmental by PR 2's
+/// taxonomy; a draining worker (`shutdown`) is leaving the pool, which is
+/// a loss from the coordinator's perspective, not a property of the cell.
+pub fn is_worker_fault(e: &SimError) -> bool {
+    e.is_transient() || e.class() == "shutdown"
+}
+
+/// One pooled NDJSON connection per worker address.
+///
+/// Connections are dialed on first use and torn down on any fault, so a
+/// worker that died and was restarted is picked back up transparently on
+/// the next dispatch. Each worker's slot is its own mutex: the
+/// coordinator runs one dispatcher thread per worker, so slots are never
+/// contended, and no slot lock is ever held while another is taken.
+pub struct TcpExecutor {
+    conns: BTreeMap<String, Mutex<Option<Client>>>,
+    timeout: Option<Duration>,
+}
+
+impl TcpExecutor {
+    /// An executor for the given worker addresses, with an optional
+    /// per-response read deadline (a wedged worker then surfaces as
+    /// [`SimError::Timeout`] instead of hanging the sweep).
+    pub fn new(workers: &[String], timeout: Option<Duration>) -> TcpExecutor {
+        TcpExecutor {
+            conns: workers
+                .iter()
+                .map(|w| (w.clone(), Mutex::new(None)))
+                .collect(),
+            timeout,
+        }
+    }
+
+    fn dial(&self, worker: &str) -> SimResult<Client> {
+        let mut client =
+            Client::connect(worker).map_err(|e| SimError::worker_lost(worker, e.to_string()))?;
+        client
+            .set_read_timeout(self.timeout)
+            .map_err(|e| SimError::worker_lost(worker, e.to_string()))?;
+        let (proto, _workers) = client
+            .hello("ccp-coord")
+            .map_err(|e| SimError::worker_lost(worker, e.to_string()))?;
+        if proto != PROTO_VERSION {
+            // A version skew is a deployment bug, not a transient loss:
+            // surface it as a protocol error so the cell fails loudly
+            // instead of bouncing between incompatible workers forever.
+            return Err(SimError::protocol(format!(
+                "worker {worker} speaks protocol v{proto}, coordinator speaks v{PROTO_VERSION}"
+            )));
+        }
+        Ok(client)
+    }
+}
+
+impl CellExecutor for TcpExecutor {
+    fn run(&self, worker: &str, spec: &JobSpec) -> SimResult<RunStats> {
+        let slot = self
+            .conns
+            .get(worker)
+            .ok_or_else(|| SimError::unknown("worker", worker))?;
+        let mut conn = slot.lock_unpoisoned();
+        if conn.is_none() {
+            *conn = Some(self.dial(worker)?);
+        }
+        let result = match conn.as_mut() {
+            Some(client) => client.submit_wait(spec),
+            None => Err(SimError::worker_lost(worker, "connection slot empty")),
+        };
+        match result {
+            Ok(outcome) => stats_from_json(&outcome.stats),
+            Err(e) => {
+                let lost = is_worker_fault(&e)
+                    || (e.class() == "protocol" && e.to_string().contains("connection closed"));
+                if lost {
+                    // The stream is dead or mid-message: re-dial next time.
+                    *conn = None;
+                    Err(SimError::worker_lost(worker, e.to_string()))
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_faults_are_environmental_classes() {
+        assert!(is_worker_fault(&SimError::worker_lost("w", "gone")));
+        assert!(is_worker_fault(&SimError::timeout("recv", "deadline")));
+        assert!(is_worker_fault(&SimError::io(
+            "socket",
+            &std::io::Error::other("reset")
+        )));
+        assert!(is_worker_fault(&SimError::shutdown("draining")));
+        assert!(!is_worker_fault(&SimError::invariant("cell", "broken")));
+        assert!(!is_worker_fault(&SimError::unknown("design", "XYZ")));
+    }
+
+    #[test]
+    fn dialing_a_dead_address_is_a_worker_loss() {
+        // Port 1 is essentially never listening.
+        let exec = TcpExecutor::new(&["127.0.0.1:1".to_string()], None);
+        let e = exec
+            .run("127.0.0.1:1", &JobSpec::new("health", "CPP"))
+            .unwrap_err();
+        assert_eq!(e.class(), "worker-lost");
+        assert!(e.is_transient());
+    }
+
+    #[test]
+    fn unknown_worker_is_a_caller_bug_not_a_loss() {
+        let exec = TcpExecutor::new(&[], None);
+        let e = exec
+            .run("nowhere:1", &JobSpec::new("health", "CPP"))
+            .unwrap_err();
+        assert_eq!(e.class(), "unknown-name");
+    }
+}

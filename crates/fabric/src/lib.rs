@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! The distributed sweep fabric.
+//!
+//! `ccp-coord` takes the same sweep grid `ccp-sim sweep` runs locally and
+//! shards its cells across a pool of `ccp-served` workers over the NDJSON
+//! protocol. The design goal is *indistinguishability*: the coordinator's
+//! stdout report and `--json` document are byte-identical to a local
+//! sweep over the same grid, its checkpoint file is the same format (so a
+//! killed coordinator resumes with either driver), and a worker crash
+//! mid-cell costs one retry on another worker, never a lost or duplicated
+//! cell.
+//!
+//! The two modules split policy from transport:
+//!
+//! * [`coord`] — the coordinator core: the shared cell deque,
+//!   per-worker dispatchers with retry/backoff/exclusion, checkpoint
+//!   resume, and the two-tier result-store consult/publish path;
+//! * [`exec`] — the [`CellExecutor`] boundary: how one cell actually
+//!   runs on one worker ([`TcpExecutor`] in production, deterministic
+//!   in-process fakes in tests).
+//!
+//! Results are shared through [`ccp_store::TieredStore`]: cells already
+//! answered — by an earlier sweep, another coordinator, or a worker that
+//! spilled its cache — are served from content-addressed storage without
+//! touching any worker.
+
+pub mod coord;
+pub mod exec;
+
+pub use coord::{run_fabric_sweep, FabricConfig, FabricOutcome, FabricStats, WorkerStats};
+pub use exec::{is_worker_fault, CellExecutor, TcpExecutor};

@@ -196,13 +196,14 @@ impl Rule for NoPanicInServicePath {
 // R3: atomic-json-writes
 // ---------------------------------------------------------------------------
 
-/// R3 — JSON artifacts must be written via the atomic temp-then-rename
-/// helper (`ccp_sim::json::write_atomic`, PR 2): a function that both
-/// creates a file directly and mentions a `.json`/`.jsonl` path can tear
-/// its output on a crash, which is exactly what the resumable-sweep
-/// checkpoints exist to prevent. Direct file creation without JSON
-/// evidence is still surfaced (at warn) because the path may arrive from
-/// a caller.
+/// R3 — durable artifacts must be written via the atomic temp-then-rename
+/// helpers (`ccp_sim::json::write_atomic` / `write_atomic_bytes`, PR 2):
+/// a function that both creates a file directly and mentions a
+/// `.json`/`.jsonl` path — or a `.ccpz` store entry — can tear its output
+/// on a crash, which is exactly what the resumable-sweep checkpoints and
+/// the content-addressed disk tier exist to prevent. Direct file creation
+/// without artifact evidence is still surfaced (at warn) because the path
+/// may arrive from a caller.
 pub struct AtomicJsonWrites;
 
 impl Rule for AtomicJsonWrites {
@@ -213,8 +214,8 @@ impl Rule for AtomicJsonWrites {
         Severity::Deny
     }
     fn describe(&self) -> &'static str {
-        "JSON artifacts go through write_atomic's temp-then-rename, never a bare \
-         File::create / fs::write"
+        "JSON and .ccpz artifacts go through write_atomic's temp-then-rename, never a \
+         bare File::create / fs::write"
     }
     fn applies(&self, path: &str) -> bool {
         // json.rs hosts write_atomic itself — the one sanctioned call site.
@@ -241,12 +242,13 @@ impl Rule for AtomicJsonWrites {
             if !creates {
                 continue;
             }
-            let json_nearby = enclosing_fn_mentions_json(file, k);
-            let (severity, message) = if json_nearby {
+            let artifact_nearby = enclosing_fn_mentions_artifact(file, k);
+            let (severity, message) = if artifact_nearby {
                 (
                     Severity::Deny,
-                    "direct file creation in a function handling `.json`/`.jsonl` paths — \
-                     a crash here tears the artifact; use `ccp_sim::json::write_atomic` \
+                    "direct file creation in a function handling `.json`/`.jsonl`/`.ccpz` \
+                     paths — a crash here tears the artifact; use \
+                     `ccp_sim::json::write_atomic` / `write_atomic_bytes` \
                      (temp-then-rename)",
                 )
             } else {
@@ -264,8 +266,9 @@ impl Rule for AtomicJsonWrites {
 }
 
 /// Whether the innermost `fn` containing code token `k` (or the whole
-/// file, outside any fn) contains a string literal mentioning `.json`.
-fn enclosing_fn_mentions_json(file: &SourceFile, k: usize) -> bool {
+/// file, outside any fn) contains a string literal mentioning `.json` or
+/// `.ccpz` (the store's content-addressed entry extension).
+fn enclosing_fn_mentions_artifact(file: &SourceFile, k: usize) -> bool {
     let range = file
         .fns
         .iter()
@@ -274,7 +277,9 @@ fn enclosing_fn_mentions_json(file: &SourceFile, k: usize) -> bool {
         .map(|f| (f.body_open, f.body_close))
         .unwrap_or((0, file.n_code().saturating_sub(1)));
     (range.0..=range.1).any(|j| {
-        j < file.n_code() && file.tok(j).kind == TokKind::Str && file.ct(j).contains(".json")
+        j < file.n_code()
+            && file.tok(j).kind == TokKind::Str
+            && (file.ct(j).contains(".json") || file.ct(j).contains(".ccpz"))
     })
 }
 
@@ -290,11 +295,31 @@ fn enclosing_fn_mentions_json(file: &SourceFile, k: usize) -> bool {
 /// inserted).
 pub const SERVED_LOCK_HIERARCHY: &[&str] = &["state", "queue"];
 
+/// The declared lock hierarchy for `crates/fabric`: the coordinator's
+/// cell deque (`grid`) and the two-tier result store (`store`). The
+/// coordinator is written to never nest them at all — every critical
+/// section is statement-scoped — so any nesting the rule sees is a
+/// regression; the declared order exists so a future sanctioned nesting
+/// has exactly one legal direction.
+pub const FABRIC_LOCK_HIERARCHY: &[&str] = &["grid", "store"];
+
+/// The lock hierarchy governing `path`, plus the constant's name (used
+/// verbatim in the warn message so the fix is greppable).
+fn hierarchy_for(path: &str) -> (&'static [&'static str], &'static str) {
+    if path.starts_with("crates/fabric/src/") {
+        (FABRIC_LOCK_HIERARCHY, "FABRIC_LOCK_HIERARCHY")
+    } else {
+        (SERVED_LOCK_HIERARCHY, "SERVED_LOCK_HIERARCHY")
+    }
+}
+
 /// R4 — per-function nested `.lock()` acquisitions in `crates/served`
-/// must respect [`SERVED_LOCK_HIERARCHY`]. Cycles across two functions
-/// are out of scope for a lexical pass; within one function this catches
-/// both inverted nesting (deadlock with the sanctioned order) and
-/// re-entrant acquisition (self-deadlock with `std::sync::Mutex`).
+/// and `crates/fabric` must respect the path's declared hierarchy
+/// ([`SERVED_LOCK_HIERARCHY`] / [`FABRIC_LOCK_HIERARCHY`]). Cycles
+/// across two functions are out of scope for a lexical pass; within one
+/// function this catches both inverted nesting (deadlock with the
+/// sanctioned order) and re-entrant acquisition (self-deadlock with
+/// `std::sync::Mutex`).
 pub struct LockOrder;
 
 /// One lock currently considered held at a point in the scan.
@@ -315,11 +340,11 @@ impl Rule for LockOrder {
         Severity::Deny
     }
     fn describe(&self) -> &'static str {
-        "nested .lock() acquisitions in crates/served must follow the declared \
-         hierarchy (state -> queue)"
+        "nested .lock() acquisitions must follow the path's declared hierarchy \
+         (served: state -> queue; fabric: grid -> store)"
     }
     fn applies(&self, path: &str) -> bool {
-        !globally_excluded(path) && under(path, &["crates/served/src/"])
+        !globally_excluded(path) && under(path, &["crates/served/src/", "crates/fabric/src/"])
     }
 
     fn check(&self, file: &SourceFile) -> Vec<Finding> {
@@ -341,11 +366,9 @@ impl Rule for LockOrder {
 }
 
 impl LockOrder {
-    fn rank_of(name: &str) -> Option<usize> {
-        SERVED_LOCK_HIERARCHY.iter().position(|l| *l == name)
-    }
-
     fn scan_fn(&self, file: &SourceFile, open: usize, close: usize, out: &mut Vec<Finding>) {
+        let (hierarchy, hierarchy_name) = hierarchy_for(&file.path);
+        let rank_of = |name: &str| hierarchy.iter().position(|l| *l == name);
         let mut held: Vec<Held> = Vec::new();
         let mut depth = 0i32;
         let mut j = open;
@@ -372,7 +395,7 @@ impl LockOrder {
                     j = nested.body_close;
                 }
             } else if let Some(name) = lock_receiver(file, j) {
-                let rank = Self::rank_of(&name);
+                let rank = rank_of(&name);
                 for h in &held {
                     if h.name == name {
                         out.push(file.finding(
@@ -395,7 +418,7 @@ impl LockOrder {
                                      declared hierarchy ({}); a thread nesting the other way \
                                      deadlocks",
                                     h.name,
-                                    SERVED_LOCK_HIERARCHY.join(" -> "),
+                                    hierarchy.join(" -> "),
                                 ),
                             )),
                             (None, _) | (_, None) => out.push(file.finding(
@@ -405,9 +428,9 @@ impl LockOrder {
                                 format!(
                                     "nested acquisition of `{name}` while `{}` is held, but \
                                      one of them is not in the declared hierarchy ({}); \
-                                     extend SERVED_LOCK_HIERARCHY or restructure",
+                                     extend {hierarchy_name} or restructure",
                                     h.name,
-                                    SERVED_LOCK_HIERARCHY.join(" -> "),
+                                    hierarchy.join(" -> "),
                                 ),
                             )),
                             _ => {}
@@ -841,6 +864,64 @@ fn tmp(s: &S) {
 ";
         let hits = run("crates/served/src/server.rs", tmp);
         assert!(hits.iter().all(|f| f.rule != "lock-order"), "{hits:?}");
+    }
+
+    #[test]
+    fn r4_applies_the_fabric_hierarchy_under_crates_fabric() {
+        // store held, then grid: inverted w.r.t. grid -> store.
+        let src = "\
+fn bad(ctx: &Ctx) {
+    let st = ctx.store.lock_unpoisoned();
+    let g = ctx.grid.lock_unpoisoned();
+}
+";
+        let hits = run("crates/fabric/src/coord.rs", src);
+        assert!(
+            hits.iter().any(|f| f.rule == "lock-order"
+                && f.severity == Severity::Deny
+                && f.message.contains("grid -> store")),
+            "{hits:?}"
+        );
+        // The sanctioned direction passes.
+        let ok = run(
+            "crates/fabric/src/coord.rs",
+            "fn good(ctx: &Ctx) { let g = ctx.grid.lock_unpoisoned(); \
+             ctx.store.lock_unpoisoned().put(k, c, s); }",
+        );
+        assert!(ok.iter().all(|f| f.rule != "lock-order"), "{ok:?}");
+        // Unknown locks warn naming the fabric constant, not the served one.
+        let warn = run(
+            "crates/fabric/src/coord.rs",
+            "fn f(c: &C) { let g = c.grid.lock_unpoisoned(); let m = c.mystery.lock(); }",
+        );
+        assert!(
+            warn.iter().any(|f| f.rule == "lock-order"
+                && f.severity == Severity::Warn
+                && f.message.contains("FABRIC_LOCK_HIERARCHY")),
+            "{warn:?}"
+        );
+        // The served hierarchy still governs served paths: state -> queue
+        // nesting stays clean there.
+        let served = run(
+            "crates/served/src/server.rs",
+            "fn g(s: &S) { let st = s.state.lock().unwrap(); s.queue.lock().unwrap().push(1); }",
+        );
+        assert!(served.iter().all(|f| f.rule != "lock-order"), "{served:?}");
+    }
+
+    #[test]
+    fn r3_treats_ccpz_store_entries_as_artifacts() {
+        let deny = run(
+            "crates/store/src/x.rs",
+            "fn spill(dir: &Path, key: u64) { \
+             let p = dir.join(format!(\"{key:016x}.ccpz\")); \
+             let f = File::create(&p); }",
+        );
+        assert!(
+            deny.iter()
+                .any(|f| f.rule == "atomic-json-writes" && f.severity == Severity::Deny),
+            "{deny:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,40 @@
+// ccp-lint-fixture: crates/fabric/src/fixture_locks.rs
+//! R4 `lock-order`, fabric scope: under `crates/fabric/` the declared
+//! hierarchy is `grid → store` (coordinator cell deque, then the
+//! two-tier result store); the served hierarchy does not apply here.
+
+fn sanctioned(ctx: &Ctx) {
+    let mut g = ctx.grid.lock_unpoisoned();
+    g.in_flight += 1;
+    ctx.store.lock_unpoisoned().put(key, canonical, stats);
+}
+
+fn inverted(ctx: &Ctx) {
+    let st = ctx.store.lock_unpoisoned();
+    let g = ctx.grid.lock_unpoisoned();
+    drop(g);
+    drop(st);
+}
+
+fn reentrant(ctx: &Ctx) {
+    let a = ctx.grid.lock_unpoisoned();
+    let b = ctx.grid.lock_unpoisoned();
+    drop(b);
+    drop(a);
+}
+
+fn undeclared(ctx: &Ctx) {
+    let g = ctx.grid.lock_unpoisoned();
+    let cp = ctx.checkpoint.lock_unpoisoned();
+    drop(cp);
+    drop(g);
+}
+
+fn disjoint_sections(ctx: &Ctx) {
+    let hit = {
+        let mut st = ctx.store.lock_unpoisoned();
+        st.get(key, canonical)
+    };
+    let mut g = ctx.grid.lock_unpoisoned();
+    g.done.push(hit);
+}

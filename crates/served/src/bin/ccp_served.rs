@@ -6,7 +6,8 @@
 //! OPTIONS:
 //!   --addr HOST:PORT   bind address (default 127.0.0.1:0 = ephemeral port)
 //!   --workers N        worker threads                     (default 4)
-//!   --cache N          result-cache capacity in entries   (default 256)
+//!   --cache-bytes N    RAM result-cache budget in bytes   (default 4 MiB)
+//!   --store DIR        content-addressed disk tier (off by default)
 //!
 //! Prints `ccp-served listening on HOST:PORT` once ready (scripts parse
 //! the port from this line). SIGINT/SIGTERM — or a client `shutdown`
@@ -22,7 +23,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 const HELP: &str = "ccp-served — multi-threaded simulation server
-usage: ccp-served [--addr HOST:PORT] [--workers N] [--cache N]
+usage: ccp-served [--addr HOST:PORT] [--workers N] [--cache-bytes N] [--store DIR]
 exit codes: 0 clean drain · 1 startup failure · 2 usage error";
 
 fn usage(msg: &str) -> ! {
@@ -78,11 +79,12 @@ fn parse_args() -> ServerConfig {
                     usage("--workers must be >= 1");
                 }
             }
-            "--cache" => {
-                config.cache_capacity = need(&mut it, "--cache")
+            "--cache-bytes" => {
+                config.cache_bytes = need(&mut it, "--cache-bytes")
                     .parse()
-                    .unwrap_or_else(|e| usage(&format!("bad --cache: {e}")));
+                    .unwrap_or_else(|e| usage(&format!("bad --cache-bytes: {e}")));
             }
+            "--store" => config.store_dir = Some(need(&mut it, "--store").into()),
             other => usage(&format!("unknown flag {other:?}")),
         }
     }

@@ -16,7 +16,10 @@
 //! Eviction is LRU over *ready* entries only (in-flight entries are
 //! pinned — evicting one would strand its waiters), driven by a
 //! monotonic touch tick rather than wall-clock time so behaviour is
-//! deterministic under test.
+//! deterministic under test. Capacity is a budget of *estimated bytes*
+//! ([`ccp_store::entry_cost`]), not an entry count: canonical texts range
+//! from short benchmark names to long `workgen:` specs, so an entry
+//! count would let resident memory drift with the workload mix.
 //!
 //! The cache is a plain data structure — callers provide locking. The
 //! waiter payload is generic (`W`) so the policy is testable without a
@@ -26,6 +29,7 @@
 //! [`JobSpec::cache_key`]: ccp_sim::JobSpec::cache_key
 
 use ccp_pipeline::RunStats;
+use ccp_store::entry_cost;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -77,19 +81,21 @@ pub struct CacheCounters {
 
 /// The content-addressed result cache. See the module docs for policy.
 pub struct ResultCache<W> {
-    capacity: usize,
+    capacity_bytes: usize,
+    bytes: usize,
     tick: u64,
     map: HashMap<u64, Entry<W>>,
     counters: CacheCounters,
 }
 
 impl<W> ResultCache<W> {
-    /// An empty cache holding at most `capacity` ready results
-    /// (`capacity` 0 disables retention: every lookup is a miss or a
-    /// join, and completed results are dropped once delivered).
-    pub fn new(capacity: usize) -> ResultCache<W> {
+    /// An empty cache whose ready entries are bounded by an estimated
+    /// `capacity_bytes` budget (0 disables retention: every lookup is a
+    /// miss or a join, and completed results are dropped once delivered).
+    pub fn new(capacity_bytes: usize) -> ResultCache<W> {
         ResultCache {
-            capacity,
+            capacity_bytes,
+            bytes: 0,
             tick: 0,
             map: HashMap::new(),
             counters: CacheCounters::default(),
@@ -123,13 +129,15 @@ impl<W> ResultCache<W> {
                 // 64-bit collision: different canonical text behind the same
                 // key. Discard the stale entry and recompute — never serve it.
                 self.counters.collisions += 1;
-                self.map.insert(
+                if let Some(Entry::Ready { canonical: c, .. }) = self.map.insert(
                     key,
                     Entry::InFlight {
                         canonical: canonical.to_string(),
                         waiters: Vec::new(),
                     },
-                );
+                ) {
+                    self.bytes = self.bytes.saturating_sub(entry_cost(&c));
+                }
                 self.counters.misses += 1;
                 Lookup::Miss(waiter)
             }
@@ -157,6 +165,7 @@ impl<W> ResultCache<W> {
             Some(Entry::InFlight { canonical, waiters }) => {
                 if let Some(stats) = stats {
                     self.tick += 1;
+                    self.bytes += entry_cost(&canonical);
                     self.map.insert(
                         key,
                         Entry::Ready {
@@ -200,20 +209,22 @@ impl<W> ResultCache<W> {
     }
 
     fn evict_to_capacity(&mut self) {
-        loop {
-            let ready = self
+        while self.bytes > self.capacity_bytes {
+            let oldest = self
                 .map
                 .iter()
                 .filter_map(|(k, e)| match e {
-                    Entry::Ready { last_used, .. } => Some((*k, *last_used)),
+                    Entry::Ready { last_used, .. } => Some((*last_used, *k)),
                     Entry::InFlight { .. } => None,
                 })
-                .collect::<Vec<_>>();
-            if ready.len() <= self.capacity {
+                .min();
+            let Some((_, victim)) = oldest else {
+                // Over budget with no ready entries left (in-flight
+                // entries are pinned and unaccounted) — nothing to evict.
                 return;
-            }
-            if let Some(&(oldest, _)) = ready.iter().min_by_key(|&&(_, t)| t) {
-                self.map.remove(&oldest);
+            };
+            if let Some(Entry::Ready { canonical, .. }) = self.map.remove(&victim) {
+                self.bytes = self.bytes.saturating_sub(entry_cost(&canonical));
                 self.counters.evictions += 1;
             }
         }
@@ -225,6 +236,11 @@ impl<W> ResultCache<W> {
             .values()
             .filter(|e| matches!(e, Entry::Ready { .. }))
             .count()
+    }
+
+    /// Estimated bytes held by ready entries.
+    pub fn bytes(&self) -> usize {
+        self.bytes
     }
 
     /// The counter snapshot.
@@ -244,9 +260,14 @@ mod tests {
         })
     }
 
+    /// Budget for `n` entries with single-byte canonical texts.
+    fn cap(n: usize) -> usize {
+        n * entry_cost("a")
+    }
+
     #[test]
     fn miss_then_hit_then_lru_eviction() {
-        let mut c: ResultCache<u32> = ResultCache::new(2);
+        let mut c: ResultCache<u32> = ResultCache::new(cap(2));
         for (k, name) in [(1, "a"), (2, "b"), (3, "c")] {
             c.lookup(k, name, 0).assert_miss();
             let w = c.complete(k, Some(&stats(k)));
@@ -269,7 +290,7 @@ mod tests {
 
     #[test]
     fn single_flight_parks_waiters_and_delivers_once() {
-        let mut c: ResultCache<&str> = ResultCache::new(4);
+        let mut c: ResultCache<&str> = ResultCache::new(1 << 20);
         // The miss hands the waiter back as the leader token.
         assert!(matches!(
             c.lookup(7, "job", "leader"),
@@ -291,7 +312,7 @@ mod tests {
 
     #[test]
     fn failures_are_not_cached() {
-        let mut c: ResultCache<u32> = ResultCache::new(4);
+        let mut c: ResultCache<u32> = ResultCache::new(cap(4));
         c.lookup(5, "j", 1).assert_miss();
         assert!(matches!(c.lookup(5, "j", 2), Lookup::Joined));
         let waiters = c.complete(5, None);
@@ -303,7 +324,7 @@ mod tests {
 
     #[test]
     fn canceled_waiter_is_removed_without_disturbing_the_flight() {
-        let mut c: ResultCache<u32> = ResultCache::new(4);
+        let mut c: ResultCache<u32> = ResultCache::new(cap(4));
         c.lookup(5, "j", 1).assert_miss();
         assert!(matches!(c.lookup(5, "j", 2), Lookup::Joined));
         assert!(matches!(c.lookup(5, "j", 3), Lookup::Joined));
@@ -314,7 +335,7 @@ mod tests {
 
     #[test]
     fn collision_is_detected_and_recomputed() {
-        let mut c: ResultCache<u32> = ResultCache::new(4);
+        let mut c: ResultCache<u32> = ResultCache::new(1 << 20);
         c.lookup(5, "alpha", 1).assert_miss();
         c.complete(5, Some(&stats(1)));
         // Same key, different canonical text: must NOT serve alpha's stats.
@@ -335,6 +356,34 @@ mod tests {
         c.lookup(1, "a", 0).assert_miss();
         assert_eq!(c.entries(), 0);
         assert_eq!(c.counters().misses, 2);
+    }
+
+    #[test]
+    fn eviction_tracks_bytes_not_entry_count() {
+        // Regression: the budget is bytes, so one entry with a long
+        // canonical text displaces several short ones — under an
+        // entry-count bound all four would stay resident.
+        let long = "workgen:addr=zipf,small=0.6,pointer=0.3,footprint=1048576,stride=64".repeat(4);
+        let budget = 3 * entry_cost("a") + entry_cost(&long) - 1;
+        let mut c: ResultCache<u32> = ResultCache::new(budget);
+        for (k, name) in [(1, "a"), (2, "b"), (3, "c")] {
+            c.lookup(k, name, 0).assert_miss();
+            c.complete(k, Some(&stats(k)));
+        }
+        assert_eq!(c.entries(), 3);
+        assert_eq!(c.bytes(), 3 * entry_cost("a"));
+        c.lookup(9, &long, 0).assert_miss();
+        c.complete(9, Some(&stats(9)));
+        // The long entry pushed the cache over budget: the oldest short
+        // entry went, and accounting reflects the remaining residents.
+        assert_eq!(c.entries(), 3);
+        assert_eq!(c.counters().evictions, 1);
+        assert_eq!(c.bytes(), 2 * entry_cost("a") + entry_cost(&long));
+        assert!(c.bytes() <= budget);
+        assert!(matches!(c.lookup(1, "a", 0), Lookup::Miss(_)), "LRU victim");
+        // Evicting the replacement flight keeps accounting consistent.
+        c.complete(1, Some(&stats(1)));
+        assert!(c.bytes() <= budget);
     }
 
     impl<W: std::fmt::Debug> Lookup<W> {

@@ -16,11 +16,11 @@ use ccp_sim::JobSpec;
 use ccp_workgen::ZipfSampler;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One blocking protocol connection.
 pub struct Client {
@@ -64,17 +64,44 @@ impl Client {
             .map_err(|e| SimError::io("socket", &e))
     }
 
+    /// Caps how long [`Client::recv`] blocks for a line. `None` restores
+    /// the default (block forever). Elapsing surfaces as
+    /// [`SimError::Timeout`], which is transient, so fabric retry logic
+    /// treats a stalled worker the same as a lost one.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> SimResult<()> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(|e| SimError::io("socket", &e))
+    }
+
     /// Blocks for the next response line.
     pub fn recv(&mut self) -> SimResult<Response> {
         let mut line = String::new();
-        let n = self
-            .reader
-            .read_line(&mut line)
-            .map_err(|e| SimError::io("socket", &e))?;
+        let n = self.reader.read_line(&mut line).map_err(|e| {
+            if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                SimError::timeout("recv", "read deadline elapsed waiting for a response line")
+            } else {
+                SimError::io("socket", &e)
+            }
+        })?;
         if n == 0 {
             return Err(SimError::protocol("connection closed by server"));
         }
         Response::parse(line.trim())
+    }
+
+    /// Introduces this connection and returns the server's advertised
+    /// `(protocol version, worker count)`.
+    pub fn hello(&mut self, peer: &str) -> SimResult<(u64, u64)> {
+        self.send(&Request::Hello { peer: peer.into() })?;
+        loop {
+            match self.recv()? {
+                Response::Welcome { proto, workers } => return Ok((proto, workers)),
+                Response::ProtocolError { error } => return Err(SimError::protocol(error)),
+                _ => {}
+            }
+        }
     }
 
     /// Submits `spec` and blocks until its terminal response, consuming

@@ -33,5 +33,5 @@ pub mod sync;
 
 pub use cache::{CacheCounters, Lookup, ResultCache};
 pub use client::{run_bench, BenchConfig, BenchReport, Client, JobOutcome};
-pub use protocol::{Request, Response, StatsSnapshot};
+pub use protocol::{Request, Response, StatsSnapshot, PROTO_VERSION};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -10,7 +10,9 @@
 //! |-----------|--------|---------|
 //! | → | `submit` | a [`JobSpec`]: `workload`, `design`, optional `budget`/`seed`/`halved`/`warmup`/`fault` |
 //! | → | `cancel` | `job` id |
+//! | → | `hello` | `peer` label (coordinator/worker registration) |
 //! | → | `stats`, `ping`, `shutdown` | — |
+//! | ← | `welcome` | `proto` version, `workers` pool size |
 //! | ← | `accepted` | `job` id, cache `key` (hex) |
 //! | ← | `progress` | `job`, `done`, `total` instructions |
 //! | ← | `result` | `job`, `cached` flag, full `stats` object |
@@ -41,9 +43,18 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Ping,
+    /// Identify this connection (the fabric coordinator registers itself
+    /// before dispatching cells). The server replies with `welcome`.
+    Hello {
+        /// A free-form label for the peer (e.g. `ccp-coord`).
+        peer: String,
+    },
     /// Ask the server to drain and exit (same path as SIGTERM).
     Shutdown,
 }
+
+/// Protocol version reported in `welcome` responses.
+pub const PROTO_VERSION: u64 = 1;
 
 /// A server → client message.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +97,14 @@ pub enum Response {
     },
     /// Counter snapshot.
     Stats(StatsSnapshot),
+    /// Reply to `hello`: the server's protocol version and worker pool
+    /// size, so a coordinator can size its dispatch.
+    Welcome {
+        /// Protocol version ([`PROTO_VERSION`]).
+        proto: u64,
+        /// Worker threads in this server's pool.
+        workers: u64,
+    },
     /// Reply to `ping`.
     Pong,
     /// The server is draining: sent as the reply to `shutdown`, and to any
@@ -126,6 +145,16 @@ pub struct StatsSnapshot {
     pub entries: u64,
     /// Jobs queued and not yet picked up by a worker.
     pub queue_depth: u64,
+    /// Jobs currently being executed by workers.
+    pub in_flight: u64,
+    /// Estimated bytes resident in the RAM result cache.
+    pub cache_bytes: u64,
+    /// Results served (verified) from the disk store tier.
+    pub disk_hits: u64,
+    /// Disk-tier lookups that found no usable entry.
+    pub disk_misses: u64,
+    /// Entries written to the disk store tier.
+    pub disk_writes: u64,
     /// Worker threads in the pool.
     pub workers: u64,
     /// Whether the server is draining.
@@ -218,6 +247,10 @@ impl Request {
             ]),
             Request::Stats => Json::obj([("type", Json::Str("stats".into()))]),
             Request::Ping => Json::obj([("type", Json::Str("ping".into()))]),
+            Request::Hello { peer } => Json::obj([
+                ("type", Json::Str("hello".into())),
+                ("peer", Json::Str(peer.clone())),
+            ]),
             Request::Shutdown => Json::obj([("type", Json::Str("shutdown".into()))]),
         }
     }
@@ -239,6 +272,9 @@ impl Request {
             }),
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
+            "hello" => Ok(Request::Hello {
+                peer: get_str(&v, "peer")?,
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(SimError::protocol(format!(
                 "unknown request type {other:?}"
@@ -287,8 +323,18 @@ impl Response {
                 ("evictions", Json::Num(s.evictions as f64)),
                 ("entries", Json::Num(s.entries as f64)),
                 ("queue_depth", Json::Num(s.queue_depth as f64)),
+                ("in_flight", Json::Num(s.in_flight as f64)),
+                ("cache_bytes", Json::Num(s.cache_bytes as f64)),
+                ("disk_hits", Json::Num(s.disk_hits as f64)),
+                ("disk_misses", Json::Num(s.disk_misses as f64)),
+                ("disk_writes", Json::Num(s.disk_writes as f64)),
                 ("workers", Json::Num(s.workers as f64)),
                 ("draining", Json::Bool(s.draining)),
+            ]),
+            Response::Welcome { proto, workers } => Json::obj([
+                ("type", Json::Str("welcome".into())),
+                ("proto", Json::Num(*proto as f64)),
+                ("workers", Json::Num(*workers as f64)),
             ]),
             Response::Pong => Json::obj([("type", Json::Str("pong".into()))]),
             Response::ShuttingDown { detail } => Json::obj([
@@ -348,9 +394,20 @@ impl Response {
                 evictions: get_u64(&v, "evictions")?,
                 entries: get_u64(&v, "entries")?,
                 queue_depth: get_u64(&v, "queue_depth")?,
+                // Added after v0 of the protocol: parsed tolerantly so a
+                // new client still reads an old server's snapshot.
+                in_flight: opt_u64(&v, "in_flight", 0)?,
+                cache_bytes: opt_u64(&v, "cache_bytes", 0)?,
+                disk_hits: opt_u64(&v, "disk_hits", 0)?,
+                disk_misses: opt_u64(&v, "disk_misses", 0)?,
+                disk_writes: opt_u64(&v, "disk_writes", 0)?,
                 workers: get_u64(&v, "workers")?,
                 draining: opt_bool(&v, "draining", false)?,
             })),
+            "welcome" => Ok(Response::Welcome {
+                proto: get_u64(&v, "proto")?,
+                workers: get_u64(&v, "workers")?,
+            }),
             "pong" => Ok(Response::Pong),
             "shutting_down" => Ok(Response::ShuttingDown {
                 detail: get_str(&v, "detail")?,
@@ -382,6 +439,9 @@ mod tests {
             Request::Cancel { job: 9 },
             Request::Stats,
             Request::Ping,
+            Request::Hello {
+                peer: "ccp-coord".into(),
+            },
             Request::Shutdown,
         ] {
             let line = req.to_line();
@@ -423,9 +483,17 @@ mod tests {
             Response::Stats(StatsSnapshot {
                 submitted: 10,
                 hits: 3,
+                in_flight: 2,
+                cache_bytes: 4_096,
+                disk_hits: 5,
+                disk_writes: 6,
                 draining: true,
                 ..Default::default()
             }),
+            Response::Welcome {
+                proto: PROTO_VERSION,
+                workers: 4,
+            },
             Response::Pong,
             Response::ShuttingDown {
                 detail: "draining 2 jobs".into(),
@@ -437,6 +505,22 @@ mod tests {
             let line = resp.to_line();
             assert!(!line.contains('\n'), "one line per message: {line}");
             assert_eq!(Response::parse(&line).expect("parse"), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn old_stats_lines_parse_without_new_fields() {
+        // A pre-fabric server omits in_flight/cache_bytes/disk_*: the
+        // snapshot must still parse, with those counters defaulting to 0.
+        let line = r#"{"type":"stats","submitted":1,"completed":1,"failed":0,"canceled":0,"sims_run":1,"hits":0,"joined":0,"misses":1,"evictions":0,"entries":1,"queue_depth":0,"workers":4,"draining":false}"#;
+        match Response::parse(line).expect("parse") {
+            Response::Stats(s) => {
+                assert_eq!(s.submitted, 1);
+                assert_eq!(s.in_flight, 0);
+                assert_eq!(s.cache_bytes, 0);
+                assert_eq!(s.disk_hits, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
         }
     }
 

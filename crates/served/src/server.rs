@@ -28,14 +28,16 @@
 //! [`job_error`]: crate::protocol::Response::JobError
 
 use crate::cache::{Lookup, ResultCache};
-use crate::protocol::{Request, Response, StatsSnapshot};
+use crate::protocol::{Request, Response, StatsSnapshot, PROTO_VERSION};
 use crate::sync::{CondvarExt, LockExt};
 use ccp_errors::{SimError, SimResult};
 use ccp_sim::checkpoint::stats_to_json;
 use ccp_sim::{run_job_ctl, JobCtl, JobSpec};
+use ccp_store::DiskTier;
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -54,8 +56,12 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads — the bound on concurrently running simulations.
     pub workers: usize,
-    /// Result-cache capacity in ready entries.
-    pub cache_capacity: usize,
+    /// RAM result-cache budget in estimated bytes (see
+    /// [`ccp_store::entry_cost`]).
+    pub cache_bytes: usize,
+    /// Directory for the cold disk tier of the result store. `None`
+    /// disables disk spill (RAM cache only — the pre-fabric behaviour).
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -63,7 +69,8 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 4,
-            cache_capacity: 256,
+            cache_bytes: 4 << 20,
+            store_dir: None,
         }
     }
 }
@@ -106,11 +113,16 @@ struct Shared {
     draining: AtomicBool,
     next_id: AtomicU64,
     workers: usize,
+    // The cold tier is lock-free (&self methods over atomics + the
+    // filesystem), so workers consult and fill it without touching the
+    // `state` lock — no new lock-order edges.
+    disk: Option<DiskTier>,
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
     canceled: AtomicU64,
     sims_run: AtomicU64,
+    in_flight: AtomicU64,
 }
 
 impl Shared {
@@ -120,11 +132,16 @@ impl Shared {
     }
 
     fn snapshot(&self) -> StatsSnapshot {
-        let (counters, entries) = {
+        let (counters, entries, cache_bytes) = {
             let inner = self.state.lock_unpoisoned();
-            (inner.cache.counters(), inner.cache.entries() as u64)
+            (
+                inner.cache.counters(),
+                inner.cache.entries() as u64,
+                inner.cache.bytes() as u64,
+            )
         };
         let queue_depth = self.queue.lock_unpoisoned().len() as u64;
+        let disk = self.disk.as_ref().map(|d| d.counters()).unwrap_or_default();
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -137,6 +154,11 @@ impl Shared {
             evictions: counters.evictions,
             entries,
             queue_depth,
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            cache_bytes,
+            disk_hits: disk.hits,
+            disk_misses: disk.misses,
+            disk_writes: disk.writes,
             workers: self.workers as u64,
             draining: self.draining.load(Ordering::SeqCst),
         }
@@ -190,9 +212,13 @@ pub fn start(config: ServerConfig) -> SimResult<ServerHandle> {
         .map_err(|e| SimError::io(&config.addr, &e))?;
 
     let workers = config.workers.max(1);
+    let disk = match &config.store_dir {
+        None => None,
+        Some(dir) => Some(DiskTier::open(dir)?),
+    };
     let shared = Arc::new(Shared {
         state: Mutex::new(Inner {
-            cache: ResultCache::new(config.cache_capacity),
+            cache: ResultCache::new(config.cache_bytes),
             registry: HashMap::new(),
         }),
         queue: Mutex::new(VecDeque::new()),
@@ -200,11 +226,13 @@ pub fn start(config: ServerConfig) -> SimResult<ServerHandle> {
         draining: AtomicBool::new(false),
         next_id: AtomicU64::new(0),
         workers,
+        disk,
         submitted: AtomicU64::new(0),
         completed: AtomicU64::new(0),
         failed: AtomicU64::new(0),
         canceled: AtomicU64::new(0),
         sims_run: AtomicU64::new(0),
+        in_flight: AtomicU64::new(0),
     });
 
     let mut threads = Vec::with_capacity(workers + 1);
@@ -270,8 +298,22 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         let Some(job) = job else { return };
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        // Cold-tier consult happens on the worker thread, off the `state`
+        // lock: a verified disk entry skips the simulation entirely.
+        let disk_hit = if job.cancel.load(Ordering::SeqCst) {
+            None
+        } else {
+            shared
+                .disk
+                .as_ref()
+                .and_then(|d| d.get_stats(job.key, &job.spec.canonical()))
+        };
+        let from_disk = disk_hit.is_some();
         let result = if job.cancel.load(Ordering::SeqCst) {
             Err(SimError::canceled(job.spec.context()))
+        } else if let Some(stats) = disk_hit {
+            Ok(stats)
         } else {
             shared.sims_run.fetch_add(1, Ordering::Relaxed);
             let progress = |done: u64, total: u64| {
@@ -313,6 +355,13 @@ fn worker_loop(shared: &Arc<Shared>) {
                 (s, json)
             });
         let stats = outcome.as_ref().ok().map(|(s, _)| Arc::clone(s));
+        // Spill fresh results to the cold tier (also off the `state`
+        // lock); a failed write only costs a future recompute.
+        if !from_disk {
+            if let (Some(disk), Some(stats)) = (&shared.disk, &stats) {
+                let _ = disk.put_stats(job.key, &job.spec.canonical(), stats);
+            }
+        }
         let waiters = {
             let mut inner = shared.state.lock_unpoisoned();
             let waiters = inner.cache.complete(job.key, stats.as_ref());
@@ -326,10 +375,11 @@ fn worker_loop(shared: &Arc<Shared>) {
             Ok((_, json)) => Ok(json),
             Err(e) => Err(e),
         };
-        deliver(shared, &job.tx, job.id, false, response);
+        deliver(shared, &job.tx, job.id, from_disk, response);
         for w in waiters {
             deliver(shared, &w.tx, w.job, true, response);
         }
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -459,6 +509,15 @@ fn handle_request(line: &str, tx: &Sender<String>, shared: &Arc<Shared>) {
     match req {
         Request::Ping => {
             let _ = tx.send(Response::Pong.to_line());
+        }
+        Request::Hello { peer: _ } => {
+            let _ = tx.send(
+                Response::Welcome {
+                    proto: PROTO_VERSION,
+                    workers: shared.workers as u64,
+                }
+                .to_line(),
+            );
         }
         Request::Stats => {
             let _ = tx.send(Response::Stats(shared.snapshot()).to_line());

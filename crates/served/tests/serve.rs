@@ -13,7 +13,7 @@ fn serve(workers: usize) -> ccp_served::ServerHandle {
     start(ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers,
-        cache_capacity: 64,
+        ..ServerConfig::default()
     })
     .expect("start server")
 }

@@ -388,6 +388,12 @@ impl Parser<'_> {
 /// crash recovery) only ever observe the old file or the complete new one,
 /// never a torn prefix.
 pub fn write_atomic(path: &Path, contents: &str) -> SimResult<()> {
+    write_atomic_bytes(path, contents.as_bytes())
+}
+
+/// Byte-level twin of [`write_atomic`] for binary artifacts (e.g. the
+/// compressed entries of the on-disk result store).
+pub fn write_atomic_bytes(path: &Path, contents: &[u8]) -> SimResult<()> {
     let pstr = path.display().to_string();
     let file_name = path
         .file_name()

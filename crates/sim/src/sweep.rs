@@ -392,6 +392,28 @@ pub struct ResilientSweep {
 }
 
 impl ResilientSweep {
+    /// Assembles a sweep from externally produced outcomes (the fabric
+    /// coordinator shards cells across remote workers and merges them back
+    /// through this constructor, so its report/JSON bytes are rendered by
+    /// exactly the same code as a local `run_sweep_resilient`).
+    pub fn from_outcomes(
+        config: SweepConfig,
+        workloads: Vec<String>,
+        designs: Vec<DesignKind>,
+        outcomes: impl IntoIterator<Item = CellOutcome>,
+    ) -> Self {
+        let cells = outcomes
+            .into_iter()
+            .map(|c| ((c.workload.clone(), c.design), c))
+            .collect();
+        ResilientSweep {
+            config,
+            workloads,
+            designs,
+            cells,
+        }
+    }
+
     /// The outcome for `(workload, design)`.
     pub fn outcome(&self, workload: &str, design: DesignKind) -> Option<&CellOutcome> {
         self.cells.get(&(workload.to_string(), design.name()))

@@ -1,0 +1,395 @@
+//! The cold tier: an on-disk content-addressed directory of compressed
+//! result entries.
+//!
+//! One file per key — `{key:016x}.ccpz` — written atomically (temp file +
+//! `rename`, via [`ccp_sim::json::write_atomic_bytes`]) so a crash mid-put
+//! can never leave a torn entry. Every load re-verifies the entry: magic,
+//! version, the key both as stored *and* recomputed from the stored
+//! canonical text, the payload checksum, and the exact decompressed
+//! length. Anything that fails verification is treated as a miss (and
+//! counted), never served — a corrupt or colliding entry costs a
+//! recompute, not a wrong answer.
+
+use crate::lz;
+use ccp_errors::{SimError, SimResult};
+use ccp_pipeline::RunStats;
+use ccp_sim::checkpoint::{stats_from_json, stats_to_json};
+use ccp_sim::json::{write_atomic_bytes, Json};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Magic prefix of every entry file.
+pub const MAGIC: [u8; 4] = *b"CCPZ";
+
+/// Entry format version.
+pub const VERSION: u8 = 1;
+
+/// Flag bit: payload is LZ-compressed (clear = stored raw because
+/// compression did not shrink it).
+const FLAG_COMPRESSED: u8 = 1;
+
+/// Fixed-size portion of an entry before the canonical text and payload.
+const HEADER_LEN: usize = 4 + 1 + 1 + 2 + 8 + 8 + 8 + 4;
+
+/// FNV-1a over arbitrary bytes — the same function (same offset basis and
+/// prime) as [`ccp_sim::JobSpec::cache_key`], exposed here so the store
+/// can re-derive an entry's key from its stored canonical text.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Serializes one entry: header, canonical text, (possibly compressed)
+/// payload. Pure so it can be property-tested against [`decode_entry`].
+pub fn encode_entry(key: u64, canonical: &str, payload: &[u8]) -> Vec<u8> {
+    let packed = lz::compress(payload);
+    let (flags, body): (u8, &[u8]) = if packed.len() < payload.len() {
+        (FLAG_COMPRESSED, &packed)
+    } else {
+        (0, payload)
+    };
+    let mut out = Vec::with_capacity(HEADER_LEN + canonical.len() + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(flags);
+    out.extend_from_slice(&[0u8; 2]);
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.extend_from_slice(&(canonical.len() as u32).to_le_bytes());
+    out.extend_from_slice(canonical.as_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Decodes and fully verifies one entry against the key and canonical
+/// text the caller asked for. Returns the uncompressed payload.
+pub fn decode_entry(bytes: &[u8], key: u64, canonical: &str) -> SimResult<Vec<u8>> {
+    let bad = |detail: String| SimError::corrupt("store entry", detail);
+    if bytes.len() < HEADER_LEN {
+        return Err(bad(format!(
+            "{} bytes is shorter than the header",
+            bytes.len()
+        )));
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(bad("bad magic".into()));
+    }
+    if bytes[4] != VERSION {
+        return Err(bad(format!("unsupported version {}", bytes[4])));
+    }
+    let flags = bytes[5];
+    let stored_key = u64::from_le_bytes(bytes[8..16].try_into().unwrap_or_default());
+    let payload_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap_or_default()) as usize;
+    let checksum = u64::from_le_bytes(bytes[24..32].try_into().unwrap_or_default());
+    let canon_len = u32::from_le_bytes(bytes[32..36].try_into().unwrap_or_default()) as usize;
+    let canon_end = HEADER_LEN
+        .checked_add(canon_len)
+        .ok_or_else(|| bad("canonical length overflow".into()))?;
+    if canon_end > bytes.len() {
+        return Err(bad("canonical text truncated".into()));
+    }
+    let stored_canon = std::str::from_utf8(&bytes[HEADER_LEN..canon_end])
+        .map_err(|_| bad("canonical text is not utf-8".into()))?;
+    // The key check proper: stored key, recomputed key, and the caller's
+    // expectation must all agree, and the canonical text must match the
+    // request exactly (a hash collision is detected here, not served).
+    if stored_key != key {
+        return Err(bad(format!(
+            "key {stored_key:016x} != requested {key:016x}"
+        )));
+    }
+    if fnv1a(stored_canon.as_bytes()) != stored_key {
+        return Err(bad("stored key does not hash from stored canonical".into()));
+    }
+    if stored_canon != canonical {
+        return Err(bad(format!(
+            "canonical collision: stored {stored_canon:?}, requested {canonical:?}"
+        )));
+    }
+    let body = &bytes[canon_end..];
+    let payload = if flags & FLAG_COMPRESSED != 0 {
+        lz::decompress(body, payload_len)?
+    } else {
+        if body.len() != payload_len {
+            return Err(bad(format!(
+                "raw payload is {} bytes, header says {payload_len}",
+                body.len()
+            )));
+        }
+        body.to_vec()
+    };
+    if fnv1a(&payload) != checksum {
+        return Err(bad("payload checksum mismatch".into()));
+    }
+    Ok(payload)
+}
+
+/// Monotonic counters describing disk-tier traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskCounters {
+    /// Entries served (fully verified) from disk.
+    pub hits: u64,
+    /// Lookups that found no usable entry.
+    pub misses: u64,
+    /// Entries written.
+    pub writes: u64,
+    /// Entries that failed verification or I/O on load (each also counts
+    /// as a miss).
+    pub errors: u64,
+}
+
+/// The on-disk content-addressed tier. All methods take `&self` — the
+/// counters are atomics and the filesystem provides put/get atomicity —
+/// so served workers can share one instance without a lock.
+#[derive(Debug)]
+pub struct DiskTier {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl DiskTier {
+    /// Opens (creating if needed) the store directory at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> SimResult<DiskTier> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| SimError::io(root.display().to_string(), &e))?;
+        Ok(DiskTier {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this tier stores entries in.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The entry file path for `key`.
+    pub fn path_for(&self, key: u64) -> PathBuf {
+        self.root.join(format!("{key:016x}.ccpz"))
+    }
+
+    /// Writes (or overwrites) the entry for `key` atomically.
+    pub fn put(&self, key: u64, canonical: &str, payload: &[u8]) -> SimResult<()> {
+        let entry = encode_entry(key, canonical, payload);
+        write_atomic_bytes(&self.path_for(key), &entry)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Loads and verifies the entry for `key`. Absent, unreadable, or
+    /// failed-verification entries all return `None` (the latter two also
+    /// count as errors); a verification failure removes the bad file so
+    /// the next put heals it.
+    pub fn get(&self, key: u64, canonical: &str) -> Option<Vec<u8>> {
+        let path = self.path_for(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_entry(&bytes, key, canonical) {
+            Ok(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(&path);
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a result, serialized as canonical JSON then transparently
+    /// compressed.
+    pub fn put_stats(&self, key: u64, canonical: &str, stats: &RunStats) -> SimResult<()> {
+        self.put(key, canonical, stats_to_json(stats).to_string().as_bytes())
+    }
+
+    /// Loads a result back, verifying the entry end to end.
+    pub fn get_stats(&self, key: u64, canonical: &str) -> Option<RunStats> {
+        let payload = self.get(key, canonical)?;
+        let text = String::from_utf8(payload).ok()?;
+        let json = Json::parse(&text).ok()?;
+        stats_from_json(&json).ok()
+    }
+
+    /// Number of entry files currently on disk.
+    pub fn entry_count(&self) -> u64 {
+        std::fs::read_dir(&self.root)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.file_name().to_string_lossy().ends_with(".ccpz"))
+                    .count() as u64
+            })
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn counters(&self) -> DiskCounters {
+        DiskCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ccp-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_stats(cycles: u64) -> RunStats {
+        RunStats {
+            cycles,
+            instructions: 100,
+            loads: 10,
+            stores: 5,
+            forwarded_loads: 0,
+            branch_mispredicts: 1,
+            branches: 8,
+            icache_misses: 0,
+            miss_cycles: 2,
+            ready_len_sum: 3,
+            cpi_stack: Default::default(),
+            load_sources: Default::default(),
+            hierarchy: Default::default(),
+        }
+    }
+
+    #[test]
+    fn entry_roundtrips_and_key_checks() {
+        let canonical = "workload=olden.health|design=CPP|budget=2000|seed=7";
+        let key = fnv1a(canonical.as_bytes());
+        let payload = b"{\"cycles\":42}".repeat(10);
+        let entry = encode_entry(key, canonical, &payload);
+        assert_eq!(decode_entry(&entry, key, canonical).unwrap(), payload);
+        // Wrong key, wrong canonical, flipped bytes: all rejected.
+        assert!(decode_entry(&entry, key ^ 1, canonical).is_err());
+        assert!(decode_entry(&entry, key, "workload=other").is_err());
+        for i in [0usize, 4, 9, 20, 30, entry.len() - 1] {
+            let mut bad = entry.clone();
+            bad[i] ^= 0xFF;
+            assert!(decode_entry(&bad, key, canonical).is_err(), "byte {i}");
+        }
+        assert!(decode_entry(&entry[..HEADER_LEN - 1], key, canonical).is_err());
+    }
+
+    #[test]
+    fn incompressible_payloads_store_raw() {
+        let canonical = "k";
+        let key = fnv1a(canonical.as_bytes());
+        let mut x = 7u32;
+        let payload: Vec<u8> = (0..256)
+            .map(|_| {
+                x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (x >> 24) as u8
+            })
+            .collect();
+        let entry = encode_entry(key, canonical, &payload);
+        assert_eq!(entry[5] & FLAG_COMPRESSED, 0, "random bytes stay raw");
+        assert_eq!(decode_entry(&entry, key, canonical).unwrap(), payload);
+    }
+
+    #[test]
+    fn disk_tier_put_get_and_counters() {
+        let dir = tmp_dir("putget");
+        let tier = DiskTier::open(&dir).unwrap();
+        let canonical = "workload=mst|design=BC|budget=2000|seed=7";
+        let key = fnv1a(canonical.as_bytes());
+        assert!(tier.get(key, canonical).is_none());
+        tier.put(key, canonical, b"hello store hello store")
+            .unwrap();
+        assert_eq!(
+            tier.get(key, canonical).as_deref(),
+            Some(b"hello store hello store".as_slice())
+        );
+        assert_eq!(tier.entry_count(), 1);
+        let c = tier.counters();
+        assert_eq!((c.hits, c.misses, c.writes, c.errors), (1, 1, 1, 0));
+        // No temp files linger after atomic writes.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(stray.is_empty(), "{stray:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_self_heal_as_misses() {
+        let dir = tmp_dir("heal");
+        let tier = DiskTier::open(&dir).unwrap();
+        let canonical = "workload=mst|design=CPP|budget=1000|seed=1";
+        let key = fnv1a(canonical.as_bytes());
+        tier.put(key, canonical, b"payload payload payload")
+            .unwrap();
+        // Corrupt the file in place.
+        let path = tier.path_for(key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(tier.get(key, canonical).is_none(), "corrupt entry rejected");
+        assert!(!path.exists(), "bad entry removed");
+        let c = tier.counters();
+        assert_eq!((c.errors, c.misses), (1, 1));
+        // The next put heals it.
+        tier.put(key, canonical, b"payload payload payload")
+            .unwrap();
+        assert!(tier.get(key, canonical).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_roundtrip_through_disk() {
+        let dir = tmp_dir("stats");
+        let tier = DiskTier::open(&dir).unwrap();
+        let canonical = "workload=olden.health|design=CPP|budget=2000|seed=7";
+        let key = fnv1a(canonical.as_bytes());
+        let stats = sample_stats(12345);
+        tier.put_stats(key, canonical, &stats).unwrap();
+        let back = tier.get_stats(key, canonical).expect("stats load");
+        assert_eq!(back.cycles, stats.cycles);
+        assert_eq!(back.instructions, stats.instructions);
+        assert_eq!(
+            stats_to_json(&back).to_string(),
+            stats_to_json(&stats).to_string(),
+            "exact roundtrip"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fnv_matches_job_cache_key() {
+        let spec = ccp_sim::JobSpec::new("health", "CPP");
+        assert_eq!(fnv1a(spec.canonical().as_bytes()), spec.cache_key());
+    }
+}

@@ -1,0 +1,258 @@
+//! A dependency-free LZSS byte compressor for stored results.
+//!
+//! Disk-tier entries are JSON-rendered `RunStats`, which are highly
+//! repetitive (long runs of shared key names and small integers), so even
+//! a greedy byte-oriented LZ factorization shrinks them substantially —
+//! the same observation the paper makes about dynamic data values, applied
+//! to the simulator's own artifacts. The format is a flat token stream:
+//!
+//! * a control byte carries 8 flags (LSB first);
+//! * flag `0` → one literal byte follows;
+//! * flag `1` → a match token follows: `offset: u16 LE` (1-based distance
+//!   back into the output) and `len - MIN_MATCH: u8`.
+//!
+//! The decompressor is bounded by the caller-supplied expected length and
+//! rejects malformed streams instead of panicking — entries come off disk
+//! and disk bytes are untrusted.
+
+use ccp_errors::{SimError, SimResult};
+
+/// Minimum match length worth a 3-byte token (shorter copies are emitted
+/// as literals).
+const MIN_MATCH: usize = 4;
+
+/// Maximum match length encodable in the token's length byte.
+const MAX_MATCH: usize = MIN_MATCH + u8::MAX as usize;
+
+/// Maximum back-reference distance encodable in the token's offset word.
+const WINDOW: usize = u16::MAX as usize;
+
+/// Number of 4-byte-prefix hash buckets in the greedy matcher.
+const HASH_SIZE: usize = 1 << 14;
+
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - 14)) as usize % HASH_SIZE
+}
+
+/// Compresses `input` with greedy LZSS. Deterministic; output for
+/// incompressible input is at most `input.len() + input.len()/8 + 1`.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // Most recent position whose 4-byte prefix landed in each bucket.
+    let mut heads = vec![usize::MAX; HASH_SIZE];
+    let mut ctrl_pos = 0usize;
+    let mut ctrl_bits = 0u8;
+    let mut ctrl_count = 0u8;
+    out.push(0);
+
+    let mut flush_flag = |out: &mut Vec<u8>, bit: bool| {
+        if ctrl_count == 8 {
+            out[ctrl_pos] = ctrl_bits;
+            ctrl_pos = out.len();
+            out.push(0);
+            ctrl_bits = 0;
+            ctrl_count = 0;
+        }
+        if bit {
+            ctrl_bits |= 1 << ctrl_count;
+        }
+        ctrl_count += 1;
+    };
+
+    let mut i = 0usize;
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash4(&input[i..]);
+            let cand = heads[h];
+            if cand != usize::MAX && i - cand <= WINDOW {
+                let limit = (input.len() - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && input[cand + l] == input[i + l] {
+                    l += 1;
+                }
+                if l >= MIN_MATCH {
+                    best_len = l;
+                    best_off = i - cand;
+                }
+            }
+            heads[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            flush_flag(&mut out, true);
+            let off = best_off as u16;
+            out.extend_from_slice(&off.to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            // Seed the hash table through the match so later data can
+            // reference positions inside it.
+            let end = i + best_len;
+            i += 1;
+            while i < end {
+                if i + MIN_MATCH <= input.len() {
+                    heads[hash4(&input[i..])] = i;
+                }
+                i += 1;
+            }
+        } else {
+            flush_flag(&mut out, false);
+            out.push(input[i]);
+            i += 1;
+        }
+    }
+    out[ctrl_pos] = ctrl_bits;
+    if ctrl_count == 0 {
+        // No flags were ever written into the trailing control byte.
+        out.pop();
+    }
+    out
+}
+
+/// Decompresses a [`compress`]-produced stream, verifying it yields
+/// exactly `expected_len` bytes.
+pub fn decompress(input: &[u8], expected_len: usize) -> SimResult<Vec<u8>> {
+    let bad = |detail: String| SimError::corrupt("lz stream", detail);
+    // `expected_len` may come from a corrupt header: a match token expands
+    // to at most MAX_MATCH bytes, so any claim beyond input.len() × that
+    // is malformed, and the pre-allocation is capped rather than trusted.
+    if expected_len > input.len().saturating_mul(MAX_MATCH) {
+        return Err(bad(format!(
+            "expected length {expected_len} impossible for {} input bytes",
+            input.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(expected_len.min(1 << 20));
+    let mut pos = 0usize;
+    while out.len() < expected_len {
+        let ctrl = *input
+            .get(pos)
+            .ok_or_else(|| bad("truncated control byte".into()))?;
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() == expected_len {
+                break;
+            }
+            if ctrl & (1 << bit) == 0 {
+                let b = *input
+                    .get(pos)
+                    .ok_or_else(|| bad("truncated literal".into()))?;
+                pos += 1;
+                out.push(b);
+            } else {
+                let tok = input
+                    .get(pos..pos + 3)
+                    .ok_or_else(|| bad("truncated match token".into()))?;
+                pos += 3;
+                let off = u16::from_le_bytes([tok[0], tok[1]]) as usize;
+                let len = tok[2] as usize + MIN_MATCH;
+                if off == 0 || off > out.len() {
+                    return Err(bad(format!(
+                        "match offset {off} outside {} decoded bytes",
+                        out.len()
+                    )));
+                }
+                if out.len() + len > expected_len {
+                    return Err(bad(format!(
+                        "match overruns expected length {expected_len}"
+                    )));
+                }
+                let start = out.len() - off;
+                // Byte-at-a-time: matches may overlap their own output
+                // (off < len encodes a run), so no memcpy shortcut.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    if pos != input.len() {
+        return Err(bad(format!("{} trailing bytes", input.len() - pos)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let packed = compress(data);
+        let back = decompress(&packed, data.len()).expect("decompress");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn roundtrips_basic_shapes() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abcabcabcabcabcabcabcabc");
+        roundtrip(&[0u8; 10_000]);
+        roundtrip("{\"cycles\":123456,\"instructions\":100000}".as_bytes());
+    }
+
+    #[test]
+    fn roundtrips_incompressible_bytes() {
+        // A linear-congruential byte stream has no 4-byte repeats to speak
+        // of; the stream must still round-trip (stored ~1:1 plus flags).
+        let mut x = 0x1234_5678_u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (x >> 24) as u8
+            })
+            .collect();
+        let packed = compress(&data);
+        assert!(packed.len() <= data.len() + data.len() / 8 + 1);
+        assert_eq!(decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn json_like_payloads_shrink() {
+        let sample = r#"{"attempts":1,"design":"CPP","stats":{"branch_mispredicts":12,"branches":800,"cycles":54321,"instructions":100000,"loads":30000,"stores":12000}}"#;
+        let data = sample.repeat(20);
+        let packed = compress(data.as_bytes());
+        assert!(
+            packed.len() * 2 < data.len(),
+            "{} vs {}",
+            packed.len(),
+            data.len()
+        );
+        roundtrip(data.as_bytes());
+    }
+
+    #[test]
+    fn overlapping_matches_decode() {
+        // "aaaa..." compresses to one literal + self-overlapping matches.
+        let data = vec![b'a'; 1000];
+        let packed = compress(&data);
+        assert!(packed.len() < 32, "run-length shape: {}", packed.len());
+        assert_eq!(decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected() {
+        assert!(decompress(&[], 1).is_err());
+        assert!(decompress(&[0x01], 1).is_err(), "match flag, no token");
+        assert!(
+            decompress(&[0x01, 0x05, 0x00, 0x00], 10).is_err(),
+            "offset beyond decoded output"
+        );
+        assert!(
+            decompress(&[0x01, 0x00, 0x00, 0x00], 10).is_err(),
+            "zero offset"
+        );
+        let good = compress(b"hello hello hello hello");
+        assert!(decompress(&good, 5).is_err(), "wrong expected length");
+        let mut trailing = good.clone();
+        trailing.push(0xFF);
+        assert!(decompress(&trailing, 23).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn compression_is_deterministic() {
+        let data = b"determinism is the whole point determinism is the whole point";
+        assert_eq!(compress(data), compress(data));
+    }
+}

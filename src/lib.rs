@@ -24,7 +24,11 @@
 //!   (address × value × mix parameter spaces),
 //! * [`sim`] — the experiment harness regenerating Figures 3 and 9–15,
 //! * [`served`] — simulation-as-a-service: the NDJSON-over-TCP job
-//!   server with single-flight result caching, and its client/loadgen.
+//!   server with single-flight result caching, and its client/loadgen,
+//! * [`store`] — the two-tier content-addressed result store (RAM LRU
+//!   over a compressed on-disk tier),
+//! * [`fabric`] — the distributed sweep fabric: `ccp-coord` shards
+//!   sweep grids across `ccp-served` workers with crash-safe resume.
 //!
 //! ## Quickstart
 //!
@@ -45,10 +49,12 @@ pub use ccp_cache as cache;
 pub use ccp_compress as compress;
 pub use ccp_cpp as cpp;
 pub use ccp_errors as errors;
+pub use ccp_fabric as fabric;
 pub use ccp_mem as mem;
 pub use ccp_pipeline as pipeline;
 pub use ccp_served as served;
 pub use ccp_sim as sim;
+pub use ccp_store as store;
 pub use ccp_trace as trace;
 pub use ccp_workgen as workgen;
 
@@ -90,7 +96,7 @@ mod tests {
         let server = crate::served::start(ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 1,
-            cache_capacity: 4,
+            ..ServerConfig::default()
         })
         .unwrap();
         let mut client = Client::connect(&server.addr().to_string()).unwrap();
