@@ -25,7 +25,10 @@ SCRATCH="$(mktemp -d)"
 SERVED_PID=""
 W1_PID=""
 W2_PID=""
-trap 'for p in $SERVED_PID $W1_PID $W2_PID; do kill -9 "$p" 2>/dev/null || true; done; rm -rf "$SCRATCH"' EXIT
+C1_PID=""
+C2_PID=""
+OV_PID=""
+trap 'for p in $SERVED_PID $W1_PID $W2_PID $C1_PID $C2_PID $OV_PID; do kill -9 "$p" 2>/dev/null || true; done; rm -rf "$SCRATCH"' EXIT
 
 echo "== ccp-lint: workspace invariants (deny warnings)"
 ./target/release/ccp-lint --deny warnings --json "$SCRATCH/lint-report.json"
@@ -221,5 +224,86 @@ for f in kill kill-local; do
     sed 's/"attempts":[0-9]*/"attempts":_/g' "$SCRATCH/$f.json" > "$SCRATCH/$f.norm"
 done
 cmp "$SCRATCH/kill.norm" "$SCRATCH/kill-local.norm"
+
+echo "== chaos: seeded fault schedules cannot change a single result byte"
+# The surviving worker still holds the kill-gate store; fresh workers and
+# a fresh grid seed keep the chaos runs honest (cells actually dispatch).
+kill -9 "$W2_PID" 2>/dev/null || true
+wait "$W2_PID" 2>/dev/null || true
+W2_PID=""
+FABSTORE="$SCRATCH/chaos-store"
+start_worker cw1; W1_PID=$WORKER_PID; CW1_ADDR=$WORKER_ADDR
+start_worker cw2; W2_PID=$WORKER_PID; CW2_ADDR=$WORKER_ADDR
+
+start_chaos() {  # $1 = basename, $2 = upstream, $3 = schedule, $4 = seed
+    ./target/release/ccp-chaos --listen 127.0.0.1:0 --upstream "$2" \
+        --schedule "$3" --seed "$4" --quiet \
+        > "$SCRATCH/$1.out" 2> "$SCRATCH/$1.err" &
+    CHAOS_PID=$!
+    i=0
+    until grep -q "listening on" "$SCRATCH/$1.out" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -le 100 ] || { echo "chaos proxy $1 did not come up"; exit 1; }
+        sleep 0.1
+    done
+    CHAOS_ADDR="$(sed -n 's/^ccp-chaos listening on //p' "$SCRATCH/$1.out")"
+}
+
+CHAOS_ARGS="--budget 2000 --seed 19 --workloads health,mst,treeadd --designs BC,CPP"
+./target/release/ccp-sim sweep $CHAOS_ARGS \
+    --json "$SCRATCH/chaos-local.json" > "$SCRATCH/chaos-local.txt"
+sed 's/"attempts":[0-9]*/"attempts":_/g' "$SCRATCH/chaos-local.json" \
+    > "$SCRATCH/chaos-local.norm"
+
+# Three fault classes, each fully determined by (schedule, seed): byte
+# corruption, stalls with speculative re-dispatch armed, and abrupt
+# disconnects mixed with connection refusal. `none` entries in each cycle
+# give retries a clean path to converge on.
+run_chaos_schedule() {  # $1 = tag, $2 = schedule, $3 = seed, $4.. = extra args
+    tag=$1; schedule=$2; seed=$3; shift 3
+    start_chaos "$tag-p1" "$CW1_ADDR" "$schedule" "$seed"; C1_PID=$CHAOS_PID; P1=$CHAOS_ADDR
+    start_chaos "$tag-p2" "$CW2_ADDR" "$schedule" "$seed"; C2_PID=$CHAOS_PID; P2=$CHAOS_ADDR
+    ./target/release/ccp-coord sweep --workers "$P1,$P2" $CHAOS_ARGS \
+        --retries 8 --strikes 10 --backoff-ms 5 --timeout-ms 20000 "$@" \
+        --json "$SCRATCH/$tag.json" > "$SCRATCH/$tag.txt" 2> "$SCRATCH/$tag.log" || {
+        echo "chaotic sweep $tag failed:"; cat "$SCRATCH/$tag.log"; exit 1; }
+    sed 's/"attempts":[0-9]*/"attempts":_/g' "$SCRATCH/$tag.json" > "$SCRATCH/$tag.norm"
+    cmp "$SCRATCH/$tag.norm" "$SCRATCH/chaos-local.norm" || {
+        echo "schedule '$schedule' changed a result byte"; exit 1; }
+    kill -TERM "$C1_PID" "$C2_PID" 2>/dev/null || true
+    wait "$C1_PID" 2>/dev/null || true
+    wait "$C2_PID" 2>/dev/null || true
+    C1_PID=""; C2_PID=""
+}
+run_chaos_schedule corrupt "corrupt,none,none" 190
+run_chaos_schedule stall "stall:400,none,none" 7 --speculate 1 --speculate-floor-ms 100
+run_chaos_schedule disco "disconnect:64,none,refuse,none" 13
+
+echo "== overload: a bounded queue sheds typed overloads, retried to done"
+./target/release/ccp-served --workers 1 --max-queue 1 --cache-bytes 65536 \
+    > "$SCRATCH/ov.out" 2> "$SCRATCH/ov.err" &
+OV_PID=$!
+i=0
+until grep -q "listening on" "$SCRATCH/ov.out" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "overload server did not come up"; exit 1; }
+    sleep 0.1
+done
+OV_ADDR="$(sed -n 's/^ccp-served listening on //p' "$SCRATCH/ov.out")"
+# 8 connections race a 1-deep queue: submits are shed with the typed
+# `overloaded` response and the bench's jittered shed-retry absorbs every
+# one (bench exits 1 on any request error, so success == zero failures).
+./target/release/ccp-client --addr "$OV_ADDR" bench --conns 8 --requests 200 \
+    --jobs 64 --skew 0.5 --budget 5000 > "$SCRATCH/ov-bench.txt"
+./target/release/ccp-client --addr "$OV_ADDR" stats > "$SCRATCH/ov-stats.txt"
+grep -Eq "[1-9][0-9]* shed" "$SCRATCH/ov-stats.txt" || {
+    echo "overload run never shed:"; cat "$SCRATCH/ov-stats.txt"; exit 1; }
+kill -TERM "$OV_PID"
+set +e
+wait "$OV_PID"
+status=$?
+set -e
+OV_PID=""
+[ "$status" -eq 0 ] || { echo "overload server exit $status after SIGTERM"; exit 1; }
 
 echo "CI OK"

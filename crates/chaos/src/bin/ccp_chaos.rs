@@ -1,0 +1,133 @@
+//! `ccp-chaos` — the deterministic fault-injection proxy.
+//!
+//! ```text
+//! ccp-chaos --upstream HOST:PORT [OPTIONS]
+//!
+//! OPTIONS:
+//!   --listen HOST:PORT   bind address (default 127.0.0.1:0 = ephemeral port)
+//!   --upstream HOST:PORT the real server to forward to (required)
+//!   --schedule SPEC      comma-separated fault cycle (default "none")
+//!   --seed N             resolves free schedule parameters (default 0)
+//!   --quiet              suppress per-connection plan lines on stderr
+//!
+//! Prints `ccp-chaos listening on HOST:PORT` once ready (scripts parse
+//! the port from this line). Each accepted connection logs its fault
+//! plan to stderr unless --quiet; the same --seed/--schedule pair
+//! replays the same plans. SIGINT/SIGTERM stops the proxy, prints the
+//! counters to stderr, and exits 0.
+//!
+//! EXIT CODE: 0 clean stop · 1 startup failure · 2 usage error
+//! ```
+
+use ccp_chaos::{ChaosConfig, ChaosProxy, Schedule};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const HELP: &str = "ccp-chaos — deterministic seeded TCP fault-injection proxy
+usage: ccp-chaos --upstream HOST:PORT [--listen HOST:PORT] [--schedule SPEC] [--seed N] [--quiet]
+schedule entries (comma-separated cycle, connection n draws entry n % len):
+  none | refuse | truncate[:AFTER] | corrupt[:AT] | stall[:MS]
+  | disconnect[:AFTER] | throttle[:CHUNK[:MS]]
+unspecified parameters are resolved deterministically from --seed
+exit codes: 0 clean stop · 1 startup failure · 2 usage error";
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{HELP}");
+    std::process::exit(2);
+}
+
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // `std` already links libc; declaring `signal` directly avoids a
+    // crate dependency. The handler only stores to an atomic, which is
+    // async-signal-safe; the main loop polls the flag.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn parse_args() -> ChaosConfig {
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut upstream = String::new();
+    let mut spec = "none".to_string();
+    let mut seed: u64 = 0;
+    let mut verbose = true;
+    let mut it = std::env::args().skip(1);
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next()
+            .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            "--listen" => listen = need(&mut it, "--listen"),
+            "--upstream" => upstream = need(&mut it, "--upstream"),
+            "--schedule" => spec = need(&mut it, "--schedule"),
+            "--seed" => {
+                seed = need(&mut it, "--seed")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("bad --seed: {e}")));
+            }
+            "--quiet" => verbose = false,
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if upstream.is_empty() {
+        usage("--upstream is required");
+    }
+    let schedule =
+        Schedule::parse(&spec, seed).unwrap_or_else(|e| usage(&format!("bad --schedule: {e}")));
+    ChaosConfig {
+        listen,
+        upstream,
+        schedule,
+        verbose,
+    }
+}
+
+fn main() {
+    let config = parse_args();
+    install_signal_handlers();
+    let proxy = match ChaosProxy::start(config) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("ccp-chaos: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("ccp-chaos listening on {}", proxy.addr());
+    // Line-buffered stdout only flushes on newline when attached to a
+    // pipe after the process fills its buffer; force it so scripts can
+    // read the port immediately.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    while !SIGNALED.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let counters = proxy.counters();
+    proxy.stop();
+    eprintln!(
+        "ccp-chaos: stopped after {} connections ({} refused, {} faults injected)",
+        counters.connections, counters.refused, counters.faults
+    );
+}

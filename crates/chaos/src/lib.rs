@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Deterministic chaos proxy for the CCP serving stack.
+//!
+//! `ccp-chaos` sits between a client (`ccp-client`, `ccp-coord`) and a
+//! server (`ccp-served`) as a plain TCP proxy that injects faults from a
+//! seeded, replayable schedule: connection refusal, mid-frame
+//! truncation, byte corruption, read stalls, abrupt disconnects, and
+//! slow-drip throttling. Two properties make it a test instrument
+//! rather than a fuzzer:
+//!
+//! * **Determinism** — a fault plan is a pure function of
+//!   `(schedule spec, seed, connection index)`. Re-running the same
+//!   workload behind the same proxy injects the same faults at the same
+//!   byte offsets ([`Schedule::plan`]).
+//! * **Convergence** — `none` entries in the schedule cycle guarantee
+//!   that a retrying client eventually draws a clean connection, so a
+//!   hardened stack must finish with byte-identical results, not just
+//!   survive.
+//!
+//! [`schedule`] parses and resolves fault plans; [`proxy`] runs the
+//! accept loop and per-connection byte pumps. The `ccp-chaos` binary
+//! wraps both behind a CLI mirroring `ccp-served`'s conventions.
+
+pub mod proxy;
+pub mod schedule;
+
+pub use proxy::{ChaosConfig, ChaosCounters, ChaosProxy};
+pub use schedule::{Fault, Schedule, SplitMix64};

@@ -1,0 +1,306 @@
+//! The fault-injecting TCP proxy.
+//!
+//! One accept loop numbers incoming connections in accept order and asks
+//! the [`Schedule`] for each connection's fault plan; two pump threads
+//! per connection forward bytes between the client and the upstream
+//! server, applying the plan at the byte level. Faults partition by
+//! direction: `disconnect` counts client→server bytes, while
+//! `truncate`/`corrupt`/`stall`/`throttle` act on the server→client
+//! stream (responses are where wrong bytes become wrong results).
+//!
+//! The *placement* of every fault is deterministic (a pure function of
+//! seed, schedule, and connection index); only wall-clock timing varies
+//! between runs. Sockets are read with short timeouts so every pump
+//! observes the shutdown flag promptly — no thread outlives
+//! [`ChaosProxy::stop`] by more than a poll interval.
+
+use crate::schedule::{Fault, Schedule};
+use ccp_errors::{SimError, SimResult};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Poll interval for shutdown observation (socket read timeout and the
+/// accept loop's sleep).
+const POLL: Duration = Duration::from_millis(50);
+
+/// Tunables for [`ChaosProxy::start`].
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Bind address for the client-facing side; port 0 picks an
+    /// ephemeral port (read it back from [`ChaosProxy::addr`]).
+    pub listen: String,
+    /// The real server to forward to.
+    pub upstream: String,
+    /// The seeded fault schedule.
+    pub schedule: Schedule,
+    /// Log each connection's fault plan to stderr (`conn N: <plan>`),
+    /// giving a replayable trace of what was injected.
+    pub verbose: bool,
+}
+
+/// Monotonic proxy counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosCounters {
+    /// Connections accepted (and numbered).
+    pub connections: u64,
+    /// Connections refused by plan.
+    pub refused: u64,
+    /// Faults actually injected (a planned corrupt at byte 400 on a
+    /// 90-byte conversation never fires, for example).
+    pub faults: u64,
+}
+
+struct Stats {
+    connections: AtomicU64,
+    refused: AtomicU64,
+    faults: AtomicU64,
+}
+
+/// A running proxy. Call [`ChaosProxy::stop`] to shut it down; dropping
+/// the handle leaves it running until process exit.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<Stats>,
+    accept_thread: thread::JoinHandle<()>,
+}
+
+impl ChaosProxy {
+    /// Binds the listen address and starts proxying.
+    pub fn start(config: ChaosConfig) -> SimResult<ChaosProxy> {
+        let listener =
+            TcpListener::bind(&config.listen).map_err(|e| SimError::io(&config.listen, &e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| SimError::io(&config.listen, &e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| SimError::io(&config.listen, &e))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(Stats {
+            connections: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+        });
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            thread::Builder::new()
+                .name("ccp-chaos-accept".into())
+                .spawn(move || accept_loop(listener, &config, &shutdown, &stats))
+                .map_err(|e| SimError::io("accept thread", &e))?
+        };
+        Ok(ChaosProxy {
+            addr,
+            shutdown,
+            stats,
+            accept_thread,
+        })
+    }
+
+    /// The bound client-facing address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the proxy counters.
+    pub fn counters(&self) -> ChaosCounters {
+        ChaosCounters {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            refused: self.stats.refused.load(Ordering::Relaxed),
+            faults: self.stats.faults.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, tears down live pumps (within one poll
+    /// interval), and joins the accept loop.
+    pub fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.accept_thread.join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    config: &ChaosConfig,
+    shutdown: &Arc<AtomicBool>,
+    stats: &Arc<Stats>,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((client, _peer)) => {
+                let conn = stats.connections.fetch_add(1, Ordering::Relaxed);
+                let fault = config.schedule.plan(conn);
+                if config.verbose {
+                    eprintln!("ccp-chaos: conn {conn}: {fault}");
+                }
+                let upstream = config.upstream.clone();
+                let shutdown = Arc::clone(shutdown);
+                let stats = Arc::clone(stats);
+                // Connection threads poll the shutdown flag through their
+                // socket timeouts, so detaching them is safe: they die
+                // within one POLL of stop().
+                let _ = thread::Builder::new()
+                    .name(format!("ccp-chaos-conn-{conn}"))
+                    .spawn(move || handle_conn(client, &upstream, fault, &shutdown, &stats));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+fn handle_conn(
+    client: TcpStream,
+    upstream: &str,
+    fault: Fault,
+    shutdown: &Arc<AtomicBool>,
+    stats: &Arc<Stats>,
+) {
+    if matches!(fault, Fault::Refuse) {
+        stats.refused.fetch_add(1, Ordering::Relaxed);
+        stats.faults.fetch_add(1, Ordering::Relaxed);
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    }
+    let Ok(server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let _ = client.set_read_timeout(Some(POLL));
+    let _ = server.set_read_timeout(Some(POLL));
+
+    // Direction split: disconnect counts request bytes, the rest act on
+    // the response stream.
+    let c2s_fault = match fault {
+        Fault::Disconnect { .. } => fault,
+        _ => Fault::None,
+    };
+    let s2c_fault = match fault {
+        Fault::Truncate { .. }
+        | Fault::Corrupt { .. }
+        | Fault::Stall { .. }
+        | Fault::Throttle { .. } => fault,
+        _ => Fault::None,
+    };
+
+    let (Ok(c_read), Ok(s_read)) = (client.try_clone(), server.try_clone()) else {
+        let _ = client.shutdown(Shutdown::Both);
+        let _ = server.shutdown(Shutdown::Both);
+        return;
+    };
+    let pump_up = {
+        let shutdown = Arc::clone(shutdown);
+        let stats = Arc::clone(stats);
+        thread::Builder::new()
+            .name("ccp-chaos-c2s".into())
+            .spawn(move || pump(c_read, server, c2s_fault, &shutdown, &stats))
+    };
+    // The handler thread itself runs the response pump.
+    pump(s_read, client, s2c_fault, shutdown, stats);
+    if let Ok(t) = pump_up {
+        let _ = t.join();
+    }
+}
+
+/// Forwards bytes `from` → `to`, applying `fault` at the byte level.
+/// On exit (EOF, error, fault cut, or shutdown) both sockets are shut
+/// down so the sibling pump unblocks too.
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    fault: Fault,
+    shutdown: &Arc<AtomicBool>,
+    stats: &Arc<Stats>,
+) {
+    let mut buf = [0u8; 4096];
+    let mut offset: u64 = 0;
+    let mut stalled = false;
+    'outer: loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let chunk = &mut buf[..n];
+        match fault {
+            Fault::Stall { ms } if !stalled => {
+                stalled = true;
+                stats.faults.fetch_add(1, Ordering::Relaxed);
+                // Sleep in POLL slices so stop() is still prompt.
+                let mut left = ms;
+                while left > 0 && !shutdown.load(Ordering::SeqCst) {
+                    let step = left.min(POLL.as_millis() as u64);
+                    thread::sleep(Duration::from_millis(step));
+                    left -= step;
+                }
+            }
+            _ => {}
+        }
+        match fault {
+            Fault::Corrupt { at, mask } => {
+                if at >= offset && at < offset + n as u64 {
+                    chunk[(at - offset) as usize] ^= mask;
+                    stats.faults.fetch_add(1, Ordering::Relaxed);
+                }
+                if to.write_all(chunk).is_err() {
+                    break;
+                }
+            }
+            Fault::Truncate { after } | Fault::Disconnect { after } => {
+                let end = offset + n as u64;
+                if end >= after {
+                    let keep = after.saturating_sub(offset) as usize;
+                    let _ = to.write_all(&chunk[..keep]);
+                    stats.faults.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                if to.write_all(chunk).is_err() {
+                    break;
+                }
+            }
+            Fault::Throttle {
+                chunk: dribble,
+                delay_ms,
+            } => {
+                let dribble = (dribble.max(1)) as usize;
+                for piece in chunk.chunks(dribble) {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break 'outer;
+                    }
+                    if to.write_all(piece).is_err() {
+                        break 'outer;
+                    }
+                    thread::sleep(Duration::from_millis(delay_ms));
+                }
+                stats.faults.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                if to.write_all(chunk).is_err() {
+                    break;
+                }
+            }
+        }
+        offset += n as u64;
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}

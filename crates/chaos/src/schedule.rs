@@ -1,0 +1,317 @@
+//! Seeded, fully deterministic fault schedules.
+//!
+//! A schedule is a comma-separated cycle of fault entries; the proxy's
+//! `n`-th accepted connection (counting from 0, in accept order) draws
+//! entry `n % len`. Parameters an entry leaves unspecified are resolved
+//! from a splitmix64 stream keyed on `(seed, n)` — [`Schedule::plan`] is
+//! a pure function, so a run under the same seed and schedule spec
+//! injects byte-for-byte the same faults, independent of timing.
+//!
+//! Grammar (whitespace-free, case-sensitive):
+//!
+//! ```text
+//! SCHEDULE  := ENTRY ("," ENTRY)*
+//! ENTRY     := "none" | "refuse"
+//!            | "truncate" [":" AFTER]          cut server→client mid-frame
+//!            | "corrupt"  [":" AT]             flip one server→client byte
+//!            | "stall"    [":" MS]             pause server→client once
+//!            | "disconnect" [":" AFTER]        cut after client→server bytes
+//!            | "throttle" [":" CHUNK [":" MS]] slow-drip server→client
+//! ```
+//!
+//! `none` entries matter: a retrying client re-dials, landing on the
+//! next connection index — a schedule like `corrupt,none` faults every
+//! other connection, so retries converge while still exercising the
+//! fault path on every cycle.
+
+use ccp_errors::{SimError, SimResult};
+use std::fmt;
+
+/// splitmix64 — tiny, dependency-free, and plenty for fault placement.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A stream seeded by `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi]` (inclusive); `hi <= lo` collapses to `lo`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+}
+
+/// One concrete fault, fully resolved for one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward cleanly.
+    None,
+    /// Accept the TCP connection and immediately close it — the client
+    /// sees a refused/instantly-dead endpoint.
+    Refuse,
+    /// Cut both directions after forwarding `after` server→client bytes:
+    /// a mid-frame truncation (the client gets a partial line, then EOF).
+    Truncate {
+        /// Server→client bytes forwarded before the cut.
+        after: u64,
+    },
+    /// XOR one server→client byte at stream offset `at` with `mask`
+    /// (never zero, so the byte always changes).
+    Corrupt {
+        /// Server→client stream offset of the corrupted byte.
+        at: u64,
+        /// Non-zero XOR mask applied to that byte.
+        mask: u8,
+    },
+    /// Pause server→client forwarding once, for `ms` milliseconds,
+    /// before the first response byte — a stalled worker.
+    Stall {
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+    /// Cut both directions after `after` client→server bytes: an abrupt
+    /// disconnect while the request is (possibly mid-)flight.
+    Disconnect {
+        /// Client→server bytes forwarded before the cut.
+        after: u64,
+    },
+    /// Forward server→client traffic in `chunk`-byte dribbles with a
+    /// `delay_ms` pause between them — slow-drip throttling.
+    Throttle {
+        /// Bytes per dribble.
+        chunk: u64,
+        /// Milliseconds between dribbles.
+        delay_ms: u64,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::None => write!(f, "none"),
+            Fault::Refuse => write!(f, "refuse"),
+            Fault::Truncate { after } => write!(f, "truncate after {after} bytes"),
+            Fault::Corrupt { at, mask } => {
+                write!(f, "corrupt byte {at} (xor {mask:#04x})")
+            }
+            Fault::Stall { ms } => write!(f, "stall {ms}ms"),
+            Fault::Disconnect { after } => write!(f, "disconnect after {after} bytes"),
+            Fault::Throttle { chunk, delay_ms } => {
+                write!(f, "throttle {chunk}B/{delay_ms}ms")
+            }
+        }
+    }
+}
+
+/// A parsed entry: the fault kind with parameters possibly left for the
+/// per-connection RNG to resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Entry {
+    None,
+    Refuse,
+    Truncate(Option<u64>),
+    Corrupt(Option<u64>),
+    Stall(Option<u64>),
+    Disconnect(Option<u64>),
+    Throttle(Option<u64>, Option<u64>),
+}
+
+/// A seeded fault schedule: the cycle of entries plus the seed that
+/// resolves their free parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    seed: u64,
+    spec: String,
+    entries: Vec<Entry>,
+}
+
+/// Default parameter ranges, tuned to the NDJSON protocol's message
+/// sizes: an `accepted` line is ~70 bytes and a `result` line is several
+/// hundred, so offsets in `[16, 512]` land inside real frames.
+const BYTE_LO: u64 = 16;
+const BYTE_HI: u64 = 512;
+const STALL_LO: u64 = 250;
+const STALL_HI: u64 = 1_500;
+const CHUNK_LO: u64 = 1;
+const CHUNK_HI: u64 = 8;
+const DRIP_LO: u64 = 2;
+const DRIP_HI: u64 = 20;
+
+impl Schedule {
+    /// Parses a schedule spec (see the module grammar) under `seed`.
+    pub fn parse(spec: &str, seed: u64) -> SimResult<Schedule> {
+        let mut entries = Vec::new();
+        for raw in spec.split(',') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                return Err(SimError::spec(format!("empty entry in schedule {spec:?}")));
+            }
+            let mut parts = raw.split(':');
+            let kind = parts.next().unwrap_or_default();
+            let mut num = |what: &str| -> SimResult<Option<u64>> {
+                match parts.next() {
+                    None => Ok(None),
+                    Some(p) => p.parse::<u64>().map(Some).map_err(|e| {
+                        SimError::spec(format!("bad {what} in schedule entry {raw:?}: {e}"))
+                    }),
+                }
+            };
+            let entry = match kind {
+                "none" => Entry::None,
+                "refuse" => Entry::Refuse,
+                "truncate" => Entry::Truncate(num("byte count")?),
+                "corrupt" => Entry::Corrupt(num("byte offset")?),
+                "stall" => Entry::Stall(num("duration")?),
+                "disconnect" => Entry::Disconnect(num("byte count")?),
+                "throttle" => Entry::Throttle(num("chunk size")?, num("delay")?),
+                other => {
+                    return Err(SimError::spec(format!(
+                        "unknown fault kind {other:?} in schedule {spec:?}"
+                    )))
+                }
+            };
+            if parts.next().is_some() {
+                return Err(SimError::spec(format!(
+                    "too many parameters in schedule entry {raw:?}"
+                )));
+            }
+            entries.push(entry);
+        }
+        Ok(Schedule {
+            seed,
+            spec: spec.to_string(),
+            entries,
+        })
+    }
+
+    /// The seed this schedule resolves free parameters with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The original spec string.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// The fault plan for connection `conn` (0-based accept order) — a
+    /// pure function of `(spec, seed, conn)`.
+    pub fn plan(&self, conn: u64) -> Fault {
+        let entry = &self.entries[(conn % self.entries.len() as u64) as usize];
+        let mut rng = SplitMix64::new(
+            self.seed ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5851_F42D_4C95_7F2D,
+        );
+        match entry {
+            Entry::None => Fault::None,
+            Entry::Refuse => Fault::Refuse,
+            Entry::Truncate(after) => Fault::Truncate {
+                after: after.unwrap_or_else(|| rng.range(BYTE_LO, BYTE_HI)),
+            },
+            Entry::Corrupt(at) => Fault::Corrupt {
+                at: at.unwrap_or_else(|| rng.range(BYTE_LO, BYTE_HI)),
+                mask: rng.range(1, 255) as u8,
+            },
+            Entry::Stall(ms) => Fault::Stall {
+                ms: ms.unwrap_or_else(|| rng.range(STALL_LO, STALL_HI)),
+            },
+            Entry::Disconnect(after) => Fault::Disconnect {
+                after: after.unwrap_or_else(|| rng.range(BYTE_LO, BYTE_HI)),
+            },
+            Entry::Throttle(chunk, delay) => Fault::Throttle {
+                chunk: chunk.unwrap_or_else(|| rng.range(CHUNK_LO, CHUNK_HI)),
+                delay_ms: delay.unwrap_or_else(|| rng.range(DRIP_LO, DRIP_HI)),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_cycle() {
+        let s = Schedule::parse("corrupt,none,stall:400", 7).unwrap();
+        let again = Schedule::parse("corrupt,none,stall:400", 7).unwrap();
+        for conn in 0..32 {
+            assert_eq!(s.plan(conn), again.plan(conn), "conn {conn}");
+            assert_eq!(s.plan(conn), s.plan(conn), "conn {conn} self");
+        }
+        assert!(matches!(s.plan(0), Fault::Corrupt { .. }));
+        assert_eq!(s.plan(1), Fault::None);
+        assert_eq!(s.plan(2), Fault::Stall { ms: 400 });
+        assert!(matches!(s.plan(3), Fault::Corrupt { .. }));
+    }
+
+    #[test]
+    fn different_seeds_resolve_different_parameters() {
+        let a = Schedule::parse("corrupt", 1).unwrap();
+        let b = Schedule::parse("corrupt", 2).unwrap();
+        // Across 16 connections, at least one placement must differ —
+        // seeds decorrelate the resolved offsets.
+        assert!((0..16).any(|c| a.plan(c) != b.plan(c)));
+    }
+
+    #[test]
+    fn explicit_parameters_are_honored() {
+        let s = Schedule::parse("truncate:99,disconnect:7,throttle:2:11", 0).unwrap();
+        assert_eq!(s.plan(0), Fault::Truncate { after: 99 });
+        assert_eq!(s.plan(1), Fault::Disconnect { after: 7 });
+        assert_eq!(
+            s.plan(2),
+            Fault::Throttle {
+                chunk: 2,
+                delay_ms: 11
+            }
+        );
+    }
+
+    #[test]
+    fn resolved_parameters_stay_in_range() {
+        let s = Schedule::parse("corrupt,truncate,stall,throttle", 99).unwrap();
+        for conn in 0..64 {
+            match s.plan(conn) {
+                Fault::Corrupt { at, mask } => {
+                    assert!((BYTE_LO..=BYTE_HI).contains(&at));
+                    assert_ne!(mask, 0, "mask must actually flip the byte");
+                }
+                Fault::Truncate { after } => assert!((BYTE_LO..=BYTE_HI).contains(&after)),
+                Fault::Stall { ms } => assert!((STALL_LO..=STALL_HI).contains(&ms)),
+                Fault::Throttle { chunk, delay_ms } => {
+                    assert!((CHUNK_LO..=CHUNK_HI).contains(&chunk));
+                    assert!((DRIP_LO..=DRIP_HI).contains(&delay_ms));
+                }
+                other => panic!("unexpected plan {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_typed_spec_errors() {
+        for bad in [
+            "",
+            "corrupt,",
+            "warp",
+            "corrupt:xyz",
+            "stall:1:2",
+            "throttle:1:2:3",
+        ] {
+            let e = Schedule::parse(bad, 0).unwrap_err();
+            assert_eq!(e.class(), "spec", "{bad:?} -> {e}");
+        }
+    }
+}

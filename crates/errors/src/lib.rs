@@ -93,6 +93,14 @@ pub enum SimError {
         /// Why the work was rejected.
         detail: String,
     },
+    /// The server shed the request because its queue is full. Unlike
+    /// [`SimError::Shutdown`] the server is healthy — the caller should
+    /// back off (with jitter) and retry, without counting a strike
+    /// against the worker.
+    Overloaded {
+        /// The server's description of the pressure (queue depth, bound).
+        detail: String,
+    },
     /// A remote worker died, hung up, or otherwise stopped answering while
     /// it held a unit of work. The work itself is presumed fine — the
     /// fabric coordinator retries it on another worker.
@@ -195,6 +203,13 @@ impl SimError {
         }
     }
 
+    /// A shed because the server's bounded queue is full.
+    pub fn overloaded(detail: impl Into<String>) -> Self {
+        SimError::Overloaded {
+            detail: detail.into(),
+        }
+    }
+
     /// A worker that stopped answering while it held work.
     pub fn worker_lost(worker: impl Into<String>, detail: impl Into<String>) -> Self {
         SimError::WorkerLost {
@@ -266,6 +281,7 @@ impl SimError {
             SimError::Protocol { .. } => "protocol",
             SimError::Canceled { .. } => "canceled",
             SimError::Shutdown { .. } => "shutdown",
+            SimError::Overloaded { .. } => "overloaded",
             SimError::WorkerLost { .. } => "worker-lost",
             SimError::Timeout { .. } => "timeout",
         }
@@ -299,6 +315,7 @@ impl SimError {
             "corrupt" => SimError::corrupt("artifact", message),
             "canceled" => SimError::canceled(message),
             "shutdown" => SimError::shutdown(message),
+            "overloaded" => SimError::overloaded(message),
             "worker-lost" => SimError::worker_lost("remote", message),
             "timeout" => SimError::timeout("remote", message),
             _ => SimError::protocol(message),
@@ -309,6 +326,12 @@ impl SimError {
     /// I/O hiccups, lost workers, and timeouts qualify — the environment
     /// caused them, not the input. Every other class is deterministic for
     /// a fixed seed, so a retry would reproduce it exactly.
+    ///
+    /// [`SimError::Overloaded`] is retryable too, but deliberately *not*
+    /// transient here: a shed means the server is healthy and asking the
+    /// caller to back off, so it carries its own backoff contract instead
+    /// of riding the generic fault-retry path (which counts strikes
+    /// against the worker).
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
@@ -341,6 +364,7 @@ impl fmt::Display for SimError {
             SimError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
             SimError::Canceled { context } => write!(f, "canceled: {context}"),
             SimError::Shutdown { detail } => write!(f, "server shutting down: {detail}"),
+            SimError::Overloaded { detail } => write!(f, "server overloaded: {detail}"),
             SimError::WorkerLost { worker, detail } => {
                 write!(f, "worker {worker} lost: {detail}")
             }
@@ -376,6 +400,10 @@ mod tests {
             (SimError::protocol("missing field"), "protocol violation"),
             (SimError::canceled("job 7"), "canceled"),
             (SimError::shutdown("draining"), "shutting down"),
+            (
+                SimError::overloaded("queue full (4/4)"),
+                "server overloaded",
+            ),
             (
                 SimError::worker_lost("127.0.0.1:7700", "connection reset"),
                 "worker 127.0.0.1:7700 lost",
@@ -435,6 +463,7 @@ mod tests {
         assert_eq!(SimError::protocol("x").class(), "protocol");
         assert_eq!(SimError::canceled("x").class(), "canceled");
         assert_eq!(SimError::shutdown("x").class(), "shutdown");
+        assert_eq!(SimError::overloaded("x").class(), "overloaded");
         assert_eq!(SimError::worker_lost("w", "x").class(), "worker-lost");
         assert_eq!(SimError::timeout("c", "x").class(), "timeout");
     }
@@ -447,6 +476,7 @@ mod tests {
             SimError::pipeline("wedged"),
             SimError::canceled("job 3"),
             SimError::shutdown("draining"),
+            SimError::overloaded("queue full (4/4)"),
             SimError::protocol("truncated line"),
             SimError::worker_lost("127.0.0.1:7700", "connection reset"),
             SimError::timeout("submit_wait", "deadline exceeded"),
@@ -469,5 +499,8 @@ mod tests {
         assert!(!SimError::protocol("x").is_transient());
         assert!(!SimError::canceled("x").is_transient());
         assert!(!SimError::shutdown("x").is_transient());
+        // A shed is retryable, but via its own backoff path — see the
+        // is_transient doc comment.
+        assert!(!SimError::overloaded("x").is_transient());
     }
 }

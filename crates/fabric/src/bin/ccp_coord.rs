@@ -16,8 +16,16 @@
 //!                                                        (default 50)
 //!   --strikes N         consecutive losses before a worker is excluded
 //!                                                        (default 3)
-//!   --timeout-ms MS     per-response read deadline, 0 = none
+//!   --timeout-ms MS     overall per-cell wait deadline, 0 = none
 //!                                                        (default 30000)
+//!   --deadline-ms MS    server-side per-request deadline carried on
+//!                       every submit; an expired job is cancelled by
+//!                       the worker and never cached (default 0 = none)
+//!   --speculate N       duplicate a straggling cell on a second worker
+//!                       once it outlives N x the median cell latency;
+//!                       first result wins (default 4, 0 = off)
+//!   --speculate-floor-ms MS  minimum straggler age before duplicating
+//!                                                        (default 2000)
 //!   --max-cells N       stop after N cells (rest report `skipped`)
 //!   --checkpoint FILE   record completed cells to a JSONL checkpoint
 //!   --resume FILE       load FILE as checkpoint, skip finished cells,
@@ -45,7 +53,8 @@ const HELP: &str = "ccp-coord — distributed sweep coordinator
 usage: ccp-coord sweep --workers HOST:PORT,.. [--budget N] [--seed S]
                        [--workloads a,b,..] [--designs BC,CPP,..] [--halved]
                        [--retries N] [--backoff-ms MS] [--strikes N]
-                       [--timeout-ms MS] [--max-cells N]
+                       [--timeout-ms MS] [--deadline-ms MS] [--max-cells N]
+                       [--speculate N] [--speculate-floor-ms MS]
                        [--checkpoint FILE | --resume FILE]
                        [--store DIR] [--store-bytes N]
                        [--json FILE] [--summary-json FILE]
@@ -126,6 +135,21 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|e| usage(&format!("bad --timeout-ms: {e}")));
             }
+            "--deadline-ms" => {
+                fab.deadline_ms = need(&mut it, "--deadline-ms")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("bad --deadline-ms: {e}")));
+            }
+            "--speculate" => {
+                fab.speculate_after = need(&mut it, "--speculate")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("bad --speculate: {e}")));
+            }
+            "--speculate-floor-ms" => {
+                fab.speculate_floor_ms = need(&mut it, "--speculate-floor-ms")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("bad --speculate-floor-ms: {e}")));
+            }
             "--max-cells" => {
                 fab.max_cells = Some(
                     need(&mut it, "--max-cells")
@@ -171,7 +195,7 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let executor = TcpExecutor::new(&args.fab.workers, args.fab.timeout());
+    let executor = TcpExecutor::new(&args.fab.workers, args.fab.timeout(), args.fab.deadline_ms);
     let outcome = match run_fabric_sweep(&args.config, &args.fab, &executor) {
         Ok(o) => o,
         Err(e) => {

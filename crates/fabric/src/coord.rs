@@ -7,10 +7,26 @@
 //! free dispatcher (almost always a different worker) retries it — while
 //! the faulted dispatcher backs off and re-dials; after
 //! [`FabricConfig::worker_strikes`] consecutive losses the worker is
-//! excluded and the rest of the pool finishes the grid. Completed cells
-//! are recorded to the same crash-safe JSONL checkpoint `ccp-sim sweep`
-//! uses (identical header), so a killed coordinator resumes with either
-//! driver, and the merged grid is assembled through
+//! excluded and the rest of the pool finishes the grid. Two further
+//! hardening layers ride on the same flight bookkeeping:
+//!
+//! * **Backpressure** — a typed `overloaded` shed from a worker is a
+//!   healthy round-trip, not a fault: the cell requeues to the *back*
+//!   of the deque with no strike and no retry-budget cost, and the
+//!   dispatcher backs off with deterministic jitter
+//!   ([`ccp_served::jittered_backoff_ms`], salted by worker) so
+//!   colliding dispatchers decorrelate.
+//! * **Speculation** — once the deque is empty, an idle dispatcher may
+//!   duplicate a straggling in-flight cell on its own worker
+//!   ([`FabricConfig::speculate_after`] × the median completed-cell
+//!   latency, floored). The first terminal result wins under the grid
+//!   lock; the loser is called off through a shared cancel token and
+//!   its result discarded. Cells are deterministic, so which side wins
+//!   never changes the reported bytes.
+//!
+//! Completed cells are recorded to the same crash-safe JSONL checkpoint
+//! `ccp-sim sweep` uses (identical header), so a killed coordinator
+//! resumes with either driver, and the merged grid is assembled through
 //! [`ResilientSweep::from_outcomes`] so its report/JSON bytes come from
 //! exactly the same rendering code as a local sweep.
 //!
@@ -22,16 +38,24 @@
 use crate::exec::{is_worker_fault, CellExecutor};
 use ccp_cache::DesignKind;
 use ccp_errors::{SimError, SimResult};
+use ccp_pipeline::RunStats;
+use ccp_served::jittered_backoff_ms;
 use ccp_served::sync::LockExt;
 use ccp_sim::checkpoint::Checkpoint;
 use ccp_sim::json::Json;
 use ccp_sim::sweep::{CellOutcome, CellStatus, ResilientSweep, Workload};
 use ccp_sim::{JobSpec, SweepConfig};
-use ccp_store::{DiskTier, TieredStore};
+use ccp_store::{fnv1a, DiskTier, TieredStore};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Consecutive sheds of one cell before the coordinator gives up on it —
+/// a backstop against a pool that is permanently saturated, far above
+/// anything a transient overload produces.
+const SHED_CAP: u32 = 1_000;
 
 /// Coordinator knobs layered on top of a [`SweepConfig`] (which fixes
 /// *what* to run; this fixes *where and how resiliently*).
@@ -44,7 +68,8 @@ pub struct FabricConfig {
     /// sweep's retry budget (total attempts ≤ `retries + 1`).
     pub retries: u32,
     /// Base re-dial backoff after a worker fault; the n-th consecutive
-    /// loss waits `n ×` this before the dispatcher tries again.
+    /// loss waits `n ×` this before the dispatcher tries again. Doubles
+    /// as the base for the jittered shed backoff.
     pub backoff_ms: u64,
     /// Consecutive losses before a worker is excluded from the pool.
     pub worker_strikes: u32,
@@ -60,9 +85,23 @@ pub struct FabricConfig {
     pub store_dir: Option<PathBuf>,
     /// RAM-tier budget in bytes for the two-tier store.
     pub store_bytes: usize,
-    /// Per-response read deadline for TCP executors, milliseconds
+    /// Overall per-cell wait deadline for TCP executors, milliseconds
     /// (0 = wait forever).
     pub timeout_ms: u64,
+    /// Server-side per-request deadline in milliseconds, carried on
+    /// every `submit` line (0 = none). An expired job is cancelled by
+    /// the worker and never completed into its cache or store.
+    pub deadline_ms: u64,
+    /// Straggler latency multiple: once an in-flight cell has been
+    /// running longer than `speculate_after ×` the median completed-cell
+    /// latency (and past [`FabricConfig::speculate_floor_ms`]), an idle
+    /// dispatcher on a *different* worker duplicates it. 0 disables
+    /// speculation.
+    pub speculate_after: u32,
+    /// Minimum straggler age before speculation kicks in, milliseconds —
+    /// keeps early cells (when the latency sample is empty or tiny) from
+    /// being duplicated eagerly.
+    pub speculate_floor_ms: u64,
 }
 
 impl Default for FabricConfig {
@@ -78,6 +117,9 @@ impl Default for FabricConfig {
             store_dir: None,
             store_bytes: 4 << 20,
             timeout_ms: 30_000,
+            deadline_ms: 0,
+            speculate_after: 4,
+            speculate_floor_ms: 2_000,
         }
     }
 }
@@ -87,6 +129,14 @@ impl FabricConfig {
     pub fn timeout(&self) -> Option<Duration> {
         (self.timeout_ms > 0).then(|| Duration::from_millis(self.timeout_ms))
     }
+}
+
+/// Backoff before a dispatcher re-dials after its `n`-th consecutive
+/// worker loss: linear in the strike count, saturating instead of
+/// overflowing at absurd configurations. A zero base means no backoff at
+/// all — callers skip the sleep entirely.
+pub fn loss_backoff_ms(backoff_ms: u64, consecutive_losses: u32) -> u64 {
+    backoff_ms.saturating_mul(consecutive_losses as u64)
 }
 
 /// Per-worker dispatch accounting.
@@ -119,6 +169,10 @@ pub struct FabricStats {
     pub store_misses: u64,
     /// Cells requeued after a worker fault.
     pub retried: u64,
+    /// Straggling cells duplicated on a second worker.
+    pub speculated: u64,
+    /// Typed `overloaded` sheds absorbed (requeued without strikes).
+    pub shed: u64,
 }
 
 impl FabricStats {
@@ -157,6 +211,8 @@ impl FabricStats {
             ("store_disk_hits", Json::from(self.store_disk_hits)),
             ("store_misses", Json::from(self.store_misses)),
             ("retried", Json::from(self.retried)),
+            ("speculated", Json::from(self.speculated)),
+            ("shed", Json::from(self.shed)),
         ])
     }
 
@@ -166,11 +222,13 @@ impl FabricStats {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "fabric: workers={} excluded={} restored={} retried={}",
+            "fabric: workers={} excluded={} restored={} retried={} speculated={} shed={}",
             self.workers.len(),
             self.excluded.len(),
             self.restored,
             self.retried,
+            self.speculated,
+            self.shed,
         );
         let _ = writeln!(
             out,
@@ -197,21 +255,46 @@ pub struct FabricOutcome {
     pub stats: FabricStats,
 }
 
-/// One schedulable cell.
-struct Cell {
+/// One grid cell's scheduling state, shared by every runner that ever
+/// carries it (at most two: the original dispatch and one speculative
+/// duplicate).
+struct Flight {
     wi: usize,
     design: DesignKind,
+    /// Dispatch attempts charged against the retry budget.
     attempts: u32,
+    /// Consecutive `overloaded` sheds (refunded from `attempts`).
+    sheds: u32,
+    /// Runners currently executing this flight (0 while queued).
+    runners: u32,
+    /// Whether a speculative duplicate was already launched.
+    speculated: bool,
+    /// A terminal outcome has been recorded; late runners are losers.
+    done: bool,
+    /// Worker of the most recent fresh claim (speculation must pick a
+    /// different one).
+    runner: String,
+    /// Flips when the flight no longer needs this runner's answer.
+    cancel: Arc<AtomicBool>,
+    /// When the current dispatch started (None while queued).
+    started: Option<Instant>,
 }
 
 /// Everything dispatchers share. `grid` and `store` are separate locks
 /// and are never held together (the declared fabric hierarchy is
 /// `grid → store`; the code keeps every critical section disjoint).
 struct GridState {
-    pending: VecDeque<Cell>,
-    in_flight: usize,
+    /// Flight ids waiting for a runner.
+    pending: VecDeque<u64>,
+    /// Every flight not yet fully retired (runners may still reference a
+    /// `done` flight until the loser returns).
+    flights: BTreeMap<u64, Flight>,
     done: Vec<CellOutcome>,
     retried: u64,
+    speculated: u64,
+    shed: u64,
+    /// Completed-cell latencies, milliseconds — the speculation baseline.
+    latencies_ms: Vec<u64>,
 }
 
 struct Ctx<'a> {
@@ -337,21 +420,37 @@ pub fn run_fabric_sweep(
             },
         );
     }
-    let queue: VecDeque<Cell> = pending[..cut]
-        .iter()
-        .map(|&(wi, design)| Cell {
-            wi,
-            design,
-            attempts: 0,
-        })
-        .collect();
+    let mut flights: BTreeMap<u64, Flight> = BTreeMap::new();
+    let mut queue: VecDeque<u64> = VecDeque::new();
+    for (i, &(wi, design)) in pending[..cut].iter().enumerate() {
+        let id = i as u64;
+        flights.insert(
+            id,
+            Flight {
+                wi,
+                design,
+                attempts: 0,
+                sheds: 0,
+                runners: 0,
+                speculated: false,
+                done: false,
+                runner: String::new(),
+                cancel: Arc::new(AtomicBool::new(false)),
+                started: None,
+            },
+        );
+        queue.push_back(id);
+    }
 
     let ctx = Ctx {
         grid: Mutex::new(GridState {
             pending: queue,
-            in_flight: 0,
+            flights,
             done: Vec::new(),
             retried: 0,
+            speculated: 0,
+            shed: 0,
+            latencies_ms: Vec::new(),
         }),
         store,
         cp,
@@ -404,25 +503,32 @@ pub fn run_fabric_sweep(
     for c in grid.done {
         cells.insert((c.workload.clone(), c.design), c);
     }
-    // Every dispatcher exited with cells still queued: the whole pool is
+    // Every dispatcher exited with flights still live: the whole pool is
     // gone. Fail the remainder with a typed worker loss so the report
-    // says what actually happened instead of hanging.
-    for cell in grid.pending {
-        let name = resolved[cell.wi].0.clone();
+    // says what actually happened instead of hanging. (A `done` flight
+    // here already recorded its outcome — only its loser never
+    // returned, e.g. a panicked dispatcher.)
+    for flight in grid.flights.values() {
+        if flight.done {
+            continue;
+        }
+        let name = resolved[flight.wi].0.clone();
         cells.insert(
-            (name.clone(), cell.design.name()),
+            (name.clone(), flight.design.name()),
             CellOutcome {
                 workload: name,
-                design: cell.design.name(),
+                design: flight.design.name(),
                 status: CellStatus::Failed(SimError::worker_lost(
                     "pool",
                     "every worker excluded before this cell could run",
                 )),
-                attempts: cell.attempts,
+                attempts: flight.attempts,
             },
         );
     }
     stats.retried = grid.retried;
+    stats.speculated = grid.speculated;
+    stats.shed = grid.shed;
     if let Some(store) = &ctx.store {
         let st = store.lock_unpoisoned();
         let c = st.counters();
@@ -442,138 +548,355 @@ pub fn run_fabric_sweep(
     })
 }
 
+/// What [`claim`] handed this dispatcher.
+struct Claimed {
+    id: u64,
+    /// Fresh dequeue (consult the store) vs. speculative duplicate.
+    fresh: bool,
+    wi: usize,
+    design: DesignKind,
+    cancel: Arc<AtomicBool>,
+}
+
+enum Claim {
+    Run(Claimed),
+    /// No pending work and no live flights: the grid is finished.
+    Drained,
+    /// Nothing to do right now; poll again shortly.
+    Wait,
+}
+
+/// The straggler age past which an in-flight cell may be duplicated.
+fn speculate_threshold(fab: &FabricConfig, latencies_ms: &[u64]) -> Duration {
+    let mut v = latencies_ms.to_vec();
+    let median = if v.is_empty() {
+        0
+    } else {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    Duration::from_millis(
+        fab.speculate_floor_ms
+            .max(median.saturating_mul(fab.speculate_after as u64)),
+    )
+}
+
+/// Claims work for `worker`: a pending flight if any, else — once the
+/// deque is dry — a straggling flight on a *different* worker that has
+/// outlived the speculation threshold and was not yet duplicated.
+fn claim(worker: &str, ctx: &Ctx<'_>) -> Claim {
+    let mut g = ctx.grid.lock_unpoisoned();
+    if let Some(id) = g.pending.pop_front() {
+        let f = g
+            .flights
+            .get_mut(&id)
+            .expect("pending id has a live flight");
+        f.runners += 1;
+        f.runner = worker.to_string();
+        f.started = Some(Instant::now());
+        return Claim::Run(Claimed {
+            id,
+            fresh: true,
+            wi: f.wi,
+            design: f.design,
+            cancel: Arc::clone(&f.cancel),
+        });
+    }
+    if g.flights.is_empty() {
+        return Claim::Drained;
+    }
+    if ctx.fab.speculate_after > 0 {
+        let threshold = speculate_threshold(ctx.fab, &g.latencies_ms);
+        let now = Instant::now();
+        let pick = g.flights.iter().find_map(|(id, f)| {
+            (!f.done
+                && !f.speculated
+                && f.runners >= 1
+                && f.runner != worker
+                && f.started
+                    .is_some_and(|t0| now.duration_since(t0) >= threshold))
+            .then_some(*id)
+        });
+        if let Some(id) = pick {
+            g.speculated += 1;
+            let f = g.flights.get_mut(&id).expect("picked flight is live");
+            f.speculated = true;
+            f.runners += 1;
+            return Claim::Run(Claimed {
+                id,
+                fresh: false,
+                wi: f.wi,
+                design: f.design,
+                cancel: Arc::clone(&f.cancel),
+            });
+        }
+    }
+    Claim::Wait
+}
+
+/// Terminal bookkeeping for a runner returning with `status`. The first
+/// runner to settle a flight wins: its outcome is recorded, the shared
+/// cancel token flips so a speculative sibling abandons promptly, and
+/// the winning attempt count is returned for checkpoint/store
+/// publication. A later runner (the loser of the race) is discarded and
+/// gets `None`. `floor_one` reports at least one attempt (store hits).
+fn settle(ctx: &Ctx<'_>, id: u64, status: CellStatus, floor_one: bool) -> Option<u32> {
+    let mut g = ctx.grid.lock_unpoisoned();
+    let mut won = None;
+    let mut remove = false;
+    let mut outcome = None;
+    let mut latency = None;
+    if let Some(f) = g.flights.get_mut(&id) {
+        f.runners = f.runners.saturating_sub(1);
+        if !f.done {
+            f.done = true;
+            f.cancel.store(true, Ordering::SeqCst);
+            let attempts = if floor_one {
+                f.attempts.max(1)
+            } else {
+                f.attempts
+            };
+            won = Some(attempts);
+            latency = f
+                .started
+                .filter(|_| matches!(status, CellStatus::Ok(_)))
+                .map(|t0| t0.elapsed().as_millis() as u64);
+            outcome = Some(CellOutcome {
+                workload: ctx.resolved[f.wi].0.clone(),
+                design: f.design.name(),
+                status,
+                attempts,
+            });
+        }
+        remove = f.runners == 0;
+    }
+    if remove {
+        g.flights.remove(&id);
+    }
+    if let Some(o) = outcome {
+        g.done.push(o);
+    }
+    if let Some(ms) = latency {
+        g.latencies_ms.push(ms);
+    }
+    won
+}
+
+/// A runner came back with a worker fault. If a speculative sibling is
+/// still running, the flight simply rides on it; otherwise the cell
+/// requeues to the *front* of the deque (within its retry budget) or
+/// fails.
+fn requeue_or_fail(ctx: &Ctx<'_>, id: u64, e: SimError) {
+    let mut g = ctx.grid.lock_unpoisoned();
+    let mut requeue = false;
+    let mut remove = false;
+    let mut outcome = None;
+    if let Some(f) = g.flights.get_mut(&id) {
+        f.runners = f.runners.saturating_sub(1);
+        if f.done {
+            remove = f.runners == 0;
+        } else if f.runners > 0 {
+            // The speculative sibling carries the flight.
+        } else if f.attempts <= ctx.fab.retries {
+            f.started = None;
+            requeue = true;
+        } else {
+            f.done = true;
+            remove = true;
+            outcome = Some(CellOutcome {
+                workload: ctx.resolved[f.wi].0.clone(),
+                design: f.design.name(),
+                status: CellStatus::Failed(e),
+                attempts: f.attempts,
+            });
+        }
+    }
+    if requeue {
+        g.retried += 1;
+        // Front of the deque: the next free dispatcher — almost always a
+        // different worker — retries it before any untouched cell.
+        g.pending.push_front(id);
+    }
+    if remove {
+        g.flights.remove(&id);
+    }
+    if let Some(o) = outcome {
+        g.done.push(o);
+    }
+}
+
+/// A runner was shed with a typed `overloaded`: refund the attempt (a
+/// shed never consumes retry budget), requeue to the *back* of the deque
+/// (let other cells go first), and return the cell's consecutive shed
+/// count for the caller's jittered backoff — `None` when nothing was
+/// requeued (speculative loser, live sibling, or the [`SHED_CAP`]
+/// backstop tripping).
+fn shed_requeue(ctx: &Ctx<'_>, id: u64, e: SimError) -> Option<u32> {
+    let mut g = ctx.grid.lock_unpoisoned();
+    let mut sheds = None;
+    let mut requeue = false;
+    let mut remove = false;
+    let mut outcome = None;
+    if let Some(f) = g.flights.get_mut(&id) {
+        f.runners = f.runners.saturating_sub(1);
+        f.attempts = f.attempts.saturating_sub(1);
+        f.sheds += 1;
+        if f.done {
+            remove = f.runners == 0;
+        } else if f.runners > 0 {
+            // The speculative sibling carries the flight.
+        } else if f.sheds >= SHED_CAP {
+            f.done = true;
+            remove = true;
+            outcome = Some(CellOutcome {
+                workload: ctx.resolved[f.wi].0.clone(),
+                design: f.design.name(),
+                status: CellStatus::Failed(e),
+                attempts: f.attempts.max(1),
+            });
+        } else {
+            f.started = None;
+            requeue = true;
+            sheds = Some(f.sheds);
+        }
+    }
+    if requeue {
+        g.shed += 1;
+        g.pending.push_back(id);
+    }
+    if remove {
+        g.flights.remove(&id);
+    }
+    if let Some(o) = outcome {
+        g.done.push(o);
+    }
+    sheds
+}
+
+/// Records a completed cell to the checkpoint. A failed write must not
+/// fail the cell: the record is an optimization for resume, not part of
+/// the result.
+fn record_checkpoint(
+    ctx: &Ctx<'_>,
+    workload: &str,
+    design: DesignKind,
+    attempts: u32,
+    stats: &RunStats,
+) {
+    if let Some(cp) = &ctx.cp {
+        let _ = cp
+            .lock_unpoisoned()
+            .record(workload, design.name(), attempts, stats);
+    }
+}
+
 /// One worker's dispatch loop. Returns its accounting and whether it
 /// struck out (was excluded).
 fn dispatcher(worker: &str, ctx: &Ctx<'_>, executor: &dyn CellExecutor) -> (WorkerStats, bool) {
     let mut ws = WorkerStats::default();
     let mut consecutive_losses = 0u32;
+    let salt = fnv1a(worker.as_bytes());
     loop {
-        let popped = {
-            let mut g = ctx.grid.lock_unpoisoned();
-            match g.pending.pop_front() {
-                Some(c) => {
-                    g.in_flight += 1;
-                    Some(c)
-                }
-                None if g.in_flight == 0 => return (ws, false), // drained
-                None => None, // an in-flight cell may still requeue
+        let claimed = match claim(worker, ctx) {
+            Claim::Drained => return (ws, false),
+            Claim::Wait => {
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
             }
+            Claim::Run(c) => c,
         };
-        let Some(mut cell) = popped else {
-            std::thread::sleep(Duration::from_millis(2));
-            continue;
-        };
-        let name = ctx.resolved[cell.wi].0.clone();
-        let spec = cell_spec(ctx.config, &name, cell.design);
+        let name = ctx.resolved[claimed.wi].0.clone();
+        let spec = cell_spec(ctx.config, &name, claimed.design);
 
-        // Store consult: a hit satisfies the cell without any worker, and
-        // reports attempts=1 — indistinguishable from a clean local run.
-        let mut hit = None;
-        if let Some(store) = &ctx.store {
-            hit = store
-                .lock_unpoisoned()
-                .get(spec.cache_key(), &spec.canonical());
-        }
-        if let Some(stats) = hit {
-            finish(
-                ctx,
-                &name,
-                cell.design,
-                cell.attempts.max(1),
-                CellStatus::Ok((*stats).clone()),
-            );
-            continue;
+        // Store consult (fresh claims only — a speculative runner exists
+        // precisely because the store already missed): a hit satisfies
+        // the cell without any worker, and reports attempts >= 1 —
+        // indistinguishable from a clean local run.
+        if claimed.fresh {
+            let mut hit = None;
+            if let Some(store) = &ctx.store {
+                hit = store
+                    .lock_unpoisoned()
+                    .get(spec.cache_key(), &spec.canonical());
+            }
+            if let Some(stats) = hit {
+                let stats = (*stats).clone();
+                if let Some(attempts) = settle(ctx, claimed.id, CellStatus::Ok(stats.clone()), true)
+                {
+                    record_checkpoint(ctx, &name, claimed.design, attempts, &stats);
+                }
+                continue;
+            }
         }
 
-        cell.attempts += 1;
+        {
+            let mut g = ctx.grid.lock_unpoisoned();
+            if let Some(f) = g.flights.get_mut(&claimed.id) {
+                f.attempts += 1;
+            }
+        }
         ws.dispatched += 1;
-        match executor.run(worker, &spec) {
+        match executor.run(worker, &spec, &claimed.cancel) {
             Ok(stats) => {
                 ws.completed += 1;
                 consecutive_losses = 0;
-                if let Some(store) = &ctx.store {
-                    store.lock_unpoisoned().put(
-                        spec.cache_key(),
-                        &spec.canonical(),
-                        Arc::new(stats.clone()),
-                    );
+                if let Some(attempts) =
+                    settle(ctx, claimed.id, CellStatus::Ok(stats.clone()), false)
+                {
+                    record_checkpoint(ctx, &name, claimed.design, attempts, &stats);
+                    if let Some(store) = &ctx.store {
+                        store.lock_unpoisoned().put(
+                            spec.cache_key(),
+                            &spec.canonical(),
+                            Arc::new(stats),
+                        );
+                    }
                 }
-                finish(
-                    ctx,
-                    &name,
-                    cell.design,
-                    cell.attempts,
-                    CellStatus::Ok(stats),
-                );
+            }
+            Err(e) if e.class() == "overloaded" => {
+                // A shed is a healthy round-trip — the worker answered —
+                // so strikes reset and nothing is charged to the retry
+                // budget. Back off with deterministic jitter (salted by
+                // worker and flight) so colliding dispatchers fan out.
+                consecutive_losses = 0;
+                if let Some(sheds) = shed_requeue(ctx, claimed.id, e) {
+                    let wait = jittered_backoff_ms(
+                        ctx.fab.backoff_ms.max(1),
+                        sheds.min(8),
+                        salt ^ claimed.id,
+                    );
+                    std::thread::sleep(Duration::from_millis(wait));
+                }
             }
             Err(e) if is_worker_fault(&e) => {
                 ws.lost += 1;
                 consecutive_losses += 1;
-                {
-                    let mut g = ctx.grid.lock_unpoisoned();
-                    g.in_flight -= 1;
-                    if cell.attempts <= ctx.fab.retries {
-                        g.retried += 1;
-                        // Front of the deque: the next free dispatcher —
-                        // almost always a different worker — retries it
-                        // before any untouched cell.
-                        g.pending.push_front(cell);
-                    } else {
-                        g.done.push(CellOutcome {
-                            workload: name,
-                            design: cell.design.name(),
-                            status: CellStatus::Failed(e),
-                            attempts: cell.attempts,
-                        });
-                    }
-                }
+                requeue_or_fail(ctx, claimed.id, e);
                 if consecutive_losses >= ctx.fab.worker_strikes {
                     return (ws, true); // excluded: leave the grid to the pool
                 }
-                std::thread::sleep(Duration::from_millis(
-                    ctx.fab.backoff_ms.saturating_mul(consecutive_losses as u64),
-                ));
+                let wait = loss_backoff_ms(ctx.fab.backoff_ms, consecutive_losses);
+                if wait > 0 {
+                    std::thread::sleep(Duration::from_millis(wait));
+                }
             }
             Err(e) => {
                 // A deterministic cell failure (panic class, invariant,
-                // unknown name…): retrying elsewhere cannot help.
+                // unknown name…) — retrying elsewhere cannot help — or
+                // the losing, canceled side of a speculative race, which
+                // settle() discards because the flight is already done.
                 consecutive_losses = 0;
-                finish(
-                    ctx,
-                    &name,
-                    cell.design,
-                    cell.attempts,
-                    CellStatus::Failed(e),
-                );
+                let _ = settle(ctx, claimed.id, CellStatus::Failed(e), false);
             }
         }
     }
-}
-
-/// Records a terminal cell outcome: checkpoint (completions only), then
-/// the grid's done list. Locks are taken strictly one at a time.
-fn finish(ctx: &Ctx<'_>, workload: &str, design: DesignKind, attempts: u32, status: CellStatus) {
-    if let (Some(cp), CellStatus::Ok(stats)) = (&ctx.cp, &status) {
-        // A failed checkpoint write must not fail the cell: the record is
-        // an optimization for resume, not part of the result.
-        let _ = cp
-            .lock_unpoisoned()
-            .record(workload, design.name(), attempts, stats);
-    }
-    let mut g = ctx.grid.lock_unpoisoned();
-    g.in_flight -= 1;
-    g.done.push(CellOutcome {
-        workload: workload.to_string(),
-        design: design.name(),
-        status,
-        attempts,
-    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ccp_pipeline::RunStats;
+    use std::sync::atomic::AtomicU64;
 
     fn fake_stats(cycles: u64) -> RunStats {
         RunStats {
@@ -586,7 +909,7 @@ mod tests {
 
     struct OkExec;
     impl CellExecutor for OkExec {
-        fn run(&self, _worker: &str, spec: &JobSpec) -> SimResult<RunStats> {
+        fn run(&self, _worker: &str, spec: &JobSpec, _cancel: &AtomicBool) -> SimResult<RunStats> {
             Ok(fake_stats(spec.cache_key() % 100_000 + 1))
         }
     }
@@ -662,7 +985,12 @@ mod tests {
     fn all_workers_dead_fails_cells_with_worker_lost() {
         struct DeadExec;
         impl CellExecutor for DeadExec {
-            fn run(&self, worker: &str, _spec: &JobSpec) -> SimResult<RunStats> {
+            fn run(
+                &self,
+                worker: &str,
+                _spec: &JobSpec,
+                _cancel: &AtomicBool,
+            ) -> SimResult<RunStats> {
                 Err(SimError::worker_lost(worker, "connection refused"))
             }
         }
@@ -692,5 +1020,151 @@ mod tests {
         let json = out.stats.to_json().to_string();
         assert!(json.contains("\"restored\":0"), "{json}");
         assert!(json.contains("\"excluded\":[]"), "{json}");
+        assert!(json.contains("\"speculated\":0"), "{json}");
+        assert!(json.contains("\"shed\":0"), "{json}");
+    }
+
+    #[test]
+    fn loss_backoff_is_linear_saturating_and_zero_base_free() {
+        // The dispatcher's n-th consecutive loss waits n × base.
+        assert_eq!(loss_backoff_ms(50, 1), 50);
+        assert_eq!(loss_backoff_ms(50, 3), 150);
+        // Saturation, never overflow, at absurd configurations.
+        assert_eq!(loss_backoff_ms(u64::MAX, 2), u64::MAX);
+        assert_eq!(loss_backoff_ms(u64::MAX / 2 + 1, 2), u64::MAX);
+        // Zero base means zero wait for every strike count — the
+        // dispatcher skips the sleep entirely.
+        for n in [0, 1, 7, u32::MAX] {
+            assert_eq!(loss_backoff_ms(0, n), 0);
+        }
+        // Zero strikes (fresh worker) never waits either.
+        assert_eq!(loss_backoff_ms(50, 0), 0);
+    }
+
+    #[test]
+    fn strikes_reset_on_success_so_flappy_workers_survive() {
+        // Alternates loss/success on every dispatch: total losses far
+        // exceed the strike limit, but consecutive losses never reach it.
+        struct FlakyExec(AtomicU64);
+        impl CellExecutor for FlakyExec {
+            fn run(
+                &self,
+                worker: &str,
+                spec: &JobSpec,
+                _cancel: &AtomicBool,
+            ) -> SimResult<RunStats> {
+                if self.0.fetch_add(1, Ordering::SeqCst).is_multiple_of(2) {
+                    Err(SimError::worker_lost(worker, "flap"))
+                } else {
+                    Ok(fake_stats(spec.cache_key() % 100_000 + 1))
+                }
+            }
+        }
+        let fab = FabricConfig {
+            workers: vec!["alpha".into()],
+            retries: 10,
+            worker_strikes: 2,
+            backoff_ms: 0,
+            ..Default::default()
+        };
+        let out =
+            run_fabric_sweep(&grid_config(), &fab, &FlakyExec(AtomicU64::new(0))).expect("fabric");
+        assert!(out.sweep.is_complete());
+        assert_eq!(out.sweep.ok_count(), 4);
+        assert!(out.stats.excluded.is_empty(), "{:?}", out.stats.excluded);
+        let lost: u64 = out.stats.workers.values().map(|w| w.lost).sum();
+        assert!(lost >= 4, "every cell's first dispatch flaps: {lost}");
+        assert!(out.stats.retried >= 4);
+    }
+
+    #[test]
+    fn stragglers_are_speculated_and_the_first_result_wins() {
+        // The first runner of one marked cell hangs until canceled; the
+        // speculative duplicate answers immediately and must win.
+        struct StragglerExec {
+            hung: AtomicBool,
+        }
+        impl CellExecutor for StragglerExec {
+            fn run(
+                &self,
+                _worker: &str,
+                spec: &JobSpec,
+                cancel: &AtomicBool,
+            ) -> SimResult<RunStats> {
+                let marked = spec.workload.contains("health") && spec.design == "BC";
+                if marked && !self.hung.swap(true, Ordering::SeqCst) {
+                    for _ in 0..2_000 {
+                        if cancel.load(Ordering::SeqCst) {
+                            return Err(SimError::canceled("lost the speculative race"));
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+                Ok(fake_stats(spec.cache_key() % 100_000 + 1))
+            }
+        }
+        let fab = FabricConfig {
+            speculate_after: 1,
+            speculate_floor_ms: 50,
+            ..two_workers()
+        };
+        let exec = StragglerExec {
+            hung: AtomicBool::new(false),
+        };
+        let out = run_fabric_sweep(&grid_config(), &fab, &exec).expect("fabric");
+        assert!(out.sweep.is_complete());
+        assert_eq!(out.sweep.ok_count(), 4, "the duplicate's result lands");
+        assert!(out.stats.speculated >= 1, "{:?}", out.stats);
+        // The winner is deterministic work: its stats are the same ones
+        // any clean run produces.
+        for o in out.sweep.outcomes() {
+            if let CellStatus::Ok(s) = &o.status {
+                let spec = cell_spec(
+                    &grid_config(),
+                    &o.workload,
+                    DesignKind::from_name(o.design).unwrap(),
+                );
+                assert_eq!(s.cycles, spec.cache_key() % 100_000 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sheds_requeue_without_strikes_or_retry_budget() {
+        // One worker always sheds; with strikes=1 a single *loss* would
+        // exclude it, and with retries=0 a single charged attempt would
+        // fail the cell — so the grid completing proves sheds cost
+        // neither strikes nor budget.
+        struct ShedExec;
+        impl CellExecutor for ShedExec {
+            fn run(
+                &self,
+                worker: &str,
+                spec: &JobSpec,
+                _cancel: &AtomicBool,
+            ) -> SimResult<RunStats> {
+                if worker == "busy" {
+                    Err(SimError::overloaded("queue full (4/4)"))
+                } else {
+                    Ok(fake_stats(spec.cache_key() % 100_000 + 1))
+                }
+            }
+        }
+        let fab = FabricConfig {
+            workers: vec!["busy".into(), "calm".into()],
+            retries: 0,
+            worker_strikes: 1,
+            backoff_ms: 1,
+            ..Default::default()
+        };
+        let out = run_fabric_sweep(&grid_config(), &fab, &ShedExec).expect("fabric");
+        assert!(out.sweep.is_complete());
+        assert_eq!(out.sweep.ok_count(), 4);
+        assert!(out.stats.excluded.is_empty(), "{:?}", out.stats.excluded);
+        assert!(out.stats.shed >= 1, "{:?}", out.stats);
+        assert_eq!(out.stats.retried, 0, "sheds are not retries");
+        for o in out.sweep.outcomes() {
+            assert_eq!(o.attempts, 1, "shed attempts are refunded");
+        }
     }
 }

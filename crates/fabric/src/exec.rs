@@ -10,10 +10,11 @@
 use ccp_errors::{SimError, SimResult};
 use ccp_pipeline::RunStats;
 use ccp_served::sync::LockExt;
-use ccp_served::{Client, PROTO_VERSION};
+use ccp_served::{Client, SubmitCtl, PROTO_VERSION};
 use ccp_sim::checkpoint::stats_from_json;
 use ccp_sim::JobSpec;
 use std::collections::BTreeMap;
+use std::sync::atomic::AtomicBool;
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -24,8 +25,12 @@ use std::time::Duration;
 /// worker. Any other error is a *cell* fault and fails the cell itself.
 pub trait CellExecutor: Sync {
     /// Executes `spec` on the worker named `worker`, blocking until its
-    /// terminal result.
-    fn run(&self, worker: &str, spec: &JobSpec) -> SimResult<RunStats>;
+    /// terminal result. `cancel` flips when the coordinator no longer
+    /// wants the answer (the other side of a speculative dispatch
+    /// finished first); implementations should abandon the run promptly
+    /// and return a `canceled` error — the result is discarded either
+    /// way, so this is a latency courtesy, not a correctness requirement.
+    fn run(&self, worker: &str, spec: &JobSpec, cancel: &AtomicBool) -> SimResult<RunStats>;
 }
 
 /// Whether `e` indicts the worker (retry the cell elsewhere) rather than
@@ -46,19 +51,24 @@ pub fn is_worker_fault(e: &SimError) -> bool {
 pub struct TcpExecutor {
     conns: BTreeMap<String, Mutex<Option<Client>>>,
     timeout: Option<Duration>,
+    deadline_ms: u64,
 }
 
 impl TcpExecutor {
     /// An executor for the given worker addresses, with an optional
-    /// per-response read deadline (a wedged worker then surfaces as
-    /// [`SimError::Timeout`] instead of hanging the sweep).
-    pub fn new(workers: &[String], timeout: Option<Duration>) -> TcpExecutor {
+    /// overall per-cell wait deadline (a wedged worker then surfaces as
+    /// [`SimError::Timeout`] instead of hanging the sweep) and a
+    /// server-side per-request deadline in milliseconds (0 = none) that
+    /// travels on every `submit` line — the worker cancels a job whose
+    /// deadline expired and never completes it into its cache or store.
+    pub fn new(workers: &[String], timeout: Option<Duration>, deadline_ms: u64) -> TcpExecutor {
         TcpExecutor {
             conns: workers
                 .iter()
                 .map(|w| (w.clone(), Mutex::new(None)))
                 .collect(),
             timeout,
+            deadline_ms,
         }
     }
 
@@ -84,7 +94,7 @@ impl TcpExecutor {
 }
 
 impl CellExecutor for TcpExecutor {
-    fn run(&self, worker: &str, spec: &JobSpec) -> SimResult<RunStats> {
+    fn run(&self, worker: &str, spec: &JobSpec, cancel: &AtomicBool) -> SimResult<RunStats> {
         let slot = self
             .conns
             .get(worker)
@@ -93,19 +103,34 @@ impl CellExecutor for TcpExecutor {
         if conn.is_none() {
             *conn = Some(self.dial(worker)?);
         }
+        let ctl = SubmitCtl {
+            deadline_ms: self.deadline_ms,
+            cancel: Some(cancel),
+            overall_timeout: self.timeout,
+        };
         let result = match conn.as_mut() {
-            Some(client) => client.submit_wait(spec),
+            Some(client) => client.submit_wait_ctl(spec, &ctl),
             None => Err(SimError::worker_lost(worker, "connection slot empty")),
         };
         match result {
             Ok(outcome) => stats_from_json(&outcome.stats),
             Err(e) => {
-                let lost = is_worker_fault(&e)
-                    || (e.class() == "protocol" && e.to_string().contains("connection closed"));
+                // Protocol-class errors past the dial point mean the
+                // conversation itself was mangled (truncated frame,
+                // corrupted bytes caught by the key/sum checks): the
+                // *transport* is indicted, not the cell, so re-dial and
+                // retry elsewhere. Version skew still fails loudly — it
+                // surfaces from dial() above, before this conversion.
+                let lost = is_worker_fault(&e) || e.class() == "protocol";
                 if lost {
                     // The stream is dead or mid-message: re-dial next time.
                     *conn = None;
                     Err(SimError::worker_lost(worker, e.to_string()))
+                } else if e.class() == "canceled" {
+                    // An abandoned submit leaves unread responses on the
+                    // stream; drop it so the next dispatch starts clean.
+                    *conn = None;
+                    Err(e)
                 } else {
                     Err(e)
                 }
@@ -129,14 +154,21 @@ mod tests {
         assert!(is_worker_fault(&SimError::shutdown("draining")));
         assert!(!is_worker_fault(&SimError::invariant("cell", "broken")));
         assert!(!is_worker_fault(&SimError::unknown("design", "XYZ")));
+        // Sheds are a healthy server saying "not now": the dispatcher
+        // backs off and resubmits without charging the worker a strike.
+        assert!(!is_worker_fault(&SimError::overloaded("queue full")));
     }
 
     #[test]
     fn dialing_a_dead_address_is_a_worker_loss() {
         // Port 1 is essentially never listening.
-        let exec = TcpExecutor::new(&["127.0.0.1:1".to_string()], None);
+        let exec = TcpExecutor::new(&["127.0.0.1:1".to_string()], None, 0);
         let e = exec
-            .run("127.0.0.1:1", &JobSpec::new("health", "CPP"))
+            .run(
+                "127.0.0.1:1",
+                &JobSpec::new("health", "CPP"),
+                &AtomicBool::new(false),
+            )
             .unwrap_err();
         assert_eq!(e.class(), "worker-lost");
         assert!(e.is_transient());
@@ -144,9 +176,13 @@ mod tests {
 
     #[test]
     fn unknown_worker_is_a_caller_bug_not_a_loss() {
-        let exec = TcpExecutor::new(&[], None);
+        let exec = TcpExecutor::new(&[], None, 0);
         let e = exec
-            .run("nowhere:1", &JobSpec::new("health", "CPP"))
+            .run(
+                "nowhere:1",
+                &JobSpec::new("health", "CPP"),
+                &AtomicBool::new(false),
+            )
             .unwrap_err();
         assert_eq!(e.class(), "unknown-name");
     }

@@ -14,8 +14,11 @@
 //! The two modules split policy from transport:
 //!
 //! * [`coord`] — the coordinator core: the shared cell deque,
-//!   per-worker dispatchers with retry/backoff/exclusion, checkpoint
-//!   resume, and the two-tier result-store consult/publish path;
+//!   per-worker dispatchers with retry/backoff/exclusion, speculative
+//!   re-dispatch of stragglers (first result wins, the loser is called
+//!   off), typed-`overloaded` shed absorption with jittered backoff,
+//!   checkpoint resume, and the two-tier result-store consult/publish
+//!   path;
 //! * [`exec`] — the [`CellExecutor`] boundary: how one cell actually
 //!   runs on one worker ([`TcpExecutor`] in production, deterministic
 //!   in-process fakes in tests).
@@ -28,5 +31,7 @@
 pub mod coord;
 pub mod exec;
 
-pub use coord::{run_fabric_sweep, FabricConfig, FabricOutcome, FabricStats, WorkerStats};
+pub use coord::{
+    loss_backoff_ms, run_fabric_sweep, FabricConfig, FabricOutcome, FabricStats, WorkerStats,
+};
 pub use exec::{is_worker_fault, CellExecutor, TcpExecutor};

@@ -1,0 +1,356 @@
+//! Chaos soak: the serving/fabric stack driven through `ccp-chaos`
+//! fault-injection proxies under seeded schedules must (a) never hang —
+//! a global watchdog bounds every sweep, (b) never produce a wrong or
+//! partial result, and (c) render a final report byte-identical to a
+//! fault-free local `ccp-sim sweep` over the same grid. Alongside the
+//! proxy runs, the harness pins the two protocol-level hardening
+//! contracts: a deadline-expired job is cancelled and never populates
+//! the result cache or store, and a bounded-queue server sheds with a
+//! typed `overloaded` response that shed-aware retry absorbs to
+//! completion.
+
+use ccp_chaos::{ChaosConfig, ChaosProxy, Schedule};
+use ccp_errors::SimError;
+use ccp_fabric::{run_fabric_sweep, FabricConfig, FabricOutcome, TcpExecutor};
+use ccp_served::{start, Client, Request, Response, ServerConfig, ServerHandle, SubmitCtl};
+use ccp_sim::sweep::{run_sweep_resilient, ResilienceConfig};
+use ccp_sim::{JobSpec, SweepConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Hard wall for one chaotic sweep. Generous: a fault-free run takes a
+/// few hundred milliseconds; a hang is minutes away from this.
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// A unique scratch path under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "ccp-soak-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn grid_config(seed: u64) -> SweepConfig {
+    let mut c = SweepConfig::new(2_000, seed);
+    c.workloads = vec!["health".into(), "mst".into(), "treeadd".into()];
+    c.designs = vec!["BC".into(), "CPP".into()];
+    c
+}
+
+fn serve_worker(config: ServerConfig) -> ServerHandle {
+    start(config).expect("start worker")
+}
+
+fn worker_defaults() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServerConfig::default()
+    }
+}
+
+/// Starts `n` served workers, each behind its own chaos proxy running
+/// `spec`/`seed`. Returns (workers, proxies, proxy addresses).
+fn proxied_pool(
+    n: usize,
+    spec: &str,
+    seed: u64,
+) -> (Vec<ServerHandle>, Vec<ChaosProxy>, Vec<String>) {
+    let mut servers = Vec::new();
+    let mut proxies = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..n {
+        let server = serve_worker(worker_defaults());
+        let proxy = ChaosProxy::start(ChaosConfig {
+            listen: "127.0.0.1:0".into(),
+            upstream: server.addr().to_string(),
+            schedule: Schedule::parse(spec, seed).expect("schedule"),
+            verbose: false,
+        })
+        .expect("start proxy");
+        addrs.push(proxy.addr().to_string());
+        servers.push(server);
+        proxies.push(proxy);
+    }
+    (servers, proxies, addrs)
+}
+
+/// Runs a fabric sweep inside the watchdog: the sweep executes on a
+/// helper thread and the test panics if it fails to finish in time —
+/// the "no hang" half of the soak contract.
+fn sweep_with_watchdog(config: SweepConfig, fab: FabricConfig, deadline_ms: u64) -> FabricOutcome {
+    let (tx, rx) = mpsc::channel();
+    let workers = fab.workers.clone();
+    let timeout = fab.timeout();
+    std::thread::spawn(move || {
+        let exec = TcpExecutor::new(&workers, timeout, deadline_ms);
+        let _ = tx.send(run_fabric_sweep(&config, &fab, &exec));
+    });
+    rx.recv_timeout(WATCHDOG)
+        .expect("chaos soak hung: sweep did not finish inside the watchdog")
+        .expect("chaotic sweep errored")
+}
+
+/// Blanks the attempts column of a rendered report table so chaotic
+/// runs (which legitimately retry cells) compare equal to the
+/// fault-free baseline on every *result* byte. Rows are identified by
+/// their status keyword; all other lines pass through untouched.
+fn normalize_report(report: &str) -> String {
+    report
+        .lines()
+        .map(|l| {
+            let mut toks: Vec<&str> = l.split_whitespace().collect();
+            if toks.len() >= 4 && matches!(toks[2], "ok" | "failed" | "skipped") {
+                toks[3] = "_";
+                toks.join(" ")
+            } else {
+                l.trim_end().to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Strips the volatile `"attempts":N` values from a sweep JSON document
+/// so chaotic runs (which legitimately retry) compare equal to the
+/// fault-free baseline on every *result* byte.
+fn normalize_attempts(doc: &str) -> String {
+    let mut out = String::with_capacity(doc.len());
+    let mut rest = doc;
+    const KEY: &str = "\"attempts\":";
+    while let Some(at) = rest.find(KEY) {
+        let after = at + KEY.len();
+        out.push_str(&rest[..after]);
+        out.push('_');
+        rest = rest[after..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Drives one seeded schedule through two proxied workers and checks the
+/// full soak contract against a fault-free local sweep.
+fn soak_schedule(spec: &str, seed: u64, grid_seed: u64, fab_tweak: impl FnOnce(&mut FabricConfig)) {
+    let config = grid_config(grid_seed);
+    let local = run_sweep_resilient(&config, &ResilienceConfig::default()).expect("local baseline");
+
+    let (servers, proxies, addrs) = proxied_pool(2, spec, seed);
+    let mut fab = FabricConfig {
+        workers: addrs,
+        retries: 8,
+        worker_strikes: 10,
+        backoff_ms: 1,
+        timeout_ms: 20_000,
+        ..Default::default()
+    };
+    fab_tweak(&mut fab);
+    let out = sweep_with_watchdog(config, fab, 0);
+
+    assert!(out.sweep.is_complete(), "schedule {spec:?}: cells lost");
+    assert_eq!(out.sweep.ok_count(), 6, "schedule {spec:?}: cells failed");
+    assert_eq!(
+        normalize_report(&out.sweep.render_report()),
+        normalize_report(&local.render_report()),
+        "schedule {spec:?}: chaotic report must be byte-identical to the fault-free local \
+         sweep (modulo the attempts column, where retries are legitimately visible)"
+    );
+    assert_eq!(
+        normalize_attempts(&out.sweep.to_json().to_string()),
+        normalize_attempts(&local.to_json().to_string()),
+        "schedule {spec:?}: chaotic JSON grid drifted from the local sweep"
+    );
+
+    for p in proxies {
+        p.stop();
+    }
+    for s in servers {
+        s.shutdown();
+        s.wait();
+    }
+}
+
+#[test]
+fn soak_corruption_schedule_converges_to_the_fault_free_report() {
+    // Every third connection gets one response byte XOR-flipped: the
+    // client's key/sum integrity checks reject the frame, the executor
+    // indicts the transport, and the retry (a fresh connection drawing a
+    // `none` entry) converges.
+    soak_schedule("corrupt,none,none", 0xC0FFEE, 7, |_| {});
+}
+
+#[test]
+fn soak_stall_schedule_finishes_with_speculation_armed() {
+    // Every third connection stalls its responses once for 600 ms —
+    // long enough to trip the straggler threshold (floor 100 ms,
+    // 1x median) and draw a speculative duplicate on the other worker.
+    // First valid result wins either way; the report must not notice.
+    soak_schedule("stall:600,none,none", 0x57A11, 11, |fab| {
+        fab.speculate_after = 1;
+        fab.speculate_floor_ms = 100;
+    });
+}
+
+#[test]
+fn soak_disconnect_and_refusal_schedule_retries_to_completion() {
+    // A four-entry cycle mixing abrupt mid-request disconnects and
+    // outright connection refusal: both surface as worker faults, burn
+    // retry budget, and converge on the interleaved clean connections.
+    soak_schedule("disconnect:64,none,refuse,none", 0xDEAD, 13, |_| {});
+}
+
+#[test]
+fn deadline_expired_jobs_are_cancelled_and_never_cached() {
+    let store = scratch("deadline-store");
+    let server = serve_worker(ServerConfig {
+        workers: 1,
+        store_dir: Some(store.clone()),
+        ..worker_defaults()
+    });
+    let addr = server.addr().to_string();
+    let spec = JobSpec::new("health".to_string(), "CPP".to_string());
+    let mut spec = spec;
+    spec.budget = 2_000_000; // runs for much longer than the deadline
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let ctl = SubmitCtl {
+        deadline_ms: 5,
+        ..SubmitCtl::default()
+    };
+    let err = client
+        .submit_wait_ctl(&spec, &ctl)
+        .expect_err("a 5 ms deadline must expire before a 2M-instruction job finishes");
+    assert_eq!(
+        err.class(),
+        "timeout",
+        "expired deadline reports as timeout: {err}"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.deadline_expired >= 1,
+        "server must count the expiry: {stats:?}"
+    );
+
+    // The contract: "cancelled, never completed". Nothing may have
+    // reached the RAM cache or the disk tier.
+    let ccpz = std::fs::read_dir(&store)
+        .map(|d| {
+            d.filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().is_some_and(|x| x == "ccpz"))
+                .count()
+        })
+        .unwrap_or(0);
+    assert_eq!(ccpz, 0, "an expired job must never spill to the store");
+
+    let again = client
+        .submit_wait_ctl(&spec, &SubmitCtl::default())
+        .expect("the same spec without a deadline completes");
+    assert!(
+        !again.cached,
+        "re-submission must recompute: the expired run may not have populated the cache"
+    );
+
+    let _ = std::fs::remove_dir_all(&store);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn bounded_queue_sheds_typed_overloads_that_shed_retry_absorbs() {
+    let server = serve_worker(ServerConfig {
+        workers: 1,
+        max_queue: 1,
+        ..worker_defaults()
+    });
+    let addr = server.addr().to_string();
+
+    // Occupy the single worker with a long job, then fill the one queue
+    // slot; the third distinct submission must be shed, typed.
+    let submit_async = |spec: JobSpec| -> Client {
+        let mut c = Client::connect(&addr).expect("connect");
+        c.send(&Request::Submit {
+            spec,
+            deadline_ms: 0,
+        })
+        .expect("send");
+        match c.recv().expect("recv") {
+            Response::Accepted { .. } => c,
+            other => panic!("expected accepted, got {other:?}"),
+        }
+    };
+    let mut slow = JobSpec::new("health".to_string(), "CPP".to_string());
+    slow.budget = 2_000_000;
+    let _holder = submit_async(slow);
+    let _queued = submit_async(JobSpec::new("mst".to_string(), "BC".to_string()));
+
+    let shed_spec = JobSpec::new("treeadd".to_string(), "BC".to_string());
+    let mut shed_client = Client::connect(&addr).expect("connect");
+    let err = shed_client
+        .submit_wait(&shed_spec)
+        .expect_err("the queue is full; this submit must be shed");
+    assert_eq!(err.class(), "overloaded", "shed is typed: {err}");
+    assert!(
+        !err.is_transient(),
+        "overloaded is backpressure, not a fault — callers must back off, not blind-retry"
+    );
+
+    let stats = shed_client.stats().expect("stats");
+    assert!(stats.shed >= 1, "server counts the shed: {stats:?}");
+
+    // Shed-aware retry (jittered-deterministic backoff) rides out the
+    // backpressure and completes once capacity frees up.
+    let done = shed_client
+        .submit_wait_shed_retry(&shed_spec, &SubmitCtl::default(), 1_000, 2, 0x5EED)
+        .expect("shed retry absorbs the overload");
+    assert!(
+        done.stats
+            .get("cycles")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+            > 0
+    );
+
+    server.shutdown();
+    server.wait();
+}
+
+/// Deterministic replay: the same seed and spec must plan the same
+/// faults for the same connection numbers — the property that makes a
+/// chaos failure reproducible from its command line alone.
+#[test]
+fn schedules_replay_deterministically_across_instances() {
+    for (spec, seed) in [
+        ("corrupt,none,none", 0xC0FFEEu64),
+        ("stall:600,none,truncate:128", 0x57A11),
+        ("disconnect,refuse,throttle,none", 9),
+    ] {
+        let a = Schedule::parse(spec, seed).expect("parse a");
+        let b = Schedule::parse(spec, seed).expect("parse b");
+        for conn in 0..64 {
+            assert_eq!(
+                format!("{}", a.plan(conn)),
+                format!("{}", b.plan(conn)),
+                "plan for conn {conn} of {spec:?} must be stable"
+            );
+        }
+    }
+    // And a different seed must (somewhere) plan differently.
+    let a = Schedule::parse("corrupt:0", 1).expect("parse");
+    let b = Schedule::parse("corrupt:0", 2).expect("parse");
+    let differs = (0..64).any(|c| format!("{}", a.plan(c)) != format!("{}", b.plan(c)));
+    assert!(differs, "seed must influence fault parameters");
+}
+
+/// `SimError::overloaded` has its own class so the coordinator can treat
+/// backpressure differently from faults; pin the taxonomy here where the
+/// soak depends on it.
+#[test]
+fn overloaded_class_is_distinct_from_every_fault_class() {
+    let e = SimError::overloaded("queue full (3/2)");
+    assert_eq!(e.class(), "overloaded");
+    assert!(!e.is_transient());
+}

@@ -13,7 +13,7 @@ use ccp_sim::sweep::{run_sweep_resilient, CellStatus, ResilienceConfig};
 use ccp_sim::{JobSpec, SweepConfig};
 use proptest::prelude::*;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// A unique scratch path under the system temp dir.
@@ -53,7 +53,7 @@ impl<F: Fn(&str, &JobSpec) -> bool + Sync> MockExec<F> {
 }
 
 impl<F: Fn(&str, &JobSpec) -> bool + Sync> CellExecutor for MockExec<F> {
-    fn run(&self, worker: &str, spec: &JobSpec) -> SimResult<RunStats> {
+    fn run(&self, worker: &str, spec: &JobSpec, _cancel: &AtomicBool) -> SimResult<RunStats> {
         if (self.fail)(worker, spec) {
             return Err(SimError::worker_lost(worker, "injected crash"));
         }
@@ -246,7 +246,7 @@ fn distributed_sweep_renders_the_same_bytes_as_a_local_sweep() {
     config.threads = 2;
     let local = run_sweep_resilient(&config, &ResilienceConfig::default()).expect("local");
 
-    let exec = TcpExecutor::new(&workers, Some(std::time::Duration::from_secs(60)));
+    let exec = TcpExecutor::new(&workers, Some(std::time::Duration::from_secs(60)), 0);
     let fab = FabricConfig {
         workers,
         ..Default::default()
@@ -327,7 +327,7 @@ fn cell_failures_are_not_retried_as_worker_faults() {
     let exec = MockExecFailCell;
     struct MockExecFailCell;
     impl CellExecutor for MockExecFailCell {
-        fn run(&self, _worker: &str, spec: &JobSpec) -> SimResult<RunStats> {
+        fn run(&self, _worker: &str, spec: &JobSpec, _cancel: &AtomicBool) -> SimResult<RunStats> {
             if spec.workload.contains("mst") {
                 return Err(SimError::invariant(spec.context(), "deterministic bug"));
             }

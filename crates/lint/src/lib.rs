@@ -7,10 +7,11 @@
 //! [`SimError`]s instead of `Result<_, String>` (PR 2), atomic
 //! temp-then-rename for every JSON artifact (PR 2), a single
 //! cache/cancellation mutex with one sanctioned nesting order (PR 3),
-//! `catch_unwind`-isolated job paths that panics must not cross, and
-//! deterministic sim cores with no wall-clock reads. This crate scans the
-//! workspace with its own minimal Rust lexer ([`lexer`]) and a small rule
-//! engine ([`engine`]) carrying six rules ([`rules`]) that pin those
+//! `catch_unwind`-isolated job paths that panics must not cross,
+//! deterministic sim cores with no wall-clock reads, and bounded socket
+//! reads in the serving stack (the chaos-hardening PR). This crate scans
+//! the workspace with its own minimal Rust lexer ([`lexer`]) and a small
+//! rule engine ([`engine`]) carrying eight rules ([`rules`]) that pin those
 //! conventions down, the way a training/inference stack accretes
 //! sanitizer + custom-lint wiring as it grows.
 //!

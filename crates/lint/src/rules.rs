@@ -1,4 +1,4 @@
-//! The seven workspace-specific rules. Each one guards an invariant an
+//! The eight workspace-specific rules. Each one guards an invariant an
 //! earlier PR established by hand; see `DESIGN.md` §9 for the rationale
 //! behind every rule and the suppression syntax.
 //!
@@ -20,6 +20,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoWallclockInSim),
         Box::new(NoLossyCastInHotPath),
         Box::new(NoNarrowCounters),
+        Box::new(NoUnboundedReads),
     ]
 }
 
@@ -711,6 +712,99 @@ impl Rule for NoNarrowCounters {
     }
 }
 
+// ---------------------------------------------------------------------------
+// R8: no-unbounded-reads
+// ---------------------------------------------------------------------------
+
+/// R8 — socket reads in the serving stack (`served`, `fabric`, `chaos`)
+/// must be bounded. The chaos-hardening PR's soak gate asserts the whole
+/// stack survives a peer that stalls mid-frame; that only holds if every
+/// `TcpStream` read path either sets a read timeout (the poll-slice
+/// idiom: short `set_read_timeout`, loop on `WouldBlock`/`TimedOut`
+/// checking shutdown/deadline flags) or goes non-blocking. A file that
+/// mentions `TcpStream` and performs read calls without ever calling
+/// `set_read_timeout` / `set_nonblocking` can hang a thread forever on a
+/// silent peer — exactly the failure the watchdog exists to catch.
+///
+/// File-granular on purpose: the stream is typically configured once at
+/// accept/connect and read elsewhere in the same module, so demanding a
+/// per-call bound would flag every correct call site.
+pub struct NoUnboundedReads;
+
+/// `std::io::Read` / `BufRead` method names that block on the peer.
+const READ_METHODS: &[&str] = &[
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "read_until",
+    "fill_buf",
+];
+
+impl Rule for NoUnboundedReads {
+    fn name(&self) -> &'static str {
+        "no-unbounded-reads"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn describe(&self) -> &'static str {
+        "TcpStream read paths in served/fabric/chaos must bound reads via \
+         set_read_timeout or set_nonblocking (a stalled peer must never hang a thread)"
+    }
+    fn applies(&self, path: &str) -> bool {
+        !globally_excluded(path)
+            && under(
+                path,
+                &[
+                    "crates/served/src/",
+                    "crates/fabric/src/",
+                    "crates/chaos/src/",
+                ],
+            )
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let live = |k: usize| !file.in_test(file.tok(k).start);
+        let mentions_tcp = (0..file.n_code()).any(|k| live(k) && file.is_ident(k, "TcpStream"));
+        if !mentions_tcp {
+            return Vec::new();
+        }
+        let bounded = (0..file.n_code()).any(|k| {
+            live(k) && (file.is_ident(k, "set_read_timeout") || file.is_ident(k, "set_nonblocking"))
+        });
+        if bounded {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for k in 0..file.n_code() {
+            if !live(k) || file.tok(k).kind != TokKind::Ident {
+                continue;
+            }
+            let text = file.ct(k);
+            if READ_METHODS.contains(&text)
+                && k > 0
+                && file.is_punct(k - 1, '.')
+                && file.is_punct(k + 1, '(')
+            {
+                out.push(file.finding(
+                    self.name(),
+                    self.severity(),
+                    k,
+                    format!(
+                        "`{text}` in a file handling `TcpStream` that never calls \
+                         `set_read_timeout`/`set_nonblocking`: a peer that stalls mid-frame \
+                         hangs this thread forever; bound the read with the poll-slice idiom \
+                         (short read timeout, retry on WouldBlock/TimedOut, check shutdown)"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1009,6 +1103,64 @@ mod tests { struct TinyStats { n: u32 } }
         assert!(
             hits.iter().all(|f| f.rule != "no-narrow-counters"),
             "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn r8_flags_unbounded_tcp_reads_in_scope_only() {
+        // TcpStream + reads, no timeout anywhere: every read call flagged.
+        let src = "\
+fn serve(mut s: TcpStream) {
+    let mut buf = [0u8; 64];
+    s.read(&mut buf);
+    s.read_exact(&mut buf);
+}
+";
+        let hits = run("crates/served/src/conn.rs", src);
+        let r8: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == "no-unbounded-reads")
+            .collect();
+        assert_eq!(r8.len(), 2, "{hits:?}");
+        assert!(r8.iter().all(|f| f.severity == Severity::Deny));
+        // Same file in an out-of-scope crate: silent.
+        assert!(run("crates/trace/src/conn.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r8_accepts_bounded_reads_and_non_socket_files() {
+        // One set_read_timeout anywhere in the file bounds every read.
+        let ok = run(
+            "crates/chaos/src/proxy.rs",
+            "fn pump(s: TcpStream) { s.set_read_timeout(Some(POLL)); \
+             let mut b = [0u8; 8]; s.read(&mut b); }",
+        );
+        assert!(ok.iter().all(|f| f.rule != "no-unbounded-reads"), "{ok:?}");
+        // set_nonblocking counts as a bound too (accept loops).
+        let nb = run(
+            "crates/served/src/server.rs",
+            "fn accept(l: TcpListener, s: TcpStream) { s.set_nonblocking(true); \
+             let mut b = vec![]; s.read_to_end(&mut b); }",
+        );
+        assert!(nb.iter().all(|f| f.rule != "no-unbounded-reads"), "{nb:?}");
+        // Reads in a file that never touches TcpStream (e.g. disk I/O) pass.
+        let disk = run(
+            "crates/fabric/src/coord.rs",
+            "fn load(mut f: File) { let mut s = String::new(); f.read_to_string(&mut s); }",
+        );
+        assert!(
+            disk.iter().all(|f| f.rule != "no-unbounded-reads"),
+            "{disk:?}"
+        );
+        // Test code is exempt even when unbounded.
+        let test_only = run(
+            "crates/served/src/client.rs",
+            "struct TcpStream;\n#[cfg(test)]\nmod tests { fn t(mut s: super::TcpStream) { \
+             let mut b = [0u8; 4]; s.read(&mut b); } }",
+        );
+        assert!(
+            test_only.iter().all(|f| f.rule != "no-unbounded-reads"),
+            "{test_only:?}"
         );
     }
 

@@ -12,6 +12,8 @@
 //!       --halved         halved miss penalties
 //!       --warmup N       warm-up memory ops                (default 0)
 //!       --fault F        chaos probe fault class (pa|vcp|aa|bitflip|pairing)
+//!       --deadline-ms MS server-side deadline: an expired job is
+//!                        cancelled, never cached    (default 0 = none)
 //!       --json FILE      write the stats object (atomic; same shape as a
 //!                        `ccp-sim sweep --json` cell)
 //!   bench     closed-loop zipf load generator
@@ -31,14 +33,14 @@
 //! EXIT CODE: 0 ok · 1 job error / failed assertion · 2 usage error
 //! ```
 
-use ccp_served::{run_bench, BenchConfig, Client};
+use ccp_served::{run_bench, BenchConfig, Client, SubmitCtl};
 use ccp_sim::json::write_atomic;
 use ccp_sim::JobSpec;
 
 const HELP: &str = "ccp-client — client CLI for ccp-served
 usage: ccp-client --addr HOST:PORT \\
          submit --workload W --design D [--budget N] [--seed S] [--halved]
-                [--warmup N] [--fault F] [--json FILE]
+                [--warmup N] [--fault F] [--deadline-ms MS] [--json FILE]
        | bench [--conns N] [--requests N] [--jobs N] [--skew Z] [--budget N]
                [--design D] [--workload W] [--seed S] [--json FILE]
                [--min-throughput X] [--min-hit-rate F]
@@ -74,7 +76,9 @@ fn main() {
                 Ok(s) => println!(
                     "submitted {} · completed {} · failed {} · canceled {}\n\
                      cache: {} hits + {} joined / {} misses · {} entries · {} evictions\n\
-                     sims run {} · queue depth {} · workers {} · draining {}",
+                     sims run {} · queue depth {} · workers {} · draining {}\n\
+                     hardening: {} accept errors · {} shed · {} deadline expired · \
+                     {} quarantined",
                     s.submitted,
                     s.completed,
                     s.failed,
@@ -88,6 +92,10 @@ fn main() {
                     s.queue_depth,
                     s.workers,
                     s.draining,
+                    s.accept_errors,
+                    s.shed,
+                    s.deadline_expired,
+                    s.disk_quarantined,
                 ),
                 Err(e) => fail(&e.to_string()),
             }
@@ -169,11 +177,18 @@ fn submit(addr: &str, mut args: Vec<String>) {
         spec.warmup = parse(v, "--warmup");
     }
     spec.fault = take_value(&mut args, "--fault");
+    let deadline_ms: u64 = take_value(&mut args, "--deadline-ms")
+        .map(|v| parse(v, "--deadline-ms"))
+        .unwrap_or(0);
     let json_path = take_value(&mut args, "--json");
     ensure_empty(&args);
 
     let mut client = connect(addr);
-    match client.submit_wait(&spec) {
+    let ctl = SubmitCtl {
+        deadline_ms,
+        ..SubmitCtl::default()
+    };
+    match client.submit_wait_ctl(&spec, &ctl) {
         Ok(outcome) => {
             let cycles = outcome.stats.get("cycles").and_then(|v| v.as_u64());
             let insts = outcome.stats.get("instructions").and_then(|v| v.as_u64());

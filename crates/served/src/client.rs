@@ -13,14 +13,38 @@ use crate::protocol::{Request, Response, StatsSnapshot};
 use ccp_errors::{SimError, SimResult};
 use ccp_sim::json::Json;
 use ccp_sim::JobSpec;
+use ccp_store::fnv1a;
 use ccp_workgen::ZipfSampler;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Read-timeout slice used by [`Client::submit_wait_ctl`] when it has a
+/// cancel token or overall timeout to poll between response lines.
+const POLL_SLICE: Duration = Duration::from_millis(100);
+
+/// Deterministic jittered backoff for retrying typed `overloaded` sheds:
+/// exponential in `attempt` (capped), plus a jitter term that is a pure
+/// function of `(salt, attempt)` — same inputs, same backoff, so a chaos
+/// run under a fixed seed replays byte-for-byte, but distinct callers
+/// (distinct salts) still decorrelate their retries.
+pub fn jittered_backoff_ms(base_ms: u64, attempt: u32, salt: u64) -> u64 {
+    if base_ms == 0 {
+        return 0;
+    }
+    let exp = base_ms.saturating_mul(1u64 << attempt.min(6));
+    // splitmix64 finalizer over (salt, attempt).
+    let mut z = salt ^ ((attempt as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15u64;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    exp.saturating_add(z % (exp / 2 + 1))
+}
 
 /// One blocking protocol connection.
 pub struct Client {
@@ -41,6 +65,23 @@ pub struct JobOutcome {
     pub progress_events: u64,
     /// The statistics object (same shape as `ccp-sim --json` cells).
     pub stats: Json,
+}
+
+/// Delivery controls for [`Client::submit_wait_ctl`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitCtl<'a> {
+    /// Server-side deadline in milliseconds (0 = none). Travels on the
+    /// `submit` line; the server cancels the job once it elapses and
+    /// never completes it into the cache or store.
+    pub deadline_ms: u64,
+    /// Cooperative abandon flag, polled between response lines. When it
+    /// flips, a best-effort `cancel` is sent and the wait returns a
+    /// `canceled` error — the fabric uses this to call off the losing
+    /// side of a speculative dispatch.
+    pub cancel: Option<&'a AtomicBool>,
+    /// Overall client-side wait bound; elapsing surfaces as a transient
+    /// `timeout` (the caller's retry logic treats the worker as stalled).
+    pub overall_timeout: Option<Duration>,
 }
 
 impl Client {
@@ -86,7 +127,15 @@ impl Client {
             }
         })?;
         if n == 0 {
-            return Err(SimError::protocol("connection closed by server"));
+            // Clean EOF is a *dead connection*, not a protocol violation
+            // and not a timeout: the peer hung up in an orderly way. The
+            // typed class lets callers (the fabric executor in
+            // particular) treat it as a worker fault without string
+            // matching, while a stall still surfaces as `timeout` above.
+            return Err(SimError::worker_lost(
+                "peer",
+                "connection closed (clean EOF)",
+            ));
         }
         Response::parse(line.trim())
     }
@@ -108,13 +157,69 @@ impl Client {
     /// progress events along the way. Job errors come back as the typed
     /// [`SimError`] the server-side class encodes.
     pub fn submit_wait(&mut self, spec: &JobSpec) -> SimResult<JobOutcome> {
-        self.send(&Request::Submit(spec.clone()))?;
+        self.submit_wait_ctl(spec, &SubmitCtl::default())
+    }
+
+    /// [`Client::submit_wait`] with delivery controls: a server-side
+    /// deadline, a cooperative cancel token, and an overall client-side
+    /// timeout. When a cancel token or overall timeout is present the
+    /// socket read timeout is re-armed to short [`POLL_SLICE`]s so both
+    /// are observed between response lines (a caller-set read timeout is
+    /// clobbered in that mode).
+    ///
+    /// Every accepted key is checked against the locally computed
+    /// [`JobSpec::cache_key`], and every result's `sum` integrity field
+    /// (when present) against the payload — a mismatch means the bytes
+    /// were mangled in transit and surfaces as a protocol error rather
+    /// than a wrong result.
+    pub fn submit_wait_ctl(&mut self, spec: &JobSpec, ctl: &SubmitCtl) -> SimResult<JobOutcome> {
+        self.send(&Request::Submit {
+            spec: spec.clone(),
+            deadline_ms: ctl.deadline_ms,
+        })?;
+        let want_key = format!("{:016x}", spec.cache_key());
+        let started = Instant::now();
+        let polling = ctl.cancel.is_some() || ctl.overall_timeout.is_some();
+        if polling {
+            self.set_read_timeout(Some(POLL_SLICE))?;
+        }
         let mut job = 0u64;
         let mut key = String::new();
         let mut progress_events = 0u64;
         loop {
-            match self.recv()? {
+            let resp = match self.recv() {
+                Err(e) if polling && e.class() == "timeout" => {
+                    if let Some(cancel) = ctl.cancel {
+                        if cancel.load(Ordering::SeqCst) {
+                            // Best-effort: release the server-side slot.
+                            if job != 0 {
+                                let _ = self.cancel(job);
+                            }
+                            return Err(SimError::canceled(format!(
+                                "submission abandoned by caller ({})",
+                                spec.context()
+                            )));
+                        }
+                    }
+                    if let Some(limit) = ctl.overall_timeout {
+                        if started.elapsed() >= limit {
+                            return Err(SimError::timeout(
+                                spec.context(),
+                                format!("no terminal response in {}ms", limit.as_millis()),
+                            ));
+                        }
+                    }
+                    continue;
+                }
+                other => other?,
+            };
+            match resp {
                 Response::Accepted { job: id, key: k } => {
+                    if k != want_key {
+                        return Err(SimError::protocol(format!(
+                            "accepted key mismatch: expected {want_key}, got {k}"
+                        )));
+                    }
                     job = id;
                     key = k;
                 }
@@ -123,7 +228,17 @@ impl Client {
                     job: id,
                     cached,
                     stats,
+                    sum,
                 } if id == job => {
+                    if !sum.is_empty() {
+                        let computed = format!("{:016x}", fnv1a(stats.to_string().as_bytes()));
+                        if computed != sum {
+                            return Err(SimError::protocol(format!(
+                                "result integrity sum mismatch: payload hashes to \
+                                 {computed}, server sent {sum}"
+                            )));
+                        }
+                    }
                     return Ok(JobOutcome {
                         job,
                         key,
@@ -137,11 +252,44 @@ impl Client {
                     class,
                     error,
                 } if id == job => return Err(SimError::from_wire(&class, error)),
+                Response::Overloaded { depth, limit } => {
+                    return Err(SimError::overloaded(format!(
+                        "queue full ({depth}/{limit})"
+                    )))
+                }
                 Response::ShuttingDown { detail } => return Err(SimError::shutdown(detail)),
                 Response::ProtocolError { error } => return Err(SimError::protocol(error)),
                 // A response for another job on a shared connection, or a
                 // stray pong: skip.
                 _ => {}
+            }
+        }
+    }
+
+    /// [`Client::submit_wait_ctl`] that absorbs typed `overloaded` sheds:
+    /// each shed sleeps [`jittered_backoff_ms`]`(backoff_ms, shed#, salt)`
+    /// and resubmits, up to `max_sheds` consecutive sheds. Everything
+    /// else (results, job errors, faults) passes through unchanged.
+    pub fn submit_wait_shed_retry(
+        &mut self,
+        spec: &JobSpec,
+        ctl: &SubmitCtl,
+        max_sheds: u32,
+        backoff_ms: u64,
+        salt: u64,
+    ) -> SimResult<JobOutcome> {
+        let mut sheds = 0u32;
+        loop {
+            match self.submit_wait_ctl(spec, ctl) {
+                Err(e) if e.class() == "overloaded" && sheds < max_sheds => {
+                    thread::sleep(Duration::from_millis(jittered_backoff_ms(
+                        backoff_ms.max(1),
+                        sheds,
+                        salt,
+                    )));
+                    sheds += 1;
+                }
+                other => return other,
             }
         }
     }
@@ -339,7 +487,16 @@ pub fn run_bench(cfg: &BenchConfig) -> SimResult<BenchReport> {
                 spec.budget = cfg.budget;
                 spec.seed = cfg.seed + rank;
                 let t0 = Instant::now();
-                match client.submit_wait(&spec) {
+                // Typed sheds are absorbed here (jittered-deterministic
+                // backoff, salted by connection), so an overloaded server
+                // degrades bench throughput instead of erroring out.
+                match client.submit_wait_shed_retry(
+                    &spec,
+                    &SubmitCtl::default(),
+                    100,
+                    2,
+                    cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ) {
                     Ok(_) => latencies.push(t0.elapsed().as_micros() as u64),
                     Err(_) => errors += 1,
                 }

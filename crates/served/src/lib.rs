@@ -32,6 +32,8 @@ pub mod server;
 pub mod sync;
 
 pub use cache::{CacheCounters, Lookup, ResultCache};
-pub use client::{run_bench, BenchConfig, BenchReport, Client, JobOutcome};
+pub use client::{
+    jittered_backoff_ms, run_bench, BenchConfig, BenchReport, Client, JobOutcome, SubmitCtl,
+};
 pub use protocol::{Request, Response, StatsSnapshot, PROTO_VERSION};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -8,17 +8,25 @@
 //!
 //! | direction | `type` | payload |
 //! |-----------|--------|---------|
-//! | → | `submit` | a [`JobSpec`]: `workload`, `design`, optional `budget`/`seed`/`halved`/`warmup`/`fault` |
+//! | → | `submit` | a [`JobSpec`]: `workload`, `design`, optional `budget`/`seed`/`halved`/`warmup`/`fault`; optional `deadline_ms` |
 //! | → | `cancel` | `job` id |
 //! | → | `hello` | `peer` label (coordinator/worker registration) |
 //! | → | `stats`, `ping`, `shutdown` | — |
 //! | ← | `welcome` | `proto` version, `workers` pool size |
 //! | ← | `accepted` | `job` id, cache `key` (hex) |
 //! | ← | `progress` | `job`, `done`, `total` instructions |
-//! | ← | `result` | `job`, `cached` flag, full `stats` object |
+//! | ← | `result` | `job`, `cached` flag, full `stats` object, `sum` integrity hex |
 //! | ← | `job_error` | `job`, error `class` + `error` message |
+//! | ← | `overloaded` | `depth`/`limit` of the full queue (typed shed; retry with backoff) |
 //! | ← | `stats` | the [`StatsSnapshot`] counters |
 //! | ← | `pong`, `shutting_down`, `error` | — / `detail` / `class`+`error` |
+//!
+//! A `submit` may carry `deadline_ms` (0 or absent = none): the server
+//! cancels the job once the deadline passes, and a deadline-expired job
+//! is *never* completed into the result cache or disk store. The `sum`
+//! field on `result` is the FNV-1a hash of the canonical `stats` JSON
+//! text as fixed-width hex, carried as a string because `Json::Num` is an
+//! f64 — clients use it to reject payloads mangled in transit.
 //!
 //! Responses to one request are totally ordered on the connection
 //! (`accepted` before any `progress` before the terminal `result` /
@@ -33,7 +41,15 @@ use ccp_sim::JobSpec;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Submit one simulation job.
-    Submit(JobSpec),
+    Submit {
+        /// The job to run.
+        spec: JobSpec,
+        /// Server-side deadline in milliseconds (0 = none). The deadline
+        /// is a delivery property, not part of the job's identity — it is
+        /// deliberately *not* a [`JobSpec`] field, so it never feeds the
+        /// cache key.
+        deadline_ms: u64,
+    },
     /// Request cooperative cancellation of a previously accepted job.
     Cancel {
         /// The job id from the `accepted` response.
@@ -53,8 +69,10 @@ pub enum Request {
     Shutdown,
 }
 
-/// Protocol version reported in `welcome` responses.
-pub const PROTO_VERSION: u64 = 1;
+/// Protocol version reported in `welcome` responses. Version 2 added
+/// `deadline_ms` on `submit`, the `overloaded` shed response, and the
+/// `sum` integrity field on `result`.
+pub const PROTO_VERSION: u64 = 2;
 
 /// A server → client message.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +102,11 @@ pub enum Response {
         cached: bool,
         /// The `RunStats` rendered as JSON (same shape as `ccp-sim --json`).
         stats: Json,
+        /// FNV-1a hash of the canonical `stats` text, as fixed-width hex.
+        /// Empty when the response came from a pre-v2 server; clients
+        /// verify it when present and reject mismatches as protocol
+        /// errors (a corrupted-in-transit payload).
+        sum: String,
     },
     /// Terminal failure, with the [`SimError`] class preserved so the
     /// client can rebuild a typed error via [`SimError::from_wire`].
@@ -112,6 +135,15 @@ pub enum Response {
     ShuttingDown {
         /// Why / what the server is doing.
         detail: String,
+    },
+    /// Typed shed: the bounded queue is full and the submit was rejected
+    /// before any job id was assigned. The server is healthy — the client
+    /// should back off (with jitter) and resubmit.
+    Overloaded {
+        /// Jobs queued when the submit was shed.
+        depth: u64,
+        /// The configured queue bound.
+        limit: u64,
     },
     /// The request line itself was malformed.
     ProtocolError {
@@ -159,6 +191,16 @@ pub struct StatsSnapshot {
     pub workers: u64,
     /// Whether the server is draining.
     pub draining: bool,
+    /// Accept-loop errors other than `WouldBlock` (satellite of the
+    /// listener hardening: these used to be silently swallowed).
+    pub accept_errors: u64,
+    /// Submits shed with a typed `overloaded` response (queue full).
+    pub shed: u64,
+    /// Jobs cancelled (or results discarded) because their deadline
+    /// passed; none of these ever populate the cache or store.
+    pub deadline_expired: u64,
+    /// Corrupt `.ccpz` entries quarantined by the disk tier.
+    pub disk_quarantined: u64,
 }
 
 fn get_str(obj: &Json, key: &str) -> SimResult<String> {
@@ -180,6 +222,16 @@ fn opt_u64(obj: &Json, key: &str, default: u64) -> SimResult<u64> {
         Some(v) => v.as_u64().ok_or_else(|| {
             SimError::protocol(format!("field {key:?} must be a non-negative integer"))
         }),
+    }
+}
+
+fn opt_str(obj: &Json, key: &str) -> SimResult<String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(String::new()),
+        Some(v) => v
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| SimError::protocol(format!("field {key:?} must be a string"))),
     }
 }
 
@@ -236,8 +288,11 @@ impl Request {
     /// Renders the request as its canonical JSON value.
     pub fn to_json(&self) -> Json {
         match self {
-            Request::Submit(spec) => {
-                let mut pairs = vec![("type", Json::Str("submit".into()))];
+            Request::Submit { spec, deadline_ms } => {
+                let mut pairs = vec![
+                    ("type", Json::Str("submit".into())),
+                    ("deadline_ms", Json::Num(*deadline_ms as f64)),
+                ];
                 pairs.extend(spec_to_json(spec));
                 Json::obj(pairs)
             }
@@ -266,7 +321,10 @@ impl Request {
             Json::parse(line).map_err(|e| SimError::protocol(format!("bad request JSON: {e}")))?;
         let ty = get_str(&v, "type")?;
         match ty.as_str() {
-            "submit" => Ok(Request::Submit(spec_from_json(&v)?)),
+            "submit" => Ok(Request::Submit {
+                spec: spec_from_json(&v)?,
+                deadline_ms: opt_u64(&v, "deadline_ms", 0)?,
+            }),
             "cancel" => Ok(Request::Cancel {
                 job: get_u64(&v, "job")?,
             }),
@@ -298,11 +356,17 @@ impl Response {
                 ("done", Json::Num(*done as f64)),
                 ("total", Json::Num(*total as f64)),
             ]),
-            Response::Result { job, cached, stats } => Json::obj([
+            Response::Result {
+                job,
+                cached,
+                stats,
+                sum,
+            } => Json::obj([
                 ("type", Json::Str("result".into())),
                 ("job", Json::Num(*job as f64)),
                 ("cached", Json::Bool(*cached)),
                 ("stats", stats.clone()),
+                ("sum", Json::Str(sum.clone())),
             ]),
             Response::JobError { job, class, error } => Json::obj([
                 ("type", Json::Str("job_error".into())),
@@ -330,6 +394,10 @@ impl Response {
                 ("disk_writes", Json::Num(s.disk_writes as f64)),
                 ("workers", Json::Num(s.workers as f64)),
                 ("draining", Json::Bool(s.draining)),
+                ("accept_errors", Json::Num(s.accept_errors as f64)),
+                ("shed", Json::Num(s.shed as f64)),
+                ("deadline_expired", Json::Num(s.deadline_expired as f64)),
+                ("disk_quarantined", Json::Num(s.disk_quarantined as f64)),
             ]),
             Response::Welcome { proto, workers } => Json::obj([
                 ("type", Json::Str("welcome".into())),
@@ -340,6 +408,11 @@ impl Response {
             Response::ShuttingDown { detail } => Json::obj([
                 ("type", Json::Str("shutting_down".into())),
                 ("detail", Json::Str(detail.clone())),
+            ]),
+            Response::Overloaded { depth, limit } => Json::obj([
+                ("type", Json::Str("overloaded".into())),
+                ("depth", Json::Num(*depth as f64)),
+                ("limit", Json::Num(*limit as f64)),
             ]),
             Response::ProtocolError { error } => Json::obj([
                 ("type", Json::Str("error".into())),
@@ -376,6 +449,8 @@ impl Response {
                     .get("stats")
                     .cloned()
                     .ok_or_else(|| SimError::protocol("result without \"stats\""))?,
+                // Absent from pre-v2 servers: empty means "unverifiable".
+                sum: opt_str(&v, "sum")?,
             }),
             "job_error" => Ok(Response::JobError {
                 job: get_u64(&v, "job")?,
@@ -403,6 +478,11 @@ impl Response {
                 disk_writes: opt_u64(&v, "disk_writes", 0)?,
                 workers: get_u64(&v, "workers")?,
                 draining: opt_bool(&v, "draining", false)?,
+                // Added in protocol v2, same tolerance.
+                accept_errors: opt_u64(&v, "accept_errors", 0)?,
+                shed: opt_u64(&v, "shed", 0)?,
+                deadline_expired: opt_u64(&v, "deadline_expired", 0)?,
+                disk_quarantined: opt_u64(&v, "disk_quarantined", 0)?,
             })),
             "welcome" => Ok(Response::Welcome {
                 proto: get_u64(&v, "proto")?,
@@ -411,6 +491,10 @@ impl Response {
             "pong" => Ok(Response::Pong),
             "shutting_down" => Ok(Response::ShuttingDown {
                 detail: get_str(&v, "detail")?,
+            }),
+            "overloaded" => Ok(Response::Overloaded {
+                depth: get_u64(&v, "depth")?,
+                limit: get_u64(&v, "limit")?,
             }),
             "error" => Ok(Response::ProtocolError {
                 error: get_str(&v, "error")?,
@@ -435,7 +519,14 @@ mod tests {
         spec.warmup = 16;
         spec.fault = Some("pa".into());
         for req in [
-            Request::Submit(spec),
+            Request::Submit {
+                spec: spec.clone(),
+                deadline_ms: 0,
+            },
+            Request::Submit {
+                spec,
+                deadline_ms: 2_500,
+            },
             Request::Cancel { job: 9 },
             Request::Stats,
             Request::Ping,
@@ -454,7 +545,13 @@ mod tests {
     fn submit_defaults_match_jobspec_defaults() {
         let req = Request::parse(r#"{"type":"submit","workload":"health","design":"CPP"}"#)
             .expect("parse");
-        assert_eq!(req, Request::Submit(JobSpec::new("health", "CPP")));
+        assert_eq!(
+            req,
+            Request::Submit {
+                spec: JobSpec::new("health", "CPP"),
+                deadline_ms: 0,
+            }
+        );
     }
 
     #[test]
@@ -474,6 +571,7 @@ mod tests {
                 job: 1,
                 cached: true,
                 stats,
+                sum: "00000000075bcd15".into(),
             },
             Response::JobError {
                 job: 2,
@@ -488,6 +586,10 @@ mod tests {
                 disk_hits: 5,
                 disk_writes: 6,
                 draining: true,
+                accept_errors: 1,
+                shed: 2,
+                deadline_expired: 3,
+                disk_quarantined: 4,
                 ..Default::default()
             }),
             Response::Welcome {
@@ -498,6 +600,7 @@ mod tests {
             Response::ShuttingDown {
                 detail: "draining 2 jobs".into(),
             },
+            Response::Overloaded { depth: 4, limit: 4 },
             Response::ProtocolError {
                 error: "bad line".into(),
             },
@@ -521,6 +624,20 @@ mod tests {
                 assert_eq!(s.disk_hits, 0);
             }
             other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn old_result_lines_parse_without_sum() {
+        // A pre-v2 server omits the integrity sum: the result still
+        // parses, with an empty (unverifiable) sum.
+        let line = r#"{"type":"result","job":3,"cached":false,"stats":{"cycles":9}}"#;
+        match Response::parse(line).expect("parse") {
+            Response::Result { job, sum, .. } => {
+                assert_eq!(job, 3);
+                assert!(sum.is_empty());
+            }
+            other => panic!("expected result, got {other:?}"),
         }
     }
 

@@ -33,7 +33,7 @@ use crate::sync::{CondvarExt, LockExt};
 use ccp_errors::{SimError, SimResult};
 use ccp_sim::checkpoint::stats_to_json;
 use ccp_sim::{run_job_ctl, JobCtl, JobSpec};
-use ccp_store::DiskTier;
+use ccp_store::{fnv1a, DiskTier};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -42,7 +42,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Longest accepted request line, including the newline. Guards the
 /// per-connection read buffer against an unframed flood.
@@ -62,6 +62,14 @@ pub struct ServerConfig {
     /// Directory for the cold disk tier of the result store. `None`
     /// disables disk spill (RAM cache only — the pre-fabric behaviour).
     pub store_dir: Option<PathBuf>,
+    /// Bound on the job queue. A submit that would push the queue past
+    /// this limit is shed with a typed `overloaded` response instead of
+    /// being accepted. `0` means unbounded (the pre-v2 behaviour).
+    pub max_queue: usize,
+    /// Per-connection socket read timeout in milliseconds. This is the
+    /// poll interval at which an idle reader re-checks the drain flag,
+    /// not a deadline — the connection stays open across timeouts.
+    pub read_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +79,8 @@ impl Default for ServerConfig {
             workers: 4,
             cache_bytes: 4 << 20,
             store_dir: None,
+            max_queue: 0,
+            read_timeout_ms: 200,
         }
     }
 }
@@ -88,7 +98,17 @@ struct JobState {
     key: u64,
     spec: JobSpec,
     cancel: AtomicBool,
+    /// Absolute deadline from the submit's `deadline_ms`, if any. A job
+    /// past this instant is cancelled and reported as a timeout; its
+    /// result (if any) is discarded before it can reach the cache/store.
+    deadline: Option<Instant>,
     tx: Sender<String>,
+}
+
+impl JobState {
+    fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
 }
 
 /// Where a live job id routes for cancellation.
@@ -113,6 +133,8 @@ struct Shared {
     draining: AtomicBool,
     next_id: AtomicU64,
     workers: usize,
+    max_queue: usize,
+    read_timeout: Duration,
     // The cold tier is lock-free (&self methods over atomics + the
     // filesystem), so workers consult and fill it without touching the
     // `state` lock — no new lock-order edges.
@@ -123,6 +145,9 @@ struct Shared {
     canceled: AtomicU64,
     sims_run: AtomicU64,
     in_flight: AtomicU64,
+    accept_errors: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
 }
 
 impl Shared {
@@ -161,6 +186,10 @@ impl Shared {
             disk_writes: disk.writes,
             workers: self.workers as u64,
             draining: self.draining.load(Ordering::SeqCst),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            disk_quarantined: disk.quarantined,
         }
     }
 }
@@ -226,6 +255,8 @@ pub fn start(config: ServerConfig) -> SimResult<ServerHandle> {
         draining: AtomicBool::new(false),
         next_id: AtomicU64::new(0),
         workers,
+        max_queue: config.max_queue,
+        read_timeout: Duration::from_millis(config.read_timeout_ms.max(1)),
         disk,
         submitted: AtomicU64::new(0),
         completed: AtomicU64::new(0),
@@ -233,6 +264,9 @@ pub fn start(config: ServerConfig) -> SimResult<ServerHandle> {
         canceled: AtomicU64::new(0),
         sims_run: AtomicU64::new(0),
         in_flight: AtomicU64::new(0),
+        accept_errors: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        deadline_expired: AtomicU64::new(0),
     });
 
     let mut threads = Vec::with_capacity(workers + 1);
@@ -278,7 +312,13 @@ fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(10));
             }
-            Err(_) => thread::sleep(Duration::from_millis(10)),
+            Err(_) => {
+                // A real accept failure (EMFILE, ECONNABORTED, ...) is
+                // still survivable, but no longer invisible: it lands in
+                // the `accept_errors` counter surfaced by `stats`.
+                shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                thread::sleep(Duration::from_millis(10));
+            }
         }
     }
 }
@@ -299,9 +339,13 @@ fn worker_loop(shared: &Arc<Shared>) {
         };
         let Some(job) = job else { return };
         shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        // A job whose deadline passed while it sat in the queue is not
+        // run at all (and must not be served from disk either — the
+        // submitter's contract is "cancelled, not completed").
+        let expired_in_queue = job.deadline_expired();
         // Cold-tier consult happens on the worker thread, off the `state`
         // lock: a verified disk entry skips the simulation entirely.
-        let disk_hit = if job.cancel.load(Ordering::SeqCst) {
+        let disk_hit = if expired_in_queue || job.cancel.load(Ordering::SeqCst) {
             None
         } else {
             shared
@@ -310,13 +354,24 @@ fn worker_loop(shared: &Arc<Shared>) {
                 .and_then(|d| d.get_stats(job.key, &job.spec.canonical()))
         };
         let from_disk = disk_hit.is_some();
-        let result = if job.cancel.load(Ordering::SeqCst) {
+        let result = if expired_in_queue {
+            Err(SimError::timeout(
+                job.spec.context(),
+                "deadline expired before the job started",
+            ))
+        } else if job.cancel.load(Ordering::SeqCst) {
             Err(SimError::canceled(job.spec.context()))
         } else if let Some(stats) = disk_hit {
             Ok(stats)
         } else {
             shared.sims_run.fetch_add(1, Ordering::Relaxed);
             let progress = |done: u64, total: u64| {
+                // Deadline enforcement piggybacks on the progress stream:
+                // an expired job is cancelled cooperatively, exactly like
+                // a client `cancel` request.
+                if job.deadline_expired() {
+                    job.cancel.store(true, Ordering::SeqCst);
+                }
                 let _ = job.tx.send(
                     Response::Progress {
                         job: job.id,
@@ -343,6 +398,18 @@ fn worker_loop(shared: &Arc<Shared>) {
                 ..Default::default()
             };
             run_job_ctl(&job.spec, &ctl)
+        };
+        // A result that arrives past its deadline — whether it ran to
+        // completion anyway or was cancelled mid-run — is reported as a
+        // timeout and discarded before the cache/store sees it.
+        let result = if job.deadline.is_some() && job.deadline_expired() {
+            shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            Err(SimError::timeout(
+                job.spec.context(),
+                "deadline expired; result discarded",
+            ))
+        } else {
+            result
         };
 
         // Success pairs the shared stats with their one-time JSON
@@ -383,6 +450,13 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// The `sum` integrity field for a result payload: FNV-1a over the
+/// canonical rendering of the stats object, as fixed-width hex (a string,
+/// because `Json::Num` is an f64 and would mangle 64-bit hashes).
+fn stats_sum(stats: &ccp_sim::json::Json) -> String {
+    format!("{:016x}", fnv1a(stats.to_string().as_bytes()))
+}
+
 /// Sends the terminal response for one submission and bumps the outcome
 /// counters.
 fn deliver(
@@ -399,6 +473,7 @@ fn deliver(
                 job,
                 cached,
                 stats: stats.clone(),
+                sum: stats_sum(stats),
             }
             .to_line()
         }
@@ -424,7 +499,7 @@ fn handle_conn(stream: TcpStream, shared: &Arc<Shared>) {
     // drain even on an idle connection; NODELAY because the protocol is
     // small request/response lines and Nagle + delayed ACK would add
     // ~40ms to every cached hit.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
     let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
         return;
@@ -532,11 +607,11 @@ fn handle_request(line: &str, tx: &Sender<String>, shared: &Arc<Shared>) {
             );
         }
         Request::Cancel { job } => cancel_job(job, tx, shared),
-        Request::Submit(spec) => submit_job(spec, tx, shared),
+        Request::Submit { spec, deadline_ms } => submit_job(spec, deadline_ms, tx, shared),
     }
 }
 
-fn submit_job(spec: JobSpec, tx: &Sender<String>, shared: &Arc<Shared>) {
+fn submit_job(spec: JobSpec, deadline_ms: u64, tx: &Sender<String>, shared: &Arc<Shared>) {
     if shared.draining.load(Ordering::SeqCst) {
         let _ = tx.send(
             Response::ShuttingDown {
@@ -549,15 +624,15 @@ fn submit_job(spec: JobSpec, tx: &Sender<String>, shared: &Arc<Shared>) {
     shared.submitted.fetch_add(1, Ordering::Relaxed);
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
     let key = spec.cache_key();
-    let _ = tx.send(
-        Response::Accepted {
-            job: id,
-            key: format!("{key:016x}"),
-        }
-        .to_line(),
-    );
     if let Err(e) = spec.resolve() {
         shared.failed.fetch_add(1, Ordering::Relaxed);
+        let _ = tx.send(
+            Response::Accepted {
+                job: id,
+                key: format!("{key:016x}"),
+            }
+            .to_line(),
+        );
         let _ = tx.send(
             Response::JobError {
                 job: id,
@@ -569,24 +644,60 @@ fn submit_job(spec: JobSpec, tx: &Sender<String>, shared: &Arc<Shared>) {
         return;
     }
     let canonical = spec.canonical();
+    let deadline = (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
     let waiter = Waiter {
         job: id,
         tx: tx.clone(),
     };
+    // `accepted` is sent while `state` is held so it is ordered before
+    // any result a completing worker could deliver to a parked waiter
+    // (workers take `state` to find waiters). A shed sends `overloaded`
+    // *instead* of `accepted`: no job id ever existed for the client.
+    let accepted = Response::Accepted {
+        job: id,
+        key: format!("{key:016x}"),
+    }
+    .to_line();
     let hit = {
         let mut inner = shared.state.lock_unpoisoned();
         match inner.cache.lookup(key, &canonical, waiter) {
-            Lookup::Hit(stats) => Some(stats),
+            Lookup::Hit(stats) => {
+                let _ = tx.send(accepted);
+                Some(stats)
+            }
             Lookup::Joined => {
                 inner.registry.insert(id, Route::Waiter { key });
+                let _ = tx.send(accepted);
                 None
             }
             Lookup::Miss(waiter) => {
+                // Bounded-queue backpressure: only a miss (which would
+                // enqueue real work) can be shed; hits and joined flights
+                // cost no queue slot and are served even under pressure.
+                let depth = {
+                    // Sanctioned state → queue nesting, as below.
+                    shared.queue.lock_unpoisoned().len()
+                };
+                if shared.max_queue > 0 && depth >= shared.max_queue {
+                    // Withdraw the in-flight entry `lookup` just created
+                    // (no waiters have joined: we still hold `state`).
+                    inner.cache.complete(key, None);
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    let _ = waiter.tx.send(
+                        Response::Overloaded {
+                            depth: depth as u64,
+                            limit: shared.max_queue as u64,
+                        }
+                        .to_line(),
+                    );
+                    return;
+                }
                 let job = Arc::new(JobState {
                     id,
                     key,
                     spec,
                     cancel: AtomicBool::new(false),
+                    deadline,
                     tx: waiter.tx,
                 });
                 inner.registry.insert(id, Route::Leader(Arc::clone(&job)));
@@ -595,17 +706,20 @@ fn submit_job(spec: JobSpec, tx: &Sender<String>, shared: &Arc<Shared>) {
                 // `state` or a worker could complete the job before it routes.
                 shared.queue.lock_unpoisoned().push_back(job);
                 shared.queue_cv.notify_one();
+                let _ = tx.send(accepted);
                 None
             }
         }
     };
     if let Some(stats) = hit {
         shared.completed.fetch_add(1, Ordering::Relaxed);
+        let json = stats_to_json(&stats);
         let _ = tx.send(
             Response::Result {
                 job: id,
                 cached: true,
-                stats: stats_to_json(&stats),
+                sum: stats_sum(&json),
+                stats: json,
             }
             .to_line(),
         );

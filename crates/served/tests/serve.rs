@@ -161,7 +161,12 @@ fn shutdown_drains_inflight_jobs_and_refuses_new_ones() {
     let mut slow = quick("health", "CPP", 21);
     slow.budget = 400_000;
     let mut submitter = Client::connect(&addr).expect("connect");
-    submitter.send(&Request::Submit(slow)).expect("send");
+    submitter
+        .send(&Request::Submit {
+            spec: slow,
+            deadline_ms: 0,
+        })
+        .expect("send");
     match submitter.recv().expect("accepted") {
         Response::Accepted { .. } => {}
         other => panic!("expected accepted, got {other:?}"),
@@ -206,7 +211,12 @@ fn cancel_hits_queued_leaders_and_joined_waiters() {
     let mut slow = quick("health", "CPP", 31);
     slow.budget = 400_000;
     let mut holder = Client::connect(&addr).expect("connect");
-    holder.send(&Request::Submit(slow.clone())).expect("send");
+    holder
+        .send(&Request::Submit {
+            spec: slow.clone(),
+            deadline_ms: 0,
+        })
+        .expect("send");
     let Response::Accepted { .. } = holder.recv().expect("accepted") else {
         panic!("expected accepted");
     };
@@ -214,13 +224,21 @@ fn cancel_hits_queued_leaders_and_joined_waiters() {
     // A queued leader (distinct spec) and a joined waiter (same spec).
     let mut queued = Client::connect(&addr).expect("connect");
     queued
-        .send(&Request::Submit(quick("mst", "BC", 31)))
+        .send(&Request::Submit {
+            spec: quick("mst", "BC", 31),
+            deadline_ms: 0,
+        })
         .expect("send");
     let Response::Accepted { job: queued_id, .. } = queued.recv().expect("accepted") else {
         panic!("expected accepted");
     };
     let mut joined = Client::connect(&addr).expect("connect");
-    joined.send(&Request::Submit(slow)).expect("send");
+    joined
+        .send(&Request::Submit {
+            spec: slow,
+            deadline_ms: 0,
+        })
+        .expect("send");
     let Response::Accepted { job: joined_id, .. } = joined.recv().expect("accepted") else {
         panic!("expected accepted");
     };

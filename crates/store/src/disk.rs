@@ -141,6 +141,11 @@ pub struct DiskCounters {
     /// Entries that failed verification or I/O on load (each also counts
     /// as a miss).
     pub errors: u64,
+    /// Entries that failed verification and were renamed aside to
+    /// `*.ccpz.quarantine` (a subset of `errors`). Quarantined files are
+    /// kept for forensics — a corrupt entry's disappearance is never
+    /// silent — while the live path is freed so the next put heals it.
+    pub quarantined: u64,
 }
 
 /// The on-disk content-addressed tier. All methods take `&self` — the
@@ -153,6 +158,7 @@ pub struct DiskTier {
     misses: AtomicU64,
     writes: AtomicU64,
     errors: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl DiskTier {
@@ -166,6 +172,7 @@ impl DiskTier {
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         })
     }
 
@@ -187,10 +194,16 @@ impl DiskTier {
         Ok(())
     }
 
+    /// The quarantine path a corrupt entry for `key` is renamed to.
+    pub fn quarantine_path_for(&self, key: u64) -> PathBuf {
+        self.root.join(format!("{key:016x}.ccpz.quarantine"))
+    }
+
     /// Loads and verifies the entry for `key`. Absent, unreadable, or
     /// failed-verification entries all return `None` (the latter two also
-    /// count as errors); a verification failure removes the bad file so
-    /// the next put heals it.
+    /// count as errors); a verification failure quarantines the bad file
+    /// (renames it aside, counted in `quarantined`) so the next put heals
+    /// the live path without the corruption vanishing untraceably.
     pub fn get(&self, key: u64, canonical: &str) -> Option<Vec<u8>> {
         let path = self.path_for(key);
         let bytes = match std::fs::read(&path) {
@@ -211,7 +224,15 @@ impl DiskTier {
                 Some(payload)
             }
             Err(_) => {
-                let _ = std::fs::remove_file(&path);
+                // Quarantine, don't delete: rename preserves the bytes
+                // for inspection (overwriting any previous quarantine of
+                // the same key) and still frees the live path. Fall back
+                // to removal only if the rename itself fails.
+                if std::fs::rename(&path, self.quarantine_path_for(key)).is_ok() {
+                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let _ = std::fs::remove_file(&path);
+                }
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
@@ -251,6 +272,7 @@ impl DiskTier {
             misses: self.misses.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -344,7 +366,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entries_self_heal_as_misses() {
+    fn corrupt_entries_quarantine_as_misses() {
         let dir = tmp_dir("heal");
         let tier = DiskTier::open(&dir).unwrap();
         let canonical = "workload=mst|design=CPP|budget=1000|seed=1";
@@ -358,13 +380,22 @@ mod tests {
         bytes[last] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
         assert!(tier.get(key, canonical).is_none(), "corrupt entry rejected");
-        assert!(!path.exists(), "bad entry removed");
+        // The bad bytes move aside rather than disappearing: the live
+        // path is free, the quarantine file holds the evidence, and the
+        // counter makes the event observable in `stats`.
+        assert!(!path.exists(), "live path freed");
+        let qpath = tier.quarantine_path_for(key);
+        assert!(qpath.exists(), "bad entry quarantined, not deleted");
+        assert_eq!(std::fs::read(&qpath).unwrap(), bytes, "evidence intact");
         let c = tier.counters();
-        assert_eq!((c.errors, c.misses), (1, 1));
-        // The next put heals it.
+        assert_eq!((c.errors, c.misses, c.quarantined), (1, 1, 1));
+        // Quarantined files never count as live entries.
+        assert_eq!(tier.entry_count(), 0);
+        // The next put heals the live path.
         tier.put(key, canonical, b"payload payload payload")
             .unwrap();
         assert!(tier.get(key, canonical).is_some());
+        assert_eq!(tier.entry_count(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
