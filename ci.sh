@@ -62,6 +62,18 @@ echo "== perf smoke: hot-path overhaul holds a conservative speedup floor"
 ./target/release/repro perf --budget 60000 --assert-min-speedup 1.5 \
     --out "$SCRATCH/BENCH_core.json" > "$SCRATCH/perf.txt"
 
+echo "== compare-schemes smoke: scheme axis reports and stays cache-distinct"
+# Tiny grid, two schemes: the study must write its report and prove the
+# content addresses never collide across schemes (DESIGN.md §13).
+./target/release/repro compare-schemes --budget 3000 --benchmarks health,mst \
+    --schemes CPP,BDI --out "$SCRATCH/SCHEMES_report.json" > "$SCRATCH/schemes.txt"
+grep -q "cache keys distinct across schemes: yes" "$SCRATCH/schemes.txt" || {
+    echo "compare-schemes lost scheme distinctness:"; cat "$SCRATCH/schemes.txt"; exit 1; }
+[ -s "$SCRATCH/SCHEMES_report.json" ] || {
+    echo "compare-schemes wrote no JSON report"; exit 1; }
+grep -q '"cache_keys_scheme_distinct":true' "$SCRATCH/SCHEMES_report.json" || {
+    echo "SCHEMES_report.json disagrees with the report text"; exit 1; }
+
 echo "== chaos smoke: fault injection is detected, no false positives"
 ./target/release/trace-tool chaos --workload health --workload mst --budget 8000
 

@@ -71,6 +71,12 @@ pub struct HierarchyStats {
     /// CPP: affiliated words evicted because a primary word grew
     /// incompressible (§3.3 hazard).
     pub compressibility_evictions: u64,
+    /// Tag/metadata SRAM the compression scheme spends across both levels,
+    /// in bits (Touché-style static overhead model). Stamped once at
+    /// hierarchy construction — a property of the geometry × scheme, not of
+    /// the access stream — and re-stamped by the hierarchy after stats
+    /// resets. Zero for the uncompressed baselines.
+    pub tag_overhead_bits: u64,
 }
 
 impl HierarchyStats {

@@ -15,33 +15,42 @@ use crate::flags::{mask_n, CppFlags};
 use ccp_cache::geometry::CacheGeometry;
 use ccp_cache::set_assoc::{Evicted, SetAssocCache};
 use ccp_cache::Addr;
-use ccp_compress::{is_compressible, line_compress_mask};
 use ccp_errors::{SimError, SimResult};
 use ccp_mem::{LineView, MainMemory};
+use ccp_schemes::{CompressionScheme, CppScheme};
+use std::marker::PhantomData;
 
-/// Bitmask of compressible words in the `words`-long line at `base`,
+/// Bitmask of `S`-compressible words in the `words`-long line at `base`,
 /// evaluated against current memory values.
 ///
 /// Lines are aligned and at most a page long, so the common case is a
 /// single page-table walk ([`MainMemory::line_view`]) followed by the
-/// branch-free slice scan; an untouched page is all zeros, which are small
-/// values, hence fully compressible.
-pub fn compress_mask(mem: &MainMemory, base: Addr, words: u32) -> u32 {
+/// scheme's slice scan; an untouched page is all zeros, which every scheme
+/// must compress fully (the [`CompressionScheme`] contract), hence the
+/// zero-view fast path returns a full mask without dispatching.
+pub fn scheme_compress_mask<S: CompressionScheme>(mem: &MainMemory, base: Addr, words: u32) -> u32 {
     match mem.line_view(base, words) {
-        LineView::Resident(slice) => line_compress_mask(slice, base),
+        LineView::Resident(slice) => S::line_mask(slice, base),
         LineView::Zero => mask_n(words),
         // Unaligned run straddling a page: per-word fallback.
         LineView::Split => {
+            let base_val = if S::BASE_SENSITIVE { mem.read(base) } else { 0 };
             let mut m = 0u32;
             for i in 0..words {
                 let a = base.wrapping_add(i * 4);
-                if is_compressible(mem.read(a), a) {
+                if S::word_compressible(mem.read(a), a, base, base_val) {
                     m |= 1 << i;
                 }
             }
             m
         }
     }
+}
+
+/// [`scheme_compress_mask`] under the paper's scheme — the signature every
+/// pre-existing caller (fault injector, invariant checker, tests) uses.
+pub fn compress_mask(mem: &MainMemory, base: Addr, words: u32) -> u32 {
+    scheme_compress_mask::<CppScheme>(mem, base, words)
 }
 
 /// A victim displaced from a level by an install.
@@ -56,14 +65,17 @@ pub struct CppVictim {
     pub flags: CppFlags,
 }
 
-/// One level (L1 or L2) of the compression cache.
+/// One level (L1 or L2) of the compression cache, parameterized by the
+/// word-compression scheme `S` (statically dispatched; defaults to the
+/// paper's [`CppScheme`] so existing call sites read unchanged).
 #[derive(Debug, Clone)]
-pub struct CppLevel {
+pub struct CppLevel<S: CompressionScheme = CppScheme> {
     arr: SetAssocCache<CppFlags>,
     mask: u32,
+    _scheme: PhantomData<S>,
 }
 
-impl CppLevel {
+impl<S: CompressionScheme> CppLevel<S> {
     /// Creates an empty level with the given geometry and affiliation mask.
     ///
     /// # Panics
@@ -79,6 +91,7 @@ impl CppLevel {
         CppLevel {
             arr: SetAssocCache::new(geom),
             mask,
+            _scheme: PhantomData,
         }
     }
 
@@ -183,7 +196,7 @@ impl CppLevel {
             host.aa, 0,
             "one-copy rule: victim {victim_base:#x} was both primary and affiliated"
         );
-        let comp = compress_mask(mem, victim_base, self.words());
+        let comp = scheme_compress_mask::<S>(mem, victim_base, self.words());
         let parked = victim_pa & comp & host.affiliated_capacity(self.words());
         if parked != 0 {
             self.arr.extra_mut(pidx).aa = parked;
@@ -238,13 +251,45 @@ impl CppLevel {
         }
     }
 
+    /// Re-derives the whole line's `VCP` from current memory values and
+    /// evicts affiliated words left without a legal half-slot. The
+    /// base-sensitive analogue of [`CppLevel::update_primary_word`]: a store
+    /// to word 0 under a scheme with
+    /// [`CompressionScheme::BASE_SENSITIVE`]` = true` re-classifies every
+    /// word of the line, not just the stored one. Returns the number of
+    /// affiliated words evicted.
+    pub fn refresh_primary_flags(
+        &mut self,
+        mem: &MainMemory,
+        idx: usize,
+        evict_whole_affiliated_line: bool,
+    ) -> u32 {
+        let base = self.base_of(idx);
+        let words = self.words();
+        let comp = scheme_compress_mask::<S>(mem, base, words);
+        let f = self.arr.extra_mut(idx);
+        f.vcp = f.pa & comp;
+        let conflict = f.aa & !f.affiliated_capacity(words);
+        if conflict == 0 {
+            return 0;
+        }
+        if evict_whole_affiliated_line {
+            let n = f.aa.count_ones();
+            f.aa = 0;
+            n
+        } else {
+            f.aa &= !conflict;
+            conflict.count_ones()
+        }
+    }
+
     /// Merges newly arrived primary words into an already-resident primary
     /// line: sets `PA`, recomputes `VCP` from current values, and evicts
     /// affiliated words whose slot is claimed by an incompressible arrival.
     /// Returns the number of affiliated words displaced.
     pub fn merge_primary_words(&mut self, mem: &MainMemory, idx: usize, new_mask: u32) -> u32 {
         let base = self.base_of(idx);
-        let comp = compress_mask(mem, base, self.words());
+        let comp = scheme_compress_mask::<S>(mem, base, self.words());
         let f = self.arr.extra_mut(idx);
         f.pa |= new_mask;
         f.vcp = (f.vcp & !new_mask) | (comp & new_mask);
@@ -292,7 +337,7 @@ impl CppLevel {
             f.check(words)
                 .map_err(|e| e.in_context(&format!("line {base:#x}")))?;
             if strict_values {
-                let comp = compress_mask(mem, base, words);
+                let comp = scheme_compress_mask::<S>(mem, base, words);
                 if f.vcp & !comp != 0 {
                     return Err(SimError::invariant(
                         format!("line {base:#x}"),
@@ -312,7 +357,7 @@ impl CppLevel {
                     ));
                 }
                 if strict_values {
-                    let pair_comp = compress_mask(mem, pair, words);
+                    let pair_comp = scheme_compress_mask::<S>(mem, pair, words);
                     if f.aa & !pair_comp != 0 {
                         return Err(SimError::invariant(
                             format!("line {base:#x}"),
@@ -535,13 +580,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "affiliation mask")]
     fn mask_zero_rejected() {
-        CppLevel::new(CacheGeometry::new(8 * 1024, 1, 64), 0);
+        CppLevel::<CppScheme>::new(CacheGeometry::new(8 * 1024, 1, 64), 0);
     }
 
     #[test]
     #[should_panic(expected = "affiliation mask")]
     fn mask_beyond_set_bits_rejected() {
-        CppLevel::new(CacheGeometry::new(8 * 1024, 1, 64), 128);
+        CppLevel::<CppScheme>::new(CacheGeometry::new(8 * 1024, 1, 64), 128);
     }
 
     #[test]

@@ -36,14 +36,14 @@ pub mod reference;
 
 pub use faults::{FaultInjector, FaultKind, FaultReport, InvariantChecker, Violation};
 pub use flags::CppFlags;
-pub use level::{compress_mask, CppLevel, CppVictim};
+pub use level::{compress_mask, scheme_compress_mask, CppLevel, CppVictim};
 pub use reference::RefCppHierarchy;
 
 use ccp_cache::config::{DesignKind, HierarchyConfig, LatencyConfig};
 use ccp_cache::stats::HierarchyStats;
 use ccp_cache::{AccessResult, Addr, CacheSim, HitSource, Word};
-use ccp_compress::is_compressible;
 use ccp_mem::MainMemory;
+use ccp_schemes::{CompressionScheme, CppScheme};
 
 /// What the L2 returned for a word-based line request.
 #[derive(Debug, Clone, Copy)]
@@ -58,7 +58,13 @@ struct L2Response {
     source: HitSource,
 }
 
-/// The complete CPP hierarchy: compressed L1 + compressed L2 over memory.
+/// The complete CPP hierarchy: compressed L1 + compressed L2 over memory,
+/// parameterized by the word-compression scheme `S`.
+///
+/// The scheme is a type parameter — dispatch is monomorphized, never
+/// dynamic — and defaults to the paper's [`CppScheme`], so `CppHierarchy`
+/// with no arguments *is* the paper's design. [`CppHierarchy::with_scheme`]
+/// instantiates the same machinery over BDI or FPC.
 ///
 /// # Examples
 ///
@@ -80,23 +86,42 @@ struct L2Response {
 /// cpp.check_invariants().unwrap();
 /// ```
 #[derive(Debug, Clone)]
-pub struct CppHierarchy {
+pub struct CppHierarchy<S: CompressionScheme = CppScheme> {
     cfg: HierarchyConfig,
-    l1: CppLevel,
-    l2: CppLevel,
+    l1: CppLevel<S>,
+    l2: CppLevel<S>,
     mem: MainMemory,
     stats: HierarchyStats,
 }
 
 impl CppHierarchy {
-    /// Builds a CPP hierarchy for `cfg` (`cfg.design` must be
-    /// [`DesignKind::Cpp`]).
+    /// Builds the paper's CPP hierarchy for `cfg` (`cfg.design` must be
+    /// [`DesignKind::Cpp`]). Equivalent to
+    /// `CppHierarchy::<CppScheme>::with_scheme(cfg)`; kept as an inherent
+    /// constructor so the scheme-oblivious call sites read unchanged.
     ///
     /// # Panics
     /// Panics unless the affiliation mask is `0x1` and the L2 line is twice
     /// the L1 line: the paper's word-based L1↔L2 interface relies on an L1
     /// primary/affiliated pair occupying the two halves of one L2 block.
     pub fn new(cfg: HierarchyConfig) -> Self {
+        Self::with_scheme(cfg)
+    }
+
+    /// The paper's CPP configuration (§4.1) under the paper's scheme.
+    pub fn paper() -> Self {
+        Self::paper_scheme()
+    }
+}
+
+impl<S: CompressionScheme> CppHierarchy<S> {
+    /// Builds a hierarchy for `cfg` under scheme `S` (`cfg.design` must be
+    /// [`DesignKind::Cpp`] — the *design* axis says how freed half-slots are
+    /// spent; `S` says which words free them).
+    ///
+    /// # Panics
+    /// Same geometry requirements as [`CppHierarchy::new`].
+    pub fn with_scheme(cfg: HierarchyConfig) -> Self {
         assert_eq!(cfg.design, DesignKind::Cpp, "CppHierarchy implements CPP");
         assert_eq!(
             cfg.affiliation_mask, 1,
@@ -108,39 +133,48 @@ impl CppHierarchy {
             "L2 block must be twice the L1 block (paper §3.3)"
         );
         assert!(cfg.l1.line_words() <= 16 && cfg.l2.line_words() <= 32);
+        let mut stats = HierarchyStats::new();
+        stats.tag_overhead_bits = Self::tag_overhead_bits(&cfg);
         CppHierarchy {
             l1: CppLevel::new(cfg.l1, cfg.affiliation_mask),
             l2: CppLevel::new(cfg.l2, cfg.affiliation_mask),
             mem: MainMemory::new(),
-            stats: HierarchyStats::new(),
+            stats,
             cfg,
         }
     }
 
-    /// The paper's CPP configuration (§4.1).
-    pub fn paper() -> Self {
-        Self::new(HierarchyConfig::paper(DesignKind::Cpp))
+    /// The paper's CPP configuration (§4.1) under scheme `S`.
+    pub fn paper_scheme() -> Self {
+        Self::with_scheme(HierarchyConfig::paper(DesignKind::Cpp))
+    }
+
+    /// Scheme `S`'s tag/metadata overhead summed over `cfg`'s geometry
+    /// (Touché-style static model): per-line bits × lines, both levels.
+    pub fn tag_overhead_bits(cfg: &HierarchyConfig) -> u64 {
+        S::tag_bits_per_line(cfg.l1.line_words()) * u64::from(cfg.l1.num_lines())
+            + S::tag_bits_per_line(cfg.l2.line_words()) * u64::from(cfg.l2.num_lines())
     }
 
     /// The L1 level (tests and analysis).
-    pub fn l1_level(&self) -> &CppLevel {
+    pub fn l1_level(&self) -> &CppLevel<S> {
         &self.l1
     }
 
     /// The L2 level (tests and analysis).
-    pub fn l2_level(&self) -> &CppLevel {
+    pub fn l2_level(&self) -> &CppLevel<S> {
         &self.l2
     }
 
     /// Mutable L1 access — exists for the fault-injection harness
     /// ([`faults::FaultInjector`]) and white-box tests; simulation paths
     /// never hand out mutable levels.
-    pub fn l1_level_mut(&mut self) -> &mut CppLevel {
+    pub fn l1_level_mut(&mut self) -> &mut CppLevel<S> {
         &mut self.l1
     }
 
     /// Mutable L2 access (fault injection and white-box tests).
-    pub fn l2_level_mut(&mut self) -> &mut CppLevel {
+    pub fn l2_level_mut(&mut self) -> &mut CppLevel<S> {
         &mut self.l2
     }
 
@@ -161,7 +195,7 @@ impl CppHierarchy {
     fn compressed_transfer_hw(&self, base: Addr, mask: u32, aff: u32) -> u64 {
         // Compressible words cost one half-word, incompressible two:
         // |mask| + |mask \ comp|.
-        let comp = compress_mask(&self.mem, base, self.l1.words());
+        let comp = scheme_compress_mask::<S>(&self.mem, base, self.l1.words());
         u64::from(mask.count_ones())
             + u64::from((mask & !comp).count_ones())
             + u64::from(aff.count_ones())
@@ -171,15 +205,17 @@ impl CppHierarchy {
     /// requested L1 line: its own half, and the compressible words of the
     /// other half (its affiliated line) that fit in freed half-slots.
     fn serve_masks(&self, avail32: u32, l1_base: Addr) -> (u32, u32) {
-        let shift = self.l2.geometry().word_offset(l1_base); // 0 or 16
-        let my = (avail32 >> shift) & 0xFFFF;
-        let other = (avail32 >> (shift ^ 16)) & 0xFFFF;
+        let w = self.l1.words(); // an L2 line is exactly two L1 lines
+        let m = flags::mask_n(w);
+        let shift = self.l2.geometry().word_offset(l1_base); // 0 or w
+        let my = (avail32 >> shift) & m;
+        let other = (avail32 >> (shift ^ w)) & m;
         let pair = self.l1.pair_base(l1_base);
-        let my_comp = compress_mask(&self.mem, l1_base, self.l1.words());
-        let other_comp = compress_mask(&self.mem, pair, self.l1.words());
+        let my_comp = scheme_compress_mask::<S>(&self.mem, l1_base, w);
+        let other_comp = scheme_compress_mask::<S>(&self.mem, pair, w);
         // An affiliated word rides only in a freed half (its counterpart is
         // compressed) or an empty slot (counterpart not transferred).
-        let aff = other & other_comp & (my_comp | !my) & 0xFFFF;
+        let aff = other & other_comp & (my_comp | !my) & m;
         (my, aff)
     }
 
@@ -246,9 +282,9 @@ impl CppHierarchy {
         let words = self.l2.words();
         self.stats.mem_bus.fetch_words(u64::from(words));
 
-        let comp = compress_mask(&self.mem, base, words);
+        let comp = scheme_compress_mask::<S>(&self.mem, base, words);
         let pair = self.l2.pair_base(base);
-        let pair_comp = compress_mask(&self.mem, pair, words);
+        let pair_comp = scheme_compress_mask::<S>(&self.mem, pair, words);
         let mut aa = comp & pair_comp;
         if self.l2.lookup_primary(pair).is_some() {
             // Prefetched affiliated line already cached in its primary
@@ -284,7 +320,7 @@ impl CppHierarchy {
         if !self.cfg.compress_writebacks {
             return 2 * u64::from(mask.count_ones());
         }
-        let comp = compress_mask(&self.mem, base, self.l2.words());
+        let comp = scheme_compress_mask::<S>(&self.mem, base, self.l2.words());
         u64::from(mask.count_ones()) + u64::from((mask & !comp).count_ones())
     }
 
@@ -326,7 +362,7 @@ impl CppHierarchy {
                 // A write into an affiliated copy promotes the line to its
                 // primary place (paper §3.3), then the merge applies.
                 self.stats.promotions += 1;
-                let comp = compress_mask(&self.mem, l2_base, self.l2.words());
+                let comp = scheme_compress_mask::<S>(&self.mem, l2_base, self.l2.words());
                 let flags = CppFlags {
                     pa: aa,
                     vcp: aa & comp,
@@ -362,7 +398,7 @@ impl CppHierarchy {
 
     /// Installs a fresh L1 primary line from an L2 response.
     fn fill_l1(&mut self, l1_base: Addr, resp: &L2Response) {
-        let comp = compress_mask(&self.mem, l1_base, self.l1.words());
+        let comp = scheme_compress_mask::<S>(&self.mem, l1_base, self.l1.words());
         let vcp = comp & resp.avail;
         let mut aa = resp.aff;
         let pair = self.l1.pair_base(l1_base);
@@ -405,7 +441,23 @@ impl CppHierarchy {
     fn do_primary_write(&mut self, idx: usize, addr: Addr, off: u32, value: Word) {
         self.mem.write(addr, value);
         self.l1.set_dirty(idx);
-        let now_c = is_compressible(value, addr);
+        let base = self.l1.geometry().line_base(addr);
+        if S::BASE_SENSITIVE && off == 0 {
+            // Rewriting the base word re-classifies every word of the line.
+            let evicted =
+                self.l1
+                    .refresh_primary_flags(&self.mem, idx, self.cfg.evict_whole_affiliated_line);
+            self.stats.compressibility_evictions += u64::from(evicted);
+            return;
+        }
+        // For base-oblivious schemes (the paper's included) this branch is
+        // the whole function after monomorphization: one word, one predicate.
+        let base_val = if S::BASE_SENSITIVE {
+            self.mem.read(base)
+        } else {
+            0
+        };
+        let now_c = S::word_compressible(value, addr, base, base_val);
         let evicted =
             self.l1
                 .update_primary_word(idx, off, now_c, self.cfg.evict_whole_affiliated_line);
@@ -419,7 +471,7 @@ impl CppHierarchy {
         let aa = self.l1.take_affiliated(base);
         debug_assert_ne!(aa, 0, "promotion without an affiliated copy");
         self.stats.promotions += 1;
-        let comp = compress_mask(&self.mem, base, self.l1.words());
+        let comp = scheme_compress_mask::<S>(&self.mem, base, self.l1.words());
         let flags = CppFlags {
             pa: aa,
             vcp: aa & comp,
@@ -524,7 +576,7 @@ impl CppHierarchy {
     }
 }
 
-impl CacheSim for CppHierarchy {
+impl<S: CompressionScheme> CacheSim for CppHierarchy<S> {
     fn read(&mut self, addr: Addr) -> AccessResult {
         self.access(addr, None)
     }
@@ -555,6 +607,9 @@ impl CacheSim for CppHierarchy {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+        // The tag-overhead column is a property of geometry × scheme, not of
+        // the access stream: it survives a counter reset.
+        self.stats.tag_overhead_bits = Self::tag_overhead_bits(&self.cfg);
     }
 
     fn latencies(&self) -> LatencyConfig {

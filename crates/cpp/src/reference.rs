@@ -430,15 +430,32 @@ impl RefCppHierarchy {
         assert_eq!(cfg.affiliation_mask, 1, "consecutive-line affiliation");
         assert_eq!(cfg.l2.line_bytes(), 2 * cfg.l1.line_bytes());
         assert!(cfg.l1.line_words() <= 16 && cfg.l2.line_words() <= 32);
+        let mut stats = HierarchyStats::new();
+        stats.tag_overhead_bits = Self::tag_overhead_bits(&cfg);
         RefCppHierarchy {
             l1: RefLevel::new(&cfg.l1, cfg.affiliation_mask),
             l2: RefLevel::new(&cfg.l2, cfg.affiliation_mask),
             mem: MainMemory::new(),
             shadow: ShadowMemory::default(),
             shadow_stale: false,
-            stats: HierarchyStats::new(),
+            stats,
             cfg,
         }
+    }
+
+    /// The paper scheme's tag/metadata overhead over `cfg`'s geometry — a
+    /// naive per-level sum, independently written from the optimized
+    /// engine's [`crate::CppHierarchy::tag_overhead_bits`] so the difftest
+    /// cross-checks the stamp too.
+    fn tag_overhead_bits(cfg: &HierarchyConfig) -> u64 {
+        let mut bits = 0u64;
+        for geom in [&cfg.l1, &cfg.l2] {
+            for _line in 0..geom.num_lines() {
+                // One VC/VCP bit per word under the paper's scheme.
+                bits += u64::from(geom.line_words());
+            }
+        }
+        bits
     }
 
     /// Rebuilds the hashed shadow directory from the architectural image
@@ -870,6 +887,7 @@ impl CacheSim for RefCppHierarchy {
 
     fn reset_stats(&mut self) {
         self.stats.reset();
+        self.stats.tag_overhead_bits = Self::tag_overhead_bits(&self.cfg);
     }
 
     fn latencies(&self) -> LatencyConfig {

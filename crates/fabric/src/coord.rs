@@ -311,6 +311,7 @@ struct Ctx<'a> {
 /// store share content addresses.
 pub fn cell_spec(config: &SweepConfig, workload: &str, design: DesignKind) -> JobSpec {
     let mut spec = JobSpec::new(workload, design.name());
+    spec.scheme = config.scheme.clone();
     spec.budget = config.budget;
     spec.seed = config.seed;
     spec.halved = config.halved_miss_penalty;

@@ -1,4 +1,4 @@
-//! The eight workspace-specific rules. Each one guards an invariant an
+//! The nine workspace-specific rules. Each one guards an invariant an
 //! earlier PR established by hand; see `DESIGN.md` §9 for the rationale
 //! behind every rule and the suppression syntax.
 //!
@@ -21,6 +21,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(NoLossyCastInHotPath),
         Box::new(NoNarrowCounters),
         Box::new(NoUnboundedReads),
+        Box::new(NoDynSchemeInHotPath),
     ]
 }
 
@@ -805,6 +806,70 @@ impl Rule for NoUnboundedReads {
     }
 }
 
+// ---------------------------------------------------------------------------
+// R9: no-dyn-scheme-in-hot-path
+// ---------------------------------------------------------------------------
+
+/// R9 — `dyn CompressionScheme` is banned in the replay hot path
+/// (`compress`, `cpp`, `cache`). The schemes subsystem keeps the PR-5
+/// branchless fast path alive by monomorphizing: a hierarchy is generic
+/// over its scheme, and the scheme is resolved to a concrete type exactly
+/// once, at construction (`build_design_scheme`). A trait object on the
+/// per-access path would reintroduce an indirect call per word — the very
+/// overhead the hot-path overhaul removed — and defeat the
+/// `BASE_SENSITIVE` const-folding the CPP scheme relies on. Boxing a
+/// scheme is fine *outside* these crates (the sim factory does it after
+/// monomorphization); inside them, dispatch must be static.
+pub struct NoDynSchemeInHotPath;
+
+impl Rule for NoDynSchemeInHotPath {
+    fn name(&self) -> &'static str {
+        "no-dyn-scheme-in-hot-path"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    fn describe(&self) -> &'static str {
+        "ban dyn CompressionScheme in compress/cpp/cache: schemes are monomorphized at \
+         construction; a trait object adds an indirect call per replayed word"
+    }
+    fn applies(&self, path: &str) -> bool {
+        !globally_excluded(path)
+            && under(
+                path,
+                &[
+                    "crates/compress/src/",
+                    "crates/cpp/src/",
+                    "crates/cache/src/",
+                ],
+            )
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for k in 0..file.n_code() {
+            if file.in_test(file.tok(k).start) {
+                continue;
+            }
+            if file.is_ident(k, "dyn") && file.is_ident(k + 1, "CompressionScheme") {
+                out.push(
+                    file.finding(
+                        self.name(),
+                        self.severity(),
+                        k,
+                        "`dyn CompressionScheme` on a replay path: schemes must stay \
+                     monomorphized (generic parameter resolved at construction); a trait \
+                     object costs an indirect call per word and blocks the BASE_SENSITIVE \
+                     const-fold"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1160,6 +1225,38 @@ fn serve(mut s: TcpStream) {
         );
         assert!(
             test_only.iter().all(|f| f.rule != "no-unbounded-reads"),
+            "{test_only:?}"
+        );
+    }
+
+    #[test]
+    fn r9_flags_dyn_scheme_only_in_hot_path_crates() {
+        let src = "fn f(s: &dyn CompressionScheme) {}\n\
+                   fn g(b: Box<dyn CompressionScheme>) {}\n\
+                   fn h<S: CompressionScheme>(s: S) {}\n";
+        let hot = run("crates/cpp/src/level.rs", src);
+        let r9: Vec<_> = hot
+            .iter()
+            .filter(|f| f.rule == "no-dyn-scheme-in-hot-path")
+            .collect();
+        assert_eq!(r9.len(), 2, "{hot:?}");
+
+        // The sim factory boxes *after* monomorphization — out of scope.
+        let cold = run("crates/sim/src/lib.rs", src);
+        assert!(
+            cold.iter().all(|f| f.rule != "no-dyn-scheme-in-hot-path"),
+            "{cold:?}"
+        );
+
+        // Test code is exempt, like every other rule.
+        let test_only = run(
+            "crates/cache/src/stats.rs",
+            "#[cfg(test)]\nmod tests { fn t(s: &dyn CompressionScheme) {} }\n",
+        );
+        assert!(
+            test_only
+                .iter()
+                .all(|f| f.rule != "no-dyn-scheme-in-hot-path"),
             "{test_only:?}"
         );
     }

@@ -1,0 +1,26 @@
+// ccp-lint-fixture: crates/cpp/src/fixture.rs
+//! R9 `no-dyn-scheme-in-hot-path`: the compress/cpp/cache crates must
+//! keep compression schemes monomorphized — a `dyn CompressionScheme`
+//! (bare reference or boxed) on a replay path costs an indirect call per
+//! word and defeats the `BASE_SENSITIVE` const-fold. Generic bounds are
+//! the sanctioned form and must not be flagged.
+
+pub fn replay_word(scheme: &dyn CompressionScheme, value: u32) -> u32 {
+    scheme.compressible_bit(value, 0, 0, 0)
+}
+
+pub struct Level {
+    scheme: Box<dyn CompressionScheme>,
+}
+
+pub fn generic_is_fine<S: CompressionScheme>(scheme: S, value: u32) -> u32 {
+    scheme.compressible_bit(value, 0, 0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    // Trait objects in test scaffolding are exempt: tests are not replay.
+    fn t(s: &dyn CompressionScheme) {
+        let _ = s;
+    }
+}

@@ -248,6 +248,7 @@ fn spec_to_json(spec: &JobSpec) -> Vec<(&'static str, Json)> {
     vec![
         ("workload", Json::Str(spec.workload.clone())),
         ("design", Json::Str(spec.design.clone())),
+        ("scheme", Json::Str(spec.scheme.clone())),
         ("budget", Json::Num(spec.budget as f64)),
         ("seed", Json::Num(spec.seed as f64)),
         ("halved", Json::Bool(spec.halved)),
@@ -273,9 +274,15 @@ fn spec_from_json(v: &Json) -> SimResult<JobSpec> {
             ))
         }
     };
+    // Pre-scheme clients omit the field; they mean the paper's scheme.
+    let scheme = match opt_str(v, "scheme")? {
+        s if s.is_empty() => defaults.scheme.clone(),
+        s => s,
+    };
     Ok(JobSpec {
         workload: get_str(v, "workload")?,
         design: get_str(v, "design")?,
+        scheme,
         budget: opt_u64(v, "budget", defaults.budget as u64)? as usize,
         seed: opt_u64(v, "seed", defaults.seed)?,
         halved: opt_bool(v, "halved", defaults.halved)?,

@@ -11,6 +11,7 @@
 //!                       specs                            (default: all 14)
 //!   --designs L         comma-separated design subset    (default: all 5)
 //!   --halved            halve the miss penalties (Figure 14 variant)
+//!   --scheme S          compression scheme CPP|BDI|FPC   (default CPP)
 //!   --retries N         retry transient cell failures    (default 0)
 //!   --backoff-ms MS     base retry backoff               (default 50)
 //!   --watchdog N        per-cell streamed-instruction cap (0 = auto)
@@ -34,6 +35,7 @@ use ccp_sim::SweepConfig;
 const HELP: &str = "ccp-sim — hardened, resumable sweep driver
 usage: ccp-sim sweep [--budget N] [--seed S] [--threads T]
                      [--workloads a,b,..] [--designs BC,CPP,..] [--halved]
+                     [--scheme CPP|BDI|FPC]
                      [--retries N] [--backoff-ms MS] [--watchdog N]
                      [--max-cells N] [--checkpoint FILE | --resume FILE]
                      [--json FILE]
@@ -102,6 +104,13 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--halved" => config.halved_miss_penalty = true,
+            "--scheme" => {
+                let s = need(&mut it, "--scheme");
+                config.scheme = ccp_schemes::SchemeKind::from_name(&s)
+                    .unwrap_or_else(|| usage(&format!("bad --scheme: unknown scheme {s:?}")))
+                    .name()
+                    .to_string();
+            }
             "--retries" => {
                 resilience.retries = need(&mut it, "--retries")
                     .parse()

@@ -7,6 +7,7 @@
 //!          exta (stride) extb (FVC) extc (CPI stacks) extd (conflict)
 //!          exte (transitions) extf (in-order core) extg (size sweep) ext
 //!          workgen (compressibility sweep over a synthetic workload)
+//!          compare-schemes (CPP vs BDI vs FPC cross-scheme study)
 //!
 //! OPTIONS:
 //!   --budget N     instructions per benchmark        (default 400000)
@@ -40,6 +41,7 @@ struct Args {
     min_speedup: Option<f64>,
     out_path: Option<std::path::PathBuf>,
     goldens_dir: Option<std::path::PathBuf>,
+    schemes: Vec<ccp_schemes::SchemeKind>,
 }
 
 fn parse_args() -> SimResult<Args> {
@@ -53,6 +55,7 @@ fn parse_args() -> SimResult<Args> {
     let mut min_speedup = None;
     let mut out_path = None;
     let mut goldens_dir = None;
+    let mut schemes = ccp_schemes::SchemeKind::ALL.to_vec();
     let value = |flag: &str, v: Option<String>| v.ok_or_else(|| spec_err(flag, "needs a value"));
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -88,6 +91,15 @@ fn parse_args() -> SimResult<Args> {
             "--render-goldens" => {
                 goldens_dir = Some(std::path::PathBuf::from(value(&a, it.next())?));
             }
+            "--schemes" => {
+                schemes = value(&a, it.next())?
+                    .split(',')
+                    .map(|n| {
+                        ccp_schemes::SchemeKind::from_name(n)
+                            .ok_or_else(|| SimError::unknown("scheme", n.trim()))
+                    })
+                    .collect::<SimResult<Vec<_>>>()?;
+            }
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0);
@@ -97,7 +109,8 @@ fn parse_args() -> SimResult<Args> {
                 || f == "all"
                 || f == "workgen"
                 || f == "difftest"
-                || f == "perf" =>
+                || f == "perf"
+                || f == "compare-schemes" =>
             {
                 figures.push(f.to_string())
             }
@@ -131,6 +144,7 @@ fn parse_args() -> SimResult<Args> {
         min_speedup,
         out_path,
         goldens_dir,
+        schemes,
     })
 }
 
@@ -159,7 +173,13 @@ usage: repro [--budget N] [--seed S] [--threads T] [--benchmarks a,b,..] [--json
                   [--out FILE] [--assert-min-speedup X]
            time optimized vs reference replay, write BENCH_core.json
            (default; override with --out), exit 1 if the geomean speedup
-           falls below X";
+           falls below X
+       repro compare-schemes [--budget N] [--seed S] [--benchmarks a,b,..]
+                             [--schemes CPP,BDI,FPC] [--out FILE]
+           replay every benchmark under every compression scheme at two
+           hierarchy geometries; print the scheme x workload report (miss
+           counts, affiliated-hit fraction, tag-overhead bits) and write
+           it as JSON to --out (default SCHEMES_report.json)";
 
 fn main() {
     let args = match parse_args() {
@@ -387,6 +407,44 @@ fn main() {
                         std::process::exit(1);
                     }
                     eprintln!("geomean speedup {got:.2}x >= required {min:.2}x");
+                }
+            }
+            "compare-schemes" => {
+                eprintln!(
+                    "running cross-scheme study: {} benchmarks x {} schemes x 2 geometries, {} instructions each...",
+                    args.benchmarks.len(),
+                    args.schemes.len(),
+                    args.budget
+                );
+                let mut cfg = ccp_sim::schemes_study::StudyConfig::new(
+                    args.budget,
+                    args.seed,
+                    args.benchmarks.iter().map(|b| b.full_name()).collect(),
+                );
+                cfg.schemes = args.schemes.clone();
+                let study = match ccp_sim::schemes_study::run_study(&cfg) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error [{}]: {e}", e.class());
+                        std::process::exit(1);
+                    }
+                };
+                println!("{}", study.render_report());
+                let out = args
+                    .out_path
+                    .clone()
+                    .unwrap_or_else(|| std::path::PathBuf::from("SCHEMES_report.json"));
+                let doc = study.to_json().to_string();
+                if let Err(e) = ccp_sim::json::write_atomic(&out, &doc) {
+                    eprintln!("error [{}]: {e}", e.class());
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {}", out.display());
+                if !study.cache_keys_scheme_distinct() {
+                    eprintln!(
+                        "error [conformance]: schemes share a cache key — content addressing broken"
+                    );
+                    std::process::exit(1);
                 }
             }
             "workgen" => {

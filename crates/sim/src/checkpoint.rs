@@ -149,6 +149,7 @@ fn header_json(config: &SweepConfig, workloads: &[String], designs: &[DesignKind
         ("budget", Json::from(config.budget as u64)),
         ("seed", Json::from(config.seed)),
         ("halved", Json::Bool(config.halved_miss_penalty)),
+        ("scheme", Json::from(config.scheme.clone())),
         (
             "designs",
             Json::Arr(designs.iter().map(|d| Json::from(d.name())).collect()),
@@ -261,6 +262,7 @@ pub fn stats_to_json(s: &RunStats) -> Json {
                     "compressibility_evictions",
                     Json::from(h.compressibility_evictions),
                 ),
+                ("tag_overhead_bits", Json::from(h.tag_overhead_bits)),
             ]),
         ),
     ])
@@ -342,6 +344,7 @@ pub fn stats_from_json(j: &Json) -> SimResult<RunStats> {
             promotions: u(h, "promotions")?,
             parked_lines: u(h, "parked_lines")?,
             compressibility_evictions: u(h, "compressibility_evictions")?,
+            tag_overhead_bits: u(h, "tag_overhead_bits")?,
         },
     })
 }

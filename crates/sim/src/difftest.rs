@@ -19,6 +19,7 @@ use crate::json::Json;
 use ccp_cache::stats::HierarchyStats;
 use ccp_cpp::{CppHierarchy, RefCppHierarchy};
 use ccp_errors::{SimError, SimResult};
+use ccp_schemes::SchemeKind;
 use ccp_trace::{all_benchmarks, benchmark_by_name, Benchmark};
 use std::path::{Path, PathBuf};
 
@@ -82,6 +83,7 @@ pub fn hierarchy_stats_json(h: &HierarchyStats) -> Json {
             "compressibility_evictions",
             Json::from(h.compressibility_evictions),
         ),
+        ("tag_overhead_bits", Json::from(h.tag_overhead_bits)),
     ])
 }
 
@@ -144,16 +146,25 @@ pub const GOLDEN_BUDGET: usize = 40_000;
 /// Workload seed the golden fixtures are rendered at.
 pub const GOLDEN_SEED: u64 = 1;
 
-/// Renders the pinned stats document for one golden benchmark: the
-/// optimized engine's full [`HierarchyStats`] through the same JSON
-/// rendering the difftest compares, plus the replay parameters so a
-/// fixture can never be silently compared at the wrong budget.
+/// Renders the pinned stats document for one golden benchmark under the
+/// paper's scheme (the historical fixture format, now with a `scheme` key).
 pub fn golden_stats_doc(bench: &Benchmark) -> String {
+    golden_stats_doc_scheme(bench, SchemeKind::Cpp)
+}
+
+/// Renders the pinned stats document for one golden benchmark under one
+/// compression scheme: the optimized engine's full [`HierarchyStats`]
+/// through the same JSON rendering the difftest compares, plus the replay
+/// parameters so a fixture can never be silently compared at the wrong
+/// budget or scheme.
+pub fn golden_stats_doc_scheme(bench: &Benchmark, scheme: SchemeKind) -> String {
     let trace = bench.trace(GOLDEN_BUDGET, GOLDEN_SEED);
-    let mut opt = CppHierarchy::paper();
-    let s = run_functional(&trace, &mut opt, 0);
+    let cfg = ccp_cache::HierarchyConfig::paper(ccp_cache::DesignKind::Cpp);
+    let mut sim = crate::build_design_scheme(cfg, scheme);
+    let s = run_functional(&trace, sim.as_mut(), 0);
     Json::obj([
         ("benchmark", Json::from(bench.full_name())),
+        ("scheme", Json::from(scheme.name())),
         ("budget", Json::from(GOLDEN_BUDGET as u64)),
         ("seed", Json::from(GOLDEN_SEED)),
         ("mem_ops", Json::from(s.mem_ops)),
@@ -162,17 +173,30 @@ pub fn golden_stats_doc(bench: &Benchmark) -> String {
     .to_string()
 }
 
+/// Fixture file name for one golden benchmark × scheme cell. The paper
+/// scheme keeps the historical `{name}.json` so existing tooling and diffs
+/// stay stable; the other schemes are suffixed `{name}.{SCHEME}.json`.
+pub fn golden_fixture_name(bench: &str, scheme: SchemeKind) -> String {
+    match scheme {
+        SchemeKind::Cpp => format!("{bench}.json"),
+        other => format!("{bench}.{}.json", other.name()),
+    }
+}
+
 /// Regenerates every golden fixture under `dir` (the
-/// `repro difftest --render-goldens DIR` path). Returns the files written.
+/// `repro difftest --render-goldens DIR` path): one file per golden
+/// benchmark × scheme. Returns the files written.
 pub fn render_goldens(dir: &Path) -> SimResult<Vec<PathBuf>> {
     let mut written = Vec::new();
     for name in GOLDEN_BENCHMARKS {
         let bench = benchmark_by_name(name).ok_or_else(|| SimError::unknown("benchmark", name))?;
-        let path = dir.join(format!("{name}.json"));
-        let mut doc = golden_stats_doc(&bench);
-        doc.push('\n');
-        crate::json::write_atomic(&path, &doc)?;
-        written.push(path);
+        for scheme in SchemeKind::ALL {
+            let path = dir.join(golden_fixture_name(name, scheme));
+            let mut doc = golden_stats_doc_scheme(&bench, scheme);
+            doc.push('\n');
+            crate::json::write_atomic(&path, &doc)?;
+            written.push(path);
+        }
     }
     Ok(written)
 }

@@ -16,11 +16,12 @@
 //! request). Identical keys ⇒ identical [`RunStats`], because every
 //! simulation in this workspace is a pure function of its spec.
 
-use crate::sweep::{run_cell_source, Workload};
+use crate::sweep::{run_cell_source_scheme, Workload};
 use ccp_cache::DesignKind;
 use ccp_cpp::{CppHierarchy, FaultInjector, FaultKind, InvariantChecker};
 use ccp_errors::{SimError, SimResult};
 use ccp_pipeline::RunStats;
+use ccp_schemes::SchemeKind;
 use ccp_trace::{Inst, TraceSource};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -32,6 +33,11 @@ pub struct JobSpec {
     pub workload: String,
     /// Design short name (`BC`, `BCC`, `HAC`, `BCP`, `CPP`).
     pub design: String,
+    /// Compression scheme short name (`CPP`, `BDI`, `FPC`). Only the CPP
+    /// design has a compressed level, so the other designs ignore it — but
+    /// it still feeds the cache key, exactly like `warmup`, so results
+    /// computed under different schemes can never alias.
+    pub scheme: String,
     /// Instruction budget.
     pub budget: usize,
     /// Workload generation seed.
@@ -58,6 +64,7 @@ impl JobSpec {
         JobSpec {
             workload: workload.into(),
             design: design.into(),
+            scheme: SchemeKind::Cpp.name().to_string(),
             budget: 60_000,
             seed: 1,
             halved: false,
@@ -72,10 +79,16 @@ impl JobSpec {
         let workload = Workload::by_name(&self.workload)?;
         let design = DesignKind::from_name(&self.design)
             .ok_or_else(|| SimError::unknown("design", &self.design))?;
+        self.scheme_kind()?;
         if let Some(f) = &self.fault {
             FaultKind::by_name(f)?;
         }
         Ok((workload, design))
+    }
+
+    /// Parses the scheme name.
+    pub fn scheme_kind(&self) -> SimResult<SchemeKind> {
+        SchemeKind::from_name(&self.scheme).ok_or_else(|| SimError::unknown("scheme", &self.scheme))
     }
 
     /// The canonical text form the cache key hashes: workload names are
@@ -86,8 +99,11 @@ impl JobSpec {
         let workload = Workload::by_name(&self.workload)
             .map(|w| w.full_name())
             .unwrap_or_else(|_| self.workload.trim().to_string());
+        let scheme = SchemeKind::from_name(&self.scheme)
+            .map(|s| s.name().to_string())
+            .unwrap_or_else(|| self.scheme.trim().to_uppercase());
         format!(
-            "workload={workload}|design={}|budget={}|seed={}|halved={}|warmup={}|fault={}",
+            "workload={workload}|design={}|scheme={scheme}|budget={}|seed={}|halved={}|warmup={}|fault={}",
             self.design.trim().to_uppercase(),
             self.budget,
             self.seed,
@@ -232,12 +248,13 @@ pub fn run_guarded_source(
     ctx: &str,
     source: &dyn TraceSource,
     design: DesignKind,
+    scheme: SchemeKind,
     halved: bool,
     budget: usize,
     ctl: &JobCtl,
 ) -> SimResult<RunStats> {
     let guarded = GuardedSource::new(source, ctl, budget);
-    let stats = run_cell_source(&guarded, design, halved);
+    let stats = run_cell_source_scheme(&guarded, design, scheme, halved);
     if guarded.canceled.load(Ordering::Relaxed) {
         Err(SimError::canceled(ctx))
     } else if guarded.tripped.load(Ordering::Relaxed) {
@@ -276,11 +293,13 @@ fn run_resolved(
     if let Some(fault) = &spec.fault {
         return run_fault_probe(spec, workload, fault);
     }
+    let scheme = spec.scheme_kind()?;
     let source = workload.source(spec.budget, spec.seed);
     run_guarded_source(
         &format!("{}/{}", workload.full_name(), design.name()),
         source.as_ref(),
         design,
+        scheme,
         spec.halved,
         spec.budget,
         ctl,
@@ -313,6 +332,7 @@ fn run_fault_probe(spec: &JobSpec, workload: &Workload, fault: &str) -> SimResul
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::run_cell_source;
 
     fn quick(workload: &str, design: &str) -> JobSpec {
         let mut s = JobSpec::new(workload, design);
@@ -363,6 +383,7 @@ mod tests {
         for f in [
             |s: &mut JobSpec| s.workload = "mst".into(),
             |s: &mut JobSpec| s.design = "BC".into(),
+            |s: &mut JobSpec| s.scheme = "BDI".into(),
             |s: &mut JobSpec| s.budget = 2_001,
             |s: &mut JobSpec| s.seed = 8,
             |s: &mut JobSpec| s.halved = true,
@@ -376,16 +397,51 @@ mod tests {
         others.push(base.cache_key());
         others.sort_unstable();
         others.dedup();
-        assert_eq!(others.len(), 8, "every field must feed the key");
+        assert_eq!(others.len(), 9, "every field must feed the key");
 
-        // Equivalent workgen spellings share a key; design case-folds.
+        // Equivalent workgen spellings share a key; design and scheme
+        // case-fold.
         let a = quick("workgen:addr=zipf", "cpp");
-        let b = quick(
+        let mut b = quick(
             &Workload::by_name("workgen:addr=zipf").unwrap().full_name(),
             "CPP",
         );
+        b.scheme = "cpp".into();
         assert_eq!(a.cache_key(), b.cache_key());
         assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn scheme_feeds_the_cache_key_for_the_same_workload() {
+        // Same workload, same design, different scheme ⇒ distinct content
+        // addresses — a BDI result can never be served from a CPP cache
+        // entry (or `.ccpz` store object, which shares this key).
+        let specs: Vec<JobSpec> = ["CPP", "BDI", "FPC"]
+            .iter()
+            .map(|sch| {
+                let mut s = quick("health", "CPP");
+                s.scheme = (*sch).into();
+                s
+            })
+            .collect();
+        let mut keys: Vec<u64> = specs.iter().map(JobSpec::cache_key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 3, "schemes must not collide in the key space");
+        for s in &specs {
+            assert!(
+                s.canonical().contains(&format!("|scheme={}|", s.scheme)),
+                "{}",
+                s.canonical()
+            );
+        }
+    }
+
+    #[test]
+    fn bogus_scheme_resolves_to_a_typed_error() {
+        let mut s = quick("health", "CPP");
+        s.scheme = "LZ77".into();
+        assert_eq!(run_job(&s).unwrap_err().class(), "unknown-name");
     }
 
     #[test]

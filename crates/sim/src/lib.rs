@@ -32,6 +32,7 @@ pub mod job;
 pub mod json;
 pub mod perf;
 pub mod report;
+pub mod schemes_study;
 pub mod sweep;
 
 pub use job::{run_job, run_job_ctl, JobCtl, JobSpec};
@@ -42,19 +43,36 @@ pub use sweep::{
 
 use ccp_cache::{BcpHierarchy, CacheSim, DesignKind, HierarchyConfig, TwoLevelCache};
 use ccp_cpp::CppHierarchy;
+use ccp_schemes::{BdiScheme, FpcScheme, SchemeKind};
 
 /// Instantiates the hierarchy for any of the paper's five designs in its
-/// §4.1 configuration.
+/// §4.1 configuration, under the paper's compression scheme.
 pub fn build_design(kind: DesignKind) -> Box<dyn CacheSim> {
     build_design_with(HierarchyConfig::paper(kind))
 }
 
-/// Instantiates a hierarchy from an explicit configuration (ablations).
+/// Instantiates a hierarchy from an explicit configuration (ablations),
+/// under the paper's compression scheme.
 pub fn build_design_with(cfg: HierarchyConfig) -> Box<dyn CacheSim> {
+    build_design_scheme(cfg, SchemeKind::Cpp)
+}
+
+/// Instantiates a hierarchy from a configuration and a compression scheme.
+///
+/// The scheme is resolved to a concrete type *here*, once, at construction:
+/// each arm boxes a fully monomorphized hierarchy, so the replay hot path
+/// still carries no scheme dispatch (ccp-lint R9 forbids
+/// `dyn CompressionScheme` on those paths). Designs without a compressed
+/// level (BC/BCC/HAC/BCP) ignore the scheme axis.
+pub fn build_design_scheme(cfg: HierarchyConfig, scheme: SchemeKind) -> Box<dyn CacheSim> {
     match cfg.design {
         DesignKind::Bc | DesignKind::Bcc | DesignKind::Hac => Box::new(TwoLevelCache::new(cfg)),
         DesignKind::Bcp => Box::new(BcpHierarchy::new(cfg)),
-        DesignKind::Cpp => Box::new(CppHierarchy::new(cfg)),
+        DesignKind::Cpp => match scheme {
+            SchemeKind::Cpp => Box::new(CppHierarchy::new(cfg)),
+            SchemeKind::Bdi => Box::new(CppHierarchy::<BdiScheme>::with_scheme(cfg)),
+            SchemeKind::Fpc => Box::new(CppHierarchy::<FpcScheme>::with_scheme(cfg)),
+        },
     }
 }
 

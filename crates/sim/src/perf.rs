@@ -29,6 +29,11 @@ use std::time::Instant;
 pub struct PerfRow {
     /// Benchmark full name.
     pub benchmark: String,
+    /// Compression scheme both engines ran (always `"CPP"` — the naive
+    /// reference engine only exists for the paper's scheme, so that is the
+    /// only apples-to-apples comparison; the tag keeps `BENCH_core.json`
+    /// rows unambiguous next to the multi-scheme study report).
+    pub scheme: String,
     /// Memory operations replayed per engine run.
     pub mem_ops: u64,
     /// Optimized-engine wall time in seconds.
@@ -109,6 +114,7 @@ pub fn perf_benchmark(bench: &Benchmark, budget: usize, seed: u64) -> PerfRow {
     let (reference_secs, _) = time_replay(&trace, &mut rf);
     PerfRow {
         benchmark: bench.full_name(),
+        scheme: ccp_schemes::SchemeKind::Cpp.name().to_string(),
         mem_ops,
         optimized_secs,
         reference_secs,
@@ -193,6 +199,7 @@ pub fn perf_json(report: &PerfReport) -> Json {
                     .map(|r| {
                         Json::obj([
                             ("benchmark", Json::from(r.benchmark.clone())),
+                            ("scheme", Json::from(r.scheme.clone())),
                             ("mem_ops", Json::from(r.mem_ops)),
                             ("optimized_secs", Json::from(r.optimized_secs)),
                             ("reference_secs", Json::from(r.reference_secs)),
@@ -217,6 +224,7 @@ mod tests {
     fn perf_row_math() {
         let r = PerfRow {
             benchmark: "x".into(),
+            scheme: "CPP".into(),
             mem_ops: 2_000_000,
             optimized_secs: 0.5,
             reference_secs: 2.0,
@@ -231,12 +239,14 @@ mod tests {
             rows: vec![
                 PerfRow {
                     benchmark: "a".into(),
+                    scheme: "CPP".into(),
                     mem_ops: 1,
                     optimized_secs: 1.0,
                     reference_secs: 2.0,
                 },
                 PerfRow {
                     benchmark: "b".into(),
+                    scheme: "CPP".into(),
                     mem_ops: 1,
                     optimized_secs: 1.0,
                     reference_secs: 8.0,
@@ -261,6 +271,10 @@ mod tests {
         assert!(r.optimized_secs >= 0.0 && r.reference_secs >= 0.0);
         let doc = perf_json(&report).to_string();
         assert!(doc.contains("core_hotpath") && doc.contains("geomean_speedup"));
+        assert!(
+            doc.contains("\"scheme\":\"CPP\""),
+            "rows carry the scheme tag"
+        );
     }
 
     #[test]

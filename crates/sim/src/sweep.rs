@@ -10,11 +10,12 @@
 //! `std::thread::scope`), while synthetic sources regenerate their stream
 //! per cell (pure integer work, no storage).
 
-use crate::build_design;
 use crate::checkpoint::Checkpoint;
+use crate::{build_design, build_design_scheme};
 use ccp_cache::DesignKind;
 use ccp_errors::{SimError, SimResult};
 use ccp_pipeline::{run_source, run_trace, PipelineConfig, RunStats};
+use ccp_schemes::SchemeKind;
 use ccp_trace::{
     all_benchmarks, benchmark_by_name, BenchSource, Benchmark, Inst, Trace, TraceSource,
 };
@@ -83,6 +84,9 @@ pub struct SweepConfig {
     pub designs: Vec<String>,
     /// Halve the miss penalties (the Figure 14 variant runs).
     pub halved_miss_penalty: bool,
+    /// Compression scheme for the CPP design's compressed levels (`CPP`,
+    /// `BDI`, `FPC`). Baseline designs ignore it.
+    pub scheme: String,
     /// Worker threads (0 = one per cell up to available parallelism).
     pub threads: usize,
 }
@@ -99,8 +103,14 @@ impl SweepConfig {
                 .map(|d| d.name().to_string())
                 .collect(),
             halved_miss_penalty: false,
+            scheme: SchemeKind::Cpp.name().to_string(),
             threads: 0,
         }
+    }
+
+    /// Parses the configured scheme name.
+    pub fn scheme_kind(&self) -> SimResult<SchemeKind> {
+        SchemeKind::from_name(&self.scheme).ok_or_else(|| SimError::unknown("scheme", &self.scheme))
     }
 
     /// Resolves the configured workload list (empty = every benchmark).
@@ -178,7 +188,8 @@ impl Sweep {
     }
 }
 
-/// Runs one cell: a fresh hierarchy of `design` over `trace`.
+/// Runs one cell: a fresh hierarchy of `design` over `trace`, under the
+/// paper's compression scheme.
 pub fn run_cell(trace: &Trace, design: DesignKind, halved: bool) -> RunStats {
     let mut cache = build_design(design);
     if halved {
@@ -188,10 +199,22 @@ pub fn run_cell(trace: &Trace, design: DesignKind, halved: bool) -> RunStats {
     run_trace(trace, cache.as_mut(), &PipelineConfig::paper())
 }
 
-/// Runs one cell from a streaming [`TraceSource`] — the workload never
-/// needs to exist as a materialized `Trace`.
+/// Runs one cell from a streaming [`TraceSource`] under the paper's
+/// compression scheme — the workload never needs to exist as a
+/// materialized `Trace`.
 pub fn run_cell_source(source: &dyn TraceSource, design: DesignKind, halved: bool) -> RunStats {
-    let mut cache = build_design(design);
+    run_cell_source_scheme(source, design, SchemeKind::Cpp, halved)
+}
+
+/// [`run_cell_source`] with an explicit compression scheme for the CPP
+/// design's compressed levels (baselines ignore it).
+pub fn run_cell_source_scheme(
+    source: &dyn TraceSource,
+    design: DesignKind,
+    scheme: SchemeKind,
+    halved: bool,
+) -> RunStats {
+    let mut cache = build_design_scheme(ccp_cache::HierarchyConfig::paper(design), scheme);
     if halved {
         let lat = cache.latencies().halved_miss_penalty();
         cache.set_latencies(lat);
@@ -218,6 +241,7 @@ pub fn run_sweep_on(benchmarks: &[Benchmark], config: &SweepConfig) -> SimResult
 /// streams its source through a fresh hierarchy.
 pub fn run_sweep_workloads(workloads: &[Workload], config: &SweepConfig) -> SimResult<Sweep> {
     let designs = config.design_kinds()?;
+    let scheme = config.scheme_kind()?;
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
             .map(|p| p.get())
@@ -243,7 +267,7 @@ pub fn run_sweep_workloads(workloads: &[Workload], config: &SweepConfig) -> SimR
     let halved = config.halved_miss_penalty;
     let results: Vec<((String, &'static str), RunStats)> =
         parallel_map(&jobs, threads, |&(i, d)| {
-            let stats = run_cell_source(sources[i].as_ref(), d, halved);
+            let stats = run_cell_source_scheme(sources[i].as_ref(), d, scheme, halved);
             ((workloads[i].full_name(), d.name()), stats)
         });
 
@@ -502,8 +526,11 @@ impl ResilientSweep {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "resilient sweep: budget={} seed={} halved={}",
-            self.config.budget, self.config.seed, self.config.halved_miss_penalty
+            "resilient sweep: budget={} seed={} halved={} scheme={}",
+            self.config.budget,
+            self.config.seed,
+            self.config.halved_miss_penalty,
+            self.config.scheme
         );
         let _ = writeln!(
             out,
@@ -567,6 +594,7 @@ impl ResilientSweep {
                     ("budget", Json::from(self.config.budget as u64)),
                     ("seed", Json::from(self.config.seed)),
                     ("halved", Json::Bool(self.config.halved_miss_penalty)),
+                    ("scheme", Json::from(self.config.scheme.clone())),
                     (
                         "designs",
                         Json::Arr(self.designs.iter().map(|d| Json::from(d.name())).collect()),
@@ -678,6 +706,7 @@ pub fn run_sweep_resilient(
         })
         .collect();
     let halved = config.halved_miss_penalty;
+    let scheme = config.scheme_kind()?;
     // Per-cell guard rails are the job layer's: a sweep cell and a served
     // job run through the same `run_guarded_source` core.
     let ctl = crate::job::JobCtl {
@@ -693,6 +722,7 @@ pub fn run_sweep_resilient(
             &format!("{}/{}", resolved[wi].0, design.name()),
             source.as_ref(),
             design,
+            scheme,
             halved,
             config.budget,
             &ctl,

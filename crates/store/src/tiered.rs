@@ -272,4 +272,40 @@ mod tests {
         assert!(s.get(42, "canonical-b").is_none());
         assert_eq!(s.counters().collisions, 1);
     }
+
+    #[test]
+    fn schemes_get_distinct_content_addresses_in_both_tiers() {
+        // The same workload run under two compression schemes must land in
+        // two different `.ccpz` objects and two different RAM entries — a
+        // BDI result can never answer a CPP lookup.
+        use ccp_sim::JobSpec;
+        let dir = tmp_dir("schemes");
+        let mut cpp = JobSpec::new("health", "CPP");
+        let mut bdi = cpp.clone();
+        cpp.scheme = "CPP".into();
+        bdi.scheme = "BDI".into();
+        assert_ne!(cpp.cache_key(), bdi.cache_key());
+
+        let disk = DiskTier::open(&dir).unwrap();
+        assert_ne!(
+            disk.path_for(cpp.cache_key()),
+            disk.path_for(bdi.cache_key()),
+            "schemes must not share a .ccpz object"
+        );
+        let mut s = TieredStore::new(1 << 20, Some(disk));
+        s.put(cpp.cache_key(), &cpp.canonical(), stats(100));
+        s.put(bdi.cache_key(), &bdi.canonical(), stats(200));
+        assert_eq!(
+            s.get(cpp.cache_key(), &cpp.canonical()).unwrap().cycles,
+            100
+        );
+        assert_eq!(
+            s.get(bdi.cache_key(), &bdi.canonical()).unwrap().cycles,
+            200
+        );
+        // Cross-scheme lookup misses outright: different key, and even a
+        // forged key would trip the canonical-text collision check.
+        assert!(s.get(cpp.cache_key(), &bdi.canonical()).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }

@@ -52,6 +52,7 @@ pub use ccp_errors as errors;
 pub use ccp_fabric as fabric;
 pub use ccp_mem as mem;
 pub use ccp_pipeline as pipeline;
+pub use ccp_schemes as schemes;
 pub use ccp_served as served;
 pub use ccp_sim as sim;
 pub use ccp_store as store;
