@@ -38,18 +38,72 @@ grep -q '"failed":false' "$SCRATCH/lint-report.json" || {
 echo "== ccp-lint: fixture corpus matches the golden file"
 ./target/release/ccp-lint --check-fixtures crates/lint/tests/fixtures
 
-echo "== ccp-lint: a seeded violation must fail the gate"
-mkdir -p "$SCRATCH/seeded/crates/sim/src"
-cat > "$SCRATCH/seeded/crates/sim/src/violation.rs" <<'EOF'
-fn seeded(opt: Option<u32>) -> u32 {
+echo "== ccp-lint: a seeded service-path panic must fail with a witness"
+mkdir -p "$SCRATCH/seeded/crates/served/src"
+cat > "$SCRATCH/seeded/crates/served/src/violation.rs" <<'EOF'
+pub fn serve(opt: Option<u32>) -> u32 {
+    decode(opt)
+}
+fn decode(opt: Option<u32>) -> u32 {
     opt.unwrap()
 }
 EOF
 set +e
-./target/release/ccp-lint --root "$SCRATCH/seeded" --quiet "$SCRATCH/seeded"
+./target/release/ccp-lint --root "$SCRATCH/seeded" --quiet "$SCRATCH/seeded" \
+    > /dev/null 2>&1
 status=$?
 set -e
-[ "$status" -eq 1 ] || { echo "seeded violation: expected exit 1, got $status"; exit 1; }
+[ "$status" -eq 1 ] || { echo "seeded R2 violation: expected exit 1, got $status"; exit 1; }
+./target/release/ccp-lint --root "$SCRATCH/seeded" "$SCRATCH/seeded" 2>/dev/null \
+    | grep -q "no-panic-in-service-path.*serve → decode" || {
+    echo "seeded R2 violation lost its witness call path"; exit 1; }
+rm -rf "$SCRATCH/seeded"
+
+echo "== ccp-lint: a seeded determinism leak must fail with a witness"
+mkdir -p "$SCRATCH/seeded/crates/cache/src"
+cat > "$SCRATCH/seeded/crates/cache/src/violation.rs" <<'EOF'
+pub fn replay(cycles: u64) -> u64 {
+    stamp() + cycles
+}
+fn stamp() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}
+EOF
+./target/release/ccp-lint --root "$SCRATCH/seeded" "$SCRATCH/seeded" 2>/dev/null \
+    | grep -q "deterministic-core-transitive.*replay → stamp" || {
+    echo "seeded R10 violation did not fire with a witness"; exit 1; }
+rm -rf "$SCRATCH/seeded"
+
+echo "== ccp-lint: a seeded lock cycle must fail with the inferred ring"
+mkdir -p "$SCRATCH/seeded/crates/fabric/src"
+cat > "$SCRATCH/seeded/crates/fabric/src/violation.rs" <<'EOF'
+fn one(c: &Ctx) {
+    let g = c.grid.lock_unpoisoned();
+    take_store(c);
+    drop(g);
+}
+fn take_store(c: &Ctx) {
+    c.store.lock_unpoisoned().put(1);
+}
+fn two(c: &Ctx) {
+    let s = c.store.lock_unpoisoned();
+    let g = c.grid.lock_unpoisoned();
+    drop(g);
+    drop(s);
+}
+EOF
+./target/release/ccp-lint --root "$SCRATCH/seeded" "$SCRATCH/seeded" 2>/dev/null \
+    | grep -q "lock-graph-acyclic.*grid → store → grid" || {
+    echo "seeded R11 cycle did not fire with the inferred ring"; exit 1; }
+rm -rf "$SCRATCH/seeded"
+
+echo "== ccp-lint: --graph renders the whole-program call + lock graph"
+./target/release/ccp-lint --graph dot > "$SCRATCH/graph.dot"
+grep -q "^digraph" "$SCRATCH/graph.dot" || {
+    echo "--graph dot did not emit a digraph"; exit 1; }
+grep -q '"lock:' "$SCRATCH/graph.dot" || {
+    echo "--graph dot lost the inferred lock edges"; exit 1; }
 
 echo "== difftest: optimized and reference CPP engines byte-identical"
 ./target/release/repro difftest > "$SCRATCH/difftest.txt"

@@ -10,7 +10,8 @@
 //!   --deny warnings        treat warn-level findings as failures
 //!   --json FILE            additionally write a machine-readable report (atomic)
 //!   --quiet                suppress per-finding lines, keep the summary
-//!   --list-rules           print the rule catalogue and exit
+//!   --list-rules           print the rule and pass catalogue and exit
+//!   --graph [text|dot]     print the resolved call graph (+ inferred lock graph) and exit
 //!   --check-fixtures DIR   golden-diff the fixture corpus against expected.txt
 //!   --render-fixtures DIR  print the corpus rendering (to regenerate expected.txt)
 //! ```
@@ -18,12 +19,15 @@
 //! Exit codes: 0 clean, 1 findings at failing severity (or fixture
 //! drift), 2 usage or I/O error.
 
-use ccp_lint::{all_rules, check_fixtures, render_fixtures, render_human, render_json};
+use ccp_lint::{
+    all_passes, all_rules, check_fixtures, render_fixtures, render_human, render_json, Workspace,
+};
 use std::path::{Path, PathBuf};
 
 const HELP: &str = "ccp-lint — workspace static analysis for the CPP simulator
 usage: ccp-lint [--root DIR] [--deny warnings] [--json FILE] [--quiet]
-                [--list-rules] [--check-fixtures DIR] [--render-fixtures DIR]
+                [--list-rules] [--graph [text|dot]]
+                [--check-fixtures DIR] [--render-fixtures DIR]
                 [PATHS...]";
 
 struct Args {
@@ -32,6 +36,7 @@ struct Args {
     json: Option<PathBuf>,
     quiet: bool,
     list_rules: bool,
+    graph: Option<String>,
     check_fixtures: Option<PathBuf>,
     render_fixtures: Option<PathBuf>,
     paths: Vec<PathBuf>,
@@ -49,6 +54,7 @@ fn parse_args() -> Args {
         json: None,
         quiet: false,
         list_rules: false,
+        graph: None,
         check_fixtures: None,
         render_fixtures: None,
         paths: Vec::new(),
@@ -70,6 +76,16 @@ fn parse_args() -> Args {
             },
             "--quiet" => args.quiet = true,
             "--list-rules" => args.list_rules = true,
+            "--graph" => match it.next() {
+                // The format operand is optional; anything else after
+                // `--graph` is an ordinary path argument.
+                Some(v) if v == "text" || v == "dot" => args.graph = Some(v),
+                Some(v) => {
+                    args.graph = Some("text".into());
+                    args.paths.push(PathBuf::from(v));
+                }
+                None => args.graph = Some("text".into()),
+            },
             "--check-fixtures" => match it.next() {
                 Some(v) => args.check_fixtures = Some(PathBuf::from(v)),
                 None => usage_err("--check-fixtures needs a directory"),
@@ -92,6 +108,7 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let rules = all_rules();
+    let passes = all_passes();
 
     if args.list_rules {
         for r in &rules {
@@ -102,17 +119,36 @@ fn main() {
                 r.describe()
             );
         }
+        for p in &passes {
+            println!(
+                "{:<28} {:<4}  {}",
+                p.name(),
+                p.severity().label(),
+                p.describe()
+            );
+        }
+        println!(
+            "{:<28} warn  an allow(…) entry that suppresses nothing must be deleted (engine-internal)",
+            ccp_lint::UNUSED_SUPPRESSION,
+        );
+        return;
+    }
+    if let Some(fmt) = &args.graph {
+        match render_graph(&args.root, fmt) {
+            Ok(s) => print!("{s}"),
+            Err(e) => usage_err(&e.to_string()),
+        }
         return;
     }
     if let Some(dir) = &args.render_fixtures {
-        match render_fixtures(dir, &rules) {
+        match render_fixtures(dir, &rules, &passes) {
             Ok(s) => print!("{s}"),
             Err(e) => usage_err(&e.to_string()),
         }
         return;
     }
     if let Some(dir) = &args.check_fixtures {
-        match check_fixtures(dir, &rules) {
+        match check_fixtures(dir, &rules, &passes) {
             Ok(()) => {
                 println!("ccp-lint: fixture corpus matches expected.txt");
                 return;
@@ -125,9 +161,9 @@ fn main() {
     }
 
     let outcome = if args.paths.is_empty() {
-        ccp_lint::lint_tree(&args.root, &rules)
+        ccp_lint::lint_tree(&args.root, &rules, &passes)
     } else {
-        lint_paths(&args.root, &args.paths, &rules)
+        lint_paths(&args.root, &args.paths, &rules, &passes)
     };
     let outcome = match outcome {
         Ok(o) => o,
@@ -154,35 +190,61 @@ fn main() {
     }
 }
 
-/// Lints an explicit set of files/directories, reporting paths relative
-/// to `root` so scoping works no matter where the tool is invoked from.
+/// Lints an explicit set of files/directories as one workspace,
+/// reporting paths relative to `root` so scoping works no matter where
+/// the tool is invoked from.
 fn lint_paths(
     root: &Path,
     paths: &[PathBuf],
     rules: &[Box<dyn ccp_lint::Rule>],
+    passes: &[Box<dyn ccp_lint::Pass>],
 ) -> std::io::Result<ccp_lint::Outcome> {
-    let mut total = ccp_lint::Outcome::default();
+    let mut files = Vec::new();
     for p in paths {
-        let files = if p.is_dir() {
+        let listed = if p.is_dir() {
             ccp_lint::walk(p)?
         } else {
             vec![p.clone()]
         };
-        for f in files {
+        for f in listed {
             let bytes = std::fs::read(&f)?;
             let src = String::from_utf8_lossy(&bytes);
             let rel = ccp_lint::engine::rel_path(root, &f);
-            let one = ccp_lint::lint_source(&rel, &src, rules);
-            total.suppressed += one.suppressed;
-            total.files += 1;
-            for mut finding in one.findings {
-                finding.path = rel.clone();
-                total.findings.push(finding);
-            }
+            files.push(ccp_lint::SourceFile::analyze(rel, src));
         }
     }
-    total
-        .findings
-        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
-    Ok(total)
+    Ok(ccp_lint::lint_files(files, rules, passes))
+}
+
+/// Builds the whole-tree workspace and renders its call graph, with the
+/// inferred lock graph appended (red edges in `dot`).
+fn render_graph(root: &Path, fmt: &str) -> std::io::Result<String> {
+    let mut files = Vec::new();
+    for f in ccp_lint::walk(root)? {
+        let bytes = std::fs::read(&f)?;
+        let src = String::from_utf8_lossy(&bytes);
+        files.push(ccp_lint::SourceFile::analyze(
+            ccp_lint::engine::rel_path(root, &f),
+            src,
+        ));
+    }
+    let ws = Workspace::build(files);
+    let mut out = ws.render_graph(fmt);
+    let locks = ccp_lint::passes::lock_edges(&ws);
+    if fmt == "dot" {
+        if let Some(close) = out.rfind('}') {
+            out.truncate(close);
+        }
+        for (a, b, _) in &locks {
+            out.push_str(&format!(
+                "  \"lock:{a}\" -> \"lock:{b}\" [color=red, fontsize=8];\n"
+            ));
+        }
+        out.push_str("}\n");
+    } else {
+        for (a, b, w) in &locks {
+            out.push_str(&format!("lock {a} -> {b}: {w}\n"));
+        }
+    }
+    Ok(out)
 }

@@ -1,0 +1,787 @@
+//! The workspace call graph and reachability engine.
+//!
+//! Built on the symbol table, this resolves call expressions to function
+//! definitions token-by-token — no type checker, so resolution is a
+//! best-effort subset biased toward *precision*: an edge is only added
+//! when exactly one definition matches. Unresolved calls (std methods,
+//! trait-object dispatch, macro-generated code) simply contribute no
+//! edge, which the interprocedural passes treat conservatively in the
+//! direction that avoids false findings.
+//!
+//! Three call shapes resolve:
+//! - **path calls** `a::b::f(…)` — through `use` aliases/renames, `crate`
+//!   / `self` / `super` prefixes, and crate-name normalization
+//!   (`ccp_sim` → the `sim` crate);
+//! - **method calls** `recv.m(…)` — when the receiver's type is locally
+//!   evident (`self`, a typed param `x: &Server`, a `let x: T` /
+//!   `let x = T::new(…)` binding, with `Arc`/`Rc`/`Box`/`Mutex`/`RwLock`
+//!   wrappers stripped) and the `(type, method)` pair is unambiguous;
+//! - **bare calls** `f(…)` — same-module, then same-crate-root, then
+//!   imported, then a unique-in-workspace free function.
+//!
+//! Call sites lexically inside a `catch_unwind(…)` argument list are
+//! marked **isolated**: panics there do not cross the serving boundary,
+//! and the panic pass does not traverse them.
+
+use crate::engine::SourceFile;
+use crate::lexer::TokKind;
+use crate::parser::{parse_items, Item};
+use crate::symbols::{crate_of_seg, module_path, FnDef, SymbolTable};
+
+/// One resolved call edge.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Calling function (index into [`SymbolTable::fns`]).
+    pub caller: usize,
+    /// Called function (index into [`SymbolTable::fns`]).
+    pub callee: usize,
+    /// Code-token index of the callee name at the call site.
+    pub tok: usize,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// Inside a `catch_unwind(…)` argument list: panics do not escape.
+    pub isolated: bool,
+}
+
+/// The resolved call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every resolved call site.
+    pub sites: Vec<CallSite>,
+    /// Outgoing site indices per function (index-parallel to
+    /// [`SymbolTable::fns`]).
+    pub out: Vec<Vec<usize>>,
+}
+
+/// The whole-program view the interprocedural passes run on: analyzed
+/// files, their item trees, the symbol table, and the call graph.
+pub struct Workspace {
+    /// Every analyzed file (graph participants and bystanders alike).
+    pub files: Vec<SourceFile>,
+    /// Parsed item tree per file (empty for non-participants).
+    pub items: Vec<Vec<Item>>,
+    /// The function index.
+    pub symbols: SymbolTable,
+    /// The resolved call graph.
+    pub graph: CallGraph,
+}
+
+/// Keywords (and keyword-likes) that may precede `(` without being calls.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "let", "fn", "move", "ref", "mut", "unsafe", "where", "impl", "use", "pub", "mod", "struct",
+    "enum", "trait", "type", "const", "static", "dyn", "box", "await", "yield",
+];
+
+/// Smart-pointer / lock wrappers stripped when typing a receiver:
+/// `Arc<Mutex<Registry>>` types its methods against `Registry`.
+const WRAPPERS: &[&str] = &["Arc", "Rc", "Box", "Mutex", "RwLock", "RefCell", "Cell"];
+
+impl Workspace {
+    /// Parses, indexes, and links `files` into a workspace.
+    pub fn build(files: Vec<SourceFile>) -> Workspace {
+        let items: Vec<Vec<Item>> = files
+            .iter()
+            .map(|f| {
+                if module_path(&f.path).is_some() {
+                    parse_items(f)
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let symbols = SymbolTable::build(&files, &items);
+        let graph = build_graph(&files, &symbols);
+        Workspace {
+            files,
+            items,
+            symbols,
+            graph,
+        }
+    }
+
+    /// The file a function is defined in.
+    pub fn file_of(&self, f: usize) -> &SourceFile {
+        &self.files[self.symbols.fns[f].file]
+    }
+
+    /// BFS over call edges from `entries`. `follow_isolated` decides
+    /// whether `catch_unwind`-isolated edges are traversed (panics don't
+    /// cross them; nondeterminism does).
+    pub fn reach(&self, entries: &[usize], follow_isolated: bool) -> Reach {
+        let mut origin: Vec<Option<Origin>> = vec![None; self.symbols.fns.len()];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &e in entries {
+            if origin[e].is_none() {
+                origin[e] = Some(Origin::Entry);
+                queue.push_back(e);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for &s in &self.graph.out[f] {
+                let site = &self.graph.sites[s];
+                if site.isolated && !follow_isolated {
+                    continue;
+                }
+                if origin[site.callee].is_none() {
+                    origin[site.callee] = Some(Origin::Via(s));
+                    queue.push_back(site.callee);
+                }
+            }
+        }
+        Reach { origin }
+    }
+
+    /// Renders the call graph: `text` (one `caller -> callee` line per
+    /// edge with its site) or `dot` (a Graphviz digraph).
+    pub fn render_graph(&self, format: &str) -> String {
+        let mut edges: Vec<(String, String, String)> = self
+            .graph
+            .sites
+            .iter()
+            .map(|s| {
+                (
+                    self.symbols.fns[s.caller].qpath(),
+                    self.symbols.fns[s.callee].qpath(),
+                    format!("{}:{}", self.file_of(s.caller).path, s.line),
+                )
+            })
+            .collect();
+        edges.sort();
+        edges.dedup();
+        let mut out = String::new();
+        if format == "dot" {
+            out.push_str("digraph ccp_calls {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+            for (a, b, _) in &edges {
+                out.push_str(&format!("  \"{a}\" -> \"{b}\";\n"));
+            }
+            out.push_str("}\n");
+        } else {
+            for (a, b, at) in &edges {
+                out.push_str(&format!("{a} -> {b} ({at})\n"));
+            }
+            out.push_str(&format!(
+                "{} fns, {} resolved call edges\n",
+                self.symbols.fns.len(),
+                edges.len()
+            ));
+        }
+        out
+    }
+}
+
+/// How a function was reached during BFS.
+#[derive(Debug, Clone, Copy)]
+pub enum Origin {
+    /// The function is itself an entry point.
+    Entry,
+    /// Reached through this call site (index into [`CallGraph::sites`]).
+    Via(usize),
+}
+
+/// The result of a reachability query: per-function provenance.
+pub struct Reach {
+    /// `None` = unreached; `Some(Entry)` = entry; `Some(Via(site))` =
+    /// first call site that reached it.
+    pub origin: Vec<Option<Origin>>,
+}
+
+impl Reach {
+    /// Whether function `f` is reachable.
+    pub fn reached(&self, f: usize) -> bool {
+        self.origin[f].is_some()
+    }
+
+    /// The witness call path `entry → … → f` (display names joined with
+    /// ` → `).
+    pub fn witness(&self, ws: &Workspace, f: usize) -> String {
+        let mut names = Vec::new();
+        let mut cur = f;
+        let mut hops = 0;
+        loop {
+            names.push(ws.symbols.fns[cur].display());
+            match self.origin[cur] {
+                Some(Origin::Via(s)) if hops < 64 => {
+                    cur = ws.graph.sites[s].caller;
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        names.reverse();
+        names.join(" → ")
+    }
+}
+
+/// Resolves every call site in every known function body.
+fn build_graph(files: &[SourceFile], symbols: &SymbolTable) -> CallGraph {
+    let mut graph = CallGraph {
+        sites: Vec::new(),
+        out: vec![Vec::new(); symbols.fns.len()],
+    };
+    for (caller, def) in symbols.fns.iter().enumerate() {
+        let Some((open, close)) = def.body else {
+            continue;
+        };
+        let file = &files[def.file];
+        let isolated_ranges = catch_unwind_ranges(file, open, close);
+        let mut j = open + 1;
+        while j < close && j < file.n_code() {
+            // Skip nested fn items: they are callers of their own.
+            if let Some(&(_, nc)) = def.nested.iter().find(|&&(ns, nc)| ns <= j && j <= nc) {
+                j = nc + 1;
+                continue;
+            }
+            if file.tok(j).kind != TokKind::Ident || !file.is_punct(j + 1, '(') {
+                j += 1;
+                continue;
+            }
+            let name = file.ct(j);
+            if NON_CALL_IDENTS.contains(&name) {
+                j += 1;
+                continue;
+            }
+            if let Some(callee) = resolve_call(file, symbols, def, j) {
+                let isolated = isolated_ranges.iter().any(|&(s, e)| j > s && j < e);
+                let site = CallSite {
+                    caller,
+                    callee,
+                    tok: j,
+                    line: file.tok(j).line,
+                    isolated,
+                };
+                graph.out[caller].push(graph.sites.len());
+                graph.sites.push(site);
+            }
+            j += 1;
+        }
+    }
+    graph
+}
+
+/// `(open paren, close paren)` code-token ranges of every
+/// `catch_unwind(…)` argument list in the body.
+pub(crate) fn catch_unwind_ranges(
+    file: &SourceFile,
+    open: usize,
+    close: usize,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for j in open..close.min(file.n_code()) {
+        if file.is_ident(j, "catch_unwind") && file.is_punct(j + 1, '(') {
+            let mut depth = 0i32;
+            let mut k = j + 1;
+            while k < file.n_code() {
+                if file.is_punct(k, '(') {
+                    depth += 1;
+                } else if file.is_punct(k, ')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            out.push((j + 1, k));
+        }
+    }
+    out
+}
+
+/// Resolves the call whose callee name sits at code token `j`.
+fn resolve_call(
+    file: &SourceFile,
+    symbols: &SymbolTable,
+    caller: &FnDef,
+    j: usize,
+) -> Option<usize> {
+    let name = file.ct(j).to_string();
+    // Method call `recv.name(…)`.
+    if j >= 1 && file.is_punct(j - 1, '.') {
+        let recv_ty = receiver_type(file, symbols, caller, j)?;
+        return unique(symbols.methods_of(&recv_ty, &name));
+    }
+    // Path call `…::name(…)`.
+    if j >= 2 && file.is_punct(j - 1, ':') && file.is_punct(j - 2, ':') {
+        let mut segs = vec![name];
+        let mut k = j as isize - 2;
+        loop {
+            // Expect `ident ::` walking backwards; `>::` (turbofish) or a
+            // leading `::` end the walk.
+            if k - 1 < 0 || file.tok((k - 1) as usize).kind != TokKind::Ident {
+                break;
+            }
+            segs.push(file.ct((k - 1) as usize).to_string());
+            if k - 3 >= 0
+                && file.is_punct((k - 2) as usize, ':')
+                && file.is_punct((k - 3) as usize, ':')
+            {
+                k -= 3;
+                continue;
+            }
+            break;
+        }
+        segs.reverse();
+        if segs.len() < 2 {
+            return None; // turbofish or `<T>::f` head we can't see
+        }
+        return resolve_path(symbols, caller, &segs, 0);
+    }
+    // Bare call `name(…)`.
+    resolve_bare(symbols, caller, &name, 0)
+}
+
+/// At most-one-definition helper: ambiguity yields no edge.
+fn unique(defs: &[usize]) -> Option<usize> {
+    (defs.len() == 1).then(|| defs[0])
+}
+
+/// Resolves a multi-segment path call against the caller's scope.
+fn resolve_path(
+    symbols: &SymbolTable,
+    caller: &FnDef,
+    segs: &[String],
+    depth: usize,
+) -> Option<usize> {
+    if depth > 4 || segs.len() < 2 {
+        return None;
+    }
+    let scope = &symbols.scopes[caller.file];
+    let first = segs[0].as_str();
+    // `Self::new(…)` and `Type::method(…)` with a locally-visible type.
+    if first == "Self" && segs.len() == 2 {
+        let t = caller.self_ty.as_deref()?;
+        return unique(symbols.methods_of(t, &segs[1]));
+    }
+    let (krate, rest): (String, Vec<String>) = match first {
+        "crate" => (caller.krate.clone(), segs[1..].to_vec()),
+        "self" => {
+            let mut m = caller.mods.clone();
+            m.extend_from_slice(&segs[1..]);
+            (caller.krate.clone(), m)
+        }
+        "super" => {
+            let mut m = caller.mods.clone();
+            let mut rest = &segs[1..];
+            m.pop();
+            while rest.first().map(String::as_str) == Some("super") {
+                m.pop();
+                rest = &rest[1..];
+            }
+            m.extend_from_slice(rest);
+            (caller.krate.clone(), m)
+        }
+        "std" | "core" | "alloc" => return None,
+        _ => {
+            if let Some(alias) = scope.aliases.get(first) {
+                // `use ccp_sim::json;` then `json::write_atomic(…)`.
+                let mut expanded = alias.clone();
+                expanded.extend_from_slice(&segs[1..]);
+                return resolve_path(symbols, caller, &expanded, depth + 1);
+            }
+            if let Some(k) = crate_of_seg(first, &symbols.crates) {
+                (k, segs[1..].to_vec())
+            } else {
+                // A module of the current crate: relative, then from root.
+                let mut m = caller.mods.clone();
+                m.extend_from_slice(segs);
+                if let Some(hit) = lookup(symbols, &caller.krate, &m) {
+                    return Some(hit);
+                }
+                (caller.krate.clone(), segs.to_vec())
+            }
+        }
+    };
+    lookup(symbols, &krate, &rest)
+}
+
+/// Looks up `krate::rest…` as a free fn, or as `Type::method` when the
+/// second-to-last segment is capitalized.
+fn lookup(symbols: &SymbolTable, krate: &str, rest: &[String]) -> Option<usize> {
+    if rest.is_empty() {
+        return None;
+    }
+    let qpath = format!("{krate}::{}", rest.join("::"));
+    if let Some(&i) = symbols.by_qpath.get(&qpath) {
+        return Some(i);
+    }
+    if rest.len() >= 2 {
+        let ty = &rest[rest.len() - 2];
+        if ty.chars().next().is_some_and(char::is_uppercase) {
+            let defs = symbols.methods_of(ty, &rest[rest.len() - 1]);
+            // Prefer the target crate's definition; fall back to a
+            // workspace-unique one.
+            let in_crate: Vec<usize> = defs
+                .iter()
+                .copied()
+                .filter(|&d| symbols.fns[d].krate == krate)
+                .collect();
+            return unique(&in_crate).or_else(|| unique(defs));
+        }
+    }
+    None
+}
+
+/// Resolves a bare call `name(…)`: imports, enclosing modules outward,
+/// glob imports, then a workspace-unique free fn.
+fn resolve_bare(symbols: &SymbolTable, caller: &FnDef, name: &str, depth: usize) -> Option<usize> {
+    if depth > 4 {
+        return None;
+    }
+    let scope = &symbols.scopes[caller.file];
+    if let Some(alias) = scope.aliases.get(name) {
+        if alias.len() >= 2 {
+            return resolve_path(symbols, caller, alias, depth + 1);
+        }
+    }
+    // Enclosing module, walking outward to the crate root.
+    for cut in (0..=caller.mods.len()).rev() {
+        let mut m = caller.mods[..cut].to_vec();
+        m.push(name.to_string());
+        if let Some(&i) = symbols
+            .by_qpath
+            .get(&format!("{}::{}", caller.krate, m.join("::")))
+        {
+            return Some(i);
+        }
+    }
+    // Glob imports.
+    for g in &scope.globs {
+        let mut p = g.clone();
+        p.push(name.to_string());
+        if let Some(hit) = resolve_path(symbols, caller, &p, depth + 1) {
+            return Some(hit);
+        }
+    }
+    // Unique across the workspace (free fns only — method names like
+    // `len` would be hopelessly ambiguous and are never fallback-resolved).
+    unique(
+        symbols
+            .free_by_name
+            .get(name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]),
+    )
+}
+
+/// Infers the receiver type of the method call at `j` (`recv.name(`):
+/// `self` → the enclosing impl type; otherwise a param or `let` binding
+/// with a visible type, wrappers stripped.
+fn receiver_type(
+    file: &SourceFile,
+    symbols: &SymbolTable,
+    caller: &FnDef,
+    j: usize,
+) -> Option<String> {
+    if j < 2 || file.tok(j - 2).kind != TokKind::Ident {
+        return None; // chained `().m(` or literal receiver: untypeable
+    }
+    // Receiver must be the chain head: `a.b.m(` types `b`, a field we
+    // cannot see — give up unless the dot-chain is exactly one deep.
+    if j >= 4 && file.is_punct(j - 3, '.') {
+        return None;
+    }
+    let recv = file.ct(j - 2);
+    if recv == "self" {
+        // `self` outside an impl (self_ty None) means a closure in a
+        // method we re-parented: untypeable, so None falls through.
+        return caller.self_ty.clone();
+    }
+    if recv == "Self" {
+        return caller.self_ty.clone();
+    }
+    // Search the param list, then `let` bindings before the call site;
+    // the latest binding wins.
+    let mut found: Option<String> = None;
+    if let Some((po, pc)) = caller.params {
+        let mut k = po + 1;
+        while k < pc {
+            if file.is_ident(k, recv) && file.is_punct(k + 1, ':') {
+                // Param positions: preceded by `(` or `,` (or `mut`).
+                let prev_ok = file.is_punct(k - 1, '(')
+                    || file.is_punct(k - 1, ',')
+                    || file.is_ident(k - 1, "mut");
+                if prev_ok {
+                    found = type_head(file, k + 2, symbols).or(found);
+                }
+            }
+            k += 1;
+        }
+    }
+    if let Some((bo, bc)) = caller.body {
+        let mut k = bo + 1;
+        while k < j.min(bc) {
+            if file.is_ident(k, "let") {
+                let mut n = k + 1;
+                if file.is_ident(n, "mut") {
+                    n += 1;
+                }
+                if file.is_ident(n, recv) {
+                    if file.is_punct(n + 1, ':') {
+                        // `let recv: Type = …`
+                        if let Some(t) = type_head(file, n + 2, symbols) {
+                            found = Some(t);
+                        }
+                    } else if file.is_punct(n + 1, '=') {
+                        // `let recv = Type::ctor(…)` / `Type { … }`
+                        let mut h = n + 2;
+                        while file.is_ident(h, "mut") || file.is_punct(h, '&') {
+                            h += 1;
+                        }
+                        if file.tok_kind(h) == Some(TokKind::Ident) {
+                            let head = file.ct(h);
+                            if head.chars().next().is_some_and(char::is_uppercase)
+                                && !WRAPPERS.contains(&head)
+                            {
+                                found = Some(head.to_string());
+                            } else if WRAPPERS.contains(&head) {
+                                // `Arc::new(inner)` tells us nothing about
+                                // the inner type; skip.
+                            }
+                        }
+                    }
+                }
+            }
+            k += 1;
+        }
+    }
+    // Resolve a `use`-renamed type to its real name (the method index is
+    // keyed by definition-site type names).
+    found.map(|t| {
+        symbols.scopes[caller.file]
+            .aliases
+            .get(&t)
+            .and_then(|p| p.last())
+            .cloned()
+            .unwrap_or(t)
+    })
+}
+
+/// Reads the head identifier of a type starting at code token `k`,
+/// stripping `&`/`mut`/`dyn`/lifetimes and [`WRAPPERS`] generics:
+/// `&Arc<Mutex<Registry>>` → `Registry`.
+fn type_head(file: &SourceFile, mut k: usize, _symbols: &SymbolTable) -> Option<String> {
+    for _ in 0..8 {
+        if file.is_punct(k, '&')
+            || file.is_ident(k, "mut")
+            || file.is_ident(k, "dyn")
+            || file.tok_kind(k) == Some(TokKind::Lifetime)
+        {
+            k += 1;
+            continue;
+        }
+        break;
+    }
+    let mut head = match file.tok_kind(k) {
+        Some(TokKind::Ident) => file.ct(k).to_string(),
+        _ => return None,
+    };
+    let mut guard = 0;
+    while WRAPPERS.contains(&head.as_str()) && file.is_punct(k + 1, '<') && guard < 4 {
+        k += 2;
+        for _ in 0..8 {
+            if file.is_punct(k, '&')
+                || file.is_ident(k, "mut")
+                || file.is_ident(k, "dyn")
+                || file.tok_kind(k) == Some(TokKind::Lifetime)
+            {
+                k += 1;
+                continue;
+            }
+            break;
+        }
+        head = match file.tok_kind(k) {
+            Some(TokKind::Ident) => file.ct(k).to_string(),
+            _ => return None,
+        };
+        guard += 1;
+    }
+    Some(head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(specs: &[(&str, &str)]) -> Workspace {
+        Workspace::build(
+            specs
+                .iter()
+                .map(|(p, s)| SourceFile::analyze(*p, *s))
+                .collect(),
+        )
+    }
+
+    fn edge(ws: &Workspace, caller: &str, callee: &str) -> bool {
+        ws.graph.sites.iter().any(|s| {
+            ws.symbols.fns[s.caller].qpath() == caller && ws.symbols.fns[s.callee].qpath() == callee
+        })
+    }
+
+    #[test]
+    fn bare_and_module_local_calls_resolve() {
+        let w = ws(&[(
+            "crates/sim/src/lib.rs",
+            "pub fn run() { helper(); }\nfn helper() {}\n",
+        )]);
+        assert!(edge(&w, "sim::run", "sim::helper"), "{:?}", w.graph.sites);
+    }
+
+    #[test]
+    fn cross_crate_path_calls_resolve_through_crate_names() {
+        let w = ws(&[
+            (
+                "crates/served/src/server.rs",
+                "pub fn start() { ccp_sim::run_job(); }\n",
+            ),
+            ("crates/sim/src/lib.rs", "pub fn run_job() {}\n"),
+        ]);
+        assert!(edge(&w, "served::server::start", "sim::run_job"));
+    }
+
+    #[test]
+    fn use_imports_and_renames_resolve() {
+        let w = ws(&[
+            (
+                "crates/served/src/server.rs",
+                "use ccp_sim::{run_job, json::write_atomic as wa};\n\
+                 pub fn a() { run_job(); }\n\
+                 pub fn b() { wa(); }\n\
+                 pub fn c() { json::write_atomic(); }\n\
+                 use ccp_sim::json;\n",
+            ),
+            (
+                "crates/sim/src/lib.rs",
+                "pub mod json { pub fn write_atomic() {} }\npub fn run_job() {}\n",
+            ),
+        ]);
+        assert!(edge(&w, "served::server::a", "sim::run_job"));
+        assert!(edge(&w, "served::server::b", "sim::json::write_atomic"));
+        assert!(edge(&w, "served::server::c", "sim::json::write_atomic"));
+    }
+
+    #[test]
+    fn method_calls_resolve_on_self_and_typed_receivers() {
+        let w = ws(&[(
+            "crates/served/src/server.rs",
+            "pub struct Server;\n\
+             impl Server {\n\
+                 pub fn start(&self) { self.step(); }\n\
+                 fn step(&self) {}\n\
+             }\n\
+             pub fn drive(s: &Server) { s.step(); }\n\
+             pub fn local() { let srv = Server::new(); srv.step(); }\n",
+        )]);
+        assert!(edge(
+            &w,
+            "served::server::Server::start",
+            "served::server::Server::step"
+        ));
+        assert!(edge(
+            &w,
+            "served::server::drive",
+            "served::server::Server::step"
+        ));
+        assert!(edge(
+            &w,
+            "served::server::local",
+            "served::server::Server::step"
+        ));
+    }
+
+    #[test]
+    fn wrapped_receivers_strip_to_the_inner_type() {
+        let w = ws(&[(
+            "crates/served/src/server.rs",
+            "impl Registry { pub fn insert(&self) {} }\n\
+             pub fn f(reg: &Arc<Mutex<Registry>>) { reg.insert(); }\n",
+        )]);
+        assert!(edge(
+            &w,
+            "served::server::f",
+            "served::server::Registry::insert"
+        ));
+    }
+
+    #[test]
+    fn ambiguous_methods_do_not_resolve() {
+        let w = ws(&[(
+            "crates/served/src/server.rs",
+            "impl A { pub fn go(&self) {} }\n\
+             impl B { pub fn go(&self) {} }\n\
+             pub fn f(x: &Unknown) { x.go(); }\n",
+        )]);
+        assert!(w.graph.sites.is_empty(), "{:?}", w.graph.sites);
+    }
+
+    #[test]
+    fn keywords_and_nested_fn_signatures_are_not_calls() {
+        let w = ws(&[(
+            "crates/sim/src/lib.rs",
+            "pub fn outer() { if (x) {} match (a, b) { _ => {} } fn inner(q: u32) {} inner(3); }\n\
+             fn inner() {} // same bare name at crate root: outer's call must bind the nested one\n",
+        )]);
+        // `inner(3)` resolves to the *nested* fn? No: nested fns are
+        // registered under the same module, so two `sim::inner` exist;
+        // qpath keeps the first. The important part: no `if`/`match`
+        // pseudo-edges, and the nested `fn inner(q: u32)` signature
+        // produced no self-edge.
+        assert!(w
+            .graph
+            .sites
+            .iter()
+            .all(|s| w.symbols.fns[s.callee].name == "inner"));
+    }
+
+    #[test]
+    fn catch_unwind_call_sites_are_isolated() {
+        let w = ws(&[(
+            "crates/sim/src/lib.rs",
+            "pub fn run() { let r = catch_unwind(AssertUnwindSafe(|| { job(); })); after(); }\n\
+             fn job() {}\nfn after() {}\n",
+        )]);
+        let job = w
+            .graph
+            .sites
+            .iter()
+            .find(|s| w.symbols.fns[s.callee].name == "job");
+        let after = w
+            .graph
+            .sites
+            .iter()
+            .find(|s| w.symbols.fns[s.callee].name == "after");
+        assert!(job.unwrap().isolated);
+        assert!(!after.unwrap().isolated);
+    }
+
+    #[test]
+    fn reach_and_witness_follow_parents() {
+        let w = ws(&[(
+            "crates/served/src/server.rs",
+            "pub fn listener_loop() { handle_conn(); }\n\
+             fn handle_conn() { decode_frame(); }\n\
+             fn decode_frame() {}\n\
+             fn unrelated() {}\n",
+        )]);
+        let entry = w.symbols.by_qpath["served::server::listener_loop"];
+        let reach = w.reach(&[entry], false);
+        let decode = w.symbols.by_qpath["served::server::decode_frame"];
+        let unrelated = w.symbols.by_qpath["served::server::unrelated"];
+        assert!(reach.reached(decode));
+        assert!(!reach.reached(unrelated));
+        assert_eq!(
+            reach.witness(&w, decode),
+            "listener_loop → handle_conn → decode_frame"
+        );
+    }
+
+    #[test]
+    fn dot_rendering_is_a_digraph() {
+        let w = ws(&[("crates/sim/src/lib.rs", "pub fn a() { b(); }\nfn b() {}\n")]);
+        let dot = w.render_graph("dot");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"sim::a\" -> \"sim::b\""));
+        let text = w.render_graph("text");
+        assert!(text.contains("sim::a -> sim::b"));
+    }
+}

@@ -13,11 +13,20 @@
 //! A trailing comment suppresses its own line; a comment on a line of its
 //! own suppresses itself and the next line. Several rules may be listed:
 //! `allow(rule-a, rule-b)`. Suppressions are counted and reported so a
-//! corpus of silent exemptions can't grow unnoticed.
+//! corpus of silent exemptions can't grow unnoticed — and an `allow`
+//! entry that suppresses *nothing* is itself a finding
+//! ([`UNUSED_SUPPRESSION`]): when the violation it excused is fixed or
+//! moves, the stale exemption must be deleted, not left as a standing
+//! hole.
 
 use crate::lexer::{lex, TokKind, Token};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
+
+/// The engine-internal meta rule: an `allow(…)` entry that silenced no
+/// finding in the run. Warn-level — promoted by `--deny warnings`, which
+/// is how CI runs.
+pub const UNUSED_SUPPRESSION: &str = "unused-suppression";
 
 /// How severe a finding is, and whether it fails the build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -84,8 +93,24 @@ pub struct SourceFile {
     pub test_regions: Vec<(usize, usize)>,
     /// Spans of `fn` bodies, in source order (nested fns listed too).
     pub fns: Vec<FnSpan>,
-    /// Suppressed rules per 1-based line.
-    suppressions: BTreeMap<u32, BTreeSet<String>>,
+    /// Every `ccp-lint: allow(…)` comment, in source order.
+    pub allows: Vec<AllowComment>,
+}
+
+/// One `ccp-lint: allow(…)` comment and the line range it covers.
+#[derive(Debug, Clone)]
+pub struct AllowComment {
+    /// 1-based line of the comment itself (where unused-suppression
+    /// findings anchor).
+    pub line: u32,
+    /// 1-based byte column of the comment.
+    pub col: u32,
+    /// The rule names listed, in written order.
+    pub rules: Vec<String>,
+    /// First covered line (the comment's own).
+    pub first: u32,
+    /// Last covered line (own line, plus the next for standalone comments).
+    pub last: u32,
 }
 
 /// One `fn` item: its name and the code-token range of its body.
@@ -118,11 +143,11 @@ impl SourceFile {
             code,
             test_regions: Vec::new(),
             fns: Vec::new(),
-            suppressions: BTreeMap::new(),
+            allows: Vec::new(),
         };
         file.find_test_regions();
         file.find_fns();
-        file.find_suppressions();
+        file.find_allows();
         file
     }
 
@@ -140,6 +165,11 @@ impl SourceFile {
     /// Number of code tokens.
     pub fn n_code(&self) -> usize {
         self.code.len()
+    }
+
+    /// The kind of code token `k`, or `None` past the end.
+    pub fn tok_kind(&self, k: usize) -> Option<TokKind> {
+        (k < self.code.len()).then(|| self.tok(k).kind)
     }
 
     /// Whether code token `k` is an identifier with exactly this text.
@@ -180,9 +210,9 @@ impl SourceFile {
 
     /// Whether `rule` is suppressed on `line` by an inline allow comment.
     pub fn suppressed(&self, line: u32, rule: &str) -> bool {
-        self.suppressions
-            .get(&line)
-            .is_some_and(|rules| rules.contains(rule))
+        self.allows
+            .iter()
+            .any(|a| line >= a.first && line <= a.last && a.rules.iter().any(|r| r == rule))
     }
 
     /// Marks `#[cfg(test)]` (and `#![cfg(test)]`, and `cfg(all(test, …))`)
@@ -347,15 +377,22 @@ impl SourceFile {
         self.fns = fns;
     }
 
-    /// Parses `ccp-lint: allow(rule-a, rule-b)` comments into the per-line
-    /// suppression map.
-    fn find_suppressions(&mut self) {
-        let mut map: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    /// Parses `ccp-lint: allow(rule-a, rule-b)` comments into
+    /// [`AllowComment`] records.
+    fn find_allows(&mut self) {
+        let mut allows = Vec::new();
         for (i, t) in self.tokens.iter().enumerate() {
             if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
                 continue;
             }
             let text = &self.src[t.start..t.end];
+            // Doc comments describe the syntax; they never invoke it.
+            if ["///", "//!", "/**", "/*!"]
+                .iter()
+                .any(|d| text.starts_with(d))
+            {
+                continue;
+            }
             let Some(rules) = parse_allow(text) else {
                 continue;
             };
@@ -363,15 +400,15 @@ impl SourceFile {
             let standalone = !self.tokens[..i].iter().any(|p| {
                 p.line == t.line && !matches!(p.kind, TokKind::LineComment | TokKind::BlockComment)
             });
-            let mut lines = vec![t.line];
-            if standalone {
-                lines.push(t.line + 1);
-            }
-            for line in lines {
-                map.entry(line).or_default().extend(rules.iter().cloned());
-            }
+            allows.push(AllowComment {
+                line: t.line,
+                col: t.col,
+                rules,
+                first: t.line,
+                last: t.line + u32::from(standalone),
+            });
         }
-        self.suppressions = map;
+        self.allows = allows;
     }
 }
 
@@ -387,7 +424,13 @@ fn parse_allow(comment: &str) -> Option<Vec<String>> {
         .map(|r| r.trim().to_string())
         .filter(|r| !r.is_empty())
         .collect();
-    (!rules.is_empty()).then_some(rules)
+    // Rule names are kebab-case idents; anything else (e.g. the `<rule>`
+    // placeholder in prose explaining the syntax) is not an allow.
+    let well_formed = |r: &String| {
+        r.bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
+    };
+    (!rules.is_empty() && rules.iter().all(well_formed)).then_some(rules)
 }
 
 /// A single rule: a name, a default severity, a path scope, and a checker.
@@ -441,32 +484,109 @@ impl Outcome {
     }
 }
 
-/// Lints one in-memory source under a (possibly virtual) path. The
-/// building block behind both the workspace walk and the fixture harness.
-pub fn lint_source(path: &str, src: &str, rules: &[Box<dyn Rule>]) -> Outcome {
-    let file = SourceFile::analyze(path, src);
+/// Lints a set of analyzed files as one workspace: per-file rules, then
+/// whole-program passes over the linked [`Workspace`], then suppression
+/// with per-entry usage tracking — any `allow(…)` entry that silenced
+/// nothing becomes an [`UNUSED_SUPPRESSION`] finding (itself allowable
+/// with `allow(unused-suppression)` on the same comment).
+///
+/// The single core behind [`lint_source`], [`lint_tree`], and the
+/// fixture harness. Findings are globally sorted by
+/// `(path, line, rule, col, message)` so human and `--json` output are
+/// byte-stable across runs.
+pub fn lint_files(
+    files: Vec<SourceFile>,
+    rules: &[Box<dyn Rule>],
+    passes: &[Box<dyn crate::passes::Pass>],
+) -> Outcome {
+    let n_files = files.len();
+    let mut raw: Vec<Finding> = Vec::new();
+    for file in &files {
+        for rule in rules {
+            if rule.applies(&file.path) {
+                raw.extend(rule.check(file));
+            }
+        }
+    }
+    let ws = crate::callgraph::Workspace::build(files);
+    for pass in passes {
+        raw.extend(pass.check(&ws));
+    }
+    let files = &ws.files;
+    let by_path: BTreeMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.path.as_str(), i))
+        .collect();
+    // Apply suppressions, recording which (file, allow, rule) entries fire.
+    let mut used: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
     let mut findings = Vec::new();
     let mut suppressed = 0usize;
-    for rule in rules {
-        if !rule.applies(path) {
+    for f in raw {
+        let Some(&fi) = by_path.get(f.path.as_str()) else {
+            findings.push(f);
             continue;
+        };
+        let mut hit = false;
+        for (ai, allow) in files[fi].allows.iter().enumerate() {
+            if f.line < allow.first || f.line > allow.last {
+                continue;
+            }
+            for (ri, r) in allow.rules.iter().enumerate() {
+                if r == f.rule {
+                    used.insert((fi, ai, ri));
+                    hit = true;
+                }
+            }
         }
-        for f in rule.check(&file) {
-            if file.suppressed(f.line, f.rule) {
-                suppressed += 1;
-            } else {
-                findings.push(f);
+        if hit {
+            suppressed += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+    // Unused entries are findings. `allow(unused-suppression)` entries are
+    // exempt from the check (they are consumed by the meta round below).
+    for (fi, file) in files.iter().enumerate() {
+        for (ai, allow) in file.allows.iter().enumerate() {
+            for (ri, r) in allow.rules.iter().enumerate() {
+                if r == UNUSED_SUPPRESSION || used.contains(&(fi, ai, ri)) {
+                    continue;
+                }
+                let meta = Finding {
+                    rule: UNUSED_SUPPRESSION,
+                    severity: Severity::Warn,
+                    path: file.path.clone(),
+                    line: allow.line,
+                    col: allow.col,
+                    message: format!(
+                        "`allow({r})` suppresses nothing — the violation it excused is \
+                         gone (or the rule name is wrong); delete the comment"
+                    ),
+                };
+                if file.suppressed(meta.line, UNUSED_SUPPRESSION) {
+                    suppressed += 1;
+                } else {
+                    findings.push(meta);
+                }
             }
         }
     }
     findings.sort_by(|a, b| {
-        (a.line, a.col, a.rule, &a.message).cmp(&(b.line, b.col, b.rule, &b.message))
+        (&a.path, a.line, a.rule, a.col, &a.message)
+            .cmp(&(&b.path, b.line, b.rule, b.col, &b.message))
     });
     Outcome {
         findings,
         suppressed,
-        files: 1,
+        files: n_files,
     }
+}
+
+/// Lints one in-memory source under a (possibly virtual) path: rules
+/// only, no whole-program passes.
+pub fn lint_source(path: &str, src: &str, rules: &[Box<dyn Rule>]) -> Outcome {
+    lint_files(vec![SourceFile::analyze(path, src)], rules, &[])
 }
 
 /// Directories never scanned: build output, VCS, the offline dependency
@@ -512,22 +632,20 @@ pub fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Lints every source file under `root` with `rules`.
-pub fn lint_tree(root: &Path, rules: &[Box<dyn Rule>]) -> std::io::Result<Outcome> {
-    let mut total = Outcome::default();
+/// Lints every source file under `root` as one workspace: per-file
+/// `rules` plus whole-program `passes`.
+pub fn lint_tree(
+    root: &Path,
+    rules: &[Box<dyn Rule>],
+    passes: &[Box<dyn crate::passes::Pass>],
+) -> std::io::Result<Outcome> {
+    let mut files = Vec::new();
     for path in walk(root)? {
         let bytes = std::fs::read(&path)?;
         let src = String::from_utf8_lossy(&bytes);
-        let rel = rel_path(root, &path);
-        let one = lint_source(&rel, &src, rules);
-        total.findings.extend(one.findings);
-        total.suppressed += one.suppressed;
-        total.files += 1;
+        files.push(SourceFile::analyze(rel_path(root, &path), src));
     }
-    total
-        .findings
-        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
-    Ok(total)
+    Ok(lint_files(files, rules, passes))
 }
 
 #[cfg(test)]

@@ -11,22 +11,39 @@
 //! deterministic sim cores with no wall-clock reads, and bounded socket
 //! reads in the serving stack (the chaos-hardening PR). This crate scans
 //! the workspace with its own minimal Rust lexer ([`lexer`]) and a small
-//! rule engine ([`engine`]) carrying eight rules ([`rules`]) that pin those
-//! conventions down, the way a training/inference stack accretes
+//! rule engine ([`engine`]) carrying per-file rules ([`rules`]) that pin
+//! those conventions down, the way a training/inference stack accretes
 //! sanitizer + custom-lint wiring as it grows.
+//!
+//! This PR makes the analysis *whole-program*: a total item parser
+//! ([`parser`]) over the lexer, a workspace symbol table ([`symbols`]),
+//! a resolved call graph with reachability witnesses ([`callgraph`]),
+//! and three interprocedural passes ([`passes`]) — panic-freedom of the
+//! serving paths, transitive determinism of the core crates' public
+//! API, and acyclicity of the inferred global lock graph.
 //!
 //! The crate is dependency-free (it must be able to lint every other
 //! crate without depending on any of them) and offline, consistent with
 //! the `crates/compat` approach. See `DESIGN.md` §9 for the rule
-//! catalogue and the `// ccp-lint: allow(rule)` suppression syntax.
+//! catalogue, §14 for the whole-program pipeline, and the
+//! `// ccp-lint: allow(rule)` suppression syntax.
 //!
 //! [`SimError`]: ../ccp_errors/enum.SimError.html
 
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
+pub mod passes;
 pub mod report;
 pub mod rules;
+pub mod symbols;
 
-pub use engine::{lint_source, lint_tree, walk, Finding, Outcome, Rule, Severity, SourceFile};
+pub use callgraph::Workspace;
+pub use engine::{
+    lint_files, lint_source, lint_tree, walk, Finding, Outcome, Rule, Severity, SourceFile,
+    UNUSED_SUPPRESSION,
+};
+pub use passes::{all_passes, Pass};
 pub use report::{check_fixtures, render_fixtures, render_human, render_json, write_report};
 pub use rules::all_rules;

@@ -1,0 +1,1036 @@
+//! A total recursive-descent *item* parser on top of the lexer: the
+//! structural layer the whole-program passes stand on.
+//!
+//! The lexer guarantees a sound token stream for arbitrary bytes; this
+//! parser extends the guarantee one level up. For any token stream it
+//! produces an item tree — `fn`s (nested ones included), inline and
+//! declared `mod`s, `impl` blocks with their self type and trait,
+//! `struct`/`enum`/`trait` names, and flattened `use` trees with
+//! renames — without ever panicking or failing to terminate. Fidelity is
+//! deliberately partial, exactly like the lexer's: enough structure to
+//! build a symbol table and a call graph ([`crate::symbols`],
+//! [`crate::callgraph`]), while anything unrecognized is skipped one
+//! token at a time.
+//!
+//! Totality is enforced the same two ways throughout: every loop
+//! advances the cursor, and recursion is capped at [`MAX_DEPTH`] (beyond
+//! the cap the parser degrades to flat token consumption instead of
+//! overflowing the stack on adversarial nesting).
+
+use crate::engine::SourceFile;
+use crate::lexer::TokKind;
+
+/// Recursion cap for nested items and use-trees. Real code nests items a
+/// handful of levels deep; byte soup can nest arbitrarily.
+pub const MAX_DEPTH: usize = 64;
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A function with a body (`body` is set) or a bodiless signature.
+    Fn,
+    /// An inline module (`mod m { … }`); children hold its items.
+    Mod,
+    /// A module declaration (`mod m;`) resolved to a sibling file.
+    ModDecl,
+    /// A struct, union, enum, or trait alias-like nominal item.
+    Struct,
+    /// An enum.
+    Enum,
+    /// A trait definition; children hold its (possibly bodiless) methods.
+    Trait,
+    /// An impl block; children hold the methods.
+    Impl {
+        /// The self type's head identifier (`CppHierarchy` for
+        /// `impl<S> CppHierarchy<S>`), or empty when unrecognizable.
+        self_ty: String,
+        /// The trait's head identifier for `impl Trait for Type`.
+        trait_name: Option<String>,
+    },
+    /// A `use` declaration, flattened into one import per leaf.
+    Use {
+        /// The flattened imports (nesting and renames resolved).
+        imports: Vec<UseImport>,
+    },
+    /// Anything else the parser recognized enough to skip as a unit
+    /// (consts, statics, type aliases, macros, extern blocks).
+    Other,
+}
+
+/// One leaf of a (possibly nested) use-tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// Path segments as written, `crate`/`super`/`self` included.
+    pub path: Vec<String>,
+    /// The name the import binds in this file (`y` for `use x::y`, `z`
+    /// for `use x::y as z`).
+    pub alias: String,
+    /// Whether this is a glob import (`use x::*`; `alias` is `*`).
+    pub glob: bool,
+}
+
+/// One parsed item. Spans are inclusive ranges of *code* token indices
+/// (indices into [`SourceFile::code`]).
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// The item's kind (and kind-specific payload).
+    pub kind: ItemKind,
+    /// Item name (`fn`/`mod`/`struct`/`enum`/`trait` name; empty for
+    /// `impl`/`use`/`Other`).
+    pub name: String,
+    /// Whether the item is unrestricted `pub` (`pub(crate)` and narrower
+    /// count as private: they are not API surface outside the crate).
+    pub is_pub: bool,
+    /// Inclusive code-token span of the whole item, attributes included.
+    pub span: (usize, usize),
+    /// For `Fn`: the `{`..`}` code-token range of the body, if any.
+    /// For `Mod`/`Trait`/`Impl`: the brace range of the block.
+    pub body: Option<(usize, usize)>,
+    /// For `Fn`: the `(`..`)` code-token range of the parameter list.
+    pub params: Option<(usize, usize)>,
+    /// Child items: module/impl/trait members, and `fn`s nested inside
+    /// this `fn`'s body.
+    pub children: Vec<Item>,
+    /// 1-based line of the item's first token.
+    pub line: u32,
+}
+
+/// Parses the item tree of an analyzed file. Total: never panics and
+/// terminates for arbitrary input.
+pub fn parse_items(file: &SourceFile) -> Vec<Item> {
+    let mut p = Parser { f: file, k: 0 };
+    let mut out = Vec::new();
+    while p.k < file.n_code() {
+        let before = p.k;
+        out.extend(p.items(file.n_code(), 0));
+        if p.k < file.n_code() {
+            p.k += 1; // stray top-level `}`: skip it and keep going
+        }
+        if p.k <= before {
+            p.k = before + 1;
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    f: &'a SourceFile,
+    k: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_ident(&self, text: &str) -> bool {
+        self.f.is_ident(self.k, text)
+    }
+
+    fn at_any_ident(&self) -> bool {
+        self.k < self.f.n_code() && self.f.tok(self.k).kind == TokKind::Ident
+    }
+
+    fn at_punct(&self, p: char) -> bool {
+        self.f.is_punct(self.k, p)
+    }
+
+    fn cur_text(&self) -> &str {
+        if self.k < self.f.n_code() {
+            self.f.ct(self.k)
+        } else {
+            ""
+        }
+    }
+
+    fn line(&self, k: usize) -> u32 {
+        if k < self.f.n_code() {
+            self.f.tok(k).line
+        } else {
+            self.f.tokens.last().map_or(1, |t| t.line)
+        }
+    }
+
+    /// Parses items until `end` (exclusive) or a closing `}` at this
+    /// nesting level (left unconsumed for the caller).
+    fn items(&mut self, end: usize, depth: usize) -> Vec<Item> {
+        let mut out = Vec::new();
+        while self.k < end && self.k < self.f.n_code() {
+            if self.at_punct('}') {
+                break;
+            }
+            let before = self.k;
+            if let Some(item) = self.item(end, depth) {
+                out.push(item);
+            }
+            if self.k <= before {
+                self.k = before + 1; // totality: always advance
+            }
+        }
+        out
+    }
+
+    /// Parses one item at the cursor, or advances past one token of
+    /// unrecognized input returning `None`.
+    fn item(&mut self, end: usize, depth: usize) -> Option<Item> {
+        if depth >= MAX_DEPTH {
+            self.k += 1;
+            return None;
+        }
+        let start = self.k;
+        // Attributes (`#[…]`, `#![…]`).
+        while self.at_punct('#') {
+            self.skip_attr(end);
+        }
+        let is_pub = self.eat_vis();
+        // Modifiers that may precede `fn` (or stand alone as items).
+        loop {
+            if self.at_ident("unsafe")
+                || self.at_ident("async")
+                || self.at_ident("default")
+                || (self.at_ident("const") && self.f.is_ident(self.k + 1, "fn"))
+            {
+                self.k += 1;
+            } else if self.at_ident("extern")
+                && (self.f.tok_kind(self.k + 1) == Some(TokKind::Str)
+                    && (self.f.is_ident(self.k + 2, "fn") || self.f.is_punct(self.k + 2, '{'))
+                    || self.f.is_punct(self.k + 1, '{'))
+            {
+                // `extern "C" fn` modifier, or an extern block.
+                self.k += 1;
+                if self.f.tok_kind(self.k) == Some(TokKind::Str) {
+                    self.k += 1;
+                }
+                if self.at_punct('{') {
+                    let close = self.skip_braces(end);
+                    return Some(self.leaf(ItemKind::Other, String::new(), is_pub, start, close));
+                }
+            } else {
+                break;
+            }
+        }
+
+        if self.at_ident("fn") {
+            return Some(self.parse_fn(start, is_pub, end, depth));
+        }
+        if self.at_ident("mod") {
+            return Some(self.parse_mod(start, is_pub, end, depth));
+        }
+        if self.at_ident("struct") || (self.at_ident("union") && self.next_is_ident()) {
+            return Some(self.parse_nominal(ItemKind::Struct, start, is_pub, end));
+        }
+        if self.at_ident("enum") {
+            return Some(self.parse_nominal(ItemKind::Enum, start, is_pub, end));
+        }
+        if self.at_ident("trait") {
+            return Some(self.parse_trait(start, is_pub, end, depth));
+        }
+        if self.at_ident("impl") {
+            return Some(self.parse_impl(start, is_pub, end, depth));
+        }
+        if self.at_ident("use") {
+            return Some(self.parse_use(start, is_pub, end, depth));
+        }
+        if self.at_ident("extern") && self.f.is_ident(self.k + 1, "crate") {
+            let close = self.skip_to_semi(end);
+            return Some(self.leaf(ItemKind::Other, String::new(), is_pub, start, close));
+        }
+        if self.at_ident("const") || self.at_ident("static") || self.at_ident("type") {
+            let close = self.skip_to_semi(end);
+            return Some(self.leaf(ItemKind::Other, String::new(), is_pub, start, close));
+        }
+        if self.at_ident("macro_rules") || self.at_ident("macro") {
+            let close = self.skip_macro_def(end);
+            return Some(self.leaf(ItemKind::Other, String::new(), is_pub, start, close));
+        }
+        // Unrecognized: consume one token; items() guarantees progress.
+        // Attribute/visibility skipping may already have the cursor at
+        // end-of-stream — clamp so `k` never exceeds `n_code`, which
+        // would push an enclosing item's `k - 1` close out of bounds.
+        self.k = self.k.saturating_add(1).min(self.f.n_code().max(start + 1));
+        None
+    }
+
+    fn leaf(&self, kind: ItemKind, name: String, is_pub: bool, start: usize, close: usize) -> Item {
+        Item {
+            kind,
+            name,
+            is_pub,
+            span: (start, close.max(start)),
+            body: None,
+            params: None,
+            children: Vec::new(),
+            line: self.line(start),
+        }
+    }
+
+    fn next_is_ident(&self) -> bool {
+        self.k + 1 < self.f.n_code() && self.f.tok(self.k + 1).kind == TokKind::Ident
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(super)`, `pub(in path)`.
+    /// Returns true only for unrestricted `pub`.
+    fn eat_vis(&mut self) -> bool {
+        if !self.at_ident("pub") {
+            return false;
+        }
+        self.k += 1;
+        if self.at_punct('(') {
+            self.skip_parens(self.f.n_code());
+            return false;
+        }
+        true
+    }
+
+    /// Skips `#[…]` / `#![…]` starting at the `#`.
+    fn skip_attr(&mut self, end: usize) {
+        self.k += 1; // '#'
+        if self.at_punct('!') {
+            self.k += 1;
+        }
+        if !self.at_punct('[') {
+            return;
+        }
+        let mut depth = 0i32;
+        while self.k < end && self.k < self.f.n_code() {
+            if self.at_punct('[') || self.at_punct('(') || self.at_punct('{') {
+                depth += 1;
+            } else if self.at_punct(']') || self.at_punct(')') || self.at_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    self.k += 1;
+                    return;
+                }
+            }
+            self.k += 1;
+        }
+    }
+
+    /// At `(`: skips to one past the matching `)`. Returns the index of
+    /// the closing paren (or the last consumed token at EOF).
+    fn skip_parens(&mut self, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut last = self.k;
+        while self.k < end && self.k < self.f.n_code() {
+            if self.at_punct('(') || self.at_punct('[') {
+                depth += 1;
+            } else if self.at_punct(')') || self.at_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    last = self.k;
+                    self.k += 1;
+                    return last;
+                }
+            }
+            last = self.k;
+            self.k += 1;
+        }
+        last
+    }
+
+    /// At `{`: skips to one past the matching `}`. Returns the index of
+    /// the closing brace (or the last consumed token at EOF).
+    fn skip_braces(&mut self, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut last = self.k;
+        while self.k < end && self.k < self.f.n_code() {
+            if self.at_punct('{') {
+                depth += 1;
+            } else if self.at_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    last = self.k;
+                    self.k += 1;
+                    return last;
+                }
+            }
+            last = self.k;
+            self.k += 1;
+        }
+        last
+    }
+
+    /// Skips to one past the next `;` at brace/paren depth 0 (const and
+    /// static initializers may contain blocks). Returns the `;` index.
+    fn skip_to_semi(&mut self, end: usize) -> usize {
+        let mut depth = 0i32;
+        let mut last = self.k;
+        while self.k < end && self.k < self.f.n_code() {
+            if self.at_punct('{') || self.at_punct('(') || self.at_punct('[') {
+                depth += 1;
+            } else if self.at_punct('}') || self.at_punct(')') || self.at_punct(']') {
+                if depth == 0 {
+                    return last; // malformed: stop before the closer
+                }
+                depth -= 1;
+            } else if depth == 0 && self.at_punct(';') {
+                last = self.k;
+                self.k += 1;
+                return last;
+            }
+            last = self.k;
+            self.k += 1;
+        }
+        // When called with the cursor already at EOF, `last` never moved
+        // off the out-of-range starting index; clamp it into bounds.
+        last.min(self.f.n_code().saturating_sub(1))
+    }
+
+    /// Skips a `macro_rules! name { … }` (or `(…);` / `[…];`) definition.
+    fn skip_macro_def(&mut self, end: usize) -> usize {
+        self.k += 1; // macro_rules / macro
+        if self.at_punct('!') {
+            self.k += 1;
+        }
+        if self.at_any_ident() {
+            self.k += 1;
+        }
+        if self.at_punct('{') {
+            self.skip_braces(end)
+        } else if self.at_punct('(') || self.at_punct('[') {
+            let close = self.skip_parens(end);
+            if self.at_punct(';') {
+                let s = self.k;
+                self.k += 1;
+                s
+            } else {
+                close
+            }
+        } else {
+            self.skip_to_semi(end)
+        }
+    }
+
+    /// `fn` at the cursor: parses name, generics, params, return type,
+    /// and body; recursively parses `fn`s nested inside the body.
+    fn parse_fn(&mut self, start: usize, is_pub: bool, end: usize, depth: usize) -> Item {
+        self.k += 1; // fn
+        let name = if self.at_any_ident() {
+            let n = self.cur_text().to_string();
+            self.k += 1;
+            n
+        } else {
+            String::new()
+        };
+        // Generics.
+        if self.at_punct('<') {
+            self.skip_angles(end);
+        }
+        // Parameter list.
+        let params = if self.at_punct('(') {
+            let open = self.k;
+            let close = self.skip_parens(end);
+            Some((open, close))
+        } else {
+            None
+        };
+        // Return type / where clause, up to `{` or `;` at depth 0.
+        let mut angle = 0i32;
+        let mut nest = 0i32;
+        let mut body = None;
+        while self.k < end && self.k < self.f.n_code() {
+            if self.at_punct('<') {
+                angle += 1;
+            } else if self.at_punct('>') {
+                let glued_arrow = self.k > 0
+                    && self.f.is_punct(self.k - 1, '-')
+                    && self.f.tok(self.k - 1).end == self.f.tok(self.k).start;
+                if !glued_arrow && angle > 0 {
+                    angle -= 1;
+                }
+            } else if self.at_punct('(') || self.at_punct('[') {
+                nest += 1;
+            } else if self.at_punct(')') || self.at_punct(']') {
+                if nest == 0 {
+                    break; // malformed: stop before the closer
+                }
+                nest -= 1;
+            } else if nest == 0 && angle <= 0 && self.at_punct(';') {
+                self.k += 1;
+                break; // bodiless signature
+            } else if nest == 0 && angle <= 0 && self.at_punct('{') {
+                let open = self.k;
+                let close = self.skip_braces(end);
+                body = Some((open, close));
+                break;
+            } else if nest == 0 && self.at_punct('}') {
+                break; // malformed: don't escape the enclosing block
+            }
+            self.k += 1;
+        }
+        // Nested fns inside the body become children (each a graph node
+        // of its own; the call scanner excludes their spans).
+        let children = match body {
+            Some((open, close)) if depth + 1 < MAX_DEPTH => {
+                self.nested_fns(open + 1, close, depth + 1)
+            }
+            _ => Vec::new(),
+        };
+        Item {
+            kind: ItemKind::Fn,
+            name,
+            is_pub,
+            span: (start, self.k.saturating_sub(1).max(start)),
+            body,
+            params,
+            children,
+            line: self.line(start),
+        }
+    }
+
+    /// Scans `[from, to)` for nested `fn` items (the only item kind that
+    /// matters inside a body) and parses each recursively.
+    fn nested_fns(&mut self, from: usize, to: usize, depth: usize) -> Vec<Item> {
+        let saved = self.k;
+        let mut out = Vec::new();
+        let mut j = from;
+        while j < to && j < self.f.n_code() {
+            // `fn name` — the Ident guard keeps fn-pointer types out,
+            // mirroring SourceFile::find_fns.
+            if self.f.is_ident(j, "fn")
+                && j + 1 < self.f.n_code()
+                && self.f.tok(j + 1).kind == TokKind::Ident
+            {
+                self.k = j;
+                let item = self.parse_fn(j, false, to, depth);
+                j = item.span.1 + 1;
+                out.push(item);
+            } else {
+                j += 1;
+            }
+        }
+        self.k = saved;
+        out
+    }
+
+    /// At `<`: skips a balanced generic-argument list, tolerating glued
+    /// `->` arrows and parenthesized bounds.
+    fn skip_angles(&mut self, end: usize) {
+        let mut angle = 0i32;
+        let mut nest = 0i32;
+        while self.k < end && self.k < self.f.n_code() {
+            if self.at_punct('<') {
+                angle += 1;
+            } else if self.at_punct('>') {
+                let glued_arrow = self.k > 0
+                    && self.f.is_punct(self.k - 1, '-')
+                    && self.f.tok(self.k - 1).end == self.f.tok(self.k).start;
+                if !glued_arrow {
+                    angle -= 1;
+                    if angle == 0 {
+                        self.k += 1;
+                        return;
+                    }
+                }
+            } else if self.at_punct('(') || self.at_punct('[') {
+                nest += 1;
+            } else if self.at_punct(')') || self.at_punct(']') {
+                nest -= 1;
+                if nest < 0 {
+                    return; // malformed
+                }
+            } else if nest == 0 && (self.at_punct(';') || self.at_punct('{')) {
+                return; // comparison, not generics
+            }
+            self.k += 1;
+        }
+    }
+
+    fn parse_mod(&mut self, start: usize, is_pub: bool, end: usize, depth: usize) -> Item {
+        self.k += 1; // mod
+        let name = if self.at_any_ident() {
+            let n = self.cur_text().to_string();
+            self.k += 1;
+            n
+        } else {
+            String::new()
+        };
+        if self.at_punct(';') {
+            let close = self.k;
+            self.k += 1;
+            return self.leaf(ItemKind::ModDecl, name, is_pub, start, close);
+        }
+        if !self.at_punct('{') {
+            // Truncated input can leave `self.k` (and `end`) one past the
+            // last token; clamp so the span stays in bounds.
+            let close = self.k.min(end).min(self.f.n_code().saturating_sub(1));
+            return self.leaf(ItemKind::Other, name, is_pub, start, close);
+        }
+        let open = self.k;
+        self.k += 1;
+        let children = self.items(end, depth + 1);
+        let close = if self.at_punct('}') {
+            let c = self.k;
+            self.k += 1;
+            c
+        } else {
+            self.k.saturating_sub(1)
+        };
+        Item {
+            kind: ItemKind::Mod,
+            name,
+            is_pub,
+            span: (start, close.max(start)),
+            body: Some((open, close)),
+            params: None,
+            children,
+            line: self.line(start),
+        }
+    }
+
+    /// Struct/union/enum: records the name and skips the definition
+    /// (`;`-terminated tuple/unit form or brace-matched body).
+    fn parse_nominal(&mut self, kind: ItemKind, start: usize, is_pub: bool, end: usize) -> Item {
+        self.k += 1; // struct / union / enum
+        let name = if self.at_any_ident() {
+            let n = self.cur_text().to_string();
+            self.k += 1;
+            n
+        } else {
+            String::new()
+        };
+        if self.at_punct('<') {
+            self.skip_angles(end);
+        }
+        // Tuple struct `( … )` then `;`, plain `;`, or braced body.
+        let mut close = self.k.saturating_sub(1);
+        while self.k < end && self.k < self.f.n_code() {
+            if self.at_punct('{') {
+                close = self.skip_braces(end);
+                break;
+            }
+            if self.at_punct('(') {
+                close = self.skip_parens(end);
+                continue;
+            }
+            if self.at_punct(';') {
+                close = self.k;
+                self.k += 1;
+                break;
+            }
+            if self.at_punct('}') || self.at_punct(')') {
+                break; // malformed: don't escape the enclosing block
+            }
+            close = self.k;
+            self.k += 1;
+        }
+        self.leaf(kind, name, is_pub, start, close)
+    }
+
+    fn parse_trait(&mut self, start: usize, is_pub: bool, end: usize, depth: usize) -> Item {
+        self.k += 1; // trait
+        let name = if self.at_any_ident() {
+            let n = self.cur_text().to_string();
+            self.k += 1;
+            n
+        } else {
+            String::new()
+        };
+        // Generics, supertrait bounds, where clause, up to `{` or `;`.
+        while self.k < end && self.k < self.f.n_code() {
+            if self.at_punct('<') {
+                self.skip_angles(end);
+                continue;
+            }
+            if self.at_punct('{') || self.at_punct(';') || self.at_punct('}') {
+                break;
+            }
+            self.k += 1;
+        }
+        if !self.at_punct('{') {
+            if self.at_punct(';') {
+                self.k += 1;
+            }
+            return self.leaf(
+                ItemKind::Trait,
+                name,
+                is_pub,
+                start,
+                self.k.saturating_sub(1),
+            );
+        }
+        let open = self.k;
+        self.k += 1;
+        let children = self.items(end, depth + 1);
+        let close = if self.at_punct('}') {
+            let c = self.k;
+            self.k += 1;
+            c
+        } else {
+            self.k.saturating_sub(1)
+        };
+        Item {
+            kind: ItemKind::Trait,
+            name,
+            is_pub,
+            span: (start, close.max(start)),
+            body: Some((open, close)),
+            params: None,
+            children,
+            line: self.line(start),
+        }
+    }
+
+    fn parse_impl(&mut self, start: usize, is_pub: bool, end: usize, depth: usize) -> Item {
+        self.k += 1; // impl
+        if self.at_punct('<') {
+            self.skip_angles(end);
+        }
+        // Collect head identifiers (at angle depth 0) up to `for` / `{`.
+        let mut first_head: Vec<String> = Vec::new(); // before `for`
+        let mut second_head: Vec<String> = Vec::new(); // after `for`
+        let mut saw_for = false;
+        while self.k < end && self.k < self.f.n_code() {
+            if self.at_punct('<') {
+                self.skip_angles(end);
+                continue;
+            }
+            if self.at_punct('{') || self.at_punct(';') || self.at_punct('}') {
+                break;
+            }
+            if self.at_ident("for") {
+                saw_for = true;
+            } else if self.at_ident("where") {
+                // Bounds follow; head is complete.
+                while self.k < end && self.k < self.f.n_code() && !self.at_punct('{') {
+                    if self.at_punct('<') {
+                        self.skip_angles(end);
+                        continue;
+                    }
+                    if self.at_punct(';') || self.at_punct('}') {
+                        break;
+                    }
+                    self.k += 1;
+                }
+                continue;
+            } else if self.at_any_ident()
+                && !matches!(self.cur_text(), "dyn" | "mut" | "const" | "unsafe")
+            {
+                let tgt = if saw_for {
+                    &mut second_head
+                } else {
+                    &mut first_head
+                };
+                tgt.push(self.cur_text().to_string());
+            }
+            self.k += 1;
+        }
+        let (self_ty, trait_name) = if saw_for {
+            (
+                second_head.last().cloned().unwrap_or_default(),
+                first_head.last().cloned(),
+            )
+        } else {
+            (first_head.last().cloned().unwrap_or_default(), None)
+        };
+        if !self.at_punct('{') {
+            if self.at_punct(';') {
+                self.k += 1;
+            }
+            return self.leaf(
+                ItemKind::Impl {
+                    self_ty,
+                    trait_name,
+                },
+                String::new(),
+                is_pub,
+                start,
+                self.k.saturating_sub(1),
+            );
+        }
+        let open = self.k;
+        self.k += 1;
+        let children = self.items(end, depth + 1);
+        let close = if self.at_punct('}') {
+            let c = self.k;
+            self.k += 1;
+            c
+        } else {
+            self.k.saturating_sub(1)
+        };
+        Item {
+            kind: ItemKind::Impl {
+                self_ty,
+                trait_name,
+            },
+            name: String::new(),
+            is_pub,
+            span: (start, close.max(start)),
+            body: Some((open, close)),
+            params: None,
+            children,
+            line: self.line(start),
+        }
+    }
+
+    fn parse_use(&mut self, start: usize, is_pub: bool, end: usize, depth: usize) -> Item {
+        self.k += 1; // use
+        let mut imports = Vec::new();
+        self.parse_use_tree(Vec::new(), &mut imports, end, depth);
+        let close = self.skip_to_semi(end);
+        Item {
+            kind: ItemKind::Use { imports },
+            name: String::new(),
+            is_pub,
+            span: (start, close.max(start)),
+            body: None,
+            params: None,
+            children: Vec::new(),
+            line: self.line(start),
+        }
+    }
+
+    /// One use-tree alternative: `seg::…::leaf [as alias]`, `prefix::{…}`,
+    /// or `prefix::*`. Appends flattened imports to `out`.
+    fn parse_use_tree(
+        &mut self,
+        mut prefix: Vec<String>,
+        out: &mut Vec<UseImport>,
+        end: usize,
+        depth: usize,
+    ) {
+        if depth >= MAX_DEPTH {
+            return;
+        }
+        loop {
+            if self.k >= end || self.k >= self.f.n_code() {
+                return;
+            }
+            if self.at_punct('*') {
+                self.k += 1;
+                out.push(UseImport {
+                    path: prefix,
+                    alias: "*".to_string(),
+                    glob: true,
+                });
+                return;
+            }
+            if self.at_punct('{') {
+                self.k += 1;
+                loop {
+                    if self.k >= end || self.k >= self.f.n_code() || self.at_punct(';') {
+                        return;
+                    }
+                    if self.at_punct('}') {
+                        self.k += 1;
+                        return;
+                    }
+                    let before = self.k;
+                    self.parse_use_tree(prefix.clone(), out, end, depth + 1);
+                    if self.at_punct(',') {
+                        self.k += 1;
+                    }
+                    if self.k <= before {
+                        self.k = before + 1; // totality
+                    }
+                }
+            }
+            if !self.at_any_ident() {
+                return; // malformed
+            }
+            let seg = self.cur_text().to_string();
+            self.k += 1;
+            if seg == "self" && !prefix.is_empty() {
+                // `use x::y::{self}` binds `y`.
+                let alias = prefix.last().cloned().unwrap_or_default();
+                out.push(UseImport {
+                    path: prefix,
+                    alias,
+                    glob: false,
+                });
+                return;
+            }
+            prefix.push(seg);
+            if self.f.is_punct(self.k, ':') && self.f.is_punct(self.k + 1, ':') {
+                self.k += 2;
+                continue;
+            }
+            // Leaf: optional rename.
+            let alias = if self.at_ident("as") {
+                self.k += 1;
+                if self.at_any_ident() {
+                    let a = self.cur_text().to_string();
+                    self.k += 1;
+                    a
+                } else {
+                    prefix.last().cloned().unwrap_or_default()
+                }
+            } else {
+                prefix.last().cloned().unwrap_or_default()
+            };
+            out.push(UseImport {
+                path: prefix,
+                alias,
+                glob: false,
+            });
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Vec<Item> {
+        parse_items(&SourceFile::analyze("a.rs", src))
+    }
+
+    /// Flattens the item tree to (kind-ish, name) pairs, depth-first.
+    fn names(items: &[Item], out: &mut Vec<(String, String)>) {
+        for it in items {
+            let kind = match &it.kind {
+                ItemKind::Fn => "fn".to_string(),
+                ItemKind::Mod => "mod".to_string(),
+                ItemKind::ModDecl => "moddecl".to_string(),
+                ItemKind::Struct => "struct".to_string(),
+                ItemKind::Enum => "enum".to_string(),
+                ItemKind::Trait => "trait".to_string(),
+                ItemKind::Impl { self_ty, .. } => format!("impl:{self_ty}"),
+                ItemKind::Use { .. } => "use".to_string(),
+                ItemKind::Other => "other".to_string(),
+            };
+            out.push((kind, it.name.clone()));
+            names(&it.children, out);
+        }
+    }
+
+    #[test]
+    fn fns_mods_structs_enums() {
+        let items = parse(
+            "pub fn a() {}\nmod m { fn b() {} pub struct S { x: u32 } }\nenum E { A, B }\nmod decl;\n",
+        );
+        let mut got = Vec::new();
+        names(&items, &mut got);
+        assert_eq!(
+            got,
+            vec![
+                ("fn".into(), "a".into()),
+                ("mod".into(), "m".into()),
+                ("fn".into(), "b".into()),
+                ("struct".into(), "S".into()),
+                ("enum".into(), "E".into()),
+                ("moddecl".into(), "decl".into()),
+            ]
+        );
+        assert!(items[0].is_pub);
+        assert!(!items[1].children[0].is_pub);
+        assert!(items[1].children[1].is_pub);
+    }
+
+    #[test]
+    fn impl_blocks_carry_self_type_and_trait() {
+        let items = parse(
+            "impl<S: Scheme> CppHierarchy<S> { pub fn access(&mut self) {} }\n\
+             impl fmt::Display for Finding { fn fmt(&self, f: &mut fmt::Formatter) -> R {} }\n",
+        );
+        match &items[0].kind {
+            ItemKind::Impl {
+                self_ty,
+                trait_name,
+            } => {
+                assert_eq!(self_ty, "CppHierarchy");
+                assert_eq!(*trait_name, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(items[0].children[0].name, "access");
+        assert!(items[0].children[0].is_pub);
+        match &items[1].kind {
+            ItemKind::Impl {
+                self_ty,
+                trait_name,
+            } => {
+                assert_eq!(self_ty, "Finding");
+                assert_eq!(trait_name.as_deref(), Some("Display"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn use_trees_flatten_with_renames_and_globs() {
+        let items = parse(
+            "use ccp_errors::{SimError, SimResult as SR};\nuse ccp_sim::json::*;\nuse a::b as c;\n",
+        );
+        let all: Vec<&UseImport> = items
+            .iter()
+            .filter_map(|i| match &i.kind {
+                ItemKind::Use { imports } => Some(imports.iter()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].path, vec!["ccp_errors", "SimError"]);
+        assert_eq!(all[0].alias, "SimError");
+        assert_eq!(all[1].path, vec!["ccp_errors", "SimResult"]);
+        assert_eq!(all[1].alias, "SR");
+        assert!(all[2].glob);
+        assert_eq!(all[2].path, vec!["ccp_sim", "json"]);
+        assert_eq!(all[3].alias, "c");
+    }
+
+    #[test]
+    fn nested_fns_become_children() {
+        let items = parse("fn outer() { fn inner(x: u32) -> u32 { x } inner(3); }\n");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "outer");
+        assert_eq!(items[0].children.len(), 1);
+        assert_eq!(items[0].children[0].name, "inner");
+        // The nested span sits inside the outer body.
+        let (o, c) = items[0].body.unwrap();
+        let inner = &items[0].children[0];
+        assert!(o < inner.span.0 && inner.span.1 < c);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_nested_fns() {
+        let items = parse("fn outer() { let f: fn(u32) -> u32 = id; f(3); }\n");
+        assert_eq!(items[0].children.len(), 0);
+    }
+
+    #[test]
+    fn generics_and_where_clauses_do_not_derail_bodies() {
+        let items = parse(
+            "fn f<T: Into<Vec<u8>>>(x: [u8; 3]) -> Result<T, E> where T: Send { body() }\n\
+             trait T { fn sig(&self); fn with_default(&self) {} }\n",
+        );
+        assert_eq!(items[0].name, "f");
+        assert!(items[0].body.is_some());
+        assert_eq!(items[1].children.len(), 2);
+        assert!(items[1].children[0].body.is_none());
+        assert!(items[1].children[1].body.is_some());
+    }
+
+    #[test]
+    fn pub_crate_is_not_public_api() {
+        let items = parse("pub(crate) fn a() {}\npub fn b() {}\n");
+        assert!(!items[0].is_pub);
+        assert!(items[1].is_pub);
+    }
+
+    #[test]
+    fn params_span_covers_the_parens() {
+        let f = SourceFile::analyze("a.rs", "fn f(a: u32, b: &Shared) -> u32 { a }\n");
+        let items = parse_items(&f);
+        let (open, close) = items[0].params.unwrap();
+        assert!(f.is_punct(open, '('));
+        assert!(f.is_punct(close, ')'));
+    }
+
+    #[test]
+    fn malformed_input_terminates() {
+        for src in [
+            "fn",
+            "fn (",
+            "impl {",
+            "use ::;",
+            "mod m { fn f( }",
+            "struct S(",
+            "pub pub pub",
+            "fn f<T(x: u32) {}",
+            "use a::{b, c",
+            "trait T",
+            "macro_rules! m { bad",
+        ] {
+            let _ = parse(src);
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! Human and machine-readable rendering of an [`Outcome`], plus the
 //! fixture-corpus golden check shared by `cargo test` and `ci.sh`.
 
-use crate::engine::{lint_source, Outcome, Rule};
+use crate::engine::{lint_files, Outcome, Rule, SourceFile};
+use crate::passes::Pass;
 use std::path::Path;
 
 /// Renders the human report: one line per finding plus a summary line.
@@ -46,10 +47,19 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders the `--json` machine-readable report.
+/// Renders the `--json` machine-readable report. Output is byte-stable
+/// across runs: findings are emitted in `(path, line, rule)` order
+/// regardless of how the caller assembled the [`Outcome`] (the engine
+/// already sorts; this re-sort makes the guarantee local to the
+/// serializer, so diffing two reports never shows ordering noise).
 pub fn render_json(out: &Outcome, deny_warnings: bool) -> String {
+    let mut ordered: Vec<_> = out.findings.iter().collect();
+    ordered.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, a.col, &a.message)
+            .cmp(&(&b.path, b.line, b.rule, b.col, &b.message))
+    });
     let mut s = String::from("{\"findings\":[");
-    for (i, f) in out.findings.iter().enumerate() {
+    for (i, f) in ordered.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
@@ -98,9 +108,14 @@ pub const FIXTURE_MARKER: &str = "// ccp-lint-fixture:";
 
 /// Lints every `*.rs` fixture in `dir` under its declared virtual path
 /// and renders the findings (fixture file name substituted for the
-/// virtual path, so the golden file is stable). Lines are exactly what
-/// `expected.txt` pins down.
-pub fn render_fixtures(dir: &Path, rules: &[Box<dyn Rule>]) -> std::io::Result<String> {
+/// virtual path, so the golden file is stable). Each fixture is linted
+/// as a single-file workspace, so the interprocedural passes run on it
+/// too. Lines are exactly what `expected.txt` pins down.
+pub fn render_fixtures(
+    dir: &Path,
+    rules: &[Box<dyn Rule>],
+    passes: &[Box<dyn Pass>],
+) -> std::io::Result<String> {
     let mut files: Vec<_> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|x| x == "rs"))
@@ -130,7 +145,7 @@ pub fn render_fixtures(dir: &Path, rules: &[Box<dyn Rule>]) -> std::io::Result<S
                     "{name}: first line must be `{FIXTURE_MARKER} <virtual/workspace/path.rs>`"
                 ))
             })?;
-        let out = lint_source(virtual_path, &src, rules);
+        let out = lint_files(vec![SourceFile::analyze(virtual_path, &src)], rules, passes);
         for f in &out.findings {
             let mut f = f.clone();
             f.path = name.clone();
@@ -144,9 +159,13 @@ pub fn render_fixtures(dir: &Path, rules: &[Box<dyn Rule>]) -> std::io::Result<S
 
 /// Diffs the rendered fixture corpus against `expected.txt` in `dir`.
 /// `Ok(())` on an exact match; `Err` carries a unified-ish diff.
-// ccp-lint: allow(no-stringly-errors) — the Err IS the rendered diff for display; there is nothing to classify
-pub fn check_fixtures(dir: &Path, rules: &[Box<dyn Rule>]) -> Result<(), String> {
-    let rendered = render_fixtures(dir, rules).map_err(|e| e.to_string())?;
+pub fn check_fixtures(
+    dir: &Path,
+    rules: &[Box<dyn Rule>],
+    passes: &[Box<dyn Pass>],
+    // ccp-lint: allow(no-stringly-errors) — the Err IS the rendered diff for display; there is nothing to classify
+) -> Result<(), String> {
+    let rendered = render_fixtures(dir, rules, passes).map_err(|e| e.to_string())?;
     let expected_path = dir.join("expected.txt");
     let expected = std::fs::read_to_string(&expected_path)
         .map_err(|e| format!("{}: {e}", expected_path.display()))?;
@@ -201,6 +220,42 @@ mod tests {
         // Parseable by the sim crate's own JSON parser in integration use;
         // here just check balanced braces.
         assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn json_output_is_order_independent() {
+        // Two outcomes with the same findings in different order must
+        // serialize byte-identically.
+        let f1 = Finding {
+            rule: "no-stringly-errors",
+            severity: Severity::Deny,
+            path: "crates/a/src/lib.rs".into(),
+            line: 9,
+            col: 1,
+            message: "m1".into(),
+        };
+        let f2 = Finding {
+            rule: "atomic-json-writes",
+            severity: Severity::Warn,
+            path: "crates/a/src/lib.rs".into(),
+            line: 2,
+            col: 4,
+            message: "m2".into(),
+        };
+        let fwd = Outcome {
+            findings: vec![f1.clone(), f2.clone()],
+            suppressed: 0,
+            files: 1,
+        };
+        let rev = Outcome {
+            findings: vec![f2, f1],
+            suppressed: 0,
+            files: 1,
+        };
+        let a = render_json(&fwd, true);
+        assert_eq!(a, render_json(&rev, true));
+        // And the order is (path, line, rule): line 2 first.
+        assert!(a.find("\"line\":2").unwrap() < a.find("\"line\":9").unwrap());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The nine workspace-specific rules. Each one guards an invariant an
+//! The per-file workspace rules. Each one guards an invariant an
 //! earlier PR established by hand; see `DESIGN.md` §9 for the rationale
 //! behind every rule and the suppression syntax.
 //!
@@ -6,17 +6,22 @@
 //! for zero dependencies and total robustness, and lean on inline
 //! `ccp-lint: allow(…)` suppressions (each carrying a one-line
 //! justification) where the approximation is conservative.
+//!
+//! Two former rules now live in [`crate::passes`] as interprocedural
+//! passes: R2 `no-panic-in-service-path` follows the call graph from
+//! serving entry points instead of scanning whole crates, and R4
+//! `lock-order` became R11 `lock-graph-acyclic`, which *infers* the
+//! global lock graph instead of checking per-function nesting against a
+//! declared hierarchy.
 
 use crate::engine::{Finding, Rule, Severity, SourceFile};
 use crate::lexer::TokKind;
 
-/// All shipped rules, in documentation order.
+/// All shipped per-file rules, in documentation order.
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(NoStringlyErrors),
-        Box::new(NoPanicInServicePath),
         Box::new(AtomicJsonWrites),
-        Box::new(LockOrder),
         Box::new(NoWallclockInSim),
         Box::new(NoLossyCastInHotPath),
         Box::new(NoNarrowCounters),
@@ -127,74 +132,6 @@ fn second_generic_arg(file: &SourceFile, open: usize) -> Option<Vec<usize>> {
 }
 
 // ---------------------------------------------------------------------------
-// R2: no-panic-in-service-path
-// ---------------------------------------------------------------------------
-
-/// R2 — panic-capable calls are banned in non-test code of the crates
-/// whose panics cross the `catch_unwind` isolation boundary (`served`,
-/// `sim`, `errors`). A panic there either kills a worker thread or turns
-/// into a spurious `SimError::Panic` blamed on the job being run.
-pub struct NoPanicInServicePath;
-
-/// Method names that panic on the error/none case.
-const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
-/// Macros that unconditionally panic.
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
-
-impl Rule for NoPanicInServicePath {
-    fn name(&self) -> &'static str {
-        "no-panic-in-service-path"
-    }
-    fn severity(&self) -> Severity {
-        Severity::Deny
-    }
-    fn describe(&self) -> &'static str {
-        "ban .unwrap()/.expect()/panic!/unreachable! in non-test served/sim/errors code \
-         (panics cross the catch_unwind boundary)"
-    }
-    fn applies(&self, path: &str) -> bool {
-        !globally_excluded(path)
-            && under(
-                path,
-                &[
-                    "crates/served/src/",
-                    "crates/sim/src/",
-                    "crates/errors/src/",
-                ],
-            )
-    }
-
-    fn check(&self, file: &SourceFile) -> Vec<Finding> {
-        let mut out = Vec::new();
-        for k in 0..file.n_code() {
-            if file.in_test(file.tok(k).start) || file.tok(k).kind != TokKind::Ident {
-                continue;
-            }
-            let text = file.ct(k);
-            let hit = if PANIC_METHODS.contains(&text) {
-                k > 0 && file.is_punct(k - 1, '.') && file.is_punct(k + 1, '(')
-            } else if PANIC_MACROS.contains(&text) {
-                file.is_punct(k + 1, '!')
-            } else {
-                false
-            };
-            if hit {
-                out.push(file.finding(
-                    self.name(),
-                    self.severity(),
-                    k,
-                    format!(
-                        "`{text}` can panic on a service path; return a typed `SimError` \
-                         (or allow with a one-line justification if genuinely infallible)"
-                    ),
-                ));
-            }
-        }
-        out
-    }
-}
-
-// ---------------------------------------------------------------------------
 // R3: atomic-json-writes
 // ---------------------------------------------------------------------------
 
@@ -286,227 +223,6 @@ fn enclosing_fn_mentions_artifact(file: &SourceFile, k: usize) -> bool {
 }
 
 // ---------------------------------------------------------------------------
-// R4: lock-order
-// ---------------------------------------------------------------------------
-
-/// The declared lock hierarchy for `crates/served`: a thread holding a
-/// lock may only acquire locks strictly later in this list. PR 3 merged
-/// the cache and cancellation registry behind the single `state` mutex to
-/// close a submit/complete race; the only sanctioned nesting is
-/// `state → queue` (enqueue a leader while its registry entry is being
-/// inserted).
-pub const SERVED_LOCK_HIERARCHY: &[&str] = &["state", "queue"];
-
-/// The declared lock hierarchy for `crates/fabric`: the coordinator's
-/// cell deque (`grid`) and the two-tier result store (`store`). The
-/// coordinator is written to never nest them at all — every critical
-/// section is statement-scoped — so any nesting the rule sees is a
-/// regression; the declared order exists so a future sanctioned nesting
-/// has exactly one legal direction.
-pub const FABRIC_LOCK_HIERARCHY: &[&str] = &["grid", "store"];
-
-/// The lock hierarchy governing `path`, plus the constant's name (used
-/// verbatim in the warn message so the fix is greppable).
-fn hierarchy_for(path: &str) -> (&'static [&'static str], &'static str) {
-    if path.starts_with("crates/fabric/src/") {
-        (FABRIC_LOCK_HIERARCHY, "FABRIC_LOCK_HIERARCHY")
-    } else {
-        (SERVED_LOCK_HIERARCHY, "SERVED_LOCK_HIERARCHY")
-    }
-}
-
-/// R4 — per-function nested `.lock()` acquisitions in `crates/served`
-/// and `crates/fabric` must respect the path's declared hierarchy
-/// ([`SERVED_LOCK_HIERARCHY`] / [`FABRIC_LOCK_HIERARCHY`]). Cycles
-/// across two functions are out of scope for a lexical pass; within one
-/// function this catches both inverted nesting (deadlock with the
-/// sanctioned order) and re-entrant acquisition (self-deadlock with
-/// `std::sync::Mutex`).
-pub struct LockOrder;
-
-/// One lock currently considered held at a point in the scan.
-struct Held {
-    name: String,
-    rank: Option<usize>,
-    /// Brace depth at acquisition: popped when the scan leaves the block.
-    depth: i32,
-    /// Temporary guard (not `let`-bound): popped at end of statement.
-    stmt_scoped: bool,
-}
-
-impl Rule for LockOrder {
-    fn name(&self) -> &'static str {
-        "lock-order"
-    }
-    fn severity(&self) -> Severity {
-        Severity::Deny
-    }
-    fn describe(&self) -> &'static str {
-        "nested .lock() acquisitions must follow the path's declared hierarchy \
-         (served: state -> queue; fabric: grid -> store)"
-    }
-    fn applies(&self, path: &str) -> bool {
-        !globally_excluded(path) && under(path, &["crates/served/src/", "crates/fabric/src/"])
-    }
-
-    fn check(&self, file: &SourceFile) -> Vec<Finding> {
-        let mut out = Vec::new();
-        for f in &file.fns {
-            // Skip fns nested inside another fn: the outer scan covers its
-            // own statements and skips the nested body below.
-            if file
-                .fns
-                .iter()
-                .any(|g| g.body_open < f.body_open && f.body_close < g.body_close)
-            {
-                continue;
-            }
-            self.scan_fn(file, f.body_open, f.body_close, &mut out);
-        }
-        out
-    }
-}
-
-impl LockOrder {
-    fn scan_fn(&self, file: &SourceFile, open: usize, close: usize, out: &mut Vec<Finding>) {
-        let (hierarchy, hierarchy_name) = hierarchy_for(&file.path);
-        let rank_of = |name: &str| hierarchy.iter().position(|l| *l == name);
-        let mut held: Vec<Held> = Vec::new();
-        let mut depth = 0i32;
-        let mut j = open;
-        while j <= close && j < file.n_code() {
-            if file.in_test(file.tok(j).start) {
-                j += 1;
-                continue;
-            }
-            if file.is_punct(j, '{') {
-                depth += 1;
-            } else if file.is_punct(j, '}') {
-                depth -= 1;
-                held.retain(|h| h.depth <= depth);
-            } else if file.is_punct(j, ';') {
-                held.retain(|h| !(h.stmt_scoped && h.depth >= depth));
-            } else if file.is_ident(j, "fn") {
-                // Nested fn: its body is its own scan; skip over it.
-                if let Some(nested) = file
-                    .fns
-                    .iter()
-                    .find(|g| g.body_open > j && file.tok(g.body_open).start > file.tok(j).start)
-                    .filter(|g| g.body_open <= close)
-                {
-                    j = nested.body_close;
-                }
-            } else if let Some(name) = lock_receiver(file, j) {
-                let rank = rank_of(&name);
-                for h in &held {
-                    if h.name == name {
-                        out.push(file.finding(
-                            self.name(),
-                            Severity::Deny,
-                            j,
-                            format!(
-                                "lock `{name}` acquired while already held — std::sync::Mutex \
-                                 self-deadlocks on re-entry"
-                            ),
-                        ));
-                    } else {
-                        match (h.rank, rank) {
-                            (Some(hr), Some(nr)) if nr < hr => out.push(file.finding(
-                                self.name(),
-                                Severity::Deny,
-                                j,
-                                format!(
-                                    "lock `{name}` acquired while `{}` is held — violates the \
-                                     declared hierarchy ({}); a thread nesting the other way \
-                                     deadlocks",
-                                    h.name,
-                                    hierarchy.join(" -> "),
-                                ),
-                            )),
-                            (None, _) | (_, None) => out.push(file.finding(
-                                self.name(),
-                                Severity::Warn,
-                                j,
-                                format!(
-                                    "nested acquisition of `{name}` while `{}` is held, but \
-                                     one of them is not in the declared hierarchy ({}); \
-                                     extend {hierarchy_name} or restructure",
-                                    h.name,
-                                    hierarchy.join(" -> "),
-                                ),
-                            )),
-                            _ => {}
-                        }
-                    }
-                }
-                held.push(Held {
-                    name,
-                    rank,
-                    depth,
-                    stmt_scoped: !is_let_bound(file, j),
-                });
-            }
-            j += 1;
-        }
-    }
-}
-
-/// If code token `j` is the receiver-dot of a lock acquisition —
-/// `recv.lock(` or `recv.lock_unpoisoned(` — returns the receiver's last
-/// identifier (`shared.state.lock()` → `state`).
-fn lock_receiver(file: &SourceFile, j: usize) -> Option<String> {
-    if !(file.is_ident(j, "lock") || file.is_ident(j, "lock_unpoisoned")) {
-        return None;
-    }
-    if !(j >= 2 && file.is_punct(j - 1, '.') && file.is_punct(j + 1, '(')) {
-        return None;
-    }
-    (file.tok(j - 2).kind == TokKind::Ident).then(|| file.ct(j - 2).to_string())
-}
-
-/// Whether the lock expression whose `lock` ident sits at `j` is bound by
-/// a `let` (guard lives to end of block) rather than used as a temporary
-/// (guard dropped at end of statement). Walks the receiver chain
-/// backwards to its head, then looks for `let [mut] name =` or a plain
-/// assignment `name =`.
-fn is_let_bound(file: &SourceFile, j: usize) -> bool {
-    // Walk back over `ident . ident . … .lock`.
-    let mut k = j - 1; // the '.' before lock
-    loop {
-        if k == 0 {
-            return false;
-        }
-        if file.is_punct(k, '.') && k >= 1 && file.tok(k - 1).kind == TokKind::Ident {
-            if k >= 2 && file.is_punct(k - 2, '.') {
-                k -= 2;
-                continue;
-            }
-            k -= 1; // chain head ident
-            break;
-        }
-        return false;
-    }
-    if k == 0 {
-        return false;
-    }
-    // Before the chain head: `=` then (ident | `mut` ident) with `let`
-    // somewhere directly before, or a plain re-assignment `name =`.
-    if !file.is_punct(k - 1, '=') {
-        return false;
-    }
-    // `==` is a comparison, not a binding.
-    if k >= 2
-        && (file.is_punct(k - 2, '=')
-            || file.is_punct(k - 2, '!')
-            || file.is_punct(k - 2, '<')
-            || file.is_punct(k - 2, '>'))
-    {
-        return false;
-    }
-    true
-}
-
-// ---------------------------------------------------------------------------
 // R5: no-wallclock-in-sim
 // ---------------------------------------------------------------------------
 
@@ -593,7 +309,15 @@ impl Rule for NoLossyCastInHotPath {
          compression predicates or justify"
     }
     fn applies(&self, path: &str) -> bool {
-        !globally_excluded(path) && under(path, &["crates/compress/src/", "crates/cpp/src/"])
+        !globally_excluded(path)
+            && under(
+                path,
+                &[
+                    "crates/compress/src/",
+                    "crates/cpp/src/",
+                    "crates/schemes/src/",
+                ],
+            )
     }
 
     fn check(&self, file: &SourceFile) -> Vec<Finding> {
@@ -912,40 +636,6 @@ mod tests {
     }
 
     #[test]
-    fn r2_flags_panics_outside_tests() {
-        let src = "\
-fn live() { x.unwrap(); y.expect(\"m\"); panic!(\"boom\"); unreachable!() }
-#[cfg(test)]
-mod tests {
-    fn t() { x.unwrap(); panic!(); }
-}
-";
-        let hits = run("crates/served/src/server.rs", src);
-        let r2: Vec<_> = hits
-            .iter()
-            .filter(|f| f.rule == "no-panic-in-service-path")
-            .collect();
-        assert_eq!(r2.len(), 4, "{r2:?}");
-        assert!(r2.iter().all(|f| f.line == 1));
-        // Out of scope: other crates.
-        assert!(run("crates/cache/src/lib.rs", "fn a() { x.unwrap(); }").is_empty());
-    }
-
-    #[test]
-    fn r2_ignores_non_calls() {
-        // unwrap_or_default is a different identifier; `unwrap` without a
-        // receiver dot (fn def) is not a call.
-        let hits = run(
-            "crates/sim/src/x.rs",
-            "fn unwrap() {} fn a() { b.unwrap_or_default(); }",
-        );
-        assert!(
-            hits.iter().all(|f| f.rule != "no-panic-in-service-path"),
-            "{hits:?}"
-        );
-    }
-
-    #[test]
     fn r3_deny_with_json_evidence_warn_without() {
         let deny = run(
             "crates/sim/src/report.rs",
@@ -974,101 +664,6 @@ mod tests {
     }
 
     #[test]
-    fn r4_flags_inverted_and_reentrant_nesting() {
-        // queue held, then state: inverted w.r.t. state -> queue.
-        let src = "\
-fn bad(shared: &Shared) {
-    let q = shared.queue.lock().unwrap();
-    let s = shared.state.lock().unwrap();
-}
-";
-        let hits = run("crates/served/src/server.rs", src);
-        assert!(
-            hits.iter()
-                .any(|f| f.rule == "lock-order" && f.severity == Severity::Deny && f.line == 3),
-            "{hits:?}"
-        );
-        let reent = run(
-            "crates/served/src/server.rs",
-            "fn bad(s: &S) { let a = s.state.lock().unwrap(); let b = s.state.lock().unwrap(); }",
-        );
-        assert!(reent
-            .iter()
-            .any(|f| f.rule == "lock-order" && f.message.contains("re-entry")));
-    }
-
-    #[test]
-    fn r4_accepts_sanctioned_order_and_sequential_use() {
-        // state -> queue nesting is the declared order.
-        let ok = run(
-            "crates/served/src/server.rs",
-            "fn good(s: &S) { let st = s.state.lock().unwrap(); s.queue.lock().unwrap().push(1); }",
-        );
-        assert!(ok.iter().all(|f| f.rule != "lock-order"), "{ok:?}");
-        // Sequential (block-scoped then released) acquisitions don't nest.
-        let seq = "\
-fn seq(s: &S) {
-    let n = { let q = s.queue.lock().unwrap(); q.len() };
-    let st = s.state.lock().unwrap();
-}
-";
-        let hits = run("crates/served/src/server.rs", seq);
-        assert!(hits.iter().all(|f| f.rule != "lock-order"), "{hits:?}");
-        // Temporary guard released at end of statement, not end of block.
-        let tmp = "\
-fn tmp(s: &S) {
-    s.queue.lock().unwrap().push(1);
-    let st = s.state.lock().unwrap();
-}
-";
-        let hits = run("crates/served/src/server.rs", tmp);
-        assert!(hits.iter().all(|f| f.rule != "lock-order"), "{hits:?}");
-    }
-
-    #[test]
-    fn r4_applies_the_fabric_hierarchy_under_crates_fabric() {
-        // store held, then grid: inverted w.r.t. grid -> store.
-        let src = "\
-fn bad(ctx: &Ctx) {
-    let st = ctx.store.lock_unpoisoned();
-    let g = ctx.grid.lock_unpoisoned();
-}
-";
-        let hits = run("crates/fabric/src/coord.rs", src);
-        assert!(
-            hits.iter().any(|f| f.rule == "lock-order"
-                && f.severity == Severity::Deny
-                && f.message.contains("grid -> store")),
-            "{hits:?}"
-        );
-        // The sanctioned direction passes.
-        let ok = run(
-            "crates/fabric/src/coord.rs",
-            "fn good(ctx: &Ctx) { let g = ctx.grid.lock_unpoisoned(); \
-             ctx.store.lock_unpoisoned().put(k, c, s); }",
-        );
-        assert!(ok.iter().all(|f| f.rule != "lock-order"), "{ok:?}");
-        // Unknown locks warn naming the fabric constant, not the served one.
-        let warn = run(
-            "crates/fabric/src/coord.rs",
-            "fn f(c: &C) { let g = c.grid.lock_unpoisoned(); let m = c.mystery.lock(); }",
-        );
-        assert!(
-            warn.iter().any(|f| f.rule == "lock-order"
-                && f.severity == Severity::Warn
-                && f.message.contains("FABRIC_LOCK_HIERARCHY")),
-            "{warn:?}"
-        );
-        // The served hierarchy still governs served paths: state -> queue
-        // nesting stays clean there.
-        let served = run(
-            "crates/served/src/server.rs",
-            "fn g(s: &S) { let st = s.state.lock().unwrap(); s.queue.lock().unwrap().push(1); }",
-        );
-        assert!(served.iter().all(|f| f.rule != "lock-order"), "{served:?}");
-    }
-
-    #[test]
     fn r3_treats_ccpz_store_entries_as_artifacts() {
         let deny = run(
             "crates/store/src/x.rs",
@@ -1081,16 +676,6 @@ fn bad(ctx: &Ctx) {
                 .any(|f| f.rule == "atomic-json-writes" && f.severity == Severity::Deny),
             "{deny:?}"
         );
-    }
-
-    #[test]
-    fn r4_warns_on_unknown_lock_nesting() {
-        let src =
-            "fn f(s: &S) { let a = s.state.lock().unwrap(); let b = s.mystery.lock().unwrap(); }";
-        let hits = run("crates/served/src/server.rs", src);
-        assert!(hits
-            .iter()
-            .any(|f| f.rule == "lock-order" && f.severity == Severity::Warn));
     }
 
     #[test]
@@ -1264,8 +849,24 @@ fn serve(mut s: TcpStream) {
     #[test]
     fn suppressions_silence_and_count() {
         let src =
-            "fn f() { x.unwrap(); } // ccp-lint: allow(no-panic-in-service-path) — infallible\n";
-        let out = lint_source("crates/sim/src/x.rs", src, &all_rules());
+            "fn f() { let t = Instant::now(); } // ccp-lint: allow(no-wallclock-in-sim) — test\n";
+        let out = lint_source("crates/workgen/src/x.rs", src, &all_rules());
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert_eq!(out.suppressed, 1);
+    }
+
+    #[test]
+    fn unused_suppressions_are_findings() {
+        let src = "fn f() {} // ccp-lint: allow(no-wallclock-in-sim) — stale\n";
+        let out = lint_source("crates/workgen/src/x.rs", src, &all_rules());
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert_eq!(out.findings[0].rule, crate::engine::UNUSED_SUPPRESSION);
+        assert_eq!(out.findings[0].severity, Severity::Warn);
+        assert_eq!(out.suppressed, 0);
+        // …and can themselves be allowed, on the same comment.
+        let src =
+            "fn f() {} // ccp-lint: allow(no-wallclock-in-sim, unused-suppression) — pinned\n";
+        let out = lint_source("crates/workgen/src/x.rs", src, &all_rules());
         assert!(out.findings.is_empty(), "{:?}", out.findings);
         assert_eq!(out.suppressed, 1);
     }

@@ -1,0 +1,380 @@
+//! The workspace symbol table: every function definition, addressed by a
+//! module-qualified path derived from where its file sits in the tree.
+//!
+//! The table is what turns per-file item trees ([`crate::parser`]) into a
+//! whole-program view: `crates/served/src/server.rs` contributes symbols
+//! under `served::server::…`, `crates/sim/src/bin/repro.rs` under its own
+//! `sim::bin::repro::…` namespace, impl methods under
+//! `krate::mods::Type::name`. The call-graph builder
+//! ([`crate::callgraph`]) resolves call expressions against this table
+//! through each file's `use` imports.
+
+use crate::engine::SourceFile;
+use crate::parser::{Item, ItemKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One function definition known to the workspace.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's bare name.
+    pub name: String,
+    /// Index of the defining file in the workspace file list.
+    pub file: usize,
+    /// Crate key: the directory name under `crates/` (`served`, `sim`,
+    /// …) or `ccp` for the root facade crate.
+    pub krate: String,
+    /// Module path within the crate (`[]` for lib.rs, `["bin", "repro"]`
+    /// for a binary — binaries get their own namespace).
+    pub mods: Vec<String>,
+    /// For methods: the impl block's self type (or the trait's name for
+    /// trait-default methods).
+    pub self_ty: Option<String>,
+    /// Unrestricted `pub` (crate-external API surface).
+    pub is_pub: bool,
+    /// Defined inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Code-token range of the `{`..`}` body, if the fn has one.
+    pub body: Option<(usize, usize)>,
+    /// Code-token range of the `(`..`)` parameter list, if recognized.
+    pub params: Option<(usize, usize)>,
+    /// Spans of items nested inside the body (nested fns): excluded when
+    /// scanning this fn's own statements.
+    pub nested: Vec<(usize, usize)>,
+    /// 1-based line of the definition.
+    pub line: u32,
+}
+
+impl FnDef {
+    /// The module-qualified path: `krate::mods::[Type::]name`.
+    pub fn qpath(&self) -> String {
+        let mut s = self.krate.clone();
+        for m in &self.mods {
+            s.push_str("::");
+            s.push_str(m);
+        }
+        if let Some(t) = &self.self_ty {
+            s.push_str("::");
+            s.push_str(t);
+        }
+        s.push_str("::");
+        s.push_str(&self.name);
+        s
+    }
+
+    /// Short display name for witness paths: `name` or `Type::name`.
+    pub fn display(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Per-file import scope: what each `use` declaration binds.
+#[derive(Debug, Default, Clone)]
+pub struct FileScope {
+    /// `alias → path segments as written` (`SR → [ccp_errors, SimResult]`).
+    pub aliases: BTreeMap<String, Vec<String>>,
+    /// Glob-import prefixes (`use ccp_sim::json::*` → `[ccp_sim, json]`).
+    pub globs: Vec<Vec<String>>,
+}
+
+/// The workspace-wide function index.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every known function, in (file, source) order.
+    pub fns: Vec<FnDef>,
+    /// `qpath → fn index` (first definition wins on `cfg` duplicates).
+    pub by_qpath: BTreeMap<String, usize>,
+    /// Free functions (no self type) by bare name.
+    pub free_by_name: BTreeMap<String, Vec<usize>>,
+    /// Methods by `(self type, method name)`.
+    pub methods: BTreeMap<(String, String), Vec<usize>>,
+    /// Import scope per workspace file (index-parallel to the file list).
+    pub scopes: Vec<FileScope>,
+    /// Crate keys seen in the workspace (`served`, `sim`, `ccp`, …).
+    pub crates: BTreeSet<String>,
+}
+
+/// Derives `(crate key, module path)` from a workspace-relative file
+/// path, or `None` for files outside any crate's `src/` tree (tests,
+/// benches, fixtures — not part of the program graph).
+pub fn module_path(path: &str) -> Option<(String, Vec<String>)> {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let (dir, rest) = rest.split_once('/')?;
+        let rest = rest.strip_prefix("src/")?;
+        return Some((dir.to_string(), mods_of(rest)?));
+    }
+    if let Some(rest) = path.strip_prefix("src/") {
+        return Some(("ccp".to_string(), mods_of(rest)?));
+    }
+    None
+}
+
+/// Module segments for a path relative to `src/`: `lib.rs`/`main.rs` →
+/// `[]`, `foo.rs` → `[foo]`, `foo/mod.rs` → `[foo]`, `bin/x.rs` →
+/// `[bin, x]`.
+fn mods_of(rest: &str) -> Option<Vec<String>> {
+    let stem = rest.strip_suffix(".rs")?;
+    let mut mods: Vec<String> = stem.split('/').map(str::to_string).collect();
+    match mods.last().map(String::as_str) {
+        Some("lib") | Some("main") if mods.len() == 1 => {
+            mods.pop();
+        }
+        Some("mod") => {
+            mods.pop();
+        }
+        _ => {}
+    }
+    Some(mods)
+}
+
+/// Resolves a `use`-path head segment to a crate key: `ccp_sim` → `sim`,
+/// `ccp` → the root facade, a bare key if it matches a known crate.
+pub fn crate_of_seg(seg: &str, known: &BTreeSet<String>) -> Option<String> {
+    if seg == "ccp" {
+        return known.contains("ccp").then(|| "ccp".to_string());
+    }
+    if let Some(bare) = seg.strip_prefix("ccp_") {
+        if known.contains(bare) {
+            return Some(bare.to_string());
+        }
+    }
+    known.contains(seg).then(|| seg.to_string())
+}
+
+impl SymbolTable {
+    /// Indexes every function in `files`. Files whose path does not map
+    /// to a crate module (see [`module_path`]) contribute no symbols but
+    /// still get an (empty) import scope.
+    pub fn build(files: &[SourceFile], items: &[Vec<Item>]) -> SymbolTable {
+        let mut table = SymbolTable {
+            scopes: vec![FileScope::default(); files.len()],
+            ..SymbolTable::default()
+        };
+        for (idx, file) in files.iter().enumerate() {
+            let Some((krate, mods)) = module_path(&file.path) else {
+                continue;
+            };
+            table.crates.insert(krate.clone());
+            let mut scope = FileScope::default();
+            collect(
+                &mut table,
+                &mut scope,
+                file,
+                idx,
+                &krate,
+                &mods,
+                None,
+                &items[idx],
+            );
+            table.scopes[idx] = scope;
+        }
+        for (i, f) in table.fns.iter().enumerate() {
+            table.by_qpath.entry(f.qpath()).or_insert(i);
+            match &f.self_ty {
+                Some(t) => table
+                    .methods
+                    .entry((t.clone(), f.name.clone()))
+                    .or_default()
+                    .push(i),
+                None => table
+                    .free_by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(i),
+            }
+        }
+        table
+    }
+
+    /// The definitions of method `name` on type `self_ty`.
+    pub fn methods_of(&self, self_ty: &str, name: &str) -> &[usize] {
+        self.methods
+            .get(&(self_ty.to_string(), name.to_string()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// Walks one item subtree, registering fns and imports.
+#[allow(clippy::too_many_arguments)]
+fn collect(
+    table: &mut SymbolTable,
+    scope: &mut FileScope,
+    file: &SourceFile,
+    file_idx: usize,
+    krate: &str,
+    mods: &[String],
+    self_ty: Option<&str>,
+    items: &[Item],
+) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Fn => {
+                let in_test =
+                    item.span.0 < file.n_code() && file.in_test(file.tok(item.span.0).start);
+                table.fns.push(FnDef {
+                    name: item.name.clone(),
+                    file: file_idx,
+                    krate: krate.to_string(),
+                    mods: mods.to_vec(),
+                    self_ty: self_ty.map(str::to_string),
+                    is_pub: item.is_pub,
+                    in_test,
+                    body: item.body,
+                    params: item.params,
+                    nested: item.children.iter().map(|c| c.span).collect(),
+                    line: item.line,
+                });
+                // Nested fns are callables of their own (private, no
+                // self type regardless of the enclosing impl).
+                collect(
+                    table,
+                    scope,
+                    file,
+                    file_idx,
+                    krate,
+                    mods,
+                    None,
+                    &item.children,
+                );
+            }
+            ItemKind::Mod => {
+                let mut inner = mods.to_vec();
+                inner.push(item.name.clone());
+                collect(
+                    table,
+                    scope,
+                    file,
+                    file_idx,
+                    krate,
+                    &inner,
+                    None,
+                    &item.children,
+                );
+            }
+            ItemKind::Impl { self_ty: t, .. } => {
+                let t = (!t.is_empty()).then_some(t.as_str());
+                collect(table, scope, file, file_idx, krate, mods, t, &item.children);
+            }
+            ItemKind::Trait => {
+                collect(
+                    table,
+                    scope,
+                    file,
+                    file_idx,
+                    krate,
+                    mods,
+                    Some(&item.name),
+                    &item.children,
+                );
+            }
+            ItemKind::Use { imports } => {
+                for imp in imports {
+                    if imp.glob {
+                        scope.globs.push(imp.path.clone());
+                    } else {
+                        scope
+                            .aliases
+                            .entry(imp.alias.clone())
+                            .or_insert_with(|| imp.path.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_items;
+
+    fn table(specs: &[(&str, &str)]) -> (Vec<SourceFile>, SymbolTable) {
+        let files: Vec<SourceFile> = specs
+            .iter()
+            .map(|(p, s)| SourceFile::analyze(*p, *s))
+            .collect();
+        let items: Vec<_> = files.iter().map(parse_items).collect();
+        let t = SymbolTable::build(&files, &items);
+        (files, t)
+    }
+
+    #[test]
+    fn qpaths_follow_file_layout() {
+        let (_, t) = table(&[
+            ("crates/sim/src/lib.rs", "pub fn run() {}"),
+            ("crates/sim/src/json.rs", "pub fn write_atomic() {}"),
+            ("crates/sim/src/bin/repro.rs", "fn main() {}"),
+            ("crates/store/src/tier/mod.rs", "pub fn get() {}"),
+            ("src/lib.rs", "pub fn facade() {}"),
+        ]);
+        for q in [
+            "sim::run",
+            "sim::json::write_atomic",
+            "sim::bin::repro::main",
+            "store::tier::get",
+            "ccp::facade",
+        ] {
+            assert!(t.by_qpath.contains_key(q), "missing {q}: {:?}", t.by_qpath);
+        }
+    }
+
+    #[test]
+    fn methods_and_inline_mods_are_indexed() {
+        let (_, t) = table(&[(
+            "crates/served/src/server.rs",
+            "impl ServerHandle { pub fn submit(&self) {} }\n\
+             mod inner { fn helper() {} }\n",
+        )]);
+        assert_eq!(t.methods_of("ServerHandle", "submit").len(), 1);
+        assert!(t
+            .by_qpath
+            .contains_key("served::server::ServerHandle::submit"));
+        assert!(t.by_qpath.contains_key("served::server::inner::helper"));
+        let submit = &t.fns[t.by_qpath["served::server::ServerHandle::submit"]];
+        assert!(submit.is_pub);
+    }
+
+    #[test]
+    fn use_imports_populate_the_file_scope() {
+        let (_, t) = table(&[(
+            "crates/served/src/server.rs",
+            "use ccp_sim::{run_job, json::write_atomic as wa};\nuse ccp_errors::*;\nfn f() {}\n",
+        )]);
+        let scope = &t.scopes[0];
+        assert_eq!(scope.aliases["run_job"], vec!["ccp_sim", "run_job"]);
+        assert_eq!(scope.aliases["wa"], vec!["ccp_sim", "json", "write_atomic"]);
+        assert_eq!(scope.globs, vec![vec!["ccp_errors".to_string()]]);
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let (_, t) = table(&[(
+            "crates/sim/src/lib.rs",
+            "pub fn live() {}\n#[cfg(test)]\nmod tests { fn t() {} }\n",
+        )]);
+        assert!(!t.fns[t.by_qpath["sim::live"]].in_test);
+        assert!(t.fns[t.by_qpath["sim::tests::t"]].in_test);
+    }
+
+    #[test]
+    fn non_crate_files_contribute_nothing() {
+        let (_, t) = table(&[("crates/sim/tests/difftest.rs", "pub fn helper() {}")]);
+        assert!(t.fns.is_empty());
+    }
+
+    #[test]
+    fn crate_segment_resolution() {
+        let known: BTreeSet<String> = ["sim", "served", "ccp"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(crate_of_seg("ccp_sim", &known).as_deref(), Some("sim"));
+        assert_eq!(crate_of_seg("ccp", &known).as_deref(), Some("ccp"));
+        assert_eq!(crate_of_seg("served", &known).as_deref(), Some("served"));
+        assert_eq!(crate_of_seg("std", &known), None);
+    }
+}

@@ -1,9 +1,10 @@
-//! Golden-file check of the fixture corpus: every rule must reproduce
-//! exactly the findings pinned in `tests/fixtures/expected.txt`. The same
-//! check runs in `ci.sh` via `ccp-lint --check-fixtures`, so a rule whose
-//! behaviour drifts fails both gates with a diff.
+//! Golden-file check of the fixture corpus: every rule and every
+//! interprocedural pass must reproduce exactly the findings pinned in
+//! `tests/fixtures/expected.txt`. The same check runs in `ci.sh` via
+//! `ccp-lint --check-fixtures`, so behaviour drift fails both gates with
+//! a diff.
 
-use ccp_lint::{all_rules, check_fixtures, render_fixtures};
+use ccp_lint::{all_passes, all_rules, check_fixtures, render_fixtures, UNUSED_SUPPRESSION};
 use std::path::Path;
 
 fn fixtures_dir() -> &'static Path {
@@ -12,14 +13,15 @@ fn fixtures_dir() -> &'static Path {
 
 #[test]
 fn corpus_matches_expected_txt() {
-    if let Err(diff) = check_fixtures(fixtures_dir(), &all_rules()) {
+    if let Err(diff) = check_fixtures(fixtures_dir(), &all_rules(), &all_passes()) {
         panic!("{diff}");
     }
 }
 
 #[test]
-fn corpus_reproduces_every_rule_at_least_once() {
-    let rendered = render_fixtures(fixtures_dir(), &all_rules()).expect("fixtures render");
+fn corpus_reproduces_every_rule_and_pass_at_least_once() {
+    let rendered =
+        render_fixtures(fixtures_dir(), &all_rules(), &all_passes()).expect("fixtures render");
     for rule in all_rules() {
         assert!(
             rendered.contains(&format!("[{}]", rule.name())),
@@ -27,6 +29,18 @@ fn corpus_reproduces_every_rule_at_least_once() {
             rule.name()
         );
     }
+    for pass in all_passes() {
+        assert!(
+            rendered.contains(&format!("[{}]", pass.name())),
+            "pass {} never fires in the fixture corpus",
+            pass.name()
+        );
+    }
+    // The engine-internal meta rule fires too (a deliberately stale allow).
+    assert!(
+        rendered.contains(&format!("[{UNUSED_SUPPRESSION}]")),
+        "unused-suppression never fires in the fixture corpus"
+    );
     // The corpus must also exercise the suppression machinery.
     assert!(
         rendered.contains("suppressions.rs: 2 suppressed"),

@@ -1,0 +1,25 @@
+// ccp-lint-fixture: crates/sim/src/fixture_r10.rs
+//! R10 `deterministic-core-transitive`: wall-clock reads, entropy-seeded
+//! RNGs, and iteration-order-unstable hashing must not be *reachable*
+//! from the public API of a deterministic core crate. The textual R5
+//! still flags every literal `Instant::now`; R10 adds the call-path
+//! witness for the reachable one and stays silent on the dead helper.
+
+pub fn replay(cycles: u64) -> u64 {
+    stamp() + cycles
+}
+
+fn stamp() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}
+
+fn dead_timer() -> u64 {
+    let _t = std::time::Instant::now();
+    1
+}
+
+pub fn histogram() -> usize {
+    let m: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    m.len()
+}

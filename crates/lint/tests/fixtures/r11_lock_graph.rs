@@ -1,0 +1,41 @@
+// ccp-lint-fixture: crates/served/src/fixture_r11.rs
+//! R11 `lock-graph-acyclic`: the lock graph is inferred across function
+//! boundaries — nested acquisitions plus locks taken by callees while a
+//! lock is held. Cycles and re-entrant acquisition are denied; a
+//! consistent one-way ordering passes.
+
+fn sanctioned(s: &Shared) {
+    let st = s.state.lock_unpoisoned();
+    s.queue.lock_unpoisoned().push_back(1);
+    drop(st);
+}
+
+fn alpha_then_beta(s: &Shared) {
+    let a = s.alpha.lock_unpoisoned();
+    grab_beta(s);
+    drop(a);
+}
+
+fn grab_beta(s: &Shared) {
+    s.beta.lock_unpoisoned().touch();
+}
+
+fn beta_then_alpha(s: &Shared) {
+    let b = s.beta.lock_unpoisoned();
+    grab_alpha(s);
+    drop(b);
+}
+
+fn grab_alpha(s: &Shared) {
+    s.alpha.lock_unpoisoned().touch();
+}
+
+fn reentry(s: &Shared) {
+    let g = s.gamma.lock_unpoisoned();
+    gamma_helper(s);
+    drop(g);
+}
+
+fn gamma_helper(s: &Shared) {
+    s.gamma.lock_unpoisoned().touch();
+}

@@ -1,25 +1,28 @@
 // ccp-lint-fixture: crates/served/src/fixture.rs
-//! R2 `no-panic-in-service-path`: panic-capable calls outside
-//! `#[cfg(test)]` are denied; lookalikes and test code pass.
+//! R2 `no-panic-in-service-path`: the pass walks the call graph from the
+//! serving entry points (here the public API of `crates/served`), so a
+//! panic buried in a private helper is denied with a witness call path;
+//! `catch_unwind`-isolated work, unreached helpers, and test code pass.
 
-fn service(opt: Option<u32>) -> u32 {
-    let a = opt.unwrap();
-    let b = opt.expect("present");
-    if a + b > 3 {
-        panic!("boom");
-    }
-    unreachable!()
+pub fn serve(req: Option<u32>) -> u32 {
+    decode(req)
 }
 
-fn tolerant(opt: Option<u32>) -> u32 {
-    opt.unwrap_or_default()
+fn decode(req: Option<u32>) -> u32 {
+    req.unwrap()
 }
 
-fn lookalikes() {
-    unwrap();
-    let quoted = "calling .unwrap() inside a string is fine";
-    // calling .unwrap() inside a comment is fine
-    let _ = quoted;
+pub fn contained(opt: Option<u32>) -> u32 {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| isolated_job(opt)));
+    caught.unwrap_or(0)
+}
+
+fn isolated_job(opt: Option<u32>) -> u32 {
+    opt.expect("absorbed at the catch_unwind boundary")
+}
+
+fn dead_helper(opt: Option<u32>) -> u32 {
+    opt.unwrap()
 }
 
 #[cfg(test)]

@@ -1,18 +1,19 @@
 // ccp-lint-fixture: crates/served/src/fixture_suppress.rs
 //! Suppression syntax: trailing and standalone
 //! `// ccp-lint: allow(<rule>)` comments silence a finding and are
-//! counted; an allow naming a different rule does not apply.
+//! counted; an allow naming a different rule does not apply — and is
+//! itself reported as an unused suppression.
 
-fn trailing(opt: Option<u32>) -> u32 {
+pub fn trailing(opt: Option<u32>) -> u32 {
     opt.unwrap() // ccp-lint: allow(no-panic-in-service-path) — fixture: trailing allow on the same line
 }
 
-fn standalone(opt: Option<u32>) -> u32 {
+pub fn standalone(opt: Option<u32>) -> u32 {
     // ccp-lint: allow(no-panic-in-service-path) — fixture: standalone allow covers the next line
     opt.expect("covered by the line above")
 }
 
-fn wrong_rule(opt: Option<u32>) -> u32 {
+pub fn wrong_rule(opt: Option<u32>) -> u32 {
     // ccp-lint: allow(no-stringly-errors) — names a different rule, so the panic below still fires
     opt.unwrap()
 }

@@ -9,7 +9,8 @@
 //! they must be quiet: identifiers inside strings and comments are
 //! invisible, and `#[cfg(test)]` regions shield panic-capable calls.
 
-use ccp_lint::engine::lint_source;
+use ccp_lint::all_passes;
+use ccp_lint::engine::{lint_files, SourceFile};
 use ccp_lint::lexer::{lex, TokKind};
 use ccp_lint::rules::all_rules;
 use proptest::prelude::*;
@@ -111,10 +112,11 @@ proptest! {
     }
 
     /// `no-panic-in-service-path` counts exactly the panic-capable calls
-    /// outside `#[cfg(test)]`, however many are sprinkled inside it.
+    /// reachable from the serving entry points outside `#[cfg(test)]`,
+    /// however many are sprinkled inside the test module.
     #[test]
     fn cfg_test_regions_shield_panics(inside in 0usize..5, outside in 0usize..5) {
-        let mut src = String::from("fn live(opt: Option<u32>) -> u32 {\n");
+        let mut src = String::from("pub fn live(opt: Option<u32>) -> u32 {\n");
         for _ in 0..outside {
             src.push_str("    let _ = opt.unwrap();\n");
         }
@@ -124,8 +126,11 @@ proptest! {
         }
         src.push_str("        panic!(\"test-only\");\n    }\n}\n");
 
-        let rules = all_rules();
-        let out = lint_source("crates/sim/src/generated.rs", &src, &rules);
+        let out = lint_files(
+            vec![SourceFile::analyze("crates/served/src/generated.rs", &src)],
+            &all_rules(),
+            &all_passes(),
+        );
         let panics = out
             .findings
             .iter()

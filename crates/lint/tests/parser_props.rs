@@ -1,0 +1,172 @@
+//! Property tests for the item parser the whole-program analysis stands
+//! on. The parser's contract is totality: for arbitrary input it must
+//! terminate without panicking and return items whose code-token spans
+//! are sound (in bounds, body inside the item, children inside the
+//! parent). A generator of well-formed item trees then checks the
+//! round-trip: every `fn` written into the source comes back out as an
+//! `ItemKind::Fn` with its name. Finally the fixture corpus pins the
+//! same property on real rule-bait code.
+
+use ccp_lint::engine::SourceFile;
+use ccp_lint::parser::{parse_items, Item, ItemKind};
+use proptest::prelude::*;
+use std::path::Path;
+
+/// Fragment soup biased toward the parser's tricky territory: item
+/// keywords, braces that never balance, visibility modifiers, paths,
+/// and raw bytes in between.
+fn fragment_soup() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        3 => prop::collection::vec(any::<u8>(), 0..12)
+            .prop_map(|b| String::from_utf8_lossy(&b).into_owned()),
+        1 => Just("fn ".to_string()),
+        1 => Just("mod ".to_string()),
+        1 => Just("impl ".to_string()),
+        1 => Just("trait ".to_string()),
+        1 => Just("struct ".to_string()),
+        1 => Just("enum ".to_string()),
+        1 => Just("use ".to_string()),
+        1 => Just("pub ".to_string()),
+        1 => Just("pub(crate) ".to_string()),
+        1 => Just("{".to_string()),
+        1 => Just("}".to_string()),
+        1 => Just("(".to_string()),
+        1 => Just(")".to_string()),
+        1 => Just(";".to_string()),
+        1 => Just("::".to_string()),
+        1 => Just("#[cfg(test)]".to_string()),
+        1 => Just("x".to_string()),
+    ];
+    prop::collection::vec(fragment, 0..80).prop_map(|v| v.concat())
+}
+
+/// Asserts the span invariants over an item tree: spans in bounds and
+/// ordered, the body inside the item, every child inside its parent.
+fn assert_sound(items: &[Item], n_code: usize, lo: usize, hi: usize, src: &str) {
+    for it in items {
+        let (s, e) = it.span;
+        assert!(s <= e, "reversed span {s}..{e} in {src:?}");
+        assert!(
+            e < n_code,
+            "span {s}..{e} out of bounds ({n_code}) for {:?} {:?} in {src:?}",
+            it.kind,
+            it.name
+        );
+        assert!(
+            lo <= s && e <= hi,
+            "child span {s}..{e} escapes parent {lo}..{hi} in {src:?}"
+        );
+        if let Some((o, c)) = it.body {
+            assert!(
+                s <= o && o <= c && c <= e,
+                "body {o}..{c} outside item {s}..{e} in {src:?}"
+            );
+        }
+        assert_sound(&it.children, n_code, s, e, src);
+    }
+}
+
+/// Counts `Fn` items recursively and collects their names.
+fn collect_fns(items: &[Item], names: &mut Vec<String>) {
+    for it in items {
+        if it.kind == ItemKind::Fn {
+            names.push(it.name.clone());
+        }
+        collect_fns(&it.children, names);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Totality on fragment soup: the parser terminates, never panics,
+    /// and every span it reports is sound.
+    #[test]
+    fn parser_is_total_on_fragment_soup(src in fragment_soup()) {
+        let file = SourceFile::analyze("crates/sim/src/soup.rs", &src);
+        let items = parse_items(&file);
+        let n = file.n_code();
+        if n > 0 {
+            assert_sound(&items, n, 0, n - 1, &src);
+        } else {
+            prop_assert!(items.is_empty(), "items from an empty token stream");
+        }
+    }
+
+    /// Totality on raw byte soup (no grammar bias at all).
+    #[test]
+    fn parser_is_total_on_byte_soup(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let file = SourceFile::analyze("crates/sim/src/soup.rs", &src);
+        let items = parse_items(&file);
+        let n = file.n_code();
+        if n > 0 {
+            assert_sound(&items, n, 0, n - 1, &src);
+        }
+    }
+
+    /// Round-trip: every `fn` planted in a generated well-formed item
+    /// tree (top level, `mod`, `impl`, `trait`, nested in another `fn`)
+    /// comes back as an `ItemKind::Fn` carrying its name.
+    #[test]
+    fn generated_fns_round_trip(containers in prop::collection::vec(0u32..5, 1..12)) {
+        let mut src = String::new();
+        let mut expected: Vec<String> = Vec::new();
+        for (i, c) in containers.iter().enumerate() {
+            let name = format!("gen_fn_{i}");
+            match c {
+                0 => src.push_str(&format!("pub fn {name}(x: u32) -> u32 {{ x + 1 }}\n")),
+                1 => src.push_str(&format!("mod holder_{i} {{ fn {name}() {{}} }}\n")),
+                2 => src.push_str(&format!(
+                    "impl Widget{i} {{ pub fn {name}(&self) -> u32 {{ 0 }} }}\n"
+                )),
+                3 => src.push_str(&format!("trait Shape{i} {{ fn {name}(&self); }}\n")),
+                _ => {
+                    src.push_str(&format!("fn outer_{i}() {{ fn {name}() {{}} }}\n"));
+                    expected.push(format!("outer_{i}"));
+                }
+            }
+            expected.push(name);
+        }
+        let file = SourceFile::analyze("crates/sim/src/generated.rs", &src);
+        let items = parse_items(&file);
+        let mut got = Vec::new();
+        collect_fns(&items, &mut got);
+        expected.sort();
+        got.sort();
+        prop_assert_eq!(got, expected, "fn set drifted in {}", src);
+    }
+}
+
+/// Every `fn` keyword in the fixture corpus maps to exactly one parsed
+/// `Fn` item — the corpus is real rule-bait code, so this pins the
+/// parser against the same files the golden test runs on.
+#[test]
+fn fixture_corpus_loses_no_fn() {
+    let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures"));
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(dir).expect("fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|x| x != "rs") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("fixture read");
+        let file = SourceFile::analyze("crates/sim/src/fixture.rs", &src);
+        let items = parse_items(&file);
+        let mut names = Vec::new();
+        collect_fns(&items, &mut names);
+        let fn_keywords = (0..file.n_code())
+            .filter(|&k| file.is_ident(k, "fn"))
+            .count();
+        assert_eq!(
+            names.len(),
+            fn_keywords,
+            "{}: parsed {} fns but the file has {} `fn` keywords ({names:?})",
+            path.display(),
+            names.len(),
+            fn_keywords
+        );
+        checked += 1;
+    }
+    assert!(checked >= 10, "fixture corpus shrank to {checked} files");
+}

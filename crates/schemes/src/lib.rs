@@ -258,7 +258,6 @@ pub struct BdiScheme;
 impl BdiScheme {
     #[inline]
     fn delta_fits(value: Word, addr: Addr, base_addr: Addr, base_val: Word) -> bool {
-        // ccp-lint: allow(no-lossy-cast-in-hot-path) — same-width u32→i32 reinterpretation; wrapping_sub already produced the two's-complement delta
         let delta = value.wrapping_sub(base_val) as i32;
         addr != base_addr && fits_signed(delta, BDI_PAYLOAD_BITS)
     }
@@ -271,7 +270,6 @@ impl CompressionScheme for BdiScheme {
 
     #[inline]
     fn word_compressible(value: Word, addr: Addr, base_addr: Addr, base_val: Word) -> bool {
-        // ccp-lint: allow(no-lossy-cast-in-hot-path) — same-width u32→i32 reinterpretation for the signed range test
         fits_signed(value as i32, BDI_PAYLOAD_BITS)
             || Self::delta_fits(value, addr, base_addr, base_val)
     }
@@ -279,7 +277,6 @@ impl CompressionScheme for BdiScheme {
     #[inline]
     fn encode(value: Word, addr: Addr, base_addr: Addr, base_val: Word) -> Option<u16> {
         // Immediate wins when both apply: decoding then needs no base read.
-        // ccp-lint: allow(no-lossy-cast-in-hot-path) — same-width u32→i32 reinterpretation for the signed range test
         if fits_signed(value as i32, BDI_PAYLOAD_BITS) {
             // ccp-lint: allow(no-lossy-cast-in-hot-path) — fits_signed just proved bits 31..=15 are redundant sign copies
             Some((value as u16) & !BDI_DELTA_BIT)
@@ -351,13 +348,11 @@ impl CompressionScheme for FpcScheme {
 
     #[inline]
     fn word_compressible(value: Word, _addr: Addr, _base_addr: Addr, _base_val: Word) -> bool {
-        // ccp-lint: allow(no-lossy-cast-in-hot-path) — same-width u32→i32 reinterpretation for the signed range test
         fits_signed(value as i32, FPC_PAYLOAD_BITS) || Self::is_repeated_byte(value)
     }
 
     #[inline]
     fn compressible_bit(value: Word, _addr: Addr, _base_addr: Addr, _base_val: Word) -> u32 {
-        // ccp-lint: allow(no-lossy-cast-in-hot-path) — same-width u32→i32 reinterpretation for the arithmetic shift
         let hi = (value as i32) >> (FPC_PAYLOAD_BITS - 1);
         let narrow = u32::from(hi == 0) | u32::from(hi == -1);
         narrow | u32::from(value == value.rotate_left(8))
@@ -365,7 +360,6 @@ impl CompressionScheme for FpcScheme {
 
     #[inline]
     fn encode(value: Word, _addr: Addr, _base_addr: Addr, _base_val: Word) -> Option<u16> {
-        // ccp-lint: allow(no-lossy-cast-in-hot-path) — same-width u32→i32 reinterpretation for the signed range tests
         let v = value as i32;
         let class = if value == 0 {
             fpc_class::ZERO

@@ -450,7 +450,6 @@ fn main() {
             "workgen" => {
                 eprintln!("running compressibility sweep (11 synthetic points, BC+CPP each)...");
                 let base = ccp_workgen::WorkgenSpec::parse("addr=uniform,ptr=0.0")
-                    // ccp-lint: allow(no-panic-in-service-path) — constant spec literal, covered by the workgen parser tests
                     .expect("base workgen spec");
                 let rows = exp::compressibility_sweep(
                     &base,

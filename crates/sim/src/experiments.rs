@@ -173,7 +173,6 @@ impl NormalizedFigure {
             .designs
             .iter()
             .position(|d| d == design.name())
-            // ccp-lint: allow(no-panic-in-service-path) — indexing API; figure columns are built from the same design list callers query
             .expect("design in figure");
         self.averages()[c]
     }

@@ -320,7 +320,6 @@ fn run_fault_probe(spec: &JobSpec, workload: &Workload, fault: &str) -> SimResul
     if let Err(e) = InvariantChecker::assert_clean(&h) {
         // A worker whose simulator state is corrupted *panics* — this is
         // the failure mode the catch_unwind isolation exists for.
-        // ccp-lint: allow(no-panic-in-service-path) — deliberate: this fault probe exists to exercise the catch_unwind boundary
         panic!("poisoned by injected {} fault: {e}", report.kind.name());
     }
     Err(SimError::invariant(

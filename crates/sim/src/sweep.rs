@@ -165,7 +165,6 @@ impl Sweep {
     pub fn cell(&self, benchmark: &str, design: DesignKind) -> &RunStats {
         self.cells
             .get(&(benchmark.to_string(), design.name()))
-            // ccp-lint: allow(no-panic-in-service-path) — indexing API; documented to panic on a caller bug, like `Index`
             .unwrap_or_else(|| panic!("no cell for {benchmark}/{}", design.name()))
     }
 
@@ -309,7 +308,6 @@ pub(crate) fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
     out.into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
-        // ccp-lint: allow(no-panic-in-service-path) — the worker loop above covers every index in 0..n before scope exit
         .map(|r| r.expect("every index produced"))
         .collect()
 }
@@ -500,7 +498,6 @@ impl ResilientSweep {
             .into_iter()
             .map(|(k, c)| match c.status {
                 CellStatus::Ok(stats) => (k, stats),
-                // ccp-lint: allow(no-panic-in-service-path) — guarded by the is_complete() check just above
                 _ => unreachable!("is_complete checked"),
             })
             .collect();
@@ -716,7 +713,6 @@ pub fn run_sweep_resilient(
     run_resilient_with(config, res, &resolved, |wi, design| {
         let source = sources[wi]
             .as_ref()
-            // ccp-lint: allow(no-panic-in-service-path) — `resolved` and `sources` are built together; every runner index was resolved above
             .expect("runner only called when resolved");
         crate::job::run_guarded_source(
             &format!("{}/{}", resolved[wi].0, design.name()),
