@@ -105,16 +105,46 @@ grep -q "^digraph" "$SCRATCH/graph.dot" || {
 grep -q '"lock:' "$SCRATCH/graph.dot" || {
     echo "--graph dot lost the inferred lock edges"; exit 1; }
 
-echo "== difftest: optimized and reference CPP engines byte-identical"
+echo "== difftest: engines byte-identical across the dispatch x thread matrix"
+# Serial engine-vs-engine comparison plus the {scalar,swar} lane-dispatch
+# x {1,4} replay-thread equivalence matrix, every benchmark.
 ./target/release/repro difftest > "$SCRATCH/difftest.txt"
 grep -q "byte-identical across engines" "$SCRATCH/difftest.txt" || {
     echo "difftest did not report full identity:"; cat "$SCRATCH/difftest.txt"; exit 1; }
 
+echo "== difftest must-fail: a scrambled slice merge is caught as divergence"
+# The parallel replayer's canonical merge is load-bearing: deliberately
+# permuting the slice order must surface as a stats divergence (exit 1),
+# otherwise the equivalence battery could not catch a broken merge.
+set +e
+./target/release/repro difftest --budget 20000 --benchmarks olden.health \
+    --scramble-merge 42 > "$SCRATCH/scramble.txt" 2>&1
+status=$?
+set -e
+[ "$status" -eq 1 ] || {
+    echo "scrambled merge: expected exit 1, got $status"; cat "$SCRATCH/scramble.txt"; exit 1; }
+grep -q "DIVERGED" "$SCRATCH/scramble.txt" || {
+    echo "scrambled merge did not report a divergence:"; cat "$SCRATCH/scramble.txt"; exit 1; }
+
+echo "== thread determinism: parallel replay proptests (release)"
+cargo test -q --release -p ccp-sim --test thread_determinism
+
 echo "== perf smoke: hot-path overhaul holds a conservative speedup floor"
-# The committed BENCH_core.json records the full-budget margin (~3.3x);
-# the CI floor is deliberately low so machine noise cannot flake it.
+# The committed BENCH_core.json trajectory records the full-budget margin
+# (~3.3x geomean per entry); the CI floor is deliberately low so machine
+# noise cannot flake it. Seeding the scratch copy from the committed
+# trajectory exercises the append path: --assert-min-speedup applies to
+# the row this run appends, i.e. the newest row.
+cp BENCH_core.json "$SCRATCH/BENCH_core.json" 2>/dev/null || true
 ./target/release/repro perf --budget 60000 --assert-min-speedup 1.5 \
     --out "$SCRATCH/BENCH_core.json" > "$SCRATCH/perf.txt"
+grep -q '"name":"core_hotpath_trajectory"' "$SCRATCH/BENCH_core.json" || {
+    echo "BENCH_core.json is not a trajectory document"; exit 1; }
+if [ -f BENCH_core.json ]; then
+    rows=$(grep -o '"git_rev"' "$SCRATCH/BENCH_core.json" | wc -l)
+    [ "$rows" -ge 2 ] || {
+        echo "perf run did not append to the existing trajectory (rows=$rows)"; exit 1; }
+fi
 
 echo "== compare-schemes smoke: scheme axis reports and stays cache-distinct"
 # Tiny grid, two schemes: the study must write its report and prove the

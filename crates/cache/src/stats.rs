@@ -47,6 +47,18 @@ impl LevelStats {
             self.misses() as f64 / a as f64
         }
     }
+
+    /// Adds another level's event counts into this one (shard merge).
+    pub fn absorb(&mut self, other: &LevelStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_misses += other.read_misses;
+        self.write_misses += other.write_misses;
+        self.prefetch_buffer_hits += other.prefetch_buffer_hits;
+        self.affiliated_hits += other.affiliated_hits;
+        self.partial_line_misses += other.partial_line_misses;
+        self.victim_hits += other.victim_hits;
+    }
 }
 
 /// Statistics for a whole two-level hierarchy.
@@ -93,6 +105,34 @@ impl HierarchyStats {
     /// Total memory traffic in half-word units (Figure 10's metric).
     pub fn memory_traffic_halfwords(&self) -> u64 {
         self.mem_bus.total_halfwords()
+    }
+
+    /// Canonical shard merge for region-sharded replay: every event
+    /// counter is a per-access sum, so the merged statistics are the
+    /// field-wise sums over shards — identical to a serial run because
+    /// each event is attributable to exactly one access, and each access
+    /// to exactly one shard.
+    ///
+    /// `tag_overhead_bits` is the one non-event field (a property of
+    /// geometry × scheme stamped at construction): every shard reports
+    /// the same value and it carries through unchanged rather than
+    /// summing.
+    pub fn absorb_shard(&mut self, other: &HierarchyStats) {
+        debug_assert!(
+            self.tag_overhead_bits == other.tag_overhead_bits,
+            "shards disagree on tag overhead: {} vs {}",
+            self.tag_overhead_bits,
+            other.tag_overhead_bits
+        );
+        self.l1.absorb(&other.l1);
+        self.l2.absorb(&other.l2);
+        self.mem_bus.merge(&other.mem_bus);
+        self.l1_l2_bus.merge(&other.l1_l2_bus);
+        self.prefetches_issued += other.prefetches_issued;
+        self.prefetches_discarded += other.prefetches_discarded;
+        self.promotions += other.promotions;
+        self.parked_lines += other.parked_lines;
+        self.compressibility_evictions += other.compressibility_evictions;
     }
 }
 

@@ -24,6 +24,9 @@
 pub mod delay;
 pub mod fvc;
 pub mod profile;
+pub mod swar;
+
+pub use swar::{line_dispatch, set_line_dispatch, LaneDispatch};
 
 /// A 32-bit machine word, the unit the compression scheme operates on.
 pub type Word = u32;
@@ -159,23 +162,20 @@ pub fn compressible_bit(value: Word, addr: Addr) -> u32 {
 ///
 /// This is the hot kernel of the cache hierarchies — every fill, merge,
 /// park, and promotion classifies a full line — so it takes the line as a
-/// slice (one page-table walk in the caller) and uses the branch-free
-/// per-word test.
+/// slice (one page-table walk in the caller) and classifies all 16 words
+/// of an L1 line in one pass over packed lanes (see [`swar`]). The kernel
+/// is selected by the process-wide [`swar::line_dispatch`] knob; both
+/// kernels are proven mask-identical by the equivalence suite, so the
+/// knob never changes results, only how they are computed.
 ///
 /// # Panics
 /// Debug-asserts `words.len() <= 32` (flag masks are 32 bits wide).
 #[inline]
 pub fn line_compress_mask(words: &[Word], base: Addr) -> u32 {
-    debug_assert!(words.len() <= 32, "flag masks hold at most 32 words");
-    let mut mask = 0u32;
-    let mut bit = 1u32;
-    let mut addr = base;
-    for &w in words {
-        mask |= bit & compressible_bit(w, addr).wrapping_neg();
-        bit = bit.wrapping_shl(1);
-        addr = addr.wrapping_add(WORD_BYTES);
+    match swar::line_dispatch() {
+        LaneDispatch::Swar => swar::cpp_line_mask_swar(words, base),
+        LaneDispatch::Scalar => swar::cpp_line_mask_scalar(words, base),
     }
-    mask
 }
 
 /// Compresses `value` (stored at `addr`) to its 16-bit form, or `None` when

@@ -126,3 +126,108 @@ proptest! {
         }
     }
 }
+
+/// A word strategy biased toward the classification boundaries: the
+/// ±16383/∓16384 small-value edges, the pointer-prefix edges around an
+/// arbitrary base, sign/zero corners, and uniform noise.
+fn boundary_word(base: u32) -> impl Strategy<Value = u32> {
+    prop_oneof![
+        Just(16383u32),
+        Just((-16384i32) as u32),
+        Just(16384u32),
+        Just((-16385i32) as u32),
+        Just(0u32),
+        Just(0x8000_0000u32),
+        Just(0xFFFF_FFFFu32),
+        // pointer-rule edges: same 32 KB chunk as the base, then one out
+        Just(base & 0xFFFF_8000),
+        Just((base & 0xFFFF_8000) | 0x7FFF),
+        Just((base & 0xFFFF_8000).wrapping_sub(1)),
+        Just((base & 0xFFFF_8000).wrapping_add(0x8000)),
+        any::<u32>(),
+    ]
+}
+
+// Equivalence battery for the line-at-a-time kernels: the packed-lane
+// SWAR path (and the SSE2 path behind it, where compiled) must agree
+// bit-for-bit with the per-word scalar oracle — and both with the
+// public per-word predicate — on arbitrary lines.
+proptest! {
+    /// SWAR ≡ scalar ≡ per-word predicate on arbitrary word mixes.
+    #[test]
+    fn line_kernels_agree(
+        base: u32,
+        words in prop::collection::vec(any::<u32>(), 0..21)
+    ) {
+        let base = base & !0x3;
+        let words = words.clone();
+        let swar = ccp_compress::swar::cpp_line_mask_swar(&words, base);
+        let scalar = ccp_compress::swar::cpp_line_mask_scalar(&words, base);
+        prop_assert_eq!(swar, scalar, "SWAR vs scalar at base {:#x}", base);
+        let mut oracle = 0u32;
+        for (i, &w) in words.iter().enumerate() {
+            let addr = base.wrapping_add(4 * i as u32);
+            oracle |= u32::from(is_compressible(w, addr)) << i;
+        }
+        prop_assert_eq!(swar, oracle, "kernels vs predicate at base {:#x}", base);
+    }
+
+    /// Same agreement on boundary-biased lines, where an off-by-one in
+    /// the packed-lane field masks would actually show up.
+    #[test]
+    fn line_kernels_agree_on_boundary_mixes(
+        base: u32,
+        seed: u32
+    ) {
+        let base = base & !0x3;
+        // Derive a 16-word line from the seed via the boundary strategy's
+        // value table (deterministic expansion keeps this case cheap).
+        let table = [
+            16383u32,
+            (-16384i32) as u32,
+            16384u32,
+            (-16385i32) as u32,
+            0,
+            0x8000_0000,
+            0xFFFF_FFFF,
+            base & 0xFFFF_8000,
+            (base & 0xFFFF_8000) | 0x7FFF,
+            (base & 0xFFFF_8000).wrapping_sub(1),
+            (base & 0xFFFF_8000).wrapping_add(0x8000),
+            seed,
+        ];
+        let words: Vec<u32> = (0..16)
+            .map(|i| table[(seed.rotate_right(2 * i) as usize ^ i as usize) % table.len()])
+            .collect();
+        prop_assert_eq!(
+            ccp_compress::swar::cpp_line_mask_swar(&words, base),
+            ccp_compress::swar::cpp_line_mask_scalar(&words, base)
+        );
+    }
+
+    /// Metamorphic (the PR-5 affiliated-flip law, lifted to whole lines):
+    /// flipping the L1 or L2 line bit of the base moves the whole line to
+    /// its affiliated location and must leave the compressibility mask
+    /// unchanged, under both kernels.
+    #[test]
+    fn line_mask_invariant_under_affiliated_flip(
+        base: u32,
+        words in prop::collection::vec(boundary_word(0x1234_5678), 16..17)
+    ) {
+        let base = base & !0x3;
+        for line_bit in [0x40u32, 0x80] {
+            prop_assert_eq!(
+                ccp_compress::line_compress_mask(&words, base),
+                ccp_compress::line_compress_mask(&words, base ^ line_bit)
+            );
+            prop_assert_eq!(
+                ccp_compress::swar::cpp_line_mask_swar(&words, base),
+                ccp_compress::swar::cpp_line_mask_swar(&words, base ^ line_bit)
+            );
+            prop_assert_eq!(
+                ccp_compress::swar::cpp_line_mask_scalar(&words, base),
+                ccp_compress::swar::cpp_line_mask_scalar(&words, base ^ line_bit)
+            );
+        }
+    }
+}

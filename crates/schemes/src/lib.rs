@@ -41,7 +41,9 @@
 //! their geometry into `HierarchyStats::tag_overhead_bits` so reports can
 //! rank schemes on compression benefit *net of* the SRAM they spend.
 
-use ccp_compress::{Addr, Word, WORD_BYTES};
+pub mod swar;
+
+use ccp_compress::{Addr, LaneDispatch, Word, WORD_BYTES};
 
 /// Number of bits in the compressed half-word every scheme targets.
 pub const HALF_BITS: u32 = 16;
@@ -275,6 +277,14 @@ impl CompressionScheme for BdiScheme {
     }
 
     #[inline]
+    fn line_mask(words: &[Word], base_addr: Addr) -> u32 {
+        match ccp_compress::line_dispatch() {
+            LaneDispatch::Swar => swar::bdi_line_mask_swar(words, base_addr),
+            LaneDispatch::Scalar => swar::scalar_line_mask::<Self>(words, base_addr),
+        }
+    }
+
+    #[inline]
     fn encode(value: Word, addr: Addr, base_addr: Addr, base_val: Word) -> Option<u16> {
         // Immediate wins when both apply: decoding then needs no base read.
         if fits_signed(value as i32, BDI_PAYLOAD_BITS) {
@@ -356,6 +366,14 @@ impl CompressionScheme for FpcScheme {
         let hi = (value as i32) >> (FPC_PAYLOAD_BITS - 1);
         let narrow = u32::from(hi == 0) | u32::from(hi == -1);
         narrow | u32::from(value == value.rotate_left(8))
+    }
+
+    #[inline]
+    fn line_mask(words: &[Word], base_addr: Addr) -> u32 {
+        match ccp_compress::line_dispatch() {
+            LaneDispatch::Swar => swar::fpc_line_mask_swar(words, base_addr),
+            LaneDispatch::Scalar => swar::scalar_line_mask::<Self>(words, base_addr),
+        }
     }
 
     #[inline]

@@ -156,3 +156,97 @@ proptest! {
         }
     }
 }
+
+// SWAR ≡ scalar equivalence for the per-scheme line kernels: the packed
+// BDI/FPC lane paths must agree bit-for-bit with the per-word trait
+// oracle on arbitrary lines, boundary-biased lines, and every prefix
+// length — and the public `line_mask` must agree with both regardless of
+// the process-wide dispatch knob.
+proptest! {
+    /// BDI: packed-lane kernel ≡ per-word scalar oracle.
+    #[test]
+    fn bdi_line_kernels_agree(
+        base: u32,
+        words in prop::collection::vec(any::<u32>(), 0..21)
+    ) {
+        let base = align(base);
+        prop_assert_eq!(
+            ccp_schemes::swar::bdi_line_mask_swar(&words, base),
+            ccp_schemes::swar::scalar_line_mask::<BdiScheme>(&words, base)
+        );
+    }
+
+    /// FPC: packed-lane kernel ≡ per-word scalar oracle.
+    #[test]
+    fn fpc_line_kernels_agree(
+        base: u32,
+        words in prop::collection::vec(any::<u32>(), 0..21)
+    ) {
+        let base = align(base);
+        prop_assert_eq!(
+            ccp_schemes::swar::fpc_line_mask_swar(&words, base),
+            ccp_schemes::swar::scalar_line_mask::<FpcScheme>(&words, base)
+        );
+    }
+
+    /// Boundary-biased lines for both schemes: the FPC ±4096 narrow
+    /// edges, BDI's ±16384 immediate/delta edges, repeated-byte patterns
+    /// one bit away from qualifying, and base-relative deltas.
+    #[test]
+    fn scheme_line_kernels_agree_on_boundary_mixes(base: u32, seed: u32) {
+        let base = align(base);
+        let table = [
+            (FPC_MAX as u32),
+            (FPC_MIN as u32),
+            (FPC_MAX as u32).wrapping_add(1),
+            (FPC_MIN as u32).wrapping_sub(1),
+            16383u32,
+            (-16384i32) as u32,
+            16384u32,
+            (-16385i32) as u32,
+            0xABAB_ABABu32,
+            0xAB00_ABABu32,
+            0u32,
+            0x8000_0000u32,
+            seed,
+            base.wrapping_add(0x3FFE),
+            base.wrapping_sub(0x4000),
+        ];
+        let words: Vec<u32> = (0..16)
+            .map(|i| table[(seed.rotate_right(2 * i) as usize ^ i as usize) % table.len()])
+            .collect();
+        prop_assert_eq!(
+            ccp_schemes::swar::bdi_line_mask_swar(&words, base),
+            ccp_schemes::swar::scalar_line_mask::<BdiScheme>(&words, base)
+        );
+        prop_assert_eq!(
+            ccp_schemes::swar::fpc_line_mask_swar(&words, base),
+            ccp_schemes::swar::scalar_line_mask::<FpcScheme>(&words, base)
+        );
+    }
+
+    /// The public `line_mask` answers identically under both dispatch
+    /// settings, for all three schemes (the knob may only change *how*
+    /// the mask is computed, never the mask).
+    #[test]
+    fn line_mask_invariant_under_dispatch(
+        base: u32,
+        words in prop::collection::vec(any::<u32>(), 0..17)
+    ) {
+        use ccp_compress::LaneDispatch;
+        let base = align(base);
+        let prev = ccp_compress::line_dispatch();
+        ccp_compress::set_line_dispatch(LaneDispatch::Swar);
+        let cpp_s = CppScheme::line_mask(&words, base);
+        let bdi_s = BdiScheme::line_mask(&words, base);
+        let fpc_s = FpcScheme::line_mask(&words, base);
+        ccp_compress::set_line_dispatch(LaneDispatch::Scalar);
+        let cpp_p = CppScheme::line_mask(&words, base);
+        let bdi_p = BdiScheme::line_mask(&words, base);
+        let fpc_p = FpcScheme::line_mask(&words, base);
+        ccp_compress::set_line_dispatch(prev);
+        prop_assert_eq!(cpp_s, cpp_p);
+        prop_assert_eq!(bdi_s, bdi_p);
+        prop_assert_eq!(fpc_s, fpc_p);
+    }
+}

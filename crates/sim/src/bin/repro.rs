@@ -29,6 +29,20 @@ fn spec_err(arg: &str, detail: impl std::fmt::Display) -> SimError {
     SimError::spec(format!("{arg}: {detail}"))
 }
 
+/// Short git revision for BENCH_core.json provenance; `"unknown"` when
+/// the tree isn't a git checkout (e.g. a source tarball).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 #[derive(Debug)]
 struct Args {
     budget: usize,
@@ -42,6 +56,8 @@ struct Args {
     out_path: Option<std::path::PathBuf>,
     goldens_dir: Option<std::path::PathBuf>,
     schemes: Vec<ccp_schemes::SchemeKind>,
+    dispatch: Option<ccp_compress::LaneDispatch>,
+    scramble_merge: Option<u64>,
 }
 
 fn parse_args() -> SimResult<Args> {
@@ -56,6 +72,8 @@ fn parse_args() -> SimResult<Args> {
     let mut out_path = None;
     let mut goldens_dir = None;
     let mut schemes = ccp_schemes::SchemeKind::ALL.to_vec();
+    let mut dispatch = None;
+    let mut scramble_merge = None;
     let value = |flag: &str, v: Option<String>| v.ok_or_else(|| spec_err(flag, "needs a value"));
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -90,6 +108,16 @@ fn parse_args() -> SimResult<Args> {
             }
             "--render-goldens" => {
                 goldens_dir = Some(std::path::PathBuf::from(value(&a, it.next())?));
+            }
+            "--dispatch" => {
+                let v = value(&a, it.next())?;
+                dispatch = Some(
+                    ccp_compress::LaneDispatch::from_name(&v)
+                        .ok_or_else(|| SimError::unknown("dispatch", &v))?,
+                );
+            }
+            "--scramble-merge" => {
+                scramble_merge = Some(value(&a, it.next())?.parse().map_err(|e| spec_err(&a, e))?);
             }
             "--schemes" => {
                 schemes = value(&a, it.next())?
@@ -145,6 +173,8 @@ fn parse_args() -> SimResult<Args> {
         out_path,
         goldens_dir,
         schemes,
+        dispatch,
+        scramble_merge,
     })
 }
 
@@ -164,16 +194,21 @@ const HELP: &str = "repro — regenerate the paper's tables and figures
 usage: repro [--budget N] [--seed S] [--threads T] [--benchmarks a,b,..] [--json FILE] [--bars]
              [fig3..fig15 | exta | extb | extc | ext | workgen | all]
        repro difftest [--budget N] [--seed S] [--benchmarks a,b,..]
-                      [--render-goldens DIR]
+                      [--render-goldens DIR] [--scramble-merge SEED]
            replay every benchmark through the optimized and reference CPP
-           engines; exit 1 unless their stats are byte-identical;
-           --render-goldens regenerates the pinned stats fixtures
+           engines — serially, then across the {scalar,swar} lane-dispatch
+           x {1,4} replay-thread matrix; exit 1 unless all stats are
+           byte-identical; --scramble-merge deliberately permutes the
+           parallel replayer's slice-merge order (must be caught as a
+           divergence — the CI must-fail gate); --render-goldens
+           regenerates the pinned stats fixtures
            (crates/sim/tests/expected_stats) after auditing a change
        repro perf [--budget N] [--seed S] [--benchmarks a,b,..]
-                  [--out FILE] [--assert-min-speedup X]
-           time optimized vs reference replay, write BENCH_core.json
-           (default; override with --out), exit 1 if the geomean speedup
-           falls below X
+                  [--out FILE] [--assert-min-speedup X] [--dispatch D]
+           time optimized vs reference replay, append a trajectory row to
+           BENCH_core.json (default; override with --out), exit 1 if the
+           geomean speedup falls below X; --dispatch scalar|swar forces
+           the line-classification kernel (default swar)
        repro compare-schemes [--budget N] [--seed S] [--benchmarks a,b,..]
                              [--schemes CPP,BDI,FPC] [--out FILE]
            replay every benchmark under every compression scheme at two
@@ -189,6 +224,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some(d) = args.dispatch {
+        ccp_compress::set_line_dispatch(d);
+        eprintln!("line-classification dispatch forced to {}", d.name());
+    }
 
     let needs_sweep = args
         .figures
@@ -367,13 +407,23 @@ fn main() {
                     }
                     continue;
                 }
+                let merge = match args.scramble_merge {
+                    Some(seed) => ccp_sim::fastsim::MergePolicy::Scrambled(seed),
+                    None => ccp_sim::fastsim::MergePolicy::Canonical,
+                };
                 eprintln!(
-                    "running differential conformance: {} benchmarks x 2 engines, {} instructions each...",
+                    "running differential conformance: {} benchmarks x 2 engines x {{scalar,swar}} x {{1,4}} threads, {} instructions each...",
                     args.benchmarks.len(),
                     args.budget
                 );
-                let outcomes =
+                let mut outcomes =
                     ccp_sim::difftest::run_difftest(&args.benchmarks, args.budget, args.seed);
+                outcomes.extend(ccp_sim::difftest::run_difftest_matrix(
+                    &args.benchmarks,
+                    args.budget,
+                    args.seed,
+                    merge,
+                ));
                 println!("{}", ccp_sim::difftest::render_difftest(&outcomes));
                 if outcomes.iter().any(|o| !o.matches()) {
                     eprintln!("error [conformance]: optimized and reference CPP engines diverged");
@@ -388,16 +438,38 @@ fn main() {
                 );
                 let report = ccp_sim::perf::run_perf(&args.benchmarks, args.budget, args.seed);
                 println!("{}", ccp_sim::perf::render_perf(&report));
+                let threads = args.threads.max(1);
+                let parallel = if threads > 1 {
+                    eprintln!(
+                        "timing multi-core replay at {threads} threads (reported separately)..."
+                    );
+                    Some(ccp_sim::perf::run_perf_parallel(
+                        &args.benchmarks,
+                        args.budget,
+                        args.seed,
+                        threads,
+                    ))
+                } else {
+                    None
+                };
                 let out = args
                     .out_path
                     .clone()
                     .unwrap_or_else(|| std::path::PathBuf::from("BENCH_core.json"));
-                let doc = ccp_sim::perf::perf_json(&report).to_string();
+                let entry = ccp_sim::perf::perf_entry_json(
+                    &report,
+                    &git_rev(),
+                    ccp_compress::line_dispatch().name(),
+                    threads,
+                    parallel,
+                );
+                let existing = std::fs::read_to_string(&out).ok();
+                let doc = ccp_sim::perf::append_trajectory(existing.as_deref(), entry).to_string();
                 if let Err(e) = ccp_sim::json::write_atomic(&out, &doc) {
                     eprintln!("error [{}]: {e}", e.class());
                     std::process::exit(1);
                 }
-                eprintln!("wrote {}", out.display());
+                eprintln!("appended trajectory entry to {}", out.display());
                 if let Some(min) = args.min_speedup {
                     let got = report.geomean_speedup();
                     if got < min {

@@ -14,14 +14,22 @@
 //! paths are lint-gated panic-free); the `repro difftest` subcommand and the
 //! test-suite wrappers decide how to fail.
 
-use crate::fastsim::run_functional;
+use crate::fastsim::{run_functional, run_functional_parallel, MergePolicy, ReplayOptions};
 use crate::json::Json;
 use ccp_cache::stats::HierarchyStats;
+use ccp_cache::CacheSim;
+use ccp_compress::LaneDispatch;
 use ccp_cpp::{CppHierarchy, RefCppHierarchy};
 use ccp_errors::{SimError, SimResult};
 use ccp_schemes::SchemeKind;
 use ccp_trace::{all_benchmarks, benchmark_by_name, Benchmark};
 use std::path::{Path, PathBuf};
+
+/// Lane-dispatch settings the matrix difftest sweeps.
+pub const MATRIX_DISPATCHES: [LaneDispatch; 2] = [LaneDispatch::Scalar, LaneDispatch::Swar];
+
+/// Replay thread counts the matrix difftest sweeps.
+pub const MATRIX_THREADS: [usize; 2] = [1, 4];
 
 /// Result of replaying one benchmark through both engines.
 #[derive(Debug, Clone)]
@@ -134,6 +142,80 @@ pub fn diff_benchmark(bench: &Benchmark, budget: usize, seed: u64) -> DiffOutcom
     }
 }
 
+/// Replays `bench` through the reference engine once, then through the
+/// optimized engine at every {lane dispatch} × {thread count} cell of the
+/// equivalence matrix, comparing each cell's statistics against the
+/// reference. `merge` is threaded through to the parallel replayer —
+/// [`MergePolicy::Canonical`] for real runs; [`MergePolicy::Scrambled`]
+/// exists so CI can prove a wrong merge order is *caught* by this very
+/// comparison.
+pub fn diff_benchmark_matrix(
+    bench: &Benchmark,
+    budget: usize,
+    seed: u64,
+    merge: MergePolicy,
+) -> Vec<DiffOutcome> {
+    let trace = bench.trace(budget, seed);
+    let mut rf = RefCppHierarchy::paper();
+    let r = run_functional(&trace, &mut rf, 0);
+
+    let mut outcomes = Vec::new();
+    let prev = ccp_compress::line_dispatch();
+    for dispatch in MATRIX_DISPATCHES {
+        ccp_compress::set_line_dispatch(dispatch);
+        for threads in MATRIX_THREADS {
+            let factory = || Box::new(CppHierarchy::paper()) as Box<dyn CacheSim>;
+            let opts = ReplayOptions {
+                threads,
+                merge,
+                ..Default::default()
+            };
+            let o = run_functional_parallel(&trace, &factory, 0, &opts);
+            let mut divergences = Vec::new();
+            json_diff(
+                &hierarchy_stats_json(&o.hierarchy),
+                &hierarchy_stats_json(&r.hierarchy),
+                "stats",
+                &mut divergences,
+            );
+            if divergences.is_empty() && o.hierarchy != r.hierarchy {
+                divergences.push("stats (field not covered by hierarchy_stats_json)".to_string());
+            }
+            outcomes.push(DiffOutcome {
+                benchmark: format!("{} [{}x{}t]", bench.full_name(), dispatch.name(), threads),
+                mem_ops: o.mem_ops,
+                optimized: o.hierarchy,
+                reference: r.hierarchy,
+                divergences,
+            });
+        }
+    }
+    ccp_compress::set_line_dispatch(prev);
+    outcomes
+}
+
+/// Runs the matrix differential suite over `benchmarks` (all 14 when
+/// empty): every benchmark × {scalar, SWAR} × {1, 4} threads against the
+/// reference engine.
+pub fn run_difftest_matrix(
+    benchmarks: &[Benchmark],
+    budget: usize,
+    seed: u64,
+    merge: MergePolicy,
+) -> Vec<DiffOutcome> {
+    let all;
+    let benches = if benchmarks.is_empty() {
+        all = all_benchmarks();
+        &all
+    } else {
+        benchmarks
+    };
+    benches
+        .iter()
+        .flat_map(|b| diff_benchmark_matrix(b, budget, seed, merge))
+        .collect()
+}
+
 /// Benchmarks pinned by the golden stats fixtures in
 /// `crates/sim/tests/expected_stats/` — they span the compressibility
 /// range (pointer-chase, high-compressibility, conflict-prone).
@@ -158,10 +240,31 @@ pub fn golden_stats_doc(bench: &Benchmark) -> String {
 /// parameters so a fixture can never be silently compared at the wrong
 /// budget or scheme.
 pub fn golden_stats_doc_scheme(bench: &Benchmark, scheme: SchemeKind) -> String {
+    golden_stats_doc_scheme_at(bench, scheme, ccp_compress::line_dispatch(), 1)
+}
+
+/// [`golden_stats_doc_scheme`] at an explicit lane dispatch and replay
+/// thread count. The fixture files are rendered once and must be
+/// reproduced byte-for-byte by **every** {dispatch} × {threads} cell —
+/// the golden sweep in `tests/golden_stats.rs` checks all of them against
+/// the same pinned file.
+pub fn golden_stats_doc_scheme_at(
+    bench: &Benchmark,
+    scheme: SchemeKind,
+    dispatch: LaneDispatch,
+    threads: usize,
+) -> String {
     let trace = bench.trace(GOLDEN_BUDGET, GOLDEN_SEED);
     let cfg = ccp_cache::HierarchyConfig::paper(ccp_cache::DesignKind::Cpp);
-    let mut sim = crate::build_design_scheme(cfg, scheme);
-    let s = run_functional(&trace, sim.as_mut(), 0);
+    let prev = ccp_compress::line_dispatch();
+    ccp_compress::set_line_dispatch(dispatch);
+    let factory = || crate::build_design_scheme(cfg, scheme);
+    let opts = ReplayOptions {
+        threads,
+        ..Default::default()
+    };
+    let s = run_functional_parallel(&trace, &factory, 0, &opts);
+    ccp_compress::set_line_dispatch(prev);
     Json::obj([
         ("benchmark", Json::from(bench.full_name())),
         ("scheme", Json::from(scheme.name())),
@@ -270,6 +373,40 @@ mod tests {
         let b = all_benchmarks();
         let o = diff_benchmark(&b[0], 20_000, 7);
         assert!(o.matches(), "{:?}", o.divergences);
+    }
+
+    /// The matrix gate: one benchmark, all four {dispatch} × {threads}
+    /// cells (the full 14-benchmark sweep runs under `repro difftest` in
+    /// release; a spot check keeps the debug suite fast).
+    #[test]
+    fn matrix_cells_all_match_reference() {
+        let b = all_benchmarks();
+        let outcomes = diff_benchmark_matrix(&b[0], 20_000, 1, MergePolicy::Canonical);
+        assert_eq!(
+            outcomes.len(),
+            MATRIX_DISPATCHES.len() * MATRIX_THREADS.len()
+        );
+        for o in &outcomes {
+            assert!(
+                o.matches(),
+                "{} diverged:\n{}",
+                o.benchmark,
+                o.divergences.join("\n")
+            );
+        }
+    }
+
+    /// The must-fail hook: a scrambled slice merge has to surface as a
+    /// divergence in at least one matrix cell — otherwise the equivalence
+    /// battery couldn't catch a broken merge order.
+    #[test]
+    fn matrix_catches_scrambled_merge() {
+        let b = all_benchmarks();
+        let outcomes = diff_benchmark_matrix(&b[0], 20_000, 1, MergePolicy::Scrambled(42));
+        assert!(
+            outcomes.iter().any(|o| !o.matches()),
+            "scrambled merge went undetected across all matrix cells"
+        );
     }
 
     #[test]

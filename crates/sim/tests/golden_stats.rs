@@ -39,6 +39,48 @@ fn golden_stats_match_pinned_fixtures() {
     }
 }
 
+/// Every {lane dispatch} × {thread count} cell must reproduce the *same*
+/// pinned fixture byte-for-byte: the SWAR kernels and the region-sharded
+/// parallel replayer are only shippable because they change nothing
+/// observable. CPP is swept at every cell for all three golden
+/// benchmarks; BDI/FPC (whose fixtures the serial test above already
+/// pins) get one cross cell to keep debug-suite runtime bounded.
+#[test]
+fn golden_stats_invariant_across_dispatch_and_threads() {
+    use ccp_compress::LaneDispatch;
+    use ccp_sim::difftest::{golden_stats_doc_scheme_at, MATRIX_DISPATCHES, MATRIX_THREADS};
+    for name in GOLDEN_BENCHMARKS {
+        let bench = benchmark_by_name(name).expect("golden benchmark registered");
+        let pinned = std::fs::read_to_string(fixture_path(name, SchemeKind::Cpp))
+            .expect("pinned CPP fixture");
+        for dispatch in MATRIX_DISPATCHES {
+            for threads in MATRIX_THREADS {
+                let fresh = golden_stats_doc_scheme_at(&bench, SchemeKind::Cpp, dispatch, threads);
+                assert_eq!(
+                    pinned.trim_end(),
+                    fresh,
+                    "{name}/CPP drifted at {}x{}t",
+                    dispatch.name(),
+                    threads
+                );
+            }
+        }
+        for scheme in [SchemeKind::Bdi, SchemeKind::Fpc] {
+            let pinned =
+                std::fs::read_to_string(fixture_path(name, scheme)).expect("pinned scheme fixture");
+            let fresh =
+                golden_stats_doc_scheme_at(&bench, scheme, LaneDispatch::Scalar, MATRIX_THREADS[1]);
+            assert_eq!(
+                pinned.trim_end(),
+                fresh,
+                "{name}/{} drifted at scalar x{}t",
+                scheme.name(),
+                MATRIX_THREADS[1]
+            );
+        }
+    }
+}
+
 #[test]
 fn golden_fixtures_are_valid_json_with_expected_fields() {
     for name in GOLDEN_BENCHMARKS {

@@ -1,0 +1,115 @@
+//! Determinism battery for the region-sharded parallel replayer: at any
+//! thread count, any slice size, and any workload, `fastsim --threads N`
+//! must produce [`ccp_cache::HierarchyStats`] **byte-identical** to the
+//! serial replay — checked both as struct equality and through the same
+//! JSON rendering the difftest and golden fixtures compare. The
+//! scrambled-merge cases prove the battery has teeth: a deliberately
+//! non-canonical slice order must be caught as a divergence.
+//!
+//! Mirrors the resilience suite's pattern: a handful of proptest cases
+//! over seeds × cut points × thread counts, kept small enough for the
+//! debug-profile tier-1 run.
+
+use ccp_sim::build_design;
+use ccp_sim::difftest::hierarchy_stats_json;
+use ccp_sim::fastsim::{
+    run_functional, run_functional_parallel, FastStats, MergePolicy, ReplayOptions,
+};
+use ccp_trace::{benchmark_by_name, Trace, TraceSource};
+use ccp_workgen::{SynthSource, WorkgenSpec};
+use proptest::prelude::*;
+
+/// Workgen parameter points spanning the compressibility range: mostly
+/// small values, pointer-heavy, and incompressible-heavy.
+const WORKGEN_SPECS: [&str; 3] = [
+    "addr=uniform,small=0.8,footprint=4096",
+    "addr=zipf,ptr=0.5,footprint=16384",
+    "addr=uniform,small=0.1,ptr=0.1,footprint=8192",
+];
+
+fn workgen_trace(spec_idx: usize, seed: u64, budget: u64) -> Trace {
+    let spec = WorkgenSpec::parse(WORKGEN_SPECS[spec_idx % WORKGEN_SPECS.len()])
+        .expect("valid workgen spec");
+    SynthSource::new(spec, seed, budget).materialize()
+}
+
+fn assert_byte_identical(serial: &FastStats, parallel: &FastStats, label: &str) {
+    assert_eq!(serial.mem_ops, parallel.mem_ops, "{label}: mem_ops");
+    assert_eq!(serial.loads, parallel.loads, "{label}: loads");
+    assert_eq!(serial.stores, parallel.stores, "{label}: stores");
+    // Struct equality AND the rendered JSON: the latter is what the
+    // difftest/golden layer actually diffs, so both must hold.
+    assert_eq!(
+        serial.hierarchy, parallel.hierarchy,
+        "{label}: hierarchy stats"
+    );
+    assert_eq!(
+        hierarchy_stats_json(&serial.hierarchy).to_string(),
+        hierarchy_stats_json(&parallel.hierarchy).to_string(),
+        "{label}: JSON rendering"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `--threads N` ≡ `--threads 1` for N ∈ {2, 3, 8} on random workgen
+    /// traces, across shard-boundary cut points (slice sizes that land
+    /// mid-line, mid-batch, and off the op-count grid) and warm-up
+    /// windows.
+    #[test]
+    fn parallel_replay_is_thread_count_invariant(
+        spec_idx in 0usize..3,
+        seed in 1u64..1_000,
+        slice_sel in 0usize..3,
+        warmup_sel in 0usize..3,
+    ) {
+        let slice_insts = [61usize, 1_000, 8_192][slice_sel];
+        let warmup = [0u64, 1, 997][warmup_sel];
+        let trace = workgen_trace(spec_idx, seed, 12_000);
+        let factory = || build_design(ccp_cache::DesignKind::Cpp);
+        let mut serial_cache = factory();
+        let serial = run_functional(&trace, serial_cache.as_mut(), warmup);
+        for threads in [2usize, 3, 8] {
+            let opts = ReplayOptions {
+                threads,
+                slice_insts,
+                merge: MergePolicy::Canonical,
+            };
+            let par = run_functional_parallel(&trace, &factory, warmup, &opts);
+            assert_byte_identical(
+                &serial,
+                &par,
+                &format!("spec={spec_idx} seed={seed} slice={slice_insts} warmup={warmup} threads={threads}"),
+            );
+        }
+    }
+
+    /// The battery's teeth: a scrambled slice merge must be *caught* —
+    /// at least one seed in a small family has to diverge from serial on
+    /// a pointer-chasing benchmark (if every scramble agreed, this suite
+    /// could not detect a broken canonical order either).
+    #[test]
+    fn scrambled_merge_is_caught(scramble_seed in 1u64..100) {
+        let trace = benchmark_by_name("health")
+            .expect("benchmark registered")
+            .trace(30_000, 1);
+        let factory = || build_design(ccp_cache::DesignKind::Cpp);
+        let mut serial_cache = factory();
+        let serial = run_functional(&trace, serial_cache.as_mut(), 0);
+        let mut any_diverged = false;
+        for s in [scramble_seed, scramble_seed + 100, scramble_seed + 200] {
+            let opts = ReplayOptions {
+                threads: 2,
+                slice_insts: 512,
+                merge: MergePolicy::Scrambled(s),
+            };
+            let par = run_functional_parallel(&trace, &factory, 0, &opts);
+            prop_assert_eq!(serial.mem_ops, par.mem_ops, "op counts survive any order");
+            if serial.hierarchy != par.hierarchy {
+                any_diverged = true;
+            }
+        }
+        prop_assert!(any_diverged, "no scramble in the family diverged — the battery is blind");
+    }
+}
